@@ -1,0 +1,89 @@
+"""Figure 7: "Timing of the Top Five Engines".
+
+Regenerates the paper's headline table: five engine profiles × five
+secret efficiency tests, under scaled time/memory limits, with the
+capping rules of the figure's caption (over-time → cap, over-memory →
+2×cap).
+
+Expected shape (absolute numbers differ — our substrate is a pure-Python
+storage manager, the limits are scaled from 2400 s to ~1.5 s):
+
+* engine-1 finishes everything, best total;
+* engine-2 is near-instant on tests 1–4 and times out **only** on
+  test 5 (the mis-estimated join order);
+* engine-3 times out **only** on test 3 (no join reordering) and — like
+  the paper's engine 3 — survives test 5 on its syntactic order;
+* engine-4 is ~0 on the label-index tests 2 and 4, times out on 3 and 5;
+* engine-5 is the slowest finisher and times out on 3 and 5;
+* total ordering: engine-1 < engine-2 < engine-3 < engine-4 < engine-5.
+"""
+
+import pytest
+
+from benchmarks.conftest import TIME_LIMIT
+from repro.grading.tester import Tester, format_figure7
+from repro.workloads.queries import EFFICIENCY_QUERIES
+
+ENGINES = ["engine-1", "engine-2", "engine-3", "engine-4", "engine-5"]
+
+
+@pytest.fixture(scope="module")
+def figure7_rows(bench_dbms):
+    tester = Tester(bench_dbms, "dblp", time_limit=TIME_LIMIT)
+    rows = tester.run_figure7(profiles=ENGINES)
+    print("\n\nFigure 7 (scaled: cap = %.1fs instead of 2400s):"
+          % TIME_LIMIT)
+    print(format_figure7(rows))
+    return {row.engine: row for row in rows}
+
+
+def statuses(row):
+    return [result.status for result in row.results]
+
+
+class TestFigure7Shape:
+    """Assert the qualitative shape of the paper's table."""
+
+    def test_engine1_finishes_all_tests(self, figure7_rows):
+        assert statuses(figure7_rows["engine-1"]) == ["ok"] * 5
+
+    def test_engine2_fails_exactly_test5(self, figure7_rows):
+        row = figure7_rows["engine-2"]
+        assert statuses(row)[:4] == ["ok"] * 4
+        assert statuses(row)[4] in ("timeout", "memory")
+
+    def test_engine3_fails_exactly_test3(self, figure7_rows):
+        row = figure7_rows["engine-3"]
+        assert statuses(row)[2] in ("timeout", "memory")
+        assert statuses(row)[4] == "ok", \
+            "engine-3 survives test 5 on its syntactic order (paper: " \
+            "29.70 s)"
+
+    def test_engine4_near_zero_on_label_tests(self, figure7_rows):
+        row = figure7_rows["engine-4"]
+        assert row.results[1].assigned_seconds < TIME_LIMIT / 10
+        assert row.results[3].assigned_seconds < TIME_LIMIT / 10
+
+    def test_engines_4_and_5_time_out_on_3_and_5(self, figure7_rows):
+        for engine in ("engine-4", "engine-5"):
+            row = figure7_rows[engine]
+            assert statuses(row)[2] != "ok"
+            assert statuses(row)[4] != "ok"
+
+    def test_total_ordering_matches_paper(self, figure7_rows):
+        totals = [figure7_rows[engine].total_seconds
+                  for engine in ENGINES]
+        assert totals == sorted(totals), totals
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_benchmark_engine_total(benchmark, bench_dbms, engine):
+    """pytest-benchmark series: one total-suite run per engine."""
+    tester = Tester(bench_dbms, "dblp", time_limit=TIME_LIMIT)
+
+    def run_suite():
+        return sum(tester.run_efficiency(engine, query).assigned_seconds
+                   for query in EFFICIENCY_QUERIES)
+
+    total = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    assert total >= 0

@@ -1,0 +1,95 @@
+"""Storage-substrate microbenchmarks.
+
+Not a paper table, but the foundation its milestones stand on: B+-tree
+point/range access vs. full scans, bulk loading vs. one-at-a-time
+insertion, and buffer-pool locality — the quantities the milestone-4
+cost model models.
+"""
+
+import pytest
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.record import encode_key
+
+N = 5_000
+
+
+@pytest.fixture
+def pool(tmp_path):
+    pager = Pager(str(tmp_path / "bench.db"), create=True)
+    pool = BufferPool(pager, capacity=512)
+    yield pool
+    pager.close()
+
+
+@pytest.fixture
+def loaded_tree(pool):
+    tree = BTree.create(pool)
+    tree.bulk_load((encode_key((key,)), b"v%d" % key)
+                   for key in range(N))
+    return tree
+
+
+def test_benchmark_btree_random_inserts(benchmark, pool):
+    import random
+
+    keys = list(range(N))
+    random.Random(7).shuffle(keys)
+
+    def build():
+        tree = BTree.create(pool)
+        for key in keys:
+            tree.insert(encode_key((key,)), b"v")
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == N
+
+
+def test_benchmark_btree_bulk_load(benchmark, pool):
+    items = [(encode_key((key,)), b"v") for key in range(N)]
+
+    def build():
+        tree = BTree.create(pool)
+        tree.bulk_load(iter(items))
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(tree) == N
+
+
+def test_benchmark_btree_point_lookups(benchmark, loaded_tree):
+    probes = [encode_key((key,)) for key in range(0, N, 97)]
+
+    def lookups():
+        return sum(loaded_tree.search(probe) is not None
+                   for probe in probes)
+
+    assert benchmark(lookups) == len(probes)
+
+
+def test_benchmark_btree_range_scan(benchmark, loaded_tree):
+    low = encode_key((N // 4,))
+    high = encode_key((3 * N // 4,))
+
+    def scan():
+        return sum(1 for __ in loaded_tree.range_scan(low, high))
+
+    assert benchmark(scan) == N // 2 + 1
+
+
+def test_benchmark_full_iteration(benchmark, loaded_tree):
+    def iterate():
+        return sum(1 for __ in loaded_tree.items())
+
+    assert benchmark(iterate) == N
+
+
+def test_buffer_pool_locality_of_range_scans(loaded_tree):
+    """Sequential leaf-chain scans should be highly cacheable."""
+    pool = loaded_tree.buffer_pool
+    for __ in range(3):
+        sum(1 for __ in loaded_tree.items())
+    assert pool.stats.hit_rate > 0.9

@@ -1,0 +1,35 @@
+"""Benchmark fixtures: session-scoped databases at benchmark scale.
+
+Scale knobs come from environment variables so the same harness runs both
+in CI (small) and at full reproduction scale:
+
+* ``REPRO_BENCH_ARTICLES`` (default 500) — synthetic DBLP size;
+* ``REPRO_BENCH_TIME_LIMIT`` (default 1.5 s) — the scaled stand-in for
+  the paper's 2400-second cap.
+"""
+
+import os
+
+import pytest
+
+from repro.core.dbms import XmlDbms
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.treebank import TreebankConfig, generate_treebank
+
+ARTICLES = int(os.environ.get("REPRO_BENCH_ARTICLES", "500"))
+TIME_LIMIT = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "1.5"))
+
+BENCH_DBLP = DblpConfig(articles=ARTICLES,
+                        inproceedings=max(1, ARTICLES * 3 // 10),
+                        name_pool=40)
+BENCH_TREEBANK = TreebankConfig(sentences=max(10, ARTICLES // 5))
+
+
+@pytest.fixture(scope="session")
+def bench_dbms(tmp_path_factory):
+    """One database with DBLP and TREEBANK loaded at benchmark scale."""
+    path = str(tmp_path_factory.mktemp("bench") / "bench.db")
+    with XmlDbms(path, buffer_capacity=4096) as dbms:
+        dbms.load("dblp", xml=generate_dblp(BENCH_DBLP))
+        dbms.load("treebank", xml=generate_treebank(BENCH_TREEBANK))
+        yield dbms

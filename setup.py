@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs fail; this shim keeps ``pip install -e .`` working via the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

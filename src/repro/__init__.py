@@ -1,0 +1,37 @@
+"""repro — a native XML-DBMS.
+
+A complete reproduction of the system built in *"Building a Native
+XML-DBMS as a Term Project in a Database Systems Course"* (Koch, Olteanu,
+Scherzinger; XIME-P/SIGMOD 2006): the XQ query language, an in-memory
+evaluator, a paged storage manager with B+-trees, the XASR shredding of
+XML into relations, the TPM algebra with its rewrite rules, physical
+operators, a cost-based optimizer — plus the course's grading testbed and
+workload generators used to reproduce the paper's evaluation.
+
+Quick start::
+
+    from repro import XmlDbms
+
+    with XmlDbms("library.db") as dbms:
+        dbms.load("doc", xml="<journal><name>Ana</name></journal>")
+        print(dbms.query("doc", "for $n in //name return $n"))
+"""
+
+from repro.core.dbms import XmlDbms
+from repro.engine.profiles import (
+    ENGINE_PROFILES,
+    EngineProfile,
+    MILESTONE_PROFILES,
+    TOP_FIVE,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XmlDbms",
+    "EngineProfile",
+    "ENGINE_PROFILES",
+    "MILESTONE_PROFILES",
+    "TOP_FIVE",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""The TPM algebra and XQ→TPM translation (milestone 3).
+
+TPM ("the professor's mistake") is the paper's deliberately small query
+algebra: projections, selections, cross products, joins over the XASR
+relation, plus the ``relfor`` super-for-loop operator.  "We have gracefully
+reduced the problem of optimizing XQuery to that of optimizing relational
+algebra queries."
+
+Modules:
+
+* :mod:`~repro.algebra.ra` — relational expressions in PSX
+  (project-select-product) normal form, attributes, atomic conditions;
+* :mod:`~repro.algebra.tpm` — the TPM operator tree (``relfor``,
+  constructors, output leaves);
+* :mod:`~repro.algebra.translate` — the rewrite rules of milestone 3
+  (for-loops and if-conditions into relfor/PSX);
+* :mod:`~repro.algebra.merge` — relfor merging, with the paper's strict
+  legality rule around node construction, and redundant-relation
+  elimination (Example 4);
+* :mod:`~repro.algebra.order` — hierarchical document order: definitions
+  and checks used by the planner's order-preservation reasoning.
+"""
+
+from repro.algebra.ra import (
+    Attr,
+    Compare,
+    Const,
+    EQ,
+    GT,
+    LT,
+    PSX,
+    VarField,
+)
+from repro.algebra.tpm import (
+    RelFor,
+    TpmConstr,
+    TpmEmpty,
+    TpmExpr,
+    TpmIf,
+    TpmSequence,
+    TpmText,
+    TpmVarOut,
+)
+from repro.algebra.translate import translate
+from repro.algebra.merge import eliminate_redundant_relations, merge_relfors
+
+__all__ = [
+    "Attr",
+    "Const",
+    "VarField",
+    "Compare",
+    "EQ",
+    "LT",
+    "GT",
+    "PSX",
+    "TpmExpr",
+    "RelFor",
+    "TpmConstr",
+    "TpmSequence",
+    "TpmVarOut",
+    "TpmText",
+    "TpmEmpty",
+    "TpmIf",
+    "translate",
+    "merge_relfors",
+    "eliminate_redundant_relations",
+]

@@ -1,0 +1,335 @@
+"""Relfor merging and redundant-relation elimination (milestone 3).
+
+The merging rule (names pairwise different)::
+
+    relfor (x⃗) in PSX(A⃗, φ, R⃗) return
+        relfor (y⃗) in PSX(B⃗, ψ, S⃗) return α
+    ⊢ relfor (x⃗, y⃗) in PSX((A⃗, B⃗), φ ∧ ψ′, (R⃗, S⃗)) return α
+
+where ψ′ replaces each occurrence of an outer variable $xᵢ by its
+projection attribute Aᵢ.
+
+**Strict merging.**  The paper stresses that merging is illegal when
+anything — in particular node construction — sits *between* the two
+relfors: "for documents containing journal-nodes without children, the
+construction of empty j-labeled nodes must still be performed".  This
+module enforces that structurally: it only merges a relfor whose body *is*
+another relfor.  Constructors, sequences and residual ifs in between make
+the pattern not match, which is precisely the legality condition.
+
+**Redundant relations** (the Example 4 note "because N1.in = $j = J.in,
+the relations J and N1 are the same and we can safely drop N1"): a
+relation that is pinned to another relation or to an external variable by
+an equality on ``in`` can be substituted away, provided every column it
+contributes is recoverable from the substitute.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ra import (
+    Attr,
+    Compare,
+    Const,
+    EQ,
+    PSX,
+    Residual,
+    VarField,
+)
+from repro.algebra.tpm import (
+    RelFor,
+    TpmConstr,
+    TpmExpr,
+    TpmIf,
+    TpmSequence,
+)
+
+
+def merge_relfors(expr: TpmExpr) -> TpmExpr:
+    """Merge directly-nested relfors throughout a TPM tree."""
+    if isinstance(expr, RelFor):
+        body = merge_relfors(expr.body)
+        while isinstance(body, RelFor):
+            merged = _merge_pair(expr.vartuple, expr.source, body)
+            if merged is None:
+                break
+            expr = merged
+            body = merge_relfors(expr.body)
+        if isinstance(expr, RelFor):
+            return RelFor(expr.vartuple, expr.source, body)
+        return expr
+    if isinstance(expr, TpmConstr):
+        return TpmConstr(expr.label, merge_relfors(expr.body))
+    if isinstance(expr, TpmSequence):
+        return TpmSequence(tuple(merge_relfors(part)
+                                 for part in expr.parts))
+    if isinstance(expr, TpmIf):
+        return TpmIf(expr.cond, merge_relfors(expr.body))
+    return expr
+
+
+def _merge_pair(outer_vars: tuple[str, ...], outer: PSX, inner_relfor: RelFor
+                ) -> RelFor | None:
+    """Merge one outer relfor with its immediate inner relfor."""
+    inner = inner_relfor.source
+    if set(outer.relations) & set(inner.relations):
+        return None  # aliases must be pairwise different
+    outer_binding = dict(outer.bindings)
+
+    def substitute(operand):
+        if isinstance(operand, VarField) and operand.var in outer_binding:
+            return Attr(outer_binding[operand.var], operand.fld)
+        return operand
+
+    new_conditions = list(outer.conditions)
+    for condition in inner.conditions:
+        new_conditions.append(Compare(substitute(condition.left),
+                                      condition.op,
+                                      substitute(condition.right)))
+    new_residuals = list(outer.residuals)
+    for residual in inner.residuals:
+        rebound = []
+        for var, (kind, name) in residual.bound:
+            if kind == "var" and name in outer_binding:
+                rebound.append((var, ("alias", outer_binding[name])))
+            else:
+                rebound.append((var, (kind, name)))
+        new_residuals.append(Residual(residual.cond, tuple(rebound)))
+
+    merged_psx = PSX(
+        bindings=outer.bindings + inner.bindings,
+        conditions=tuple(new_conditions),
+        relations=outer.relations + inner.relations,
+        residuals=tuple(new_residuals))
+    return RelFor(outer_vars + inner_relfor.vartuple, merged_psx,
+                  inner_relfor.body)
+
+
+# --------------------------------------------------------------------------
+# Redundant-relation elimination (Example 4)
+# --------------------------------------------------------------------------
+
+_SUBSTITUTABLE_BY_VAR = frozenset({"in", "out"})
+
+
+def eliminate_redundant_relations(expr: TpmExpr) -> TpmExpr:
+    """Apply :func:`eliminate_in_psx` to every PSX block in a tree."""
+    if isinstance(expr, RelFor):
+        return RelFor(expr.vartuple, eliminate_in_psx(expr.source),
+                      eliminate_redundant_relations(expr.body))
+    if isinstance(expr, TpmConstr):
+        return TpmConstr(expr.label,
+                         eliminate_redundant_relations(expr.body))
+    if isinstance(expr, TpmSequence):
+        return TpmSequence(tuple(eliminate_redundant_relations(part)
+                                 for part in expr.parts))
+    if isinstance(expr, TpmIf):
+        return TpmIf(expr.cond, eliminate_redundant_relations(expr.body))
+    return expr
+
+
+def eliminate_in_psx(psx: PSX) -> PSX:
+    """Drop relations pinned by ``A.in = B.in`` or ``A.in = $x.in``.
+
+    * ``A.in = B.in`` (both relations): since ``in`` is the primary key, A
+      and B denote the same node — every column of A is B's, so A can
+      always be dropped (B is kept; if A is a projected/binding alias the
+      binding moves to B).
+    * ``A.in = $x.in``: A *is* the externally bound node, but only its
+      ``in``/``out`` columns are recoverable from the vartuple; A is
+      dropped only if no other column of A is used and A is not a binding
+      alias.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for condition in psx.conditions:
+            target = _pinned_to_relation(condition)
+            if target is not None:
+                victim, keeper = target
+                if victim in psx.projected_aliases \
+                        and keeper in psx.projected_aliases:
+                    continue  # keep distinct binding aliases readable
+                if victim in psx.projected_aliases:
+                    victim, keeper = keeper, victim
+                psx = _substitute_alias(psx, victim, keeper, condition)
+                changed = True
+                break
+            target = _pinned_to_var(condition, psx)
+            if target is not None:
+                victim, var = target
+                psx = _substitute_alias_by_var(psx, victim, var, condition)
+                changed = True
+                break
+    return psx
+
+
+def _pinned_to_relation(condition: Compare) -> tuple[str, str] | None:
+    if condition.op != EQ:
+        return None
+    left, right = condition.left, condition.right
+    if (isinstance(left, Attr) and left.column == "in"
+            and isinstance(right, Attr) and right.column == "in"
+            and left.alias != right.alias):
+        return left.alias, right.alias
+    return None
+
+
+def _pinned_to_var(condition: Compare, psx: PSX) -> tuple[str, str] | None:
+    if condition.op != EQ:
+        return None
+    for attr, other in ((condition.left, condition.right),
+                        (condition.right, condition.left)):
+        if (isinstance(attr, Attr) and attr.column == "in"
+                and isinstance(other, VarField) and other.fld == "in"):
+            alias = attr.alias
+            if alias in psx.projected_aliases:
+                continue
+            if _columns_used(psx, alias, exclude=condition) \
+                    <= _SUBSTITUTABLE_BY_VAR:
+                return alias, other.var
+    return None
+
+
+def _columns_used(psx: PSX, alias: str, exclude: Compare) -> set[str]:
+    used: set[str] = set()
+    for condition in psx.conditions:
+        if condition is exclude:
+            continue
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, Attr) and operand.alias == alias:
+                used.add(operand.column)
+    for residual in psx.residuals:
+        for __, (kind, name) in residual.bound:
+            if kind == "alias" and name == alias:
+                # Residuals bind the full node; treat as using everything.
+                used |= {"in", "out", "parent_in", "type", "value"}
+    return used
+
+
+def _substitute_alias(psx: PSX, victim: str, keeper: str,
+                      pin: Compare) -> PSX:
+    """Replace every ``victim.col`` with ``keeper.col`` and drop victim."""
+
+    def sub(operand):
+        if isinstance(operand, Attr) and operand.alias == victim:
+            return Attr(keeper, operand.column)
+        return operand
+
+    conditions = []
+    for condition in psx.conditions:
+        if condition is pin:
+            continue
+        rewritten = Compare(sub(condition.left), condition.op,
+                            sub(condition.right))
+        if rewritten.left == rewritten.right and rewritten.op == EQ:
+            continue  # trivially true after substitution
+        if rewritten not in conditions:
+            conditions.append(rewritten)
+    residuals = []
+    for residual in psx.residuals:
+        rebound = tuple((var, ("alias", keeper) if binding == ("alias",
+                                                               victim)
+                         else binding)
+                        for var, binding in residual.bound)
+        residuals.append(Residual(residual.cond, rebound))
+    bindings = tuple((var, keeper if alias == victim else alias)
+                     for var, alias in psx.bindings)
+    relations = tuple(alias for alias in psx.relations if alias != victim)
+    return PSX(bindings=bindings, conditions=tuple(conditions),
+               relations=relations, residuals=tuple(residuals))
+
+
+# --------------------------------------------------------------------------
+# Residual promotion
+# --------------------------------------------------------------------------
+
+
+def promote_residuals(expr: TpmExpr) -> TpmExpr:
+    """Turn promotable residual equalities into algebraic conditions.
+
+    After merging, a residual ``$x = $y`` may have both variables bound to
+    relation aliases of the same PSX block.  When each alias is
+    constrained to ``type = text`` by the block's conditions, the
+    comparison is exactly ``A.value = B.value`` (the runtime text-node
+    typing check is discharged statically), and likewise ``$x = "c"``
+    becomes ``A.value = 'c'``.  This makes value *joins* visible to the
+    optimizer — the difference between a per-tuple filter on a cross
+    product and an indexable join condition.
+    """
+    if isinstance(expr, RelFor):
+        return RelFor(expr.vartuple, promote_in_psx(expr.source),
+                      promote_residuals(expr.body))
+    if isinstance(expr, TpmConstr):
+        return TpmConstr(expr.label, promote_residuals(expr.body))
+    if isinstance(expr, TpmSequence):
+        return TpmSequence(tuple(promote_residuals(part)
+                                 for part in expr.parts))
+    if isinstance(expr, TpmIf):
+        return TpmIf(expr.cond, promote_residuals(expr.body))
+    return expr
+
+
+def promote_in_psx(psx: PSX) -> PSX:
+    from repro.xasr.schema import TEXT
+    from repro.xq.ast import VarEqConst, VarEqVar
+
+    text_aliases = {
+        condition.left.alias
+        for condition in psx.conditions
+        if (isinstance(condition.left, Attr)
+            and condition.left.column == "type"
+            and condition.op == EQ
+            and isinstance(condition.right, Const)
+            and condition.right.value == TEXT)}
+
+    conditions = list(psx.conditions)
+    residuals = []
+    for residual in psx.residuals:
+        bound = dict(residual.bound)
+        cond = residual.cond
+        if isinstance(cond, VarEqVar):
+            left = bound.get(cond.left)
+            right = bound.get(cond.right)
+            if (left is not None and right is not None
+                    and left[0] == "alias" and right[0] == "alias"
+                    and left[1] in text_aliases
+                    and right[1] in text_aliases):
+                conditions.append(Compare(Attr(left[1], "value"), EQ,
+                                          Attr(right[1], "value")))
+                continue
+        if isinstance(cond, VarEqConst):
+            var = bound.get(cond.var)
+            if (var is not None and var[0] == "alias"
+                    and var[1] in text_aliases):
+                conditions.append(Compare(Attr(var[1], "value"), EQ,
+                                          Const(cond.literal)))
+                continue
+        residuals.append(residual)
+    if len(residuals) == len(psx.residuals):
+        return psx
+    return PSX(bindings=psx.bindings, conditions=tuple(conditions),
+               relations=psx.relations, residuals=tuple(residuals))
+
+
+def _substitute_alias_by_var(psx: PSX, victim: str, var: str,
+                             pin: Compare) -> PSX:
+    """Replace ``victim.in/out`` with ``$var.in/out`` and drop victim."""
+
+    def sub(operand):
+        if isinstance(operand, Attr) and operand.alias == victim:
+            return VarField(var, operand.column)
+        return operand
+
+    conditions = []
+    for condition in psx.conditions:
+        if condition is pin:
+            continue
+        rewritten = Compare(sub(condition.left), condition.op,
+                            sub(condition.right))
+        if rewritten.left == rewritten.right and rewritten.op == EQ:
+            continue
+        if rewritten not in conditions:
+            conditions.append(rewritten)
+    relations = tuple(alias for alias in psx.relations if alias != victim)
+    return PSX(bindings=psx.bindings, conditions=tuple(conditions),
+               relations=relations, residuals=psx.residuals)

@@ -1,0 +1,47 @@
+"""Hierarchical document order.
+
+The paper (footnote 1): a relation R of in-value tuples is *sorted
+hierarchically in document order* if for all tᵢ, tⱼ ∈ R with i < j there
+is an attribute Aₖ such that tᵢ.Aₗ = tⱼ.Aₗ for all l < k and
+tᵢ.Aₖ < tⱼ.Aₖ.  That is precisely ascending lexicographic order on the
+tuple of in-values — which is why order-preserving physical plans plus the
+right join order make sorting unnecessary.
+
+These helpers are shared by the projection operator (one-pass duplicate
+elimination needs sorted input), the external-sort path, and tests that
+assert engines deliver bindings in the required order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.xasr.schema import XasrNode
+
+
+def hierarchical_key(nodes: Sequence[XasrNode]) -> tuple[int, ...]:
+    """Sort key of a binding tuple: the in-values, vartuple order."""
+    return tuple(node.in_ for node in nodes)
+
+
+def is_hierarchically_sorted(tuples: Sequence[Sequence[XasrNode]]) -> bool:
+    """True if the tuple sequence satisfies the footnote-1 definition
+    (strictly ascending: duplicates removed)."""
+    previous: tuple[int, ...] | None = None
+    for row in tuples:
+        key = hierarchical_key(row)
+        if previous is not None and key <= previous:
+            return False
+        previous = key
+    return True
+
+
+def is_weakly_sorted(tuples: Sequence[Sequence[XasrNode]]) -> bool:
+    """Ascending with duplicates allowed (pre-projection streams)."""
+    previous: tuple[int, ...] | None = None
+    for row in tuples:
+        key = hierarchical_key(row)
+        if previous is not None and key < previous:
+            return False
+        previous = key
+    return True

@@ -1,0 +1,276 @@
+"""Relational algebra in PSX normal form over the XASR relation.
+
+The paper calls a relational algebra expression *project-select-product
+normal form* (PSX) when it has the shape::
+
+    π_{A1..Am} ( σ_{φ1 ∧ ... ∧ φk} ( R1 × ... × Rn ) )
+
+with atomic conditions ``A = A'``, ``A = c`` (the translation also emits
+``<``/``>`` atoms for the descendant interval containment).  Every relation
+``Ri`` is an alias of the XASR relation of the queried document.
+
+Operands of atomic conditions:
+
+* :class:`Attr` — ``alias.column`` with column ∈ {in, out, parent_in,
+  type, value};
+* :class:`Const` — an integer or string constant;
+* :class:`VarField` — the ``in`` or ``out`` value of an *external*
+  variable (one bound by an enclosing relfor).  The paper's "modifying the
+  vartuples in relfor-expressions so that they also contain the out-value
+  of the bound nodes" extension is adopted throughout, so both fields are
+  available without extra joins.
+
+Besides algebraic conditions, a PSX block may carry **residual
+predicates** — XQ conditions that the TPM fragment cannot express
+(``or``/``not`` and text-value comparisons against for-bound variables).
+The paper restricted translation to conditions "constructed using some,
+and, and equality tests"; residuals are how the full XQ language keeps
+working on every engine: they are evaluated per candidate tuple, after the
+algebraic part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlgebraError
+from repro.xasr.schema import ELEMENT, ROOT, TEXT, XasrNode
+
+#: XASR column names.
+COLUMNS = ("in", "out", "parent_in", "type", "value")
+
+#: Comparison operators of atomic conditions.
+EQ = "="
+LT = "<"
+GT = ">"
+
+
+@dataclass(frozen=True)
+class Attr:
+    """``alias.column`` — a column of one relation occurrence."""
+
+    alias: str
+    column: str
+
+    def __post_init__(self) -> None:
+        if self.column not in COLUMNS:
+            raise AlgebraError(f"unknown XASR column {self.column!r}")
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal operand (int for numeric columns, str for value/type)."""
+
+    value: int | str
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarField:
+    """The in/out value of an externally-bound variable."""
+
+    var: str
+    fld: str  # "in" | "out"
+
+    def __post_init__(self) -> None:
+        if self.fld not in ("in", "out"):
+            raise AlgebraError(f"VarField field must be in/out, got "
+                               f"{self.fld!r}")
+
+    def __str__(self) -> str:
+        return f"${self.var}.{self.fld}"
+
+
+Operand = Attr | Const | VarField
+
+
+@dataclass(frozen=True)
+class Compare:
+    """An atomic condition ``left op right``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in (EQ, LT, GT):
+            raise AlgebraError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def aliases(self) -> frozenset[str]:
+        """Relation aliases this condition mentions."""
+        found = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, Attr):
+                found.add(operand.alias)
+        return frozenset(found)
+
+    def external_vars(self) -> frozenset[str]:
+        found = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, VarField):
+                found.add(operand.var)
+        return frozenset(found)
+
+    def is_join_condition(self) -> bool:
+        """Mentions two distinct relation aliases."""
+        return len(self.aliases()) == 2
+
+    def flipped(self) -> "Compare":
+        """The same condition with operands swapped (`<` ↔ `>`)."""
+        flip = {EQ: EQ, LT: GT, GT: LT}
+        return Compare(self.right, flip[self.op], self.left)
+
+    def normalized(self) -> "Compare":
+        """Canonical operand order: Attr first, then by string form."""
+        rank = {Attr: 0, VarField: 1, Const: 2}
+        left_rank = (rank[type(self.left)], str(self.left))
+        right_rank = (rank[type(self.right)], str(self.right))
+        if left_rank <= right_rank:
+            return self
+        return self.flipped()
+
+    def evaluate(self, get_attr, get_var) -> bool:
+        """Evaluate given accessor callables.
+
+        ``get_attr(alias, column)`` and ``get_var(var, field)`` return the
+        operand values for the current candidate tuple.
+        """
+        left = _operand_value(self.left, get_attr, get_var)
+        right = _operand_value(self.right, get_attr, get_var)
+        if self.op == EQ:
+            return left == right
+        if self.op == LT:
+            return left < right
+        return left > right
+
+
+def _operand_value(operand: Operand, get_attr, get_var):
+    if isinstance(operand, Attr):
+        return get_attr(operand.alias, operand.column)
+    if isinstance(operand, VarField):
+        return get_var(operand.var, operand.fld)
+    return operand.value
+
+
+def attr_value(node: XasrNode, column: str):
+    """Read an XASR column off a decoded node."""
+    if column == "in":
+        return node.in_
+    if column == "out":
+        return node.out
+    if column == "parent_in":
+        return node.parent_in
+    if column == "type":
+        return node.type
+    if column == "value":
+        return node.value
+    raise AlgebraError(f"unknown XASR column {column!r}")
+
+
+#: Constants for the ``type`` column, matching :mod:`repro.xasr.schema`.
+TYPE_ROOT = Const(ROOT)
+TYPE_ELEMENT = Const(ELEMENT)
+TYPE_TEXT = Const(TEXT)
+
+
+@dataclass(frozen=True)
+class Residual:
+    """A non-algebraic predicate evaluated per candidate tuple.
+
+    ``cond`` is an XQ :class:`~repro.xq.ast.Condition`; ``bound`` maps the
+    XQ variables it mentions to either a relation alias in this PSX block
+    (value ``("alias", name)``) or an external variable (value
+    ``("var", name)``).
+    """
+
+    cond: object
+    bound: tuple[tuple[str, tuple[str, str]], ...]
+
+    def __str__(self) -> str:
+        from repro.xq.pretty import unparse
+
+        return f"residual[{unparse(self.cond)}]"
+
+
+@dataclass(frozen=True)
+class PSX:
+    """A PSX-normal-form block.
+
+    ``bindings`` aligns projected variables with the relation alias that
+    binds each of them: the block's result is, conceptually,
+    ``π_{(A1.in, A1.out), ...}(σ_φ(R1 × ... × Rn))`` — one (in, out) pair
+    per bound variable, in vartuple order.
+    """
+
+    bindings: tuple[tuple[str, str], ...]   # (variable, alias)
+    conditions: tuple[Compare, ...]
+    relations: tuple[str, ...]              # aliases, syntactic order
+    residuals: tuple[Residual, ...] = ()
+
+    def __post_init__(self) -> None:
+        known = set(self.relations)
+        for __, alias in self.bindings:
+            if alias not in known:
+                raise AlgebraError(f"binding alias {alias!r} is not among "
+                                   f"relations {self.relations}")
+        for condition in self.conditions:
+            unknown = condition.aliases() - known
+            if unknown:
+                raise AlgebraError(f"condition {condition} references "
+                                   f"unknown aliases {sorted(unknown)}")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(var for var, __ in self.bindings)
+
+    @property
+    def projected_aliases(self) -> tuple[str, ...]:
+        return tuple(alias for __, alias in self.bindings)
+
+    def alias_of(self, var: str) -> str:
+        for variable, alias in self.bindings:
+            if variable == var:
+                return alias
+        raise AlgebraError(f"variable {var!r} is not bound by this PSX")
+
+    def external_vars(self) -> frozenset[str]:
+        """External variables referenced by conditions or residuals."""
+        found: set[str] = set()
+        for condition in self.conditions:
+            found |= condition.external_vars()
+        for residual in self.residuals:
+            for __, (kind, name) in residual.bound:
+                if kind == "var":
+                    found.add(name)
+        return frozenset(found)
+
+    def local_conditions(self, alias: str) -> list[Compare]:
+        """Conditions touching only ``alias`` (plus constants/externals)."""
+        return [condition for condition in self.conditions
+                if condition.aliases() == frozenset({alias})]
+
+    def join_conditions(self) -> list[Compare]:
+        return [condition for condition in self.conditions
+                if condition.is_join_condition()]
+
+    def describe(self) -> str:
+        """Compact rendering in the paper's PSX((...), φ, (...)) notation."""
+        attrs = ", ".join(f"{alias}.in" for __, alias in self.bindings)
+        conds = " ∧ ".join(str(condition) for condition in self.conditions)
+        if self.residuals:
+            extra = " ∧ ".join(str(residual) for residual in self.residuals)
+            conds = f"{conds} ∧ {extra}" if conds else extra
+        rels = ", ".join(f"XASR[{alias}]" for alias in self.relations)
+        return f"PSX(({attrs}), {conds or 'true'}, ({rels}))"

@@ -1,0 +1,123 @@
+"""The TPM operator tree.
+
+A translated query is a tree of:
+
+* :class:`RelFor` — ``relfor vartuple in psx return body``: evaluate the
+  PSX block (a relation of (in, out) pairs, hierarchically sorted in
+  document order), bind the vartuple successively to each tuple, and
+  evaluate the body per binding, concatenating results;
+* :class:`TpmConstr` — node construction around a body;
+* :class:`TpmSequence` — concatenation;
+* :class:`TpmVarOut` — output leaf: write the subtree bound to a variable;
+* :class:`TpmText` — a literal text node;
+* :class:`TpmEmpty` — the empty result;
+* :class:`TpmIf` — a *residual* conditional the TPM fragment cannot
+  algebraize (``or``/``not`` at the top level); evaluated navigationally.
+
+The nullary-relfor trick from the paper is used for translatable
+if-conditions: ``if φ then α`` becomes ``relfor () in ALG(φ) return α``,
+where the empty projection yields either the nullary relation with the
+empty tuple ("true": evaluate the body once) or the empty relation
+("false").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ra import PSX
+
+
+class TpmExpr:
+    """Base class of TPM expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TpmEmpty(TpmExpr):
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + "()"
+
+
+@dataclass(frozen=True)
+class TpmText(TpmExpr):
+    text: str
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"text({self.text!r})"
+
+
+@dataclass(frozen=True)
+class TpmVarOut(TpmExpr):
+    """Write the subtree bound to ``var`` to the output."""
+
+    var: str
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"${self.var}"
+
+
+@dataclass(frozen=True)
+class TpmConstr(TpmExpr):
+    label: str
+    body: TpmExpr
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (f"{pad}constr({self.label})\n"
+                f"{self.body.describe(indent + 2)}")
+
+
+@dataclass(frozen=True)
+class TpmSequence(TpmExpr):
+    parts: tuple[TpmExpr, ...]
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        inner = "\n".join(part.describe(indent + 2) for part in self.parts)
+        return f"{pad}seq\n{inner}"
+
+
+@dataclass(frozen=True)
+class RelFor(TpmExpr):
+    """``relfor vartuple in source return body``."""
+
+    vartuple: tuple[str, ...]
+    source: PSX
+    body: TpmExpr
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        vars_ = ", ".join(f"${name}" for name in self.vartuple)
+        return (f"{pad}relfor ({vars_}) in {self.source.describe()}\n"
+                f"{self.body.describe(indent + 2)}")
+
+
+@dataclass(frozen=True)
+class TpmIf(TpmExpr):
+    """Residual conditional (not algebraizable); ``cond`` is an XQ
+    condition evaluated navigationally against the current bindings."""
+
+    cond: object
+    body: TpmExpr
+
+    def describe(self, indent: int = 0) -> str:
+        from repro.xq.pretty import unparse
+
+        pad = " " * indent
+        return (f"{pad}if*({unparse(self.cond)})\n"
+                f"{self.body.describe(indent + 2)}")
+
+
+def count_relfors(expr: TpmExpr) -> int:
+    """Number of relfor operators in a TPM tree (merging metric)."""
+    if isinstance(expr, RelFor):
+        return 1 + count_relfors(expr.body)
+    if isinstance(expr, TpmConstr):
+        return count_relfors(expr.body)
+    if isinstance(expr, TpmSequence):
+        return sum(count_relfors(part) for part in expr.parts)
+    if isinstance(expr, TpmIf):
+        return count_relfors(expr.body)
+    return 0

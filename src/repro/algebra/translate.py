@@ -1,0 +1,279 @@
+"""XQ → TPM translation: the rewrite rules of milestone 3.
+
+The two headline rules (child and descendant steps)::
+
+    for $y in $x/a return α
+      ⊢ relfor ($y) in PSX(R.in, R.parent_in=$x ∧ R.type=elem ∧
+                           R.value=a, XASR[R]) return α
+
+    for $y in $x//a return α
+      ⊢ relfor ($y) in PSX(R.in, $x.in<R.in ∧ R.out<$x.out ∧
+                           R.type=elem ∧ R.value=a, XASR[R]) return α
+
+The descendant rule here uses the paper's vartuple extension (vartuples
+carry out-values), which "avoids the overhead" of the extra self-join
+``XASR[R1]`` with ``R1.in = $x``; pass ``carry_out_values=False`` to get
+the original two-relation form from the paper verbatim (the ablation
+benchmark compares both).
+
+If-expressions with conditions built from ``some``, ``and`` and text
+equality translate to the nullary-relfor form::
+
+    if φ then α else ()   ⊢   relfor () in ALG(φ) return α
+
+Fragments the TPM algebra cannot express (``or``, ``not``, comparisons
+against for-bound variables) are attached to the PSX block as *residual*
+predicates, so every XQ query still runs through the algebraic pipeline
+with unchanged semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ra import (
+    Attr,
+    Compare,
+    Const,
+    EQ,
+    LT,
+    PSX,
+    Residual,
+    TYPE_ELEMENT,
+    TYPE_TEXT,
+    VarField,
+)
+from repro.algebra.tpm import (
+    RelFor,
+    TpmConstr,
+    TpmEmpty,
+    TpmExpr,
+    TpmSequence,
+    TpmText,
+    TpmVarOut,
+)
+from repro.errors import AlgebraError
+from repro.xq.ast import (
+    And,
+    Axis,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    NodeTest,
+    Not,
+    Or,
+    Query,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+    free_variables,
+)
+
+
+@dataclass
+class _Context:
+    """Mutable translation state: fresh alias generation and scoping.
+
+    ``scope`` maps variables bound *inside the current PSX block being
+    assembled* (for-bound by this relfor or some-bound in its condition) to
+    ``(alias, binds_text_nodes)``.
+    """
+
+    carry_out_values: bool = True
+    _alias_counter: int = 0
+    scope: dict[str, tuple[str, bool]] = field(default_factory=dict)
+
+    def fresh_alias(self, test: NodeTest) -> str:
+        self._alias_counter += 1
+        if isinstance(test, LabelTest) and test.name[:1].isalpha():
+            letter = test.name[0].upper()
+        elif isinstance(test, TextTest):
+            letter = "T"
+        else:
+            letter = "R"
+        return f"{letter}{self._alias_counter}"
+
+
+def translate(query: Query, carry_out_values: bool = True) -> TpmExpr:
+    """Translate an XQ query into a TPM operator tree.
+
+    ``carry_out_values=False`` reproduces the paper's original descendant
+    rule with the extra ``XASR[R1]`` self-join (useful with
+    :func:`~repro.algebra.merge.eliminate_redundant_relations`, which is
+    exactly the cleanup Example 4 performs on it).
+    """
+    context = _Context(carry_out_values=carry_out_values)
+    return _translate(query, context)
+
+
+def _translate(query: Query, context: _Context) -> TpmExpr:
+    if isinstance(query, Empty):
+        return TpmEmpty()
+    if isinstance(query, TextLiteral):
+        return TpmText(query.text)
+    if isinstance(query, Var):
+        return TpmVarOut(query.name)
+    if isinstance(query, Constr):
+        return TpmConstr(query.label, _translate(query.body, context))
+    if isinstance(query, Sequence):
+        parts: list[TpmExpr] = []
+        for part in _flatten(query):
+            parts.append(_translate(part, context))
+        return TpmSequence(tuple(parts))
+    if isinstance(query, Step):
+        # A bare step used as a query: bind a fresh variable and output it.
+        context._alias_counter += 1
+        fresh = f"#s{context._alias_counter}"
+        psx = _step_psx(fresh, query, context)
+        return RelFor((fresh,), psx, TpmVarOut(fresh))
+    if isinstance(query, For):
+        psx = _step_psx(query.var, query.source, context)
+        return RelFor((query.var,), psx, _translate(query.body, context))
+    if isinstance(query, If):
+        conds, rels, residuals = _translate_condition(query.cond, context)
+        psx = PSX(bindings=(), conditions=tuple(conds),
+                  relations=tuple(rels), residuals=tuple(residuals))
+        return RelFor((), psx, _translate(query.body, context))
+    raise AlgebraError(f"cannot translate query node {query!r}")
+
+
+def _flatten(query: Query) -> list[Query]:
+    if isinstance(query, Sequence):
+        return _flatten(query.left) + _flatten(query.right)
+    return [query]
+
+
+def _step_psx(var: str, step: Step, context: _Context) -> PSX:
+    """PSX block binding ``var`` via one navigation step from an external
+    variable."""
+    alias = context.fresh_alias(step.test)
+    conditions, relations = _step_conditions(alias, step, context)
+    return PSX(bindings=((var, alias),), conditions=tuple(conditions),
+               relations=tuple(relations))
+
+
+def _step_conditions(alias: str, step: Step, context: _Context
+                     ) -> tuple[list[Compare], list[str]]:
+    """Conditions and relations realizing ``$base/axis::test`` for
+    ``alias``.
+
+    When the base variable is some-bound *within the PSX block under
+    construction* (``context.scope``), it is referenced as an attribute of
+    its binding relation; otherwise it is external and referenced through
+    the vartuple (:class:`~repro.algebra.ra.VarField`).
+    """
+    conditions: list[Compare] = []
+    relations = [alias]
+    base = step.var
+    scoped = context.scope.get(base)
+    if scoped is not None:
+        base_in = Attr(scoped[0], "in")
+        base_out = Attr(scoped[0], "out")
+    else:
+        base_in = VarField(base, "in")
+        base_out = VarField(base, "out")
+    if step.axis is Axis.CHILD:
+        conditions.append(Compare(Attr(alias, "parent_in"), EQ, base_in))
+    elif context.carry_out_values or scoped is not None:
+        conditions.append(Compare(base_in, LT, Attr(alias, "in")))
+        conditions.append(Compare(Attr(alias, "out"), LT, base_out))
+    else:
+        # The paper's original rule: a second XASR occurrence anchored to
+        # the external variable by its in-value.
+        anchor = context.fresh_alias(WildcardTest())
+        relations.insert(0, anchor)
+        conditions.append(Compare(Attr(anchor, "in"), EQ, base_in))
+        conditions.append(Compare(Attr(anchor, "in"), LT,
+                                  Attr(alias, "in")))
+        conditions.append(Compare(Attr(alias, "out"), LT,
+                                  Attr(anchor, "out")))
+    test = step.test
+    if isinstance(test, LabelTest):
+        conditions.append(Compare(Attr(alias, "type"), EQ, TYPE_ELEMENT))
+        conditions.append(Compare(Attr(alias, "value"), EQ,
+                                  Const(test.name)))
+    elif isinstance(test, WildcardTest):
+        conditions.append(Compare(Attr(alias, "type"), EQ, TYPE_ELEMENT))
+    elif isinstance(test, TextTest):
+        conditions.append(Compare(Attr(alias, "type"), EQ, TYPE_TEXT))
+    else:  # pragma: no cover - defensive
+        raise AlgebraError(f"unknown node test {test!r}")
+    return conditions, relations
+
+
+# --------------------------------------------------------------------------
+# Conditions
+# --------------------------------------------------------------------------
+
+
+def _translate_condition(cond: Condition, context: _Context
+                         ) -> tuple[list[Compare], list[str],
+                                    list[Residual]]:
+    """ALG(φ): conditions + relations + residuals for an if/some condition.
+
+    The translation scope (``context.scope``) tracks some-bound variables
+    so equality tests on them become value conditions; everything the TPM
+    fragment cannot express is wrapped as a residual over the same scope.
+    """
+    if isinstance(cond, TrueCond):
+        return [], [], []
+    if isinstance(cond, And):
+        left = _translate_condition(cond.left, context)
+        right = _translate_condition(cond.right, context)
+        return ([*left[0], *right[0]], [*left[1], *right[1]],
+                [*left[2], *right[2]])
+    if isinstance(cond, Some):
+        alias = context.fresh_alias(cond.source.test)
+        conditions, relations = _step_conditions(alias, cond.source, context)
+        # Fix up relations list when the non-carrying descendant rule added
+        # an anchor alias: the bound alias is always the step's own.
+        binds_text = isinstance(cond.source.test, TextTest)
+        saved = context.scope.get(cond.var)
+        context.scope[cond.var] = (alias, binds_text)
+        inner = _translate_condition(cond.cond, context)
+        if saved is None:
+            del context.scope[cond.var]
+        else:
+            context.scope[cond.var] = saved
+        return ([*conditions, *inner[0]], [*relations, *inner[1]], inner[2])
+    if isinstance(cond, VarEqConst):
+        bound = context.scope.get(cond.var)
+        if bound is not None and bound[1]:
+            alias = bound[0]
+            return [Compare(Attr(alias, "value"), EQ, Const(cond.literal))], \
+                [], []
+        return [], [], [_residual(cond, context)]
+    if isinstance(cond, VarEqVar):
+        left = context.scope.get(cond.left)
+        right = context.scope.get(cond.right)
+        if left is not None and left[1] and right is not None and right[1]:
+            return [Compare(Attr(left[0], "value"), EQ,
+                            Attr(right[0], "value"))], [], []
+        return [], [], [_residual(cond, context)]
+    if isinstance(cond, (Or, Not)):
+        return [], [], [_residual(cond, context)]
+    raise AlgebraError(f"cannot translate condition {cond!r}")
+
+
+def _residual(cond: Condition, context: _Context) -> Residual:
+    """Wrap ``cond`` as a residual, recording how its free variables are
+    reached (PSX alias for some-bound vars, external environment
+    otherwise)."""
+    bound: list[tuple[str, tuple[str, str]]] = []
+    for var in sorted(free_variables(cond)):
+        scoped = context.scope.get(var)
+        if scoped is not None:
+            bound.append((var, ("alias", scoped[0])))
+        else:
+            bound.append((var, ("var", var)))
+    return Residual(cond=cond, bound=tuple(bound))

@@ -1,0 +1,12 @@
+"""The public API: a native XML-DBMS in one class.
+
+>>> from repro.core import XmlDbms                       # doctest: +SKIP
+>>> dbms = XmlDbms("/tmp/library.db")
+>>> dbms.load("fig2", xml="<journal>...</journal>")
+>>> dbms.query("fig2", "for $n in //name return $n")
+'<name>Ana</name><name>Bob</name>'
+"""
+
+from repro.core.dbms import XmlDbms
+
+__all__ = ["XmlDbms"]

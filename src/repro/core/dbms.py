@@ -1,0 +1,139 @@
+"""The :class:`XmlDbms` facade — the system the course set out to build.
+
+One instance owns one database file and exposes the full lifecycle:
+
+* :meth:`load` — shred an XML document into XASR relations with indexes
+  and statistics (milestone 2);
+* :meth:`query` / :meth:`execute` — evaluate XQ under any engine profile
+  (milestones 1–4);
+* :meth:`explain` — show the TPM translation and the chosen physical
+  plans;
+* :meth:`statistics` / :meth:`documents` — introspection.
+
+Updates are deliberately load/drop-only and there is no concurrency
+control or recovery: the paper scoped those out ("keep updates as simple
+as possible and completely disregard concurrency control and recovery").
+"""
+
+from __future__ import annotations
+
+from repro.engine.engine import XQEngine
+from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
+from repro.errors import CatalogError
+from repro.storage.db import Database
+from repro.storage.pager import PAGE_SIZE
+from repro.xasr import schema
+from repro.xasr.loader import DocumentStatistics, load_document
+from repro.xmlkit.dom import Node
+from repro.xq.ast import Query
+
+
+class XmlDbms:
+    """A single-file native XML database."""
+
+    def __init__(self, path: str, buffer_capacity: int = 256,
+                 page_size: int = PAGE_SIZE):
+        self.db = Database(path, buffer_capacity=buffer_capacity,
+                           page_size=page_size)
+        self._engines: dict[tuple[str, str], XQEngine] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "XmlDbms":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- documents -------------------------------------------------------------
+
+    def load(self, name: str, xml: str | None = None,
+             path: str | None = None,
+             strip_whitespace: bool = True,
+             bulk: bool = True) -> DocumentStatistics:
+        """Load a document from text or a file; returns its statistics."""
+        return load_document(self.db, name, xml=xml, path=path,
+                             strip_whitespace=strip_whitespace, bulk=bulk)
+
+    def documents(self) -> list[str]:
+        """Names of loaded documents."""
+        prefix = "xasr:"
+        suffix = ":primary"
+        names = []
+        for entry in self.db.list_names():
+            if entry.startswith(prefix) and entry.endswith(suffix):
+                names.append(entry[len(prefix):-len(suffix)])
+        return names
+
+    def drop(self, name: str) -> None:
+        """Remove a document from the catalog."""
+        if not self.db.exists(schema.table_name(name)):
+            raise CatalogError(f"document {name!r} is not loaded")
+        for object_name in (schema.table_name(name),
+                            schema.index_label_name(name),
+                            schema.index_parent_name(name),
+                            schema.stats_name(name)):
+            if self.db.exists(object_name):
+                self.db.drop(object_name)
+        self._engines = {key: engine
+                         for key, engine in self._engines.items()
+                         if key[0] != name}
+
+    def statistics(self, name: str) -> DocumentStatistics:
+        """The statistics gathered when ``name`` was loaded."""
+        payload = self.db.get_meta(schema.stats_name(name))
+        if payload is None:
+            raise CatalogError(f"document {name!r} is not loaded")
+        return DocumentStatistics.from_payload(payload)
+
+    # -- querying -----------------------------------------------------------------
+
+    def engine(self, document: str,
+               profile: EngineProfile | str = "m4") -> XQEngine:
+        """A (cached) engine for a document under a profile."""
+        profile_name = profile if isinstance(profile, str) else profile.name
+        key = (document, profile_name)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = XQEngine(self.db, document, profile)
+            self._engines[key] = engine
+        return engine
+
+    def execute(self, document: str, query: str | Query,
+                profile: EngineProfile | str = "m4",
+                time_limit: float | None = None,
+                memory_budget: int | None = None) -> list[Node]:
+        """Evaluate a query; returns result nodes."""
+        return self.engine(document, profile).execute(
+            query, time_limit=time_limit, memory_budget=memory_budget)
+
+    def query(self, document: str, query: str | Query,
+              profile: EngineProfile | str = "m4",
+              time_limit: float | None = None,
+              memory_budget: int | None = None,
+              indent: int | None = None) -> str:
+        """Evaluate a query; returns serialized XML text."""
+        return self.engine(document, profile).execute_serialized(
+            query, time_limit=time_limit, memory_budget=memory_budget,
+            indent=indent)
+
+    def explain(self, document: str, query: str | Query,
+                profile: EngineProfile | str = "m4") -> str:
+        """The TPM tree and physical plans the profile would run."""
+        return self.engine(document, profile).explain(query)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def buffer_stats(self):
+        return self.db.stats
+
+    def reset_buffer_stats(self) -> None:
+        self.db.reset_stats()
+
+
+#: Re-exported for convenience.
+PROFILES = ENGINE_PROFILES

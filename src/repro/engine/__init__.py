@@ -1,0 +1,29 @@
+"""Query engines: the four milestones and the Figure-7 profiles.
+
+* :mod:`~repro.engine.navigational` — milestone 2: storage-backed,
+  tuple-at-a-time navigation, no algebra;
+* :mod:`~repro.engine.algebraic` — milestones 3/4: TPM translation,
+  algebraic rewriting and plan execution (heuristic or cost-based,
+  depending on the profile);
+* :mod:`~repro.engine.profiles` — :class:`EngineProfile`, the knob set that
+  defines an engine (which optimizations it implements and how well its
+  estimator is calibrated), plus the five concrete profiles behind the
+  Figure 7 comparison;
+* :mod:`~repro.engine.engine` — :class:`XQEngine`, the user-facing facade.
+"""
+
+from repro.engine.engine import XQEngine
+from repro.engine.profiles import (
+    ENGINE_PROFILES,
+    MILESTONE_PROFILES,
+    EngineProfile,
+    TOP_FIVE,
+)
+
+__all__ = [
+    "XQEngine",
+    "EngineProfile",
+    "ENGINE_PROFILES",
+    "MILESTONE_PROFILES",
+    "TOP_FIVE",
+]

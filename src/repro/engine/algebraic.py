@@ -1,0 +1,188 @@
+"""Milestones 3 & 4: the algebraic query engine.
+
+Pipeline per query::
+
+    XQ AST ─translate→ TPM ─(merge, eliminate)→ TPM' ─plan per PSX→
+    physical plans ─execute→ binding tuples ─relfor body→ result nodes
+
+Plans are built once per relfor (they depend only on the block's
+structure); nested, un-merged relfors re-execute their plan per outer
+binding — precisely the inefficiency the paper discusses for queries whose
+relfors cannot be merged across constructors.
+
+The relfor evaluation contract comes straight from the paper's semantics:
+the PSX block yields the *set* of vartuple bindings, hierarchically sorted
+in document order, and the body is evaluated per binding with results
+concatenated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.algebra.merge import (
+    eliminate_redundant_relations,
+    merge_relfors,
+    promote_residuals,
+)
+from repro.algebra.tpm import (
+    RelFor,
+    TpmConstr,
+    TpmEmpty,
+    TpmExpr,
+    TpmIf,
+    TpmSequence,
+    TpmText,
+    TpmVarOut,
+)
+from repro.algebra.translate import translate
+from repro.engine.navigational import NavigationalEvaluator
+from repro.errors import XQEvalError
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.physical.materialize import reset_materializers
+from repro.physical.context import Bindings, ExecutionContext
+from repro.physical.operators import PhysicalOp
+from repro.xasr.document import StoredDocument
+from repro.xasr.schema import XasrNode
+from repro.xmlkit.dom import Element, Node, Text
+from repro.xq.ast import Query, ROOT_VAR
+
+
+class AlgebraicEvaluator:
+    """TPM-based evaluation with a configurable optimization level."""
+
+    def __init__(self, document: StoredDocument,
+                 config: PlannerConfig | None = None,
+                 merge: bool = True,
+                 eliminate_redundant: bool = True,
+                 carry_out_values: bool = True):
+        self.document = document
+        self.config = config or PlannerConfig()
+        self.merge = merge
+        self.eliminate_redundant = eliminate_redundant
+        self.carry_out_values = carry_out_values
+        self.planner = Planner(document.statistics, self.config)
+        #: Plan cache: one physical plan per RelFor node of the last query.
+        self._plans: dict[int, PhysicalOp] = {}
+        self.last_tpm: TpmExpr | None = None
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, query: Query) -> TpmExpr:
+        """Translate and rewrite a query; plans are built lazily."""
+        tpm = translate(query, carry_out_values=self.carry_out_values)
+        if self.merge:
+            tpm = merge_relfors(tpm)
+        if self.eliminate_redundant:
+            tpm = eliminate_redundant_relations(tpm)
+        # Promotion is semantics-preserving (the typing check discharges
+        # statically), so every algebraic engine applies it; what differs
+        # per profile is whether the planner can *exploit* the resulting
+        # value-join condition.
+        tpm = promote_residuals(tpm)
+        self._plans = {}
+        self.last_tpm = tpm
+        return tpm
+
+    def plan_for(self, relfor: RelFor) -> PhysicalOp:
+        plan = self._plans.get(id(relfor))
+        if plan is None:
+            plan = self.planner.plan(relfor.source)
+            self._plans[id(relfor)] = plan
+        return plan
+
+    def explain(self, query: Query) -> str:
+        """Human-readable TPM tree and physical plans for ``query``."""
+        tpm = self.compile(query)
+        lines = [tpm.describe(), ""]
+        for relfor in _iter_relfors(tpm):
+            plan = self.plan_for(relfor)
+            vars_ = ", ".join(f"${v}" for v in relfor.vartuple)
+            lines.append(f"plan for relfor ({vars_}):")
+            lines.append(plan.explain(2))
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, query: Query,
+                 deadline: float | None = None,
+                 memory_budget: int | None = None) -> list[Node]:
+        """Run ``query`` and return the result sequence as DOM nodes."""
+        tpm = self.compile(query)
+        ctx = ExecutionContext(self.document, deadline=deadline,
+                               memory_budget=memory_budget)
+        env: dict[str, XasrNode] = {ROOT_VAR: self.document.root()}
+        try:
+            return list(self._eval(tpm, ctx, env))
+        finally:
+            for plan in self._plans.values():
+                reset_materializers(plan, self.document.db)
+
+    def _eval(self, expr: TpmExpr, ctx: ExecutionContext,
+              env: dict[str, XasrNode]) -> Iterator[Node]:
+        if isinstance(expr, TpmEmpty):
+            return
+        if isinstance(expr, TpmText):
+            yield Text(expr.text)
+            return
+        if isinstance(expr, TpmVarOut):
+            try:
+                node = env[expr.var]
+            except KeyError:
+                raise XQEvalError(f"unbound variable ${expr.var}") from None
+            yield self.document.subtree(node)
+            return
+        if isinstance(expr, TpmConstr):
+            element = Element(expr.label)
+            for item in self._eval(expr.body, ctx, env):
+                element.append(item)
+            yield element
+            return
+        if isinstance(expr, TpmSequence):
+            for part in expr.parts:
+                yield from self._eval(part, ctx, env)
+            return
+        if isinstance(expr, TpmIf):
+            evaluator = NavigationalEvaluator(self.document,
+                                              ticker=ctx.tick)
+            if evaluator.condition(expr.cond, dict(env)):
+                yield from self._eval(expr.body, ctx, env)
+            return
+        if isinstance(expr, RelFor):
+            plan = self.plan_for(expr)
+            # The paper: an un-merged inner relfor "will be evaluated for
+            # each new binding" — materialised intermediates belong to one
+            # execution and are invalid once the environment changes.
+            reset_materializers(plan, self.document.db)
+            bindings = Bindings(env)
+            rows = plan.execute(ctx, bindings)
+            if not expr.vartuple:
+                # Nullary relfor: pure existence check — evaluate the body
+                # once iff the condition relation is non-empty.
+                for __ in rows:
+                    yield from self._eval(expr.body, ctx, env)
+                    break
+                return
+            for row in rows:
+                inner = dict(env)
+                for var, node in zip(expr.vartuple, row):
+                    inner[var] = node
+                yield from self._eval(expr.body, ctx, inner)
+            return
+        raise XQEvalError(f"cannot evaluate TPM node {expr!r}")
+
+
+def _iter_relfors(expr: TpmExpr) -> Iterator[RelFor]:
+    if isinstance(expr, RelFor):
+        yield expr
+        yield from _iter_relfors(expr.body)
+    elif isinstance(expr, TpmConstr):
+        yield from _iter_relfors(expr.body)
+    elif isinstance(expr, TpmSequence):
+        for part in expr.parts:
+            yield from _iter_relfors(part)
+    elif isinstance(expr, TpmIf):
+        yield from _iter_relfors(expr.body)
+
+

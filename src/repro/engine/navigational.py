@@ -1,0 +1,204 @@
+"""Milestone 2: the navigational, storage-backed XQ evaluator.
+
+Identical denotational semantics to the in-memory evaluator
+(:mod:`repro.xq.eval_memory`), but variables bind to
+:class:`~repro.xasr.schema.XasrNode` tuples fetched through the buffer
+pool, and never more than the current variable bindings are held in main
+memory.  Navigation uses the XASR access paths:
+
+* ``child`` axis → the ``(parent_in, in)`` secondary index;
+* ``descendant`` axis → a clustered primary range scan of
+  ``(x.in, x.out)``.
+
+There is no algebra, no optimizer: for-loops nest exactly as written.
+This is both the milestone-2 deliverable and the baseline the algebraic
+engines are benchmarked against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import XQEvalError, XQTypeError
+from repro.xasr.document import StoredDocument
+from repro.xasr.schema import ELEMENT, TEXT, TYPE_NAMES, XasrNode
+from repro.xmlkit.dom import Element, Node, Text
+from repro.xq.ast import (
+    And,
+    Axis,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    Not,
+    Or,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+)
+
+#: An environment binds variables to stored nodes.
+StoredEnvironment = dict[str, XasrNode]
+
+
+class NavigationalEvaluator:
+    """Evaluate XQ queries directly over a stored document.
+
+    ``ticker`` is an optional zero-argument callable invoked inside
+    navigation loops — the engine facade wires it to the execution
+    context's deadline check so even long fruitless navigations stay
+    interruptible (the testbed "run under memory and time constraints"
+    requirement).
+    """
+
+    def __init__(self, document: StoredDocument, ticker=None):
+        self.document = document
+        self._tick = ticker if ticker is not None else lambda: None
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(self, query: Query,
+                 environment: StoredEnvironment | None = None) -> list[Node]:
+        """Run ``query``; returns result nodes as DOM trees.
+
+        Result subtrees are reconstructed from storage only at output time
+        ("the subtree to which a variable is bound is written to the
+        output").
+        """
+        return list(self.stream(query, environment))
+
+    def stream(self, query: Query,
+               environment: StoredEnvironment | None = None
+               ) -> Iterator[Node]:
+        """Like :meth:`evaluate`, but yields result nodes lazily."""
+        env: StoredEnvironment = {ROOT_VAR: self.document.root()}
+        if environment:
+            env.update(environment)
+        yield from self._eval(query, env)
+
+    # -- queries --------------------------------------------------------------
+
+    def _eval(self, query: Query, env: StoredEnvironment) -> Iterator[Node]:
+        if isinstance(query, Empty):
+            return
+        if isinstance(query, TextLiteral):
+            yield Text(query.text)
+            return
+        if isinstance(query, Constr):
+            element = Element(query.label)
+            for item in self._eval(query.body, env):
+                element.append(item)
+            yield element
+            return
+        if isinstance(query, Sequence):
+            yield from self._eval(query.left, env)
+            yield from self._eval(query.right, env)
+            return
+        if isinstance(query, Var):
+            node = self._lookup(env, query.name)
+            yield self.document.subtree(node)
+            return
+        if isinstance(query, Step):
+            for node in self.step(query, env):
+                yield self.document.subtree(node)
+            return
+        if isinstance(query, For):
+            for node in self.step(query.source, env):
+                inner = dict(env)
+                inner[query.var] = node
+                yield from self._eval(query.body, inner)
+            return
+        if isinstance(query, If):
+            if self.condition(query.cond, env):
+                yield from self._eval(query.body, env)
+            return
+        raise XQEvalError(f"cannot evaluate query node {query!r}")
+
+    # -- navigation --------------------------------------------------------------
+
+    def step(self, step: Step, env: StoredEnvironment
+             ) -> Iterator[XasrNode]:
+        """Stored nodes reached by a step, in document order."""
+        base = self._lookup(env, step.var)
+        if base.is_text:
+            return  # text nodes have no children or descendants
+        if step.axis is Axis.CHILD:
+            candidates = self.document.children(base.in_)
+        else:
+            candidates = self.document.descendants(base)
+        test = step.test
+        tick = self._tick
+        if isinstance(test, LabelTest):
+            wanted = test.name
+            for node in candidates:
+                tick()
+                if node.type == ELEMENT and node.value == wanted:
+                    yield node
+        elif isinstance(test, WildcardTest):
+            for node in candidates:
+                tick()
+                if node.type == ELEMENT:
+                    yield node
+        elif isinstance(test, TextTest):
+            for node in candidates:
+                tick()
+                if node.type == TEXT:
+                    yield node
+        else:  # pragma: no cover - defensive
+            raise XQEvalError(f"unknown node test {test!r}")
+
+    # -- conditions ----------------------------------------------------------------
+
+    def condition(self, cond: Condition, env: StoredEnvironment) -> bool:
+        if isinstance(cond, TrueCond):
+            return True
+        if isinstance(cond, VarEqVar):
+            return (self._text_value(env, cond.left)
+                    == self._text_value(env, cond.right))
+        if isinstance(cond, VarEqConst):
+            return self._text_value(env, cond.var) == cond.literal
+        if isinstance(cond, Some):
+            for node in self.step(cond.source, env):
+                inner = dict(env)
+                inner[cond.var] = node
+                if self.condition(cond.cond, inner):
+                    return True
+            return False
+        if isinstance(cond, And):
+            return (self.condition(cond.left, env)
+                    and self.condition(cond.right, env))
+        if isinstance(cond, Or):
+            return (self.condition(cond.left, env)
+                    or self.condition(cond.right, env))
+        if isinstance(cond, Not):
+            return not self.condition(cond.cond, env)
+        raise XQEvalError(f"cannot evaluate condition {cond!r}")
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _lookup(env: StoredEnvironment, name: str) -> XasrNode:
+        try:
+            return env[name]
+        except KeyError:
+            raise XQEvalError(f"unbound variable ${name}") from None
+
+    @staticmethod
+    def _text_value(env: StoredEnvironment, name: str) -> str:
+        node = NavigationalEvaluator._lookup(env, name)
+        if node.type != TEXT:
+            raise XQTypeError(
+                f"comparison requires ${name} to be bound to a text node, "
+                f"got a {TYPE_NAMES[node.type]} node")
+        return node.value

@@ -1,0 +1,137 @@
+"""Engine profiles: the milestone ladder and the Figure-7 population.
+
+An :class:`EngineProfile` bundles every knob that distinguished one
+student engine from another: whether it translates to the algebra at all,
+which rewrites it applies, which indexes and join methods it may use,
+whether its join order is cost-chosen, how well its estimator is
+calibrated, and how it guarantees document order.
+
+Two families are provided:
+
+* :data:`MILESTONE_PROFILES` — ``m1`` (in-memory), ``m2`` (navigational
+  secondary storage), ``m3`` (algebraic, heuristic optimization), ``m4``
+  (cost-based + indexes): the course's four milestones, used by the
+  ablation benchmark that demonstrates the "orders of magnitude" claim;
+
+* :data:`TOP_FIVE` — five profiles engineered to reproduce the *shape* of
+  Figure 7:
+
+  - ``engine-1``: the all-round winner — full milestone-4 optimizer with a
+    calibrated estimator; moderate on everything, best total.
+  - ``engine-2``: brilliant but mis-calibrated — same optimizer, but its
+    estimator ignores label skew ("uniform-labels").  Near-instant on
+    tests 1–4 (it aggressively exploits semijoins and indexes), but on the
+    test-5 query ("two nested, yet unrelated, for-loops ... two joins with
+    very different selectivities") the skew-blind estimate puts "the very
+    unselective join at the bottom of the plan" — time-out.
+  - ``engine-3``: solid milestone-4 engine without join reordering;
+    survives most tests, times out on the descendant-heavy test 3.
+  - ``engine-4``: has the label index (hence ~0 s on the non-existent
+    label test 4 and the highly selective test 2) but no INL joins and no
+    reordering: times out on tests 3 and 5.
+  - ``engine-5``: a milestone-3 engine — algebra and selection pushing but
+    no indexes at all; slow everywhere, times out on 3 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.optimizer.planner import PlannerConfig
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Everything that defines one engine's behaviour."""
+
+    name: str
+    description: str
+    #: "memory" (milestone 1), "navigational" (milestone 2) or
+    #: "algebraic" (milestones 3/4).
+    evaluator: str = "algebraic"
+    merge_relfors: bool = True
+    eliminate_redundant: bool = True
+    carry_out_values: bool = True
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def with_(self, **changes) -> "EngineProfile":
+        return replace(self, **changes)
+
+
+#: The course's four milestones.
+MILESTONE_PROFILES: dict[str, EngineProfile] = {
+    "m1": EngineProfile(
+        name="m1",
+        description="Milestone 1: in-memory evaluator (DOM, no storage)",
+        evaluator="memory"),
+    "m2": EngineProfile(
+        name="m2",
+        description="Milestone 2: navigational evaluator on secondary "
+                    "storage",
+        evaluator="navigational"),
+    "m3": EngineProfile(
+        name="m3",
+        description="Milestone 3: TPM algebra, selection pushing, "
+                    "order-preserving joins; no indexes, no cost model",
+        planner=PlannerConfig(
+            use_label_index=False,
+            use_parent_index=True,   # the child axis *is* milestone 2's
+            use_primary_range=True,  # storage interface
+            use_inl_join=False,
+            use_semijoin=False,
+            push_selections=True,
+            create_joins=True,
+            join_reorder="syntactic",
+            order_strategy="preserve",
+            cost_based=False)),
+    "m4": EngineProfile(
+        name="m4",
+        description="Milestone 4: cost-based optimization, B+-tree "
+                    "indexes, INL joins, semijoins",
+        planner=PlannerConfig()),
+}
+
+
+def _top_five() -> dict[str, EngineProfile]:
+    full = PlannerConfig()  # everything on, calibrated
+    return {
+        "engine-1": EngineProfile(
+            name="engine-1",
+            description="Full cost-based optimizer, calibrated estimator",
+            planner=full),
+        "engine-2": EngineProfile(
+            name="engine-2",
+            description="Full optimizer, skew-blind (uniform-label) "
+                        "estimator — Figure 7's mis-estimate case",
+            planner=replace(full, calibration="uniform-labels")),
+        "engine-3": EngineProfile(
+            name="engine-3",
+            description="Indexes and INL joins, but syntactic join order "
+                        "(no cost-based reordering)",
+            planner=replace(full, join_reorder="syntactic",
+                            use_semijoin=False, cost_based=False,
+                            order_strategy="auto")),
+        "engine-4": EngineProfile(
+            name="engine-4",
+            description="Label index only: no INL joins, no reordering, "
+                        "no semijoins",
+            planner=replace(full, use_inl_join=False, use_semijoin=False,
+                            use_parent_index=False, use_primary_range=False,
+                            join_reorder="syntactic", cost_based=False)),
+        "engine-5": EngineProfile(
+            name="engine-5",
+            description="Milestone-3 engine: algebra without any indexes",
+            planner=PlannerConfig(
+                use_label_index=False, use_parent_index=False,
+                use_primary_range=False, use_inl_join=False,
+                use_semijoin=False, join_reorder="syntactic",
+                order_strategy="sort", cost_based=False)),
+    }
+
+
+#: The five engines of Figure 7.
+TOP_FIVE: dict[str, EngineProfile] = _top_five()
+
+#: Every named profile.
+ENGINE_PROFILES: dict[str, EngineProfile] = {**MILESTONE_PROFILES,
+                                             **TOP_FIVE}

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the XML-DBMS.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+subsystems: XML parsing, XQ parsing, query typing/evaluation, storage, and
+the grading testbed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# XML layer
+# --------------------------------------------------------------------------
+
+
+class XmlError(ReproError):
+    """Malformed XML input.
+
+    Carries an optional (line, column) position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+# --------------------------------------------------------------------------
+# XQ language layer
+# --------------------------------------------------------------------------
+
+
+class XQSyntaxError(ReproError):
+    """Malformed XQ query text."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class XQTypeError(ReproError):
+    """Runtime typing violation.
+
+    The paper restricts equality comparisons to text nodes; engines "were
+    allowed to check this at runtime and exit with an error message if two
+    nodes to be compared are not text nodes".  This is that error message.
+    """
+
+
+class XQEvalError(ReproError):
+    """Any other failure during query evaluation (e.g. unbound variable)."""
+
+
+# --------------------------------------------------------------------------
+# Storage layer
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-manager failures."""
+
+
+class PageError(StorageError):
+    """Invalid page access (bad page id, overflow, corrupt header)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool protocol violation (e.g. all frames pinned)."""
+
+
+class BTreeError(StorageError):
+    """B+-tree structural violation or unsupported operation."""
+
+
+class CatalogError(StorageError):
+    """Unknown table/index/document, or duplicate creation."""
+
+
+# --------------------------------------------------------------------------
+# Optimizer / algebra layer
+# --------------------------------------------------------------------------
+
+
+class AlgebraError(ReproError):
+    """Illegal algebraic transformation or malformed TPM tree."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a physical plan."""
+
+
+# --------------------------------------------------------------------------
+# Testbed layer
+# --------------------------------------------------------------------------
+
+
+class GradingError(ReproError):
+    """Submission/testbed protocol violations."""
+
+
+class ResourceLimitExceeded(ReproError):
+    """An engine exceeded the tester's time or memory budget.
+
+    ``kind`` is ``"time"`` or ``"memory"``; the tester converts this into
+    the capped scores described in the Figure 7 caption.
+    """
+
+    def __init__(self, kind: str, limit: float, used: float):
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+        super().__init__(f"{kind} limit exceeded: used {used:.3f}, "
+                         f"limit {limit:.3f}")

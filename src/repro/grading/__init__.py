@@ -1,0 +1,37 @@
+"""The course's testing and grading infrastructure (Sections 3 and 4).
+
+* :mod:`~repro.grading.tester` — correctness tests (engine vs. the
+  milestone-1 oracle, the role Galax played) and efficiency tests under
+  time/memory budgets with Figure 7's capping rules;
+* :mod:`~repro.grading.submission` — the submission & test system: a
+  submission pool, a fair round-robin scheduler, and e-mail-style result
+  reports ("students are notified via email ... on possible problems");
+* :mod:`~repro.grading.scoring` — the points system of Section 3
+  (early-bird points, lateness penalties, team-size adjustments, exam
+  points, scalability bonus for the top 10 % / 25 % engines).
+"""
+
+from repro.grading.scoring import (
+    CourseRules,
+    GradeBook,
+    StudentRecord,
+)
+from repro.grading.submission import Submission, SubmissionSystem
+from repro.grading.tester import (
+    CorrectnessResult,
+    EfficiencyResult,
+    Figure7Row,
+    Tester,
+)
+
+__all__ = [
+    "Tester",
+    "CorrectnessResult",
+    "EfficiencyResult",
+    "Figure7Row",
+    "Submission",
+    "SubmissionSystem",
+    "CourseRules",
+    "GradeBook",
+    "StudentRecord",
+]

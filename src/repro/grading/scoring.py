@@ -1,0 +1,150 @@
+"""The grading system of Section 3.
+
+Rules implemented:
+
+* "The best grade is represented by 100 points, which could be obtained
+  solely in the final exam."
+* Admission to the exam requires a runnable engine; passing requires ≥ 50
+  exam points.
+* "A successful submission of a milestone implementation by the
+  early-bird review brought two points.  The penalty for missed deadlines
+  (materialized as negative points) increases with the number of weeks of
+  delay."
+* "Small teams completing the final milestones were rewarded a few
+  additional points."
+* "To support excellence, the 10% and 25% most scalable query engines got
+  additional bonus points.  As a result, 25% of the students that
+  successfully passed the exam got more than 100 points in total."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CourseRules:
+    """Tunable constants of the grading scheme."""
+
+    milestone_count: int = 4
+    early_bird_points: int = 2
+    #: Penalty per milestone = -(weeks late)·(weeks late + 1)/2 — "the
+    #: penalty ... increases with the number of weeks of delay".
+    lateness_factor: float = 1.0
+    small_team_bonus: int = 2
+    small_team_max_size: int = 2
+    exam_pass_mark: int = 50
+    top10_bonus: int = 8
+    top25_bonus: int = 4
+
+
+@dataclass
+class StudentRecord:
+    """One student's course trajectory."""
+
+    name: str
+    team: str
+    team_size: int
+    exam_points: float
+    #: Weeks of delay per milestone; None = milestone never submitted.
+    milestone_delays: list[int | None] = field(default_factory=list)
+    #: Total efficiency-suite seconds of the team's engine (lower =
+    #: more scalable); None = engine not runnable.
+    engine_total_seconds: float | None = None
+
+    bonus_points: float = 0.0
+
+    def runnable_engine(self) -> bool:
+        """Admission requirement: a runnable engine, all milestones in."""
+        return (self.engine_total_seconds is not None
+                and len(self.milestone_delays) > 0
+                and all(delay is not None
+                        for delay in self.milestone_delays))
+
+
+class GradeBook:
+    """Applies the rules to a cohort."""
+
+    def __init__(self, rules: CourseRules | None = None):
+        self.rules = rules or CourseRules()
+        self.records: list[StudentRecord] = []
+
+    def add(self, record: StudentRecord) -> None:
+        self.records.append(record)
+
+    # -- per-student components -----------------------------------------------
+
+    def milestone_points(self, record: StudentRecord) -> float:
+        """Early-bird points minus growing lateness penalties."""
+        rules = self.rules
+        points = 0.0
+        for delay in record.milestone_delays:
+            if delay is None:
+                continue
+            if delay <= 0:
+                points += rules.early_bird_points
+            else:
+                points -= rules.lateness_factor * delay * (delay + 1) / 2
+        return points
+
+    def team_points(self, record: StudentRecord) -> float:
+        if record.team_size <= self.rules.small_team_max_size \
+                and record.runnable_engine():
+            return float(self.rules.small_team_bonus)
+        return 0.0
+
+    def admitted_to_exam(self, record: StudentRecord) -> bool:
+        return record.runnable_engine()
+
+    def passed_exam(self, record: StudentRecord) -> bool:
+        return (self.admitted_to_exam(record)
+                and record.exam_points >= self.rules.exam_pass_mark)
+
+    # -- scalability bonus ------------------------------------------------------
+
+    def apply_scalability_bonus(self) -> None:
+        """Award the top-10% and top-25% most scalable engines."""
+        ranked = sorted(
+            (record for record in self.records
+             if record.engine_total_seconds is not None),
+            key=lambda record: record.engine_total_seconds)
+        if not ranked:
+            return
+        top10_cut = max(1, math.ceil(len(ranked) * 0.10))
+        top25_cut = max(1, math.ceil(len(ranked) * 0.25))
+        for rank, record in enumerate(ranked):
+            record.bonus_points = 0.0
+            if rank < top10_cut:
+                record.bonus_points = float(self.rules.top10_bonus)
+            elif rank < top25_cut:
+                record.bonus_points = float(self.rules.top25_bonus)
+
+    # -- totals -------------------------------------------------------------------
+
+    def total_points(self, record: StudentRecord) -> float:
+        """Final score: exam + milestones + team + scalability bonus."""
+        if not self.passed_exam(record):
+            return 0.0
+        return (record.exam_points
+                + self.milestone_points(record)
+                + self.team_points(record)
+                + record.bonus_points)
+
+    def summary(self) -> dict[str, float]:
+        """Cohort statistics, including the paper's '>100 points'
+        fraction."""
+        self.apply_scalability_bonus()
+        passed = [record for record in self.records
+                  if self.passed_exam(record)]
+        over_100 = [record for record in passed
+                    if self.total_points(record) > 100]
+        return {
+            "students": float(len(self.records)),
+            "admitted": float(sum(1 for record in self.records
+                                  if self.admitted_to_exam(record))),
+            "passed": float(len(passed)),
+            "over_100": float(len(over_100)),
+            "over_100_fraction": (len(over_100) / len(passed)
+                                  if passed else 0.0),
+        }

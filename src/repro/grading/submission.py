@@ -1,0 +1,152 @@
+"""The submission & test system.
+
+"The submissions are stored in a submission pool and picked up using a
+fair scheduling by a tester ... the students is sent an email containing
+detailed test results, e.g., engine run-time errors, scalability problems
+if any, the answers to the public queries in case they differ from the
+correct answers, and the timing."
+
+Students may submit "at any time and as often as necessary"; fairness is
+round-robin over teams so one team's rapid-fire submissions cannot starve
+the queue.  A submission here is an engine profile (standing in for the
+students' C++ code drop) plus the team's identity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.engine.profiles import EngineProfile
+from repro.grading.tester import (
+    CorrectnessResult,
+    EfficiencyResult,
+    Tester,
+)
+from repro.workloads.queries import EFFICIENCY_QUERIES
+
+
+@dataclass
+class Submission:
+    """One code drop by one team."""
+
+    team: str
+    profile: EngineProfile
+    submission_id: int = 0
+
+    #: Filled by the tester.
+    correctness: list[CorrectnessResult] = field(default_factory=list)
+    efficiency: list[EfficiencyResult] = field(default_factory=list)
+    tested: bool = False
+
+    @property
+    def passed_correctness(self) -> bool:
+        return bool(self.correctness) and all(result.passed
+                                              for result in
+                                              self.correctness)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(result.assigned_seconds
+                   for result in self.efficiency)
+
+
+class SubmissionSystem:
+    """Pool + fair scheduler + report generation."""
+
+    def __init__(self, tester: Tester, correctness_queries: dict[str, str]):
+        self.tester = tester
+        self.correctness_queries = correctness_queries
+        self._queues: OrderedDict[str, deque[Submission]] = OrderedDict()
+        self._round_robin: deque[str] = deque()
+        self._counter = itertools.count(1)
+        self.completed: list[Submission] = []
+
+    # -- pool -------------------------------------------------------------------
+
+    def submit(self, team: str, profile: EngineProfile) -> Submission:
+        """Drop a submission into the pool (any time, as often as
+        needed)."""
+        submission = Submission(team, profile,
+                                submission_id=next(self._counter))
+        if team not in self._queues:
+            self._queues[team] = deque()
+            self._round_robin.append(team)
+        self._queues[team].append(submission)
+        return submission
+
+    def pending_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    # -- fair scheduling -----------------------------------------------------------
+
+    def next_submission(self) -> Submission | None:
+        """Pick the next submission round-robin over teams."""
+        for __ in range(len(self._round_robin)):
+            team = self._round_robin[0]
+            self._round_robin.rotate(-1)
+            queue = self._queues.get(team)
+            if queue:
+                return queue.popleft()
+        return None
+
+    # -- testing ----------------------------------------------------------------------
+
+    def process_one(self) -> Submission | None:
+        """Test the next pending submission; returns it (or None)."""
+        submission = self.next_submission()
+        if submission is None:
+            return None
+        submission.correctness = self.tester.run_correctness(
+            submission.profile, self.correctness_queries)
+        if submission.passed_correctness:
+            submission.efficiency = [
+                self.tester.run_efficiency(submission.profile, query)
+                for query in EFFICIENCY_QUERIES]
+        submission.tested = True
+        self.completed.append(submission)
+        return submission
+
+    def process_all(self) -> list[Submission]:
+        """Drain the pool fairly; returns submissions in test order."""
+        processed = []
+        while True:
+            submission = self.process_one()
+            if submission is None:
+                return processed
+            processed.append(submission)
+
+    # -- reports ------------------------------------------------------------------------
+
+    @staticmethod
+    def render_report(submission: Submission) -> str:
+        """The e-mail the team receives within half a day."""
+        lines = [
+            f"From: submission-tester@dbs-course",
+            f"To: team {submission.team}",
+            f"Subject: results for submission #{submission.submission_id}",
+            "",
+        ]
+        failures = [result for result in submission.correctness
+                    if not result.passed]
+        if failures:
+            lines.append("CORRECTNESS: FAILED")
+            for result in failures:
+                lines.append(f"  {result.query_name}: {result.detail}")
+            lines.append("")
+            lines.append("Efficiency tests were skipped; fix correctness "
+                         "first.")
+            return "\n".join(lines)
+        lines.append(f"CORRECTNESS: passed "
+                     f"({len(submission.correctness)} queries)")
+        lines.append("")
+        lines.append("EFFICIENCY (assigned seconds; * = stopped at the "
+                     "limit):")
+        for result in submission.efficiency:
+            mark = "*" if result.status != "ok" else ""
+            lines.append(f"  {result.query_name}: "
+                         f"{result.assigned_seconds:.2f}{mark} "
+                         f"[{result.status}]")
+        lines.append(f"  total: {submission.total_seconds:.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Correctness and efficiency testing (Section 4).
+
+**Correctness**: every engine's serialized result is compared against the
+milestone-1 in-memory oracle — byte equality of the canonical
+serialization.  (Galax served as the students' reference; our oracle
+serves the same role.)
+
+**Efficiency**: queries run under a wall-clock limit and a memory budget
+for engine-controlled materialisation.  The capping rule is Figure 7's
+caption verbatim: "The engines that needed more than 2400 seconds (20 MB)
+were stopped and assigned 2400 (4800) seconds" — i.e. over-time scores
+the cap, over-memory scores twice the cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.dbms import XmlDbms
+from repro.engine.profiles import EngineProfile
+from repro.errors import ReproError, ResourceLimitExceeded
+from repro.workloads.queries import EFFICIENCY_QUERIES, EfficiencyQuery
+
+
+@dataclass
+class CorrectnessResult:
+    """Outcome of one correctness test."""
+
+    query_name: str
+    document: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class EfficiencyResult:
+    """Outcome of one efficiency test.
+
+    ``status`` is ``ok``, ``timeout``, ``memory`` or ``error``;
+    ``assigned_seconds`` applies the Figure 7 capping rule and is what
+    enters the totals.
+    """
+
+    query_name: str
+    status: str
+    elapsed_seconds: float
+    assigned_seconds: float
+    detail: str = ""
+
+
+@dataclass
+class Figure7Row:
+    """One engine's row of the Figure 7 table."""
+
+    engine: str
+    results: list[EfficiencyResult]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(result.assigned_seconds for result in self.results)
+
+
+class Tester:
+    """Runs suites against engines of a loaded document."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, dbms: XmlDbms, document: str,
+                 time_limit: float = 2.0,
+                 memory_limit_bytes: int = 20 * 1024 * 1024,
+                 oracle_profile: str = "m1"):
+        self.dbms = dbms
+        self.document = document
+        self.time_limit = time_limit
+        self.memory_limit_bytes = memory_limit_bytes
+        self.oracle_profile = oracle_profile
+
+    # -- correctness ---------------------------------------------------------
+
+    def run_correctness(self, profile: EngineProfile | str,
+                        queries: dict[str, str]) -> list[CorrectnessResult]:
+        """Compare ``profile`` against the oracle on every query."""
+        results = []
+        for name, xq in queries.items():
+            expected = self._oracle_answer(xq)
+            try:
+                actual = self.dbms.query(self.document, xq, profile=profile)
+            except ReproError as exc:
+                results.append(CorrectnessResult(
+                    name, self.document, passed=False,
+                    detail=f"engine error: {exc}"))
+                continue
+            if actual == expected:
+                results.append(CorrectnessResult(name, self.document,
+                                                 passed=True))
+            else:
+                results.append(CorrectnessResult(
+                    name, self.document, passed=False,
+                    detail=(f"expected {expected[:120]!r}, "
+                            f"got {actual[:120]!r}")))
+        return results
+
+    def _oracle_answer(self, xq: str) -> str:
+        return self.dbms.query(self.document, xq,
+                               profile=self.oracle_profile)
+
+    # -- efficiency ------------------------------------------------------------
+
+    def run_efficiency(self, profile: EngineProfile | str,
+                       query: EfficiencyQuery) -> EfficiencyResult:
+        """Run one efficiency test under the limits, applying the caps."""
+        started = time.monotonic()
+        try:
+            self.dbms.query(self.document, query.xq, profile=profile,
+                            time_limit=self.time_limit,
+                            memory_budget=self.memory_limit_bytes)
+        except ResourceLimitExceeded as exc:
+            elapsed = time.monotonic() - started
+            if exc.kind == "time":
+                return EfficiencyResult(query.name, "timeout", elapsed,
+                                        assigned_seconds=self.time_limit,
+                                        detail=str(exc))
+            return EfficiencyResult(query.name, "memory", elapsed,
+                                    assigned_seconds=2 * self.time_limit,
+                                    detail=str(exc))
+        except ReproError as exc:
+            elapsed = time.monotonic() - started
+            return EfficiencyResult(query.name, "error", elapsed,
+                                    assigned_seconds=2 * self.time_limit,
+                                    detail=str(exc))
+        elapsed = time.monotonic() - started
+        return EfficiencyResult(query.name, "ok", elapsed,
+                                assigned_seconds=elapsed)
+
+    def run_figure7(self, profiles: list[str] | None = None,
+                    queries: list[EfficiencyQuery] | None = None
+                    ) -> list[Figure7Row]:
+        """The Figure 7 experiment: engines × efficiency tests."""
+        profiles = profiles or ["engine-1", "engine-2", "engine-3",
+                                "engine-4", "engine-5"]
+        queries = queries if queries is not None else EFFICIENCY_QUERIES
+        rows = []
+        for profile_name in profiles:
+            results = [self.run_efficiency(profile_name, query)
+                       for query in queries]
+            rows.append(Figure7Row(profile_name, results))
+        return rows
+
+
+def format_figure7(rows: list[Figure7Row]) -> str:
+    """Render Figure 7: engines × tests, seconds, with the total column.
+
+    Capped cells are marked with ``*`` (time) or ``**`` (memory), matching
+    the paper's convention of reporting the assigned values.
+    """
+    if not rows:
+        return "(no rows)"
+    headers = ["Engine"] + [result.query_name
+                            for result in rows[0].results] + ["Total"]
+    lines = ["  ".join(f"{header:>10}" for header in headers)]
+    for row in rows:
+        cells = [f"{row.engine:>10}"]
+        for result in row.results:
+            mark = {"timeout": "*", "memory": "**",
+                    "error": "!"}.get(result.status, "")
+            cells.append(f"{result.assigned_seconds:>9.2f}{mark or ' '}")
+        cells.append(f"{row.total_seconds:>9.2f} ")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

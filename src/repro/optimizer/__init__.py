@@ -1,0 +1,29 @@
+"""Milestone 4: statistics, cost model, and the cost-based planner.
+
+"As a minimum of information, each implementation maintained the
+selectivity of each of the element node labels occurring in the document,
+and the average depth of a node in the data tree, as a gross measure for
+the selectivities of ancestor-descendant joins."
+
+* :mod:`~repro.optimizer.stats` — the cardinality estimator built on those
+  statistics, with *calibration* knobs: the paper's Engine 2 lost its only
+  test because of "unlucky estimates", and reproducing Figure 7 requires
+  being able to degrade the estimator without touching the planner;
+* :mod:`~repro.optimizer.cost` — page-I/O cost formulas per access path
+  and join method;
+* :mod:`~repro.optimizer.planner` — PSX block → physical plan: access-path
+  selection, join-order search (syntactic / greedy cost-based /
+  exhaustive), semijoin creation via projection pushing, and the
+  order-strategy decision (order-preserving vs. sort-based).
+"""
+
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.optimizer.stats import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostModel",
+    "Planner",
+    "PlannerConfig",
+]

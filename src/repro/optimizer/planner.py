@@ -1,0 +1,590 @@
+"""PSX blocks → physical plans.
+
+This is where milestones 3 and 4 meet: selection pushing (local predicates
+sink into access paths), join creation (two-alias predicates become join
+or probe conditions instead of post-filters on a product), access-path
+selection, cost-based join reordering, semijoin creation via projection
+pushing (Example 6's QP2), and the document-order decision.
+
+The planner is configured by :class:`PlannerConfig` — the feature flags of
+one "student engine".  Turning flags off degrades the planner back through
+the milestones:
+
+* everything off → QP0-style plans: products in syntactic order, all
+  predicates evaluated on top, external sort before projection
+  (milestone 2/early-3 behaviour);
+* heuristics on, cost off → milestone 3: selections pushed, joins created,
+  order-preserving join orders, one-pass duplicate elimination;
+* everything on → milestone 4: statistics-driven access paths, INL joins,
+  join reordering, semijoins.
+
+Order safety invariant: a left-deep tree of order-preserving joins whose
+first ``k`` leaves are exactly the vartuple aliases (in vartuple order)
+yields rows lexicographically sorted on the projection attributes, so the
+projection deduplicates in one pass; any other leaf order gets an external
+sort below the projection.  Semijoins add no columns and never break the
+invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ra import (
+    Attr,
+    Compare,
+    Const,
+    EQ,
+    GT,
+    LT,
+    PSX,
+    VarField,
+)
+from repro.errors import PlanningError
+from repro.optimizer.cost import CostModel, Costed
+from repro.optimizer.stats import CardinalityEstimator
+from repro.physical.materialize import Materializer
+from repro.physical.operators import (
+    ChildLookup,
+    ConstantRow,
+    Filter,
+    FullScan,
+    IndexNestedLoopsJoin,
+    LabelIndexScan,
+    NestedLoopsJoin,
+    PhysicalOp,
+    PrimaryLookup,
+    PrimaryRangeScan,
+    ProjectBindings,
+    ResidualFilter,
+    SemiJoin,
+    ValueIndexProbe,
+)
+from repro.physical.sort import ExternalSort
+from repro.xasr.loader import DocumentStatistics
+from repro.xasr.schema import ELEMENT, TEXT
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Feature flags of one engine's optimizer."""
+
+    use_label_index: bool = True
+    use_parent_index: bool = True
+    use_primary_range: bool = True
+    use_inl_join: bool = True
+    use_semijoin: bool = True
+    push_selections: bool = True
+    create_joins: bool = True
+    join_reorder: str = "cost"        # "syntactic" | "cost"
+    order_strategy: str = "auto"      # "preserve" | "sort" | "auto"
+    cost_based: bool = True
+    calibration: str = "calibrated"
+    sort_run_budget_rows: int = 10_000
+    materialize_threshold_rows: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.join_reorder not in ("syntactic", "cost"):
+            raise PlanningError(f"bad join_reorder {self.join_reorder!r}")
+        if self.order_strategy not in ("preserve", "sort", "auto"):
+            raise PlanningError(
+                f"bad order_strategy {self.order_strategy!r}")
+
+
+@dataclass
+class _Access:
+    """A chosen access path for one alias."""
+
+    op: PhysicalOp
+    costed: Costed
+    correlated: bool            # reads outer aliases per probe
+    leftover: list[Compare]     # join conds not folded into the op
+
+
+class Planner:
+    """Builds a physical plan for each PSX block of a TPM tree."""
+
+    def __init__(self, statistics: DocumentStatistics,
+                 config: PlannerConfig | None = None):
+        self.config = config or PlannerConfig()
+        self.estimator = CardinalityEstimator(
+            statistics, calibration=self.config.calibration)
+        self.cost_model = CostModel(self.estimator)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def plan(self, psx: PSX) -> PhysicalOp:
+        """Physical plan producing deduplicated vartuple rows for ``psx``."""
+        if not psx.relations:
+            op: PhysicalOp = ConstantRow()
+            if psx.residuals:
+                op = ResidualFilter(op, list(psx.residuals))
+            return ProjectBindings(op, aliases=(), assume_sorted=True)
+
+        candidates: list[tuple[float, PhysicalOp]] = []
+        for leaf_order, strategy in self._leaf_orders(psx):
+            plan, costed = self._build(psx, leaf_order, strategy)
+            candidates.append((costed.cost, plan))
+        if self.config.cost_based:
+            candidates.sort(key=lambda item: item[0])
+        return candidates[0][1]
+
+    # ------------------------------------------------------------------
+    # join-order candidates
+    # ------------------------------------------------------------------
+
+    def _leaf_orders(self, psx: PSX) -> list[tuple[list[str], str]]:
+        """Candidate (leaf order, order strategy) pairs.
+
+        Strategy "preserve": the vartuple aliases lead, in vartuple order;
+        one-pass dedup, no sort.  Strategy "sort": cost-greedy order with
+        an external sort below the projection.
+        """
+        config = self.config
+        binding = list(dict.fromkeys(psx.projected_aliases))
+        nonbinding = [alias for alias in psx.relations
+                      if alias not in binding]
+
+        orders: list[tuple[list[str], str]] = []
+        if config.join_reorder == "syntactic":
+            syntactic = list(psx.relations)
+            safe = syntactic[:len(binding)] == binding
+            if safe and config.order_strategy in ("preserve", "auto"):
+                orders.append((syntactic, "preserve"))
+            else:
+                orders.append((syntactic, "sort"))
+            return orders
+
+        if config.order_strategy in ("preserve", "auto"):
+            orders.append((binding + self._greedy_tail(psx, binding,
+                                                       nonbinding),
+                           "preserve"))
+        if config.order_strategy in ("sort", "auto"):
+            orders.append((self._greedy_order(psx), "sort"))
+        if not orders:
+            orders.append((list(psx.relations), "sort"))
+        return orders
+
+    def _greedy_tail(self, psx: PSX, placed: list[str],
+                     remaining: list[str]) -> list[str]:
+        """Order the non-binding aliases: connected-first, cheapest-first."""
+        tail: list[str] = []
+        current = list(placed)
+        pending = list(remaining)
+        while pending:
+            best = min(pending,
+                       key=lambda alias: (*self._attach_estimate(
+                           psx, current, alias), alias))
+            tail.append(best)
+            current.append(best)
+            pending.remove(best)
+        return tail
+
+    def _greedy_order(self, psx: PSX) -> list[str]:
+        """Full greedy join order: cheapest base, then cheapest attach."""
+        aliases = list(psx.relations)
+        if not self.config.cost_based:
+            return aliases
+        # Ties (equal estimates) are broken deterministically by alias
+        # name.  With a well-calibrated estimator ties are rare; with a
+        # skew-blind estimator every label selection ties, so the
+        # tie-break — not the data — picks the join order.  This is the
+        # reproduction of Figure 7's Engine-2 "unlucky estimates" failure.
+        start = min(aliases,
+                    key=lambda alias: (self._base_estimate(psx, alias),
+                                       alias))
+        order = [start]
+        pending = [alias for alias in aliases if alias != start]
+        while pending:
+            best = min(pending,
+                       key=lambda alias: (*self._attach_estimate(
+                           psx, order, alias), alias))
+            order.append(best)
+            pending.remove(best)
+        return order
+
+    def _base_estimate(self, psx: PSX, alias: str) -> float:
+        rows = self.estimator.base_cardinality(
+            psx.local_conditions(alias), alias)
+        return rows
+
+    def _attach_estimate(self, psx: PSX, placed: list[str],
+                         alias: str) -> tuple[int, float]:
+        """Sort key for greedy attachment: connected beats disconnected,
+        then estimated result growth."""
+        connecting = [condition for condition in psx.conditions
+                      if condition.is_join_condition()
+                      and alias in condition.aliases()
+                      and (condition.aliases() - {alias}) <= set(placed)]
+        rows = self.estimator.base_cardinality(
+            psx.local_conditions(alias), alias)
+        selectivity = self.estimator.join_selectivity(connecting)
+        return (0 if connecting else 1, rows * selectivity)
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+
+    def _build(self, psx: PSX, leaf_order: list[str], strategy: str
+               ) -> tuple[PhysicalOp, Costed]:
+        config = self.config
+        binding = list(dict.fromkeys(psx.projected_aliases))
+        nonbinding_set = {alias for alias in psx.relations
+                          if alias not in binding}
+        consumed: set[int] = set()  # ids of conditions already enforced
+
+        def available_conditions(placed: list[str], alias: str
+                                 ) -> list[Compare]:
+            found = []
+            for condition in psx.conditions:
+                if id(condition) in consumed:
+                    continue
+                aliases = condition.aliases()
+                if alias in aliases and aliases <= set(placed) | {alias}:
+                    found.append(condition)
+            return found
+
+        placed: list[str] = []
+        plan: PhysicalOp | None = None
+        plan_cost = Costed(0.0, 1.0)
+
+        for alias in leaf_order:
+            conditions = available_conditions(placed, alias)
+            if not config.push_selections:
+                # Milestone-2 style: scan raw, filter later on top.
+                access = _Access(FullScan(alias, []),
+                                 self.cost_model.full_scan(
+                                     self.estimator.relation_size),
+                                 correlated=False, leftover=conditions)
+            else:
+                correlated_allowed = bool(placed) and config.use_inl_join
+                access = self._choose_access(alias, conditions,
+                                             correlated_allowed)
+            for condition in conditions:
+                if condition not in access.leftover:
+                    consumed.add(id(condition))
+
+            if plan is None:
+                plan = access.op
+                if access.leftover:
+                    plan = Filter(plan, access.leftover)
+                    for condition in access.leftover:
+                        consumed.add(id(condition))
+                plan_cost = access.costed
+                placed.append(alias)
+                continue
+
+            # A semijoin discards the probe's columns, so it is only legal
+            # when nothing later (conditions still pending, residuals)
+            # needs this alias.
+            future = [c for c in psx.conditions
+                      if id(c) not in consumed and c not in conditions]
+            referenced_later = (
+                any(alias in c.aliases() for c in future)
+                or any(binding == ("alias", alias)
+                       for residual in psx.residuals
+                       for __, binding in residual.bound))
+            # Semijoins add no columns, so they are order-safe under any
+            # strategy.
+            semijoin_ok = (config.use_semijoin
+                           and alias in nonbinding_set
+                           and not referenced_later)
+            plan, plan_cost = self._attach(plan, plan_cost, access,
+                                           semijoin=semijoin_ok)
+            for condition in access.leftover:
+                consumed.add(id(condition))
+            placed.append(alias)
+
+        assert plan is not None
+        remaining = [condition for condition in psx.conditions
+                     if id(condition) not in consumed]
+        if remaining:
+            plan = Filter(plan, remaining)
+        if psx.residuals:
+            plan = ResidualFilter(plan, list(psx.residuals))
+
+        if strategy == "sort" and binding:
+            sort = ExternalSort(plan, tuple(binding),
+                                run_budget_rows=config.sort_run_budget_rows)
+            sort_cost = self.cost_model.external_sort(plan_cost)
+            plan, plan_cost = sort, sort_cost
+        plan = ProjectBindings(plan, tuple(psx.projected_aliases),
+                               assume_sorted=True)
+        plan.estimated_cost = plan_cost.cost
+        plan.estimated_rows = plan_cost.rows
+        return plan, plan_cost
+
+    def _attach(self, plan: PhysicalOp, plan_cost: Costed, access: _Access,
+                semijoin: bool) -> tuple[PhysicalOp, Costed]:
+        """Join the chosen access path onto the current left-deep plan."""
+        config = self.config
+        if access.correlated and config.use_inl_join:
+            inner: PhysicalOp = access.op
+            if access.leftover:
+                inner = Filter(inner, access.leftover)
+            if semijoin:
+                joined: PhysicalOp = SemiJoin(plan, inner)
+                cost = self.cost_model.semi_join(plan_cost, access.costed)
+            else:
+                joined = IndexNestedLoopsJoin(plan, inner)
+                cost = self.cost_model.index_nested_loops_join(
+                    plan_cost, access.costed)
+            return joined, cost
+
+        inner = Materializer(access.op,
+                             memory_threshold_rows=config
+                             .materialize_threshold_rows)
+        selectivity = self.estimator.join_selectivity(access.leftover)
+        if semijoin:
+            probe: PhysicalOp = Filter(inner, access.leftover) \
+                if access.leftover else inner
+            joined = SemiJoin(plan, probe)
+            cost = self.cost_model.semi_join(plan_cost, access.costed)
+        else:
+            joined = NestedLoopsJoin(plan, inner, access.leftover)
+            cost = self.cost_model.nested_loops_join(plan_cost,
+                                                     access.costed,
+                                                     selectivity)
+        return joined, cost
+
+    # ------------------------------------------------------------------
+    # access-path selection
+    # ------------------------------------------------------------------
+
+    def _choose_access(self, alias: str, conditions: list[Compare],
+                       correlated_allowed: bool) -> _Access:
+        """Pick the cheapest feasible access path for one alias.
+
+        ``conditions`` are all enforceable conditions (local ones plus join
+        conditions against already-placed aliases).  Conditions the chosen
+        path cannot enforce itself come back as ``leftover`` (evaluated by
+        the enclosing join).
+
+        Correlation discipline: an access op that reads other aliases
+        (through its key operand or its filter conditions) is marked
+        ``correlated`` and may only run as an INL/semijoin probe; when
+        probes are not allowed, correlated conditions are kept out of the
+        op entirely and surface as join leftovers, so the op stays safely
+        materialisable.
+        """
+        config = self.config
+        estimator = self.estimator
+        model = self.cost_model
+        shapes = _classify(alias, conditions, correlated_allowed)
+        local = [c for c in conditions
+                 if not _mentions_other_alias(c, alias)]
+        correlated_conds = [c for c in conditions if c not in local]
+        local_rows = estimator.base_cardinality(local, alias)
+        # Fraction of the relation surviving the local predicates — the
+        # per-probe output estimate for correlated access paths.
+        local_fraction = local_rows / estimator.relation_size
+
+        options: list[tuple[float, int, _Access]] = []
+
+        def add(op: PhysicalOp, costed: Costed, key_correlated: bool,
+                leftover: list[Compare], rank: int) -> None:
+            internal = any(_mentions_other_alias(c, alias)
+                           for c in getattr(op, "conditions", []))
+            options.append((costed.cost, rank,
+                            _Access(op, costed,
+                                    key_correlated or internal, leftover)))
+
+        def rest_for(absorbed: list[Compare]) -> tuple[list[Compare],
+                                                       list[Compare]]:
+            """Conditions for inside the op vs. leftover, given what the
+            access method absorbed."""
+            if correlated_allowed:
+                return ([c for c in conditions if c not in absorbed], [])
+            return ([c for c in local if c not in absorbed],
+                    [c for c in correlated_conds if c not in absorbed])
+
+        if shapes.in_eq is not None and (correlated_allowed
+                                         or not shapes.in_correlated):
+            inside, leftover = rest_for([shapes.in_eq])
+            op = PrimaryLookup(alias, shapes.in_operand, inside)
+            costed = Costed(model.primary_lookup().cost,
+                            max(local_fraction, 0.001))
+            add(op, costed, shapes.in_correlated, leftover, rank=0)
+
+        if shapes.parent_eq is not None and config.use_parent_index \
+                and (correlated_allowed or not shapes.parent_correlated):
+            inside, leftover = rest_for([shapes.parent_eq])
+            op = ChildLookup(alias, shapes.parent_operand, inside)
+            fanout = estimator.child_fanout()
+            rows = max(fanout * local_fraction, 0.001)
+            costed = model.child_lookup(fanout, rows)
+            add(op, costed, shapes.parent_correlated, leftover, rank=1)
+
+        if shapes.range_pair is not None and config.use_primary_range:
+            low_cond, high_cond, low_op, high_op, corr = shapes.range_pair
+            if correlated_allowed or not corr:
+                inside, leftover = rest_for([low_cond, high_cond])
+                op = PrimaryRangeScan(alias, low_op, high_op, inside)
+                # A range anchored at the document root is a full-relation
+                # scan; any other anchor spans an average subtree.
+                if _is_root_anchor(low_op):
+                    candidates = float(estimator.relation_size)
+                else:
+                    candidates = estimator.descendant_count()
+                rows = max(candidates * local_fraction, 0.001)
+                costed = model.primary_range_scan(candidates, rows)
+                add(op, costed, corr, leftover, rank=2)
+
+        if shapes.label is not None and config.use_label_index:
+            node_type, value_cond, type_cond = shapes.label
+            inside, leftover = rest_for([value_cond, type_cond])
+            value = value_cond.right.value \
+                if isinstance(value_cond.right, Const) \
+                else value_cond.left.value
+            if node_type == ELEMENT:
+                matches = estimator.label_cardinality(value)
+            else:
+                matches = (estimator.type_cardinality(TEXT)
+                           * estimator.text_value_selectivity())
+            op = LabelIndexScan(alias, node_type, value, inside)
+            costed = model.label_index_scan(max(matches, 0.01))
+            add(op, costed, False, leftover, rank=3)
+
+        if shapes.value_probe is not None and config.use_label_index \
+                and correlated_allowed:
+            node_type, value_cond, type_cond, operand = shapes.value_probe
+            inside, leftover = rest_for([value_cond, type_cond])
+            matches = (estimator.type_cardinality(node_type)
+                       * estimator.text_value_selectivity())
+            # Beyond the probed (type, value) the op only re-applies the
+            # remaining local predicates.
+            type_fraction = max(
+                estimator.type_cardinality(node_type), 1.0) \
+                / estimator.relation_size
+            rows = max(matches * min(1.0, local_fraction / type_fraction),
+                       0.001)
+            op = ValueIndexProbe(alias, node_type, operand, inside)
+            costed = Costed(model.label_index_scan(max(matches, 0.01)).cost,
+                            rows)
+            add(op, costed, True, leftover, rank=4)
+
+        # Full scan fallback: only uncorrelated conditions inside, so the
+        # scan stays materialisable; correlated ones join later.
+        op = FullScan(alias, local)
+        costed = model.full_scan(max(local_rows, 0.01))
+        add(op, costed, False, correlated_conds, rank=9)
+
+        if self.config.cost_based:
+            options.sort(key=lambda item: (item[0], item[1]))
+        else:
+            options.sort(key=lambda item: item[1])
+        return options[0][2]
+
+
+# --------------------------------------------------------------------------
+# condition shape analysis
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Shapes:
+    in_eq: Compare | None = None
+    in_operand: object = None
+    in_correlated: bool = False
+    parent_eq: Compare | None = None
+    parent_operand: object = None
+    parent_correlated: bool = False
+    range_pair: tuple | None = None
+    label: tuple | None = None
+    value_probe: tuple | None = None
+
+
+def _mentions_other_alias(condition: Compare, alias: str) -> bool:
+    return bool(condition.aliases() - {alias})
+
+
+def _classify(alias: str, conditions: list[Compare],
+              correlated_allowed: bool) -> _Shapes:
+    """Find index-able condition shapes for ``alias``."""
+    shapes = _Shapes()
+    node_type: int | None = None
+    type_cond: Compare | None = None
+    value_const: Compare | None = None
+    value_attr: Compare | None = None
+    low: tuple[Compare, object] | None = None
+    high: tuple[Compare, object] | None = None
+
+    for condition in conditions:
+        normalized = _orient(condition, alias)
+        if normalized is None:
+            continue
+        attr, op, other, other_correlated = normalized
+        if not correlated_allowed and other_correlated:
+            continue
+        if attr.column == "in" and op == EQ:
+            shapes.in_eq = condition
+            shapes.in_operand = other
+            shapes.in_correlated = other_correlated
+        elif attr.column == "parent_in" and op == EQ:
+            shapes.parent_eq = condition
+            shapes.parent_operand = other
+            shapes.parent_correlated = other_correlated
+        elif attr.column == "in" and op == GT:
+            low = (condition, other, other_correlated)
+        elif attr.column == "out" and op == LT:
+            high = (condition, other, other_correlated)
+        elif attr.column == "type" and op == EQ \
+                and isinstance(other, Const):
+            node_type = int(other.value)
+            type_cond = condition
+        elif attr.column == "value" and op == EQ:
+            if isinstance(other, Const):
+                value_const = condition
+            elif isinstance(other, Attr):
+                value_attr = condition
+
+    if low is not None and high is not None:
+        # alias.in > X.in  ∧  alias.out < X.out — the bounds must come
+        # from the same source for a clustered descendant range.
+        if _same_source(low[1], high[1]):
+            shapes.range_pair = (low[0], high[0], low[1], high[1],
+                                 low[2] or high[2])
+    if node_type is not None and value_const is not None:
+        shapes.label = (node_type, value_const, type_cond)
+    if node_type is not None and value_attr is not None:
+        other = value_attr.right if isinstance(value_attr.left, Attr) \
+            and value_attr.left.alias == alias else value_attr.left
+        shapes.value_probe = (node_type, value_attr, type_cond, other)
+    return shapes
+
+
+def _orient(condition: Compare, alias: str):
+    """Return (attr-of-alias, op, other-operand, correlated) or None."""
+    left, op, right = condition.left, condition.op, condition.right
+    if isinstance(left, Attr) and left.alias == alias \
+            and not (isinstance(right, Attr) and right.alias == alias):
+        other = right
+    elif isinstance(right, Attr) and right.alias == alias \
+            and not (isinstance(left, Attr) and left.alias == alias):
+        flipped = condition.flipped()
+        left, op, right = flipped.left, flipped.op, flipped.right
+        other = right
+    else:
+        return None
+    correlated = isinstance(other, Attr)
+    return left, op, other, correlated
+
+
+def _is_root_anchor(operand) -> bool:
+    from repro.xq.ast import ROOT_VAR
+
+    return isinstance(operand, VarField) and operand.var == ROOT_VAR
+
+
+def _same_source(low_operand, high_operand) -> bool:
+    if isinstance(low_operand, VarField) \
+            and isinstance(high_operand, VarField):
+        return (low_operand.var == high_operand.var
+                and low_operand.fld == "in" and high_operand.fld == "out")
+    if isinstance(low_operand, Attr) and isinstance(high_operand, Attr):
+        return (low_operand.alias == high_operand.alias
+                and low_operand.column == "in"
+                and high_operand.column == "out")
+    return False

@@ -1,0 +1,187 @@
+"""Cardinality estimation from document statistics.
+
+The estimator consumes exactly the statistics the paper prescribes
+(per-label counts, average node depth, node totals) and exposes the
+quantities the cost model needs:
+
+* base cardinality of a selection over XASR;
+* fan-out of the child axis;
+* expected descendant count (the average-depth trick: in any tree, the sum
+  of subtree sizes equals the sum of depths plus n, so the expected number
+  of proper descendants of a uniformly random node is exactly the average
+  depth);
+* join selectivities for structural and value joins.
+
+**Calibration.**  ``calibration`` degrades the estimator on purpose:
+
+* ``"calibrated"`` — use the statistics faithfully;
+* ``"uniform-labels"`` — ignore label skew: every label gets the same
+  selectivity (Engine 2's failure mode in Figure 7: with skew-blind
+  estimates, two joins "with very different selectivities" look alike and
+  the unselective one ends up at the bottom of the plan);
+* ``"pessimistic-text"`` — assume text-value equality never filters
+  (selectivity 1), discouraging value-probe plans.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ra import Attr, Compare, Const, EQ, GT, LT, VarField
+from repro.xasr.loader import DocumentStatistics
+from repro.xasr.schema import ELEMENT, TEXT
+from repro.xq.ast import ROOT_VAR
+
+#: Default guess for the selectivity of ``text-value = constant`` among
+#: text nodes, when no per-value statistics exist.
+TEXT_VALUE_SELECTIVITY = 0.01
+
+CALIBRATIONS = ("calibrated", "uniform-labels", "pessimistic-text")
+
+
+class CardinalityEstimator:
+    """Estimates cardinalities of XASR selections and joins."""
+
+    def __init__(self, statistics: DocumentStatistics,
+                 calibration: str = "calibrated"):
+        if calibration not in CALIBRATIONS:
+            raise ValueError(f"unknown calibration {calibration!r}")
+        self.statistics = statistics
+        self.calibration = calibration
+
+    # -- base quantities --------------------------------------------------------
+
+    @property
+    def relation_size(self) -> int:
+        """|XASR| — one tuple per node."""
+        return max(1, self.statistics.total_nodes)
+
+    def label_cardinality(self, label: str) -> float:
+        """Estimated number of elements with ``label``."""
+        stats = self.statistics
+        if self.calibration == "uniform-labels":
+            distinct = max(1, len(stats.label_counts))
+            return stats.element_count / distinct
+        return float(stats.label_counts.get(label, 0))
+
+    def type_cardinality(self, node_type: int) -> float:
+        stats = self.statistics
+        if node_type == ELEMENT:
+            return float(stats.element_count)
+        if node_type == TEXT:
+            return float(stats.text_count)
+        return 1.0  # the root
+
+    def child_fanout(self) -> float:
+        """Average number of children per node (every non-root node has
+        exactly one parent)."""
+        return (self.relation_size - 1) / self.relation_size + 1.0
+
+    def descendant_count(self) -> float:
+        """Expected number of proper descendants of a random node."""
+        return max(1.0, self.statistics.average_depth)
+
+    def text_value_selectivity(self) -> float:
+        if self.calibration == "pessimistic-text":
+            return 1.0
+        return TEXT_VALUE_SELECTIVITY
+
+    # -- selections -----------------------------------------------------------------
+
+    def base_cardinality(self, conditions: list[Compare], alias: str
+                         ) -> float:
+        """Estimated rows of ``σ_conditions(XASR)`` for one alias.
+
+        Handles the condition shapes the translator emits; anything else
+        contributes an independence-assumption factor of 1/3.
+        """
+        cardinality = float(self.relation_size)
+        node_type = None
+        label = None
+        text_value = None
+        extra = 1.0
+        for condition in conditions:
+            left, op, right = condition.left, condition.op, condition.right
+            if isinstance(right, Attr) and not isinstance(left, Attr):
+                left, right = right, left
+                op = condition.flipped().op
+            if not isinstance(left, Attr) or left.alias != alias:
+                continue
+            if left.column == "type" and op == EQ \
+                    and isinstance(right, Const):
+                node_type = right.value
+            elif left.column == "value" and op == EQ \
+                    and isinstance(right, Const):
+                if node_type == TEXT:
+                    text_value = right.value
+                else:
+                    label = right.value
+            elif left.column == "parent_in" and op == EQ:
+                extra *= self.child_fanout() / self.relation_size
+            elif left.column in ("in", "out") and op in (LT, GT):
+                # One side of a descendant interval: the pair of them
+                # selects avg-depth nodes out of the relation.  An
+                # interval anchored at the document root spans the whole
+                # relation and filters nothing.
+                if not _is_root_field(right):
+                    extra *= (self.descendant_count()
+                              / self.relation_size) ** 0.5
+            elif left.column == "in" and op == EQ:
+                extra *= 1.0 / self.relation_size
+            else:
+                extra *= 1 / 3
+        if label is not None:
+            cardinality = self.label_cardinality(label)
+        elif text_value is not None:
+            cardinality = (self.type_cardinality(TEXT)
+                           * self.text_value_selectivity())
+        elif node_type is not None:
+            cardinality = self.type_cardinality(int(node_type))
+        return max(cardinality * extra, 0.01)
+
+    # -- joins -------------------------------------------------------------------------
+
+    def join_selectivity(self, conditions: list[Compare]) -> float:
+        """Selectivity of join predicates between two sub-plans."""
+        if not conditions:
+            return 1.0  # cross product
+        selectivity = 1.0
+        seen_interval = False
+        for condition in conditions:
+            shape = _join_shape(condition)
+            if shape == "parent":
+                selectivity *= self.child_fanout() / self.relation_size
+            elif shape == "interval":
+                if not seen_interval:
+                    selectivity *= (self.descendant_count()
+                                    / self.relation_size)
+                    seen_interval = True
+            elif shape == "value":
+                selectivity *= self.text_value_selectivity()
+            elif shape == "key":
+                selectivity *= 1.0 / self.relation_size
+            else:
+                selectivity *= 1 / 3
+        return selectivity
+
+
+def _is_root_field(operand) -> bool:
+    """True for ``$#root.in`` / ``$#root.out`` operands."""
+    return isinstance(operand, VarField) and operand.var == ROOT_VAR
+
+
+def _join_shape(condition: Compare) -> str:
+    """Classify a two-alias join condition."""
+    left, right = condition.left, condition.right
+    if not (isinstance(left, Attr) and isinstance(right, Attr)):
+        return "other"
+    columns = {left.column, right.column}
+    if condition.op == EQ:
+        if columns == {"parent_in", "in"}:
+            return "parent"
+        if columns == {"value"}:
+            return "value"
+        if columns == {"in"}:
+            return "key"
+        return "other"
+    if columns <= {"in", "out"}:
+        return "interval"
+    return "other"

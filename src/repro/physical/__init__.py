@@ -1,0 +1,60 @@
+"""Physical operators (the executors behind TPM plans).
+
+Operators follow the pipelined iterator model (the paper's bonus-point
+feature) — each ``execute`` yields binding rows lazily — while the
+materialising mode of milestone 3 ("write to disk each intermediate
+result, and re-read it whenever necessary") is available through
+:class:`~repro.physical.materialize.Materializer` and is what the
+unoptimised engine profiles use.
+
+A *row* is a tuple of decoded :class:`~repro.xasr.schema.XasrNode` values,
+positionally aligned with the operator's ``schema`` (a tuple of relation
+aliases).  Correlated plans additionally read outer variables from the
+:class:`~repro.physical.context.Bindings`.
+
+All operators are order-preserving in the sense of milestone 3: each
+yields rows lexicographically ascending in its leaf aliases' in-values,
+so a left-deep plan whose leaf order starts with the vartuple aliases
+delivers hierarchical document order without sorting.
+"""
+
+from repro.physical.context import Bindings, ExecutionContext
+from repro.physical.operators import (
+    ChildLookup,
+    ConstantRow,
+    Filter,
+    FullScan,
+    IndexNestedLoopsJoin,
+    LabelIndexScan,
+    NestedLoopsJoin,
+    PhysicalOp,
+    PrimaryLookup,
+    PrimaryRangeScan,
+    ProjectBindings,
+    ResidualFilter,
+    SemiJoin,
+    ValueIndexProbe,
+)
+from repro.physical.sort import ExternalSort
+from repro.physical.materialize import Materializer
+
+__all__ = [
+    "ExecutionContext",
+    "Bindings",
+    "PhysicalOp",
+    "FullScan",
+    "LabelIndexScan",
+    "PrimaryLookup",
+    "PrimaryRangeScan",
+    "ChildLookup",
+    "NestedLoopsJoin",
+    "IndexNestedLoopsJoin",
+    "SemiJoin",
+    "ResidualFilter",
+    "ProjectBindings",
+    "ConstantRow",
+    "Filter",
+    "ValueIndexProbe",
+    "ExternalSort",
+    "Materializer",
+]

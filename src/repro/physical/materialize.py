@@ -1,0 +1,106 @@
+"""Materialisation of intermediate results.
+
+Milestone 3 explicitly allowed engines "to write to disk each intermediate
+result, and re-read it whenever necessary as the input of a subsequent
+operation".  :class:`Materializer` implements that: the first execution of
+the wrapped child is written to a temporary heap file (or kept in memory
+below a threshold), and every re-execution replays the stored rows.
+
+This is what makes an *uncorrelated* inner side of a nested-loops join
+affordable: the child computes once, rescans are sequential re-reads.
+A materialised child must not depend on outer bindings; the planner only
+wraps operators whose conditions reference constants and relfor-external
+variables (fixed for the lifetime of one plan execution).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.physical.context import Bindings, ExecutionContext, NODE_BYTES
+from repro.physical.operators import PhysicalOp, Row
+from repro.physical.sort import _decode_row, _encode_row
+
+
+class Materializer(PhysicalOp):
+    """Cache the child's rows for cheap re-execution.
+
+    ``memory_threshold_rows``: row counts up to this stay in a Python
+    list (charged to the memory meter); beyond it, rows spill to a heap
+    file in the document database.
+    """
+
+    def __init__(self, child: PhysicalOp,
+                 memory_threshold_rows: int = 2_000):
+        self.child = child
+        self.schema = child.schema
+        self.memory_threshold_rows = memory_threshold_rows
+        self._rows: list[Row] | None = None
+        self._heap_name: str | None = None
+        self._charged = 0
+
+    def reset(self, database=None) -> None:
+        """Forget the cached result (used between relfor re-executions,
+        when the outer environment may have changed).  Passing the
+        database also drops any spill heap."""
+        if self._heap_name is not None and database is not None:
+            database.drop(self._heap_name)
+        self._rows = None
+        self._heap_name = None
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        if self._rows is not None:
+            yield from self._rows
+            return
+        if self._heap_name is not None:
+            heap = ctx.document.db.open_heap(self._heap_name)
+            for __, raw in heap.scan():
+                ctx.tick()
+                yield _decode_row(raw, ctx.document)
+            return
+
+        # A consumer may abandon this iterator early (SemiJoin probes stop
+        # at the first match); the cache is only installed on normal
+        # completion so a partial pass never masquerades as the result.
+        collected: list[Row] = []
+        heap = None
+        heap_name: str | None = None
+        row_width = max(1, len(self.schema))
+        for row in self.child.execute(ctx, bindings):
+            ctx.tick()
+            if heap is None:
+                collected.append(row)
+                ctx.meter.charge(NODE_BYTES * row_width)
+                self._charged += NODE_BYTES * row_width
+                if len(collected) > self.memory_threshold_rows:
+                    # Spill everything gathered so far, continue on disk.
+                    heap_name = ctx.fresh_temp_name()
+                    heap = ctx.document.db.create_heap(heap_name)
+                    for spilled in collected:
+                        heap.insert(_encode_row(spilled))
+                    collected.clear()
+                    ctx.meter.release(self._charged)
+                    self._charged = 0
+            else:
+                heap.insert(_encode_row(row))
+            yield row
+        if heap is None:
+            self._rows = collected
+        else:
+            self._heap_name = heap_name
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (f"{pad}Materialize{self._annotate()}\n"
+                f"{self.child.explain(indent + 2)}")
+
+
+def reset_materializers(plan, database=None) -> None:
+    """Reset every :class:`Materializer` in a physical plan tree."""
+    if isinstance(plan, Materializer):
+        plan.reset(database)
+    for attribute in ("child", "outer", "inner", "probe"):
+        node = getattr(plan, attribute, None)
+        if node is not None:
+            reset_materializers(node, database)

@@ -1,0 +1,518 @@
+"""The physical operator set.
+
+Access paths (leaves):
+
+* :class:`FullScan` — clustered scan of the whole XASR relation;
+* :class:`LabelIndexScan` — ``(type, value, in)`` index access
+  (milestone 4's *index-based selection*);
+* :class:`PrimaryLookup` — point fetch ``in = operand``;
+* :class:`PrimaryRangeScan` — clustered range ``low < in < high``; with
+  bounds taken from an ancestor's (in, out) this *is* the descendant axis;
+* :class:`ChildLookup` — ``(parent_in, in)`` index access.
+
+Joins:
+
+* :class:`NestedLoopsJoin` — the order-preserving tuple NLJ of
+  milestone 3 (the paper rules out block-nested-loops because it is not
+  order-preserving); the inner side is rescanned via a
+  :class:`~repro.physical.materialize.Materializer` when it is expensive;
+* :class:`IndexNestedLoopsJoin` — milestone 4's INL join: the inner side
+  is a correlated access path probed per outer row;
+* :class:`SemiJoin` — existence-only INL probe; this is how the planner
+  realizes Example 6's "the innermost join and this projection simulate
+  now a semijoin".
+
+Glue:
+
+* :class:`ResidualFilter` — evaluates residual (non-algebraic) predicates
+  navigationally;
+* :class:`ProjectBindings` — projects rows onto the vartuple aliases with
+  one-pass duplicate elimination (requires hierarchically sorted input —
+  the milestone 3 ordering discussion).
+
+Every operator yields rows lexicographically ordered in its schema's
+in-values, given order-preserving children (all of these are).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.algebra.ra import Compare, Residual
+from repro.errors import PlanningError
+from repro.physical.context import (
+    Bindings,
+    ExecutionContext,
+    NODE_BYTES,
+    compile_single_alias_predicate,
+)
+from repro.xasr.schema import ELEMENT, XasrNode
+
+Row = tuple[XasrNode, ...]
+
+
+class PhysicalOp:
+    """Base class: a physical operator with a fixed output schema."""
+
+    #: Relation aliases, positionally aligned with output rows.
+    schema: tuple[str, ...] = ()
+    #: Filled in by the planner for explain output.
+    estimated_cost: float = 0.0
+    estimated_rows: float = 0.0
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+    def _annotate(self) -> str:
+        if self.estimated_cost or self.estimated_rows:
+            return (f"  [cost≈{self.estimated_cost:.1f}, "
+                    f"rows≈{self.estimated_rows:.1f}]")
+        return ""
+
+
+# --------------------------------------------------------------------------
+# Access paths
+# --------------------------------------------------------------------------
+
+
+class FullScan(PhysicalOp):
+    """Clustered scan of the XASR primary B+-tree, filtered."""
+
+    def __init__(self, alias: str, conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        predicate = self._predicate
+        for node in ctx.document.scan():
+            ctx.tick()
+            if predicate(node, bindings):
+                yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return f"{pad}FullScan[{self.alias}] σ({conds}){self._annotate()}"
+
+
+class LabelIndexScan(PhysicalOp):
+    """Index-based selection via the ``(type, value, in)`` index."""
+
+    def __init__(self, alias: str, node_type: int, value: str,
+                 conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.node_type = node_type
+        self.value = value
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        predicate = self._predicate
+        document = ctx.document
+        if self.node_type == ELEMENT:
+            matches = document.nodes_with_label(self.value)
+        else:
+            matches = document.text_nodes_with_value(self.value)
+        for node in matches:
+            ctx.tick()
+            if predicate(node, bindings):
+                yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        kind = "elem" if self.node_type == ELEMENT else "text"
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}LabelIndexScan[{self.alias}] "
+                f"({kind}, {self.value!r}) σ({conds}){self._annotate()}")
+
+
+class PrimaryLookup(PhysicalOp):
+    """Point access ``alias.in = operand`` through the primary B+-tree."""
+
+    def __init__(self, alias: str, in_operand, conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.in_operand = in_operand
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        from repro.errors import StorageError
+
+        in_value = bindings.resolve(self.in_operand)
+        try:
+            node = ctx.document.node(in_value)
+        except StorageError:
+            return
+        if self._predicate(node, bindings):
+            yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}PrimaryLookup[{self.alias}] in={self.in_operand} "
+                f"σ({conds}){self._annotate()}")
+
+
+class PrimaryRangeScan(PhysicalOp):
+    """Clustered range scan ``low < alias.in`` and ``alias.out < high``.
+
+    With ``low``/``high`` bound to an ancestor's in/out this enumerates
+    exactly its descendants, in document order, off the leaf chain.  (The
+    ``out < high`` check is implied by the interval property and kept only
+    as an assertion-grade filter.)
+    """
+
+    def __init__(self, alias: str, low_operand, high_operand,
+                 conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.low_operand = low_operand
+        self.high_operand = high_operand
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        low = bindings.resolve(self.low_operand)
+        high = bindings.resolve(self.high_operand)
+        if high <= low:
+            return
+        predicate = self._predicate
+        for node in ctx.document.range(low + 1, high - 1):
+            ctx.tick()
+            if predicate(node, bindings):
+                yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}PrimaryRangeScan[{self.alias}] "
+                f"({self.low_operand}, {self.high_operand}) "
+                f"σ({conds}){self._annotate()}")
+
+
+class ChildLookup(PhysicalOp):
+    """Children of ``parent_operand`` via the ``(parent_in, in)`` index."""
+
+    def __init__(self, alias: str, parent_operand,
+                 conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.parent_operand = parent_operand
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        parent_in = bindings.resolve(self.parent_operand)
+        predicate = self._predicate
+        for node in ctx.document.children(parent_in):
+            ctx.tick()
+            if predicate(node, bindings):
+                yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}ChildLookup[{self.alias}] "
+                f"parent={self.parent_operand} σ({conds}){self._annotate()}")
+
+
+class ValueIndexProbe(PhysicalOp):
+    """Label-index access by a *dynamic* value (resolved per probe).
+
+    The access path behind value-join plans: with an outer text node's
+    value in hand, ``(TEXT, value, in)`` index lookup finds all equal text
+    nodes without scanning.  ``value_operand`` is typically
+    ``Attr(outer_alias, "value")``.
+    """
+
+    def __init__(self, alias: str, node_type: int, value_operand,
+                 conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.node_type = node_type
+        self.value_operand = value_operand
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        value = bindings.resolve(self.value_operand)
+        if not isinstance(value, str):  # pragma: no cover - defensive
+            return
+        if self.node_type == ELEMENT:
+            matches = ctx.document.nodes_with_label(value)
+        else:
+            matches = ctx.document.text_nodes_with_value(value)
+        predicate = self._predicate
+        for node in matches:
+            ctx.tick()
+            if predicate(node, bindings):
+                yield (node,)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        kind = "elem" if self.node_type == ELEMENT else "text"
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}ValueIndexProbe[{self.alias}] "
+                f"({kind}, value={self.value_operand}) σ({conds})"
+                f"{self._annotate()}")
+
+
+class Filter(PhysicalOp):
+    """Apply arbitrary algebraic conditions to child rows.
+
+    Conditions may reference the child's aliases, enclosing outer aliases
+    and external variables (all resolved through the bindings) — this is
+    the correlated filter wrapped around materialised inners.
+    """
+
+    def __init__(self, child: PhysicalOp, conditions: list[Compare]):
+        self.child = child
+        self.conditions = list(conditions)
+        self.schema = child.schema
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        for row in self.child.execute(ctx, bindings):
+            ctx.tick()
+            combined = bindings.extended(self.schema, row)
+            if all(combined.holds(condition)
+                   for condition in self.conditions):
+                yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}Filter({conds}){self._annotate()}\n"
+                f"{self.child.explain(indent + 2)}")
+
+
+# --------------------------------------------------------------------------
+# Joins
+# --------------------------------------------------------------------------
+
+
+class NestedLoopsJoin(PhysicalOp):
+    """Order-preserving tuple-at-a-time nested-loops join.
+
+    ``join_conditions`` may reference aliases from both sides (evaluated on
+    the combined row).  The inner side is re-executed per outer row; wrap
+    it in a :class:`~repro.physical.materialize.Materializer` when a
+    rescan is expensive.
+    """
+
+    def __init__(self, outer: PhysicalOp, inner: PhysicalOp,
+                 join_conditions: list[Compare]):
+        self.outer = outer
+        self.inner = inner
+        self.join_conditions = list(join_conditions)
+        self.schema = outer.schema + inner.schema
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        for outer_row in self.outer.execute(ctx, bindings):
+            inner_bindings = bindings.extended(self.outer.schema, outer_row)
+            for inner_row in self.inner.execute(ctx, inner_bindings):
+                ctx.tick()
+                row = outer_row + inner_row
+                combined = bindings.extended(self.schema, row)
+                if all(combined.holds(condition)
+                       for condition in self.join_conditions):
+                    yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.join_conditions) or "true"
+        return (f"{pad}NestedLoopsJoin({conds}){self._annotate()}\n"
+                f"{self.outer.explain(indent + 2)}\n"
+                f"{self.inner.explain(indent + 2)}")
+
+
+class IndexNestedLoopsJoin(PhysicalOp):
+    """INL join: the probe is a correlated access path.
+
+    The probe's operands may reference outer aliases; the join condition
+    is folded into the probe (range bounds / parent operand / residual
+    conditions), so no separate predicate list is needed here.
+    """
+
+    def __init__(self, outer: PhysicalOp, probe: PhysicalOp):
+        self.outer = outer
+        self.probe = probe
+        self.schema = outer.schema + probe.schema
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        for outer_row in self.outer.execute(ctx, bindings):
+            probe_bindings = bindings.extended(self.outer.schema, outer_row)
+            for probe_row in self.probe.execute(ctx, probe_bindings):
+                ctx.tick()
+                yield outer_row + probe_row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (f"{pad}IndexNestedLoopsJoin{self._annotate()}\n"
+                f"{self.outer.explain(indent + 2)}\n"
+                f"{self.probe.explain(indent + 2)}")
+
+
+class SemiJoin(PhysicalOp):
+    """Existence filter: outer rows with at least one probe match.
+
+    Realizes the projection-pushing trick of Example 6 — the probed
+    relation contributes no columns, so probing can stop at the first
+    match.
+    """
+
+    def __init__(self, outer: PhysicalOp, probe: PhysicalOp):
+        self.outer = outer
+        self.probe = probe
+        self.schema = outer.schema
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        for outer_row in self.outer.execute(ctx, bindings):
+            ctx.tick()
+            probe_bindings = bindings.extended(self.outer.schema, outer_row)
+            for __ in self.probe.execute(ctx, probe_bindings):
+                yield outer_row
+                break
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (f"{pad}SemiJoin (exists){self._annotate()}\n"
+                f"{self.outer.explain(indent + 2)}\n"
+                f"{self.probe.explain(indent + 2)}")
+
+
+# --------------------------------------------------------------------------
+# Residual predicates and projection
+# --------------------------------------------------------------------------
+
+
+class ResidualFilter(PhysicalOp):
+    """Evaluate residual XQ conditions per row, navigationally.
+
+    Residuals carry a binding map from XQ variables to either a row alias
+    or an external variable; evaluation delegates to the milestone-2
+    navigational evaluator, so semantics (including the text-node typing
+    rule) are identical on every engine.
+    """
+
+    def __init__(self, child: PhysicalOp, residuals: list[Residual]):
+        self.child = child
+        self.residuals = list(residuals)
+        self.schema = child.schema
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        from repro.engine.navigational import NavigationalEvaluator
+
+        evaluator = NavigationalEvaluator(ctx.document, ticker=ctx.tick)
+        for row in self.child.execute(ctx, bindings):
+            ctx.tick()
+            combined = bindings.extended(self.schema, row)
+            if all(self._residual_holds(evaluator, residual, combined)
+                   for residual in self.residuals):
+                yield row
+
+    @staticmethod
+    def _residual_holds(evaluator, residual: Residual,
+                        combined: Bindings) -> bool:
+        env = {}
+        for var, (kind, name) in residual.bound:
+            if kind == "alias":
+                env[var] = combined.node_for_alias(name)
+            else:
+                env[var] = combined.node_for_var(name)
+        return evaluator.condition(residual.cond, env)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(r) for r in self.residuals)
+        return (f"{pad}ResidualFilter({conds}){self._annotate()}\n"
+                f"{self.child.explain(indent + 2)}")
+
+
+class ProjectBindings(PhysicalOp):
+    """Project rows onto the vartuple aliases, removing duplicates.
+
+    ``assume_sorted=True`` is milestone 3's one-pass strategy: input rows
+    arrive hierarchically sorted on the projection attributes, so a
+    duplicate is always adjacent and a single "last emitted" comparison
+    suffices.  With ``assume_sorted=False`` a seen-set is kept (and
+    charged to the memory meter) — used when the planner chose a
+    non-order-preserving join order *and* a final sort was pushed below
+    the projection instead.
+    """
+
+    def __init__(self, child: PhysicalOp, aliases: tuple[str, ...],
+                 assume_sorted: bool = True):
+        self.child = child
+        self.aliases = aliases
+        self.assume_sorted = assume_sorted
+        self.schema = aliases
+        try:
+            self._positions = [child.schema.index(alias)
+                               for alias in aliases]
+        except ValueError as exc:
+            raise PlanningError(f"projection alias missing from child "
+                                f"schema {child.schema}: {exc}") from None
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        positions = self._positions
+        if self.assume_sorted:
+            last_key: tuple[int, ...] | None = None
+            for row in self.child.execute(ctx, bindings):
+                ctx.tick()
+                projected = tuple(row[position] for position in positions)
+                key = tuple(node.in_ for node in projected)
+                if key != last_key:
+                    last_key = key
+                    yield projected
+        else:
+            seen: set[tuple[int, ...]] = set()
+            for row in self.child.execute(ctx, bindings):
+                ctx.tick()
+                projected = tuple(row[position] for position in positions)
+                key = tuple(node.in_ for node in projected)
+                if key not in seen:
+                    seen.add(key)
+                    ctx.meter.charge(NODE_BYTES)
+                    yield projected
+            ctx.meter.release(NODE_BYTES * len(seen))
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        attrs = ", ".join(f"{alias}.in" for alias in self.aliases)
+        mode = "one-pass" if self.assume_sorted else "hash"
+        return (f"{pad}ProjectBindings({attrs}) dedup={mode}"
+                f"{self._annotate()}\n{self.child.explain(indent + 2)}")
+
+
+class ConstantRow(PhysicalOp):
+    """Yields exactly one empty row — the nullary relation with the empty
+    tuple ("true"), used for PSX blocks with no relations."""
+
+    schema: tuple[str, ...] = ()
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        yield ()
+
+    def explain(self, indent: int = 0) -> str:
+        return " " * indent + "ConstantRow()"

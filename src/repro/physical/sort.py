@@ -1,0 +1,124 @@
+"""External merge sort over binding rows.
+
+Milestone 3's strategy (a): "if we sort the tuples in the intermediary
+relation R[α] accordingly, e.g. by implementing external sorting, we
+suffer no further restrictions on how to evaluate the relational algebra
+expression α."
+
+Rows are sorted by the hierarchical document order key (the in-values of
+the projection aliases, lexicographically).  Runs that exceed the
+in-memory budget are spilled to heap files in the database — block-based
+writes, which the paper laments Berkeley DB made difficult ("this made it
+difficult to have the students implement external sort ... properly by the
+book"); our own storage manager has no such limitation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections.abc import Iterator
+
+from repro.physical.context import Bindings, ExecutionContext, NODE_BYTES
+from repro.physical.operators import PhysicalOp, Row
+
+
+def _encode_row(row: Row) -> bytes:
+    """Spill only the in-values; nodes are re-fetched on merge.
+
+    Keeps run records small and bounded (text values can be arbitrarily
+    long) at the price of one primary lookup per row during the merge —
+    exactly the re-read cost the milestone 3 materialising engines paid.
+    """
+    return struct.pack(f">H{len(row)}I", len(row),
+                       *(node.in_ for node in row))
+
+
+def _decode_row(raw: bytes, document) -> Row:
+    (count,) = struct.unpack_from(">H", raw, 0)
+    in_values = struct.unpack_from(f">{count}I", raw, 2)
+    return tuple(document.node(in_value) for in_value in in_values)
+
+
+class ExternalSort(PhysicalOp):
+    """Sort child rows by the in-values of ``key_aliases``.
+
+    ``run_budget_rows`` bounds the in-memory run size; larger inputs spill
+    sorted runs into temporary heap files and k-way merge them.  The spill
+    database is the execution context's document database (temporaries are
+    dropped afterwards).
+    """
+
+    def __init__(self, child: PhysicalOp, key_aliases: tuple[str, ...],
+                 run_budget_rows: int = 10_000):
+        self.child = child
+        self.key_aliases = key_aliases
+        self.run_budget_rows = run_budget_rows
+        self.schema = child.schema
+        self._key_positions = [child.schema.index(alias)
+                               for alias in key_aliases]
+        #: Filled after execution, for tests/ablations.
+        self.spilled_runs = 0
+
+    def _key(self, row: Row) -> tuple[int, ...]:
+        return tuple(row[position].in_ for position in self._key_positions)
+
+    def execute(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Row]:
+        database = ctx.document.db
+        runs: list[str] = []
+        buffer: list[tuple[tuple[int, ...], int, Row]] = []
+        charged = 0
+        sequence = 0
+        self.spilled_runs = 0
+
+        def spill() -> None:
+            nonlocal charged
+            buffer.sort(key=lambda item: item[:2])
+            name = ctx.fresh_temp_name()
+            heap = database.create_heap(name)
+            for __, __, row in buffer:
+                heap.insert(_encode_row(row))
+            runs.append(name)
+            self.spilled_runs += 1
+            buffer.clear()
+            ctx.meter.release(charged)
+            charged = 0
+
+        try:
+            for row in self.child.execute(ctx, bindings):
+                ctx.tick()
+                cost = NODE_BYTES * max(1, len(row))
+                ctx.meter.charge(cost)
+                charged += cost
+                buffer.append((self._key(row), sequence, row))
+                sequence += 1
+                if len(buffer) >= self.run_budget_rows:
+                    spill()
+
+            if not runs:
+                buffer.sort(key=lambda item: item[:2])
+                for __, __, row in buffer:
+                    yield row
+                return
+            if buffer:
+                spill()
+            streams = []
+            for name in runs:
+                heap = database.open_heap(name)
+                streams.append((_decode_row(raw, ctx.document)
+                                for __, raw in heap.scan()))
+            merged = heapq.merge(*streams, key=self._key)
+            for row in merged:
+                ctx.tick()
+                yield row
+        finally:
+            ctx.meter.release(charged)
+            for name in runs:
+                database.drop(name)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        keys = ", ".join(f"{alias}.in" for alias in self.key_aliases)
+        return (f"{pad}ExternalSort({keys}){self._annotate()}\n"
+                f"{self.child.explain(indent + 2)}")

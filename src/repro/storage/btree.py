@@ -1,0 +1,475 @@
+"""A disk-resident B+-tree.
+
+This is the index structure of milestone 4 ("students added ... B+-tree
+index structures on the XASR relations") and, because the XASR table itself
+is stored as a B+-tree clustered on ``in``, also the primary access path of
+milestone 2.
+
+Properties:
+
+* keys and values are arbitrary byte strings (use
+  :func:`repro.storage.record.encode_key` for order-preserving composite
+  keys);
+* keys are unique — composite keys embed a tie-breaker column (e.g. the
+  node's in-value) where duplicates are possible;
+* leaves are chained left-to-right, so in-order range scans are sequential
+  (this is what makes "descendants of x" = one clustered range scan);
+* sorted bulk-loading builds compact trees bottom-up at load time;
+* every page access goes through the buffer pool, so index I/O is counted
+  by the same meter the cost model estimates against.
+
+A small node cache avoids re-deserialising hot pages; it is invalidated by
+buffer-pool evictions, so it never holds state for a page that is not
+resident.
+
+Tree identity: a B+-tree is named by its **meta page** id.  The meta page
+stores the root page id, height and entry count, so structural changes
+(root splits) never require catalog updates.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right, insort
+from collections.abc import Iterable, Iterator
+
+from repro.errors import BTreeError
+from repro.storage.buffer import BufferPool
+
+_META = struct.Struct(">4sIIQ")  # magic, root, height, entry count
+_META_MAGIC = b"BTRE"
+_NODE_HEADER = struct.Struct(">BH")  # type, count
+_LEAF_NEXT = struct.Struct(">I")
+_LEN = struct.Struct(">H")
+_CHILD = struct.Struct(">I")
+
+_LEAF = 1
+_INTERNAL = 0
+
+
+class _Node:
+    """Deserialized node. ``page_id`` ties it back to its buffer page."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "values", "children",
+                 "next_leaf")
+
+    def __init__(self, page_id: int, is_leaf: bool):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []      # leaf only
+        self.children: list[int] = []      # internal only
+        self.next_leaf = 0                 # leaf only
+
+    # -- size accounting -----------------------------------------------------
+
+    def serialized_size(self) -> int:
+        size = _NODE_HEADER.size
+        if self.is_leaf:
+            size += _LEAF_NEXT.size
+            for key, value in zip(self.keys, self.values):
+                size += 2 * _LEN.size + len(key) + len(value)
+        else:
+            size += _CHILD.size * len(self.children)
+            for key in self.keys:
+                size += _LEN.size + len(key)
+        return size
+
+    def serialize_into(self, page: bytearray) -> None:
+        offset = 0
+        _NODE_HEADER.pack_into(page, offset,
+                               _LEAF if self.is_leaf else _INTERNAL,
+                               len(self.keys))
+        offset += _NODE_HEADER.size
+        if self.is_leaf:
+            _LEAF_NEXT.pack_into(page, offset, self.next_leaf)
+            offset += _LEAF_NEXT.size
+            for key, value in zip(self.keys, self.values):
+                _LEN.pack_into(page, offset, len(key))
+                offset += _LEN.size
+                _LEN.pack_into(page, offset, len(value))
+                offset += _LEN.size
+                page[offset:offset + len(key)] = key
+                offset += len(key)
+                page[offset:offset + len(value)] = value
+                offset += len(value)
+        else:
+            for child in self.children:
+                _CHILD.pack_into(page, offset, child)
+                offset += _CHILD.size
+            for key in self.keys:
+                _LEN.pack_into(page, offset, len(key))
+                offset += _LEN.size
+                page[offset:offset + len(key)] = key
+                offset += len(key)
+        # Zero the tail so stale bytes never survive.
+        page[offset:] = b"\x00" * (len(page) - offset)
+
+    @classmethod
+    def deserialize(cls, page_id: int, page: bytearray) -> "_Node":
+        node_type, count = _NODE_HEADER.unpack_from(page, 0)
+        offset = _NODE_HEADER.size
+        node = cls(page_id, node_type == _LEAF)
+        if node.is_leaf:
+            (node.next_leaf,) = _LEAF_NEXT.unpack_from(page, offset)
+            offset += _LEAF_NEXT.size
+            for __ in range(count):
+                (klen,) = _LEN.unpack_from(page, offset)
+                offset += _LEN.size
+                (vlen,) = _LEN.unpack_from(page, offset)
+                offset += _LEN.size
+                node.keys.append(bytes(page[offset:offset + klen]))
+                offset += klen
+                node.values.append(bytes(page[offset:offset + vlen]))
+                offset += vlen
+        else:
+            for __ in range(count + 1):
+                (child,) = _CHILD.unpack_from(page, offset)
+                node.children.append(child)
+                offset += _CHILD.size
+            for __ in range(count):
+                (klen,) = _LEN.unpack_from(page, offset)
+                offset += _LEN.size
+                node.keys.append(bytes(page[offset:offset + klen]))
+                offset += klen
+        return node
+
+
+class BTree:
+    """A B+-tree identified by its meta page.
+
+    Create with :meth:`create`, reopen with ``BTree(buffer_pool,
+    meta_page_id)``.
+    """
+
+    def __init__(self, buffer_pool: BufferPool, meta_page_id: int):
+        self.buffer_pool = buffer_pool
+        self.meta_page_id = meta_page_id
+        self._cache: dict[int, _Node] = {}
+        buffer_pool.on_evict(self._cache_invalidate)
+        self._load_meta()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(cls, buffer_pool: BufferPool) -> "BTree":
+        """Allocate an empty tree (meta page + one empty leaf)."""
+        root_id, root_page = buffer_pool.new_page()
+        root = _Node(root_id, is_leaf=True)
+        root.serialize_into(root_page)
+        buffer_pool.unpin(root_id, dirty=True)
+
+        meta_id, meta_page = buffer_pool.new_page()
+        _META.pack_into(meta_page, 0, _META_MAGIC, root_id, 1, 0)
+        buffer_pool.unpin(meta_id, dirty=True)
+        return cls(buffer_pool, meta_id)
+
+    def _cache_invalidate(self, page_id: int) -> None:
+        self._cache.pop(page_id, None)
+
+    # -- meta page ---------------------------------------------------------------
+
+    def _load_meta(self) -> None:
+        with self.buffer_pool.pinned(self.meta_page_id) as page:
+            magic, root, height, count = _META.unpack_from(page, 0)
+        if magic != _META_MAGIC:
+            raise BTreeError(f"page {self.meta_page_id} is not a B+-tree "
+                             "meta page")
+        self.root_page_id = root
+        self.height = height
+        self.entry_count = count
+
+    def _save_meta(self) -> None:
+        page = self.buffer_pool.get_page(self.meta_page_id)
+        try:
+            _META.pack_into(page, 0, _META_MAGIC, self.root_page_id,
+                            self.height, self.entry_count)
+        finally:
+            self.buffer_pool.unpin(self.meta_page_id, dirty=True)
+
+    # -- node access ---------------------------------------------------------------
+
+    def _read_node(self, page_id: int) -> _Node:
+        node = self._cache.get(page_id)
+        if node is not None:
+            # Logical access still goes through the pool for accounting.
+            self.buffer_pool.get_page(page_id, pin=False)
+            return node
+        page = self.buffer_pool.get_page(page_id)
+        try:
+            node = _Node.deserialize(page_id, page)
+        finally:
+            self.buffer_pool.unpin(page_id)
+        self._cache[page_id] = node
+        return node
+
+    def _write_node(self, node: _Node) -> None:
+        page = self.buffer_pool.get_page(node.page_id)
+        try:
+            if node.serialized_size() > len(page):
+                raise BTreeError("node exceeds page capacity after write")
+            node.serialize_into(page)
+        finally:
+            self.buffer_pool.unpin(node.page_id, dirty=True)
+        self._cache[node.page_id] = node
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        page_id, page = self.buffer_pool.new_page()
+        self.buffer_pool.unpin(page_id, dirty=True)
+        node = _Node(page_id, is_leaf)
+        self._cache[page_id] = node
+        return node
+
+    def _max_node_size(self) -> int:
+        return self.buffer_pool.pager.page_size
+
+    # -- lookup -------------------------------------------------------------------
+
+    def _descend_to_leaf(self, key: bytes) -> _Node:
+        node = self._read_node(self.root_page_id)
+        while not node.is_leaf:
+            index = bisect_right(node.keys, key)
+            node = self._read_node(node.children[index])
+        return node
+
+    def search(self, key: bytes) -> bytes | None:
+        """Point lookup; returns the value or ``None``."""
+        leaf = self._descend_to_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None
+
+    def range_scan(self, low: bytes | None = None, high: bytes | None = None,
+                   include_low: bool = True, include_high: bool = True
+                   ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs with ``low ≤/< key ≤/< high``.
+
+        ``None`` bounds are open-ended.  Keys stream in ascending order via
+        the leaf chain.
+        """
+        if low is None:
+            leaf = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._descend_to_leaf(low)
+            index = (bisect_left(leaf.keys, low) if include_low
+                     else bisect_right(leaf.keys, low))
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if high is not None:
+                    if include_high:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, leaf.values[index]
+                index += 1
+            if leaf.next_leaf == 0:
+                return
+            leaf = self._read_node(leaf.next_leaf)
+            index = 0
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """All entries whose key starts with ``prefix``, in order."""
+        for key, value in self.range_scan(low=prefix, include_low=True):
+            if not key.startswith(prefix):
+                return
+            yield key, value
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._read_node(self.root_page_id)
+        while not node.is_leaf:
+            node = self._read_node(node.children[0])
+        return node
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Full in-order scan."""
+        return self.range_scan()
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes, replace: bool = False) -> None:
+        """Insert a unique key.
+
+        ``replace=True`` overwrites an existing key; otherwise a duplicate
+        raises :class:`~repro.errors.BTreeError`.
+        """
+        if len(key) + len(value) + 64 > self._max_node_size():
+            raise BTreeError(
+                f"entry of {len(key) + len(value)} bytes cannot fit in a "
+                f"{self._max_node_size()}-byte page; use the overflow store")
+        split = self._insert_into(self.root_page_id, key, value, replace)
+        if split is not None:
+            separator, right_id = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self.root_page_id, right_id]
+            self._write_node(new_root)
+            self.root_page_id = new_root.page_id
+            self.height += 1
+        self._save_meta()
+
+    def _insert_into(self, page_id: int, key: bytes, value: bytes,
+                     replace: bool) -> tuple[bytes, int] | None:
+        node = self._read_node(page_id)
+        if node.is_leaf:
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if not replace:
+                    raise BTreeError(f"duplicate key {key!r}")
+                node.values[index] = value
+                self._write_node(node)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self.entry_count += 1
+            if node.serialized_size() <= self._max_node_size():
+                self._write_node(node)
+                return None
+            return self._split_leaf(node)
+        index = bisect_right(node.keys, key)
+        split = self._insert_into(node.children[index], key, value, replace)
+        if split is None:
+            return None
+        separator, right_id = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right_id)
+        if node.serialized_size() <= self._max_node_size():
+            self._write_node(node)
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> tuple[bytes, int]:
+        right = self._new_node(is_leaf=True)
+        middle = self._split_point(node)
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right.page_id
+        self._write_node(node)
+        self._write_node(right)
+        return right.keys[0], right.page_id
+
+    def _split_internal(self, node: _Node) -> tuple[bytes, int]:
+        right = self._new_node(is_leaf=False)
+        middle = self._split_point(node)
+        separator = node.keys[middle]
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        self._write_node(node)
+        self._write_node(right)
+        return separator, right.page_id
+
+    @staticmethod
+    def _split_point(node: _Node) -> int:
+        """Index splitting entries into roughly equal serialized halves."""
+        total = sum(len(k) for k in node.keys)
+        if node.is_leaf:
+            total += sum(len(v) for v in node.values)
+        half = total // 2
+        running = 0
+        for index, key in enumerate(node.keys):
+            running += len(key)
+            if node.is_leaf:
+                running += len(node.values[index])
+            if running >= half and 0 < index < len(node.keys) - 1:
+                return index + 1
+        return max(1, len(node.keys) // 2)
+
+    # -- bulk loading -------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[bytes, bytes]],
+                  fill_factor: float = 0.9) -> None:
+        """Build the tree from already-sorted unique ``(key, value)`` pairs.
+
+        Only valid on an empty tree.  Leaves are packed to ``fill_factor``
+        of the page and chained; internal levels are built bottom-up.
+        """
+        if self.entry_count:
+            raise BTreeError("bulk_load requires an empty tree")
+        capacity = int(self._max_node_size() * fill_factor)
+
+        leaves: list[tuple[bytes, int]] = []  # (first key, page id)
+        current = self._read_node(self.root_page_id)  # reuse initial leaf
+        current.keys, current.values = [], []
+        count = 0
+        previous_key: bytes | None = None
+        previous_leaf: _Node | None = None
+
+        for key, value in items:
+            if previous_key is not None and key <= previous_key:
+                raise BTreeError("bulk_load input must be strictly "
+                                 "ascending")
+            previous_key = key
+            entry_size = 2 * _LEN.size + len(key) + len(value)
+            if (current.serialized_size() + entry_size > capacity
+                    and current.keys):
+                if previous_leaf is not None:
+                    previous_leaf.next_leaf = current.page_id
+                    self._write_node(previous_leaf)
+                leaves.append((current.keys[0], current.page_id))
+                previous_leaf = current
+                current = self._new_node(is_leaf=True)
+            current.keys.append(key)
+            current.values.append(value)
+            count += 1
+        if previous_leaf is not None:
+            previous_leaf.next_leaf = current.page_id
+            self._write_node(previous_leaf)
+        if current.keys or not leaves:
+            leaves.append((current.keys[0] if current.keys else b"",
+                           current.page_id))
+        self._write_node(current)
+
+        # Build internal levels bottom-up.
+        level = leaves
+        height = 1
+        while len(level) > 1:
+            next_level: list[tuple[bytes, int]] = []
+            index = 0
+            while index < len(level):
+                node = self._new_node(is_leaf=False)
+                node.children.append(level[index][1])
+                first_key = level[index][0]
+                index += 1
+                while index < len(level):
+                    key = level[index][0]
+                    added = _LEN.size + len(key) + _CHILD.size
+                    if node.serialized_size() + added > capacity:
+                        break
+                    node.keys.append(key)
+                    node.children.append(level[index][1])
+                    index += 1
+                self._write_node(node)
+                next_level.append((first_key, node.page_id))
+            level = next_level
+            height += 1
+
+        self.root_page_id = level[0][1]
+        self.height = height
+        self.entry_count = count
+        self._save_meta()
+
+    # -- statistics for the cost model ------------------------------------------
+
+    def leaf_page_count(self) -> int:
+        """Number of leaf pages (walks the leaf chain)."""
+        count = 0
+        leaf = self._leftmost_leaf()
+        while True:
+            count += 1
+            if leaf.next_leaf == 0:
+                return count
+            leaf = self._read_node(leaf.next_leaf)

@@ -1,0 +1,174 @@
+"""Database facade: one file, a buffer pool, and a persistent catalog.
+
+The catalog is itself a B+-tree mapping object names to a small JSON
+payload (object kind, anchor page id, arbitrary metadata).  Its meta-page
+id lives in the pager header, so a database file is fully self-describing:
+
+>>> with Database.create("/tmp/example.db") as db:        # doctest: +SKIP
+...     tree = db.create_btree("xasr:doc1")
+...     tree.insert(b"k", b"v")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import CatalogError
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.overflow import OverflowStore
+from repro.storage.pager import NO_PAGE, PAGE_SIZE, Pager
+from repro.storage.record import encode_key
+
+_KIND_BTREE = "btree"
+_KIND_HEAP = "heap"
+_KIND_META = "meta"
+
+
+class Database:
+    """A single-file XML database.
+
+    Owns the pager, the buffer pool, the overflow store and the catalog.
+    Named objects:
+
+    * B+-trees (tables and indexes),
+    * heap files (materialised intermediates, statistics runs),
+    * bare metadata entries (per-document statistics, load info).
+    """
+
+    def __init__(self, path: str, create: bool = False,
+                 buffer_capacity: int = 256, page_size: int = PAGE_SIZE):
+        self.pager = Pager(path, page_size=page_size, create=create)
+        self.buffer_pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self.overflow = OverflowStore(self.buffer_pool)
+        if self.pager.catalog_root == NO_PAGE:
+            self._catalog = BTree.create(self.buffer_pool)
+            self.pager.set_catalog_root(self._catalog.meta_page_id)
+        else:
+            self._catalog = BTree(self.buffer_pool, self.pager.catalog_root)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, buffer_capacity: int = 256,
+               page_size: int = PAGE_SIZE) -> "Database":
+        return cls(path, create=True, buffer_capacity=buffer_capacity,
+                   page_size=page_size)
+
+    @classmethod
+    def open(cls, path: str, buffer_capacity: int = 256) -> "Database":
+        return cls(path, create=False, buffer_capacity=buffer_capacity)
+
+    def close(self) -> None:
+        self.buffer_pool.flush_and_clear()
+        self.pager.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- catalog ------------------------------------------------------------
+
+    def _catalog_get(self, name: str) -> dict[str, Any] | None:
+        raw = self._catalog.search(encode_key((name,)))
+        if raw is None:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    def _catalog_put(self, name: str, entry: dict[str, Any],
+                     replace: bool = False) -> None:
+        raw = json.dumps(entry, sort_keys=True).encode("utf-8")
+        self._catalog.insert(encode_key((name,)), raw, replace=replace)
+
+    def _catalog_delete(self, name: str) -> None:
+        # The B+-tree has no structural delete (the paper's system never
+        # needed one); a tombstone entry keeps the catalog consistent.
+        self._catalog.insert(encode_key((name,)),
+                             json.dumps(None).encode("utf-8"), replace=True)
+
+    def list_names(self) -> list[str]:
+        """All live object names, sorted."""
+        names = []
+        from repro.storage.record import decode_key
+
+        for key, value in self._catalog.items():
+            if json.loads(value.decode("utf-8")) is None:
+                continue
+            (name,) = decode_key(key, ("str",))
+            names.append(name)
+        return names
+
+    def exists(self, name: str) -> bool:
+        return self._catalog_get(name) is not None
+
+    # -- B+-trees ---------------------------------------------------------------
+
+    def create_btree(self, name: str) -> BTree:
+        if self.exists(name):
+            raise CatalogError(f"object {name!r} already exists")
+        tree = BTree.create(self.buffer_pool)
+        self._catalog_put(name, {"kind": _KIND_BTREE,
+                                 "meta_page": tree.meta_page_id},
+                          replace=True)
+        return tree
+
+    def open_btree(self, name: str) -> BTree:
+        entry = self._catalog_get(name)
+        if entry is None or entry.get("kind") != _KIND_BTREE:
+            raise CatalogError(f"no B+-tree named {name!r}")
+        return BTree(self.buffer_pool, entry["meta_page"])
+
+    # -- heap files -----------------------------------------------------------------
+
+    def create_heap(self, name: str) -> HeapFile:
+        if self.exists(name):
+            raise CatalogError(f"object {name!r} already exists")
+        heap = HeapFile.create(self.buffer_pool)
+        self._catalog_put(name, {"kind": _KIND_HEAP,
+                                 "head_page": heap.head_page_id},
+                          replace=True)
+        return heap
+
+    def open_heap(self, name: str) -> HeapFile:
+        entry = self._catalog_get(name)
+        if entry is None or entry.get("kind") != _KIND_HEAP:
+            raise CatalogError(f"no heap file named {name!r}")
+        return HeapFile(self.buffer_pool, entry["head_page"])
+
+    def drop(self, name: str) -> None:
+        """Remove an object from the catalog (heap pages are freed)."""
+        entry = self._catalog_get(name)
+        if entry is None:
+            raise CatalogError(f"no object named {name!r}")
+        if entry.get("kind") == _KIND_HEAP:
+            HeapFile(self.buffer_pool, entry["head_page"]).drop()
+        self._catalog_delete(name)
+
+    # -- metadata -----------------------------------------------------------------
+
+    def put_meta(self, name: str, payload: dict[str, Any]) -> None:
+        """Store a JSON metadata document under ``name`` (upsert)."""
+        self._catalog_put(name, {"kind": _KIND_META, "payload": payload},
+                          replace=True)
+
+    def get_meta(self, name: str) -> dict[str, Any] | None:
+        entry = self._catalog_get(name)
+        if entry is None:
+            return None
+        if entry.get("kind") != _KIND_META:
+            raise CatalogError(f"object {name!r} is not metadata")
+        return entry["payload"]
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Buffer pool counters (logical I/O)."""
+        return self.buffer_pool.stats
+
+    def reset_stats(self) -> None:
+        self.buffer_pool.stats.__init__()

@@ -1,0 +1,170 @@
+"""Slotted-page heap files.
+
+A heap file is an unordered collection of variable-length records spread
+over a chain of slotted pages.  It is the storage behind materialised
+intermediate results (milestone 3 "allowed the engines to write to disk
+each intermediate result, and re-read it whenever necessary") and behind
+external-sort runs.
+
+Page layout::
+
+    next_page_id : u32
+    slot_count   : u16
+    free_offset  : u16          (start of the unused gap)
+    slots        : slot_count × (offset u16, length u16)
+    ... gap ...
+    record data (grows down from the end of the page)
+
+Deleted slots keep their entry with length 0; record ids therefore stay
+stable.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+_PAGE_HEADER = struct.Struct(">IHH")
+_SLOT = struct.Struct(">HH")
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """Stable address of a record: (page id, slot index)."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """An append-oriented heap file over the buffer pool.
+
+    ``head_page_id`` identifies the file; a fresh file is created with
+    :meth:`create`.  Records are raw byte strings — combine with
+    :class:`~repro.storage.record.RecordCodec` for tuples.
+    """
+
+    def __init__(self, buffer_pool: BufferPool, head_page_id: int):
+        self.buffer_pool = buffer_pool
+        self.head_page_id = head_page_id
+        self._last_page_id = head_page_id
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, buffer_pool: BufferPool) -> "HeapFile":
+        page_id, page = buffer_pool.new_page()
+        cls._init_page(page, buffer_pool.pager.page_size)
+        buffer_pool.unpin(page_id, dirty=True)
+        return cls(buffer_pool, page_id)
+
+    @staticmethod
+    def _init_page(page: bytearray, page_size: int) -> None:
+        _PAGE_HEADER.pack_into(page, 0, 0, 0, page_size)
+
+    # -- low-level page accessors ----------------------------------------------
+
+    @staticmethod
+    def _read_header(page: bytearray) -> tuple[int, int, int]:
+        return _PAGE_HEADER.unpack_from(page, 0)
+
+    @staticmethod
+    def _slot_entry(page: bytearray, slot: int) -> tuple[int, int]:
+        return _SLOT.unpack_from(page, _PAGE_HEADER.size + slot * _SLOT.size)
+
+    def _page_free_space(self, page: bytearray) -> int:
+        __, slot_count, free_offset = self._read_header(page)
+        slots_end = _PAGE_HEADER.size + slot_count * _SLOT.size
+        return free_offset - slots_end
+
+    # -- operations ---------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Append a record, growing the page chain as needed."""
+        needed = len(record) + _SLOT.size
+        max_payload = (self.buffer_pool.pager.page_size - _PAGE_HEADER.size
+                       - _SLOT.size)
+        if len(record) > max_payload:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"{max_payload}; use the overflow store")
+        page_id = self._last_page_id
+        page = self.buffer_pool.get_page(page_id)
+        try:
+            if self._page_free_space(page) < needed:
+                next_id, new_page = self.buffer_pool.new_page()
+                self._init_page(new_page, self.buffer_pool.pager.page_size)
+                struct.pack_into(">I", page, 0, next_id)
+                self.buffer_pool.mark_dirty(page_id)
+                self.buffer_pool.unpin(page_id, dirty=True)
+                page_id, page = next_id, new_page
+                self._last_page_id = next_id
+            __, slot_count, free_offset = self._read_header(page)
+            offset = free_offset - len(record)
+            page[offset:offset + len(record)] = record
+            _SLOT.pack_into(page, _PAGE_HEADER.size + slot_count * _SLOT.size,
+                            offset, len(record))
+            next_page = struct.unpack_from(">I", page, 0)[0]
+            _PAGE_HEADER.pack_into(page, 0, next_page, slot_count + 1, offset)
+            return RecordId(page_id, slot_count)
+        finally:
+            self.buffer_pool.unpin(page_id, dirty=True)
+
+    def read(self, record_id: RecordId) -> bytes:
+        """Fetch one record by id."""
+        with self.buffer_pool.pinned(record_id.page_id) as page:
+            __, slot_count, __ = self._read_header(page)
+            if record_id.slot >= slot_count:
+                raise StorageError(f"no such slot {record_id}")
+            offset, length = self._slot_entry(page, record_id.slot)
+            if length == 0:
+                raise StorageError(f"record {record_id} was deleted")
+            return bytes(page[offset:offset + length])
+
+    def delete(self, record_id: RecordId) -> None:
+        """Mark a record deleted (space is not compacted)."""
+        page = self.buffer_pool.get_page(record_id.page_id)
+        try:
+            __, slot_count, __ = self._read_header(page)
+            if record_id.slot >= slot_count:
+                raise StorageError(f"no such slot {record_id}")
+            offset, __ = self._slot_entry(page, record_id.slot)
+            _SLOT.pack_into(page, _PAGE_HEADER.size
+                            + record_id.slot * _SLOT.size, offset, 0)
+        finally:
+            self.buffer_pool.unpin(record_id.page_id, dirty=True)
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """All live records in insertion order (page chain order)."""
+        page_id = self.head_page_id
+        while page_id != 0:
+            with self.buffer_pool.pinned(page_id) as page:
+                next_page, slot_count, __ = self._read_header(page)
+                records: list[tuple[RecordId, bytes]] = []
+                for slot in range(slot_count):
+                    offset, length = self._slot_entry(page, slot)
+                    if length == 0:
+                        continue
+                    records.append((RecordId(page_id, slot),
+                                    bytes(page[offset:offset + length])))
+            yield from records
+            page_id = next_page
+
+    def page_ids(self) -> list[int]:
+        """All page ids of the chain, head first."""
+        ids = []
+        page_id = self.head_page_id
+        while page_id != 0:
+            ids.append(page_id)
+            with self.buffer_pool.pinned(page_id) as page:
+                (page_id,) = struct.unpack_from(">I", page, 0)
+        return ids
+
+    def drop(self) -> None:
+        """Free every page of the file."""
+        for page_id in self.page_ids():
+            self.buffer_pool.free_page(page_id)

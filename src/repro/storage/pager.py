@@ -1,0 +1,154 @@
+"""Page-addressed file storage.
+
+A database file is an array of fixed-size pages.  Page 0 is the header
+page; it stores a magic string, the page size, the page count, the head of
+the free-page list, and the root page id of the catalog B+-tree.
+
+The pager deals exclusively in whole pages — callers are expected to go
+through the buffer pool (:mod:`repro.storage.buffer`) rather than use
+:meth:`Pager.read_page`/:meth:`Pager.write_page` directly, so that all I/O
+is accounted.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.errors import PageError
+
+#: Default page size in bytes.  Small enough that scaled-down documents
+#: still span many pages (so page-count cost estimates are meaningful),
+#: large enough to hold any XASR record for realistic labels.
+PAGE_SIZE = 4096
+
+_MAGIC = b"XMLDBMS1"
+_HEADER = struct.Struct(">8sIIII")  # magic, page_size, npages, free, catalog
+
+#: Page id value meaning "no page".
+NO_PAGE = 0
+
+
+class Pager:
+    """Reads, writes, allocates and frees fixed-size pages in one file.
+
+    Freed pages form an intrusive singly-linked free list: the first four
+    bytes of a free page hold the id of the next free page.
+    """
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE,
+                 create: bool = False):
+        self.path = path
+        self.page_size = page_size
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if create or not exists:
+            self._file = open(path, "w+b")
+            self.num_pages = 1
+            self.free_head = NO_PAGE
+            self.catalog_root = NO_PAGE
+            self._write_header()
+        else:
+            self._file = open(path, "r+b")
+            self._read_header()
+        #: Physical I/O counters (distinct from buffer-pool logical counters).
+        self.pages_read = 0
+        self.pages_written = 0
+
+    # -- header -------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = _HEADER.pack(_MAGIC, self.page_size, self.num_pages,
+                              self.free_head, self.catalog_root)
+        page = header + b"\x00" * (self.page_size - len(header))
+        self._file.seek(0)
+        self._file.write(page)
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise PageError(f"{self.path}: truncated header")
+        magic, page_size, num_pages, free_head, catalog_root = \
+            _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise PageError(f"{self.path}: not an XML-DBMS file")
+        self.page_size = page_size
+        self.num_pages = num_pages
+        self.free_head = free_head
+        self.catalog_root = catalog_root
+
+    def set_catalog_root(self, page_id: int) -> None:
+        """Persist the catalog B+-tree root in the header."""
+        self.catalog_root = page_id
+        self._write_header()
+
+    # -- page I/O -------------------------------------------------------------
+
+    def _check(self, page_id: int) -> None:
+        if page_id <= 0 or page_id >= self.num_pages:
+            raise PageError(f"page id {page_id} out of range "
+                            f"(1..{self.num_pages - 1})")
+
+    def read_page(self, page_id: int) -> bytearray:
+        """Read one page; returns a mutable copy of its bytes."""
+        self._check(page_id)
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        self.pages_read += 1
+        return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one full page."""
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise PageError(f"page write of {len(data)} bytes, expected "
+                            f"{self.page_size}")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+        self.pages_written += 1
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate_page(self) -> int:
+        """Allocate a page, reusing the free list when possible."""
+        if self.free_head != NO_PAGE:
+            page_id = self.free_head
+            page = self.read_page(page_id)
+            (self.free_head,) = struct.unpack_from(">I", page, 0)
+            self._write_header()
+            return page_id
+        page_id = self.num_pages
+        self.num_pages += 1
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+        self._write_header()
+        return page_id
+
+    def free_page(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self._check(page_id)
+        page = bytearray(self.page_size)
+        struct.pack_into(">I", page, 0, self.free_head)
+        self.write_page(page_id, bytes(page))
+        self.free_head = page_id
+        self._write_header()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush OS buffers to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._write_header()
+        self._file.flush()
+        self._file.close()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""Workloads: the paper's documents and query suites, scaled.
+
+The course tested engines on DBLP (250 MB), a 16 MB DBLP excerpt,
+TREEBANK (80 MB) and "a small handmade document of several kilobytes".
+The originals are large third-party files; this package ships
+deterministic synthetic generators with the same structural character:
+
+* :func:`~repro.workloads.dblp.generate_dblp` — shallow, wide
+  bibliographic data (articles, inproceedings, authors drawn from a
+  shared name pool so value joins have duplicates, rare labels for
+  selectivity experiments);
+* :func:`~repro.workloads.treebank.generate_treebank` — deeply nested
+  parse trees (the descendant-axis stress test);
+* :mod:`~repro.workloads.handmade` — the Figure 2 document, verbatim,
+  plus small edge-case documents;
+* :mod:`~repro.workloads.queries` — the 16-query correctness suite
+  covering every XQ construct and the 5 "secret" efficiency queries
+  engineered per Section 4.
+"""
+
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.handmade import (
+    EDGE_CASE_DOCUMENTS,
+    FIGURE2_XML,
+)
+from repro.workloads.queries import (
+    CORRECTNESS_QUERIES,
+    EFFICIENCY_QUERIES,
+    EfficiencyQuery,
+)
+from repro.workloads.treebank import TreebankConfig, generate_treebank
+
+__all__ = [
+    "DblpConfig",
+    "generate_dblp",
+    "TreebankConfig",
+    "generate_treebank",
+    "FIGURE2_XML",
+    "EDGE_CASE_DOCUMENTS",
+    "CORRECTNESS_QUERIES",
+    "EFFICIENCY_QUERIES",
+    "EfficiencyQuery",
+]

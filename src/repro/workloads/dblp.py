@@ -1,0 +1,119 @@
+"""Synthetic DBLP: shallow, wide bibliographic XML.
+
+The generator is deterministic (seeded) and structurally mimics DBLP:
+
+* a flat sequence of ``<article>`` and ``<inproceedings>`` records under
+  the root;
+* every record has 1–5 ``<author>`` children, a ``<title>``, a
+  ``<year>``;
+* articles carry a ``<journal>``; inproceedings a ``<booktitle>``;
+* a configurable fraction of articles carries a ``<volume>`` (Example 6:
+  "an XML document with many authors and few articles that have
+  information on volumes");
+* a handful of records carry the rare ``<note>``-in-``<erratum>``
+  structure used by the selective efficiency tests;
+* author names come from a bounded pool, so text-value joins (duplicate
+  person detection) have realistic skew.
+
+Sizing: ``DblpConfig(articles=1000)`` yields roughly 20k XASR nodes —
+laptop scale with the same shape as the paper's 250 MB original; every
+benchmark takes the size as a parameter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_FIRST = ["Ana", "Bob", "Chen", "Dana", "Emil", "Fatima", "Goran", "Hana",
+          "Igor", "Jana", "Kurt", "Lena", "Marc", "Nina", "Omar", "Pia",
+          "Quentin", "Rosa", "Sven", "Tara", "Ugo", "Vera", "Wei", "Xena",
+          "Yann", "Zora"]
+_LAST = ["Smith", "Wang", "Mueller", "Garcia", "Kim", "Olteanu", "Koch",
+         "Scherzinger", "Ivanov", "Tanaka", "Costa", "Novak", "Berg",
+         "Moreau", "Haddad", "Lind"]
+_TITLE_WORDS = ["Efficient", "Scalable", "Native", "Streaming", "Query",
+                "Evaluation", "XML", "Indexing", "Optimization", "Storage",
+                "Algebra", "Processing", "Structural", "Joins", "Trees",
+                "Databases", "Views", "Compression", "Caching", "Secondary"]
+_JOURNALS = ["VLDB Journal", "TODS", "SIGMOD Record", "Information Systems",
+             "TKDE"]
+_VENUES = ["SIGMOD", "VLDB", "ICDE", "EDBT", "XIME-P", "WebDB"]
+
+
+@dataclass(frozen=True)
+class DblpConfig:
+    """Knobs of the synthetic DBLP generator."""
+
+    articles: int = 500
+    inproceedings: int = 150
+    seed: int = 2006
+    #: Size of the author-name pool; smaller pool = more duplicate names
+    #: (drives the selectivity of text-value self-joins).
+    name_pool: int = 120
+    #: Fraction of articles that carry a <volume> child.
+    volume_fraction: float = 0.04
+    #: Number of records carrying the rare <erratum><note>..</note>
+    #: structure.
+    errata: int = 5
+    #: Number of inproceedings carrying a rare <editor> child whose text
+    #: is a person name from the same pool as authors (the value-join
+    #: target of efficiency test 5).
+    editors: int = 6
+    min_authors: int = 1
+    max_authors: int = 5
+
+
+def _names(rng: random.Random, config: DblpConfig) -> list[str]:
+    pool = []
+    while len(pool) < config.name_pool:
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        if name not in pool:
+            pool.append(name)
+    return pool
+
+
+def _title(rng: random.Random) -> str:
+    count = rng.randint(3, 7)
+    return " ".join(rng.choice(_TITLE_WORDS) for __ in range(count))
+
+
+def generate_dblp(config: DblpConfig | None = None) -> str:
+    """Generate a synthetic DBLP document as XML text."""
+    config = config or DblpConfig()
+    rng = random.Random(config.seed)
+    names = _names(rng, config)
+    erratum_slots = set(rng.sample(range(config.articles),
+                                   min(config.errata, config.articles)))
+
+    parts: list[str] = ["<dblp>"]
+    for index in range(config.articles):
+        parts.append(f'<article key="journals/a{index}">')
+        for __ in range(rng.randint(config.min_authors,
+                                    config.max_authors)):
+            parts.append(f"<author>{rng.choice(names)}</author>")
+        parts.append(f"<title>{_title(rng)}</title>")
+        parts.append(f"<year>{rng.randint(1990, 2006)}</year>")
+        parts.append(f"<journal>{rng.choice(_JOURNALS)}</journal>")
+        if rng.random() < config.volume_fraction:
+            parts.append(f"<volume>{rng.randint(1, 60)}</volume>")
+        if index in erratum_slots:
+            parts.append("<erratum><note>corrected reference</note>"
+                         "</erratum>")
+        parts.append("</article>")
+    editor_slots = set(rng.sample(range(config.inproceedings),
+                                  min(config.editors,
+                                      config.inproceedings)))
+    for index in range(config.inproceedings):
+        parts.append(f'<inproceedings key="conf/p{index}">')
+        for __ in range(rng.randint(config.min_authors,
+                                    config.max_authors)):
+            parts.append(f"<author>{rng.choice(names)}</author>")
+        if index in editor_slots:
+            parts.append(f"<editor>{rng.choice(names)}</editor>")
+        parts.append(f"<title>{_title(rng)}</title>")
+        parts.append(f"<year>{rng.randint(1990, 2006)}</year>")
+        parts.append(f"<booktitle>{rng.choice(_VENUES)}</booktitle>")
+        parts.append("</inproceedings>")
+    parts.append("</dblp>")
+    return "".join(parts)

@@ -1,0 +1,42 @@
+"""Small handmade documents.
+
+:data:`FIGURE2_XML` is the paper's running example (Figure 2): the
+journal/authors/name document whose in/out numbering the paper prints.
+:data:`EDGE_CASE_DOCUMENTS` collects tiny documents exercising structural
+corner cases (empty elements, deep chains, mixed content, repeated text).
+"""
+
+#: The document of Figure 2 (in/out labels 1..18).
+FIGURE2_XML = (
+    "<journal>"
+    "<authors><name>Ana</name><name>Bob</name></authors>"
+    "<title>DB</title>"
+    "</journal>"
+)
+
+#: Expected XASR tuples for Figure 2, as printed in the paper
+#: (in, out, parent_in, type name, value).
+FIGURE2_XASR = [
+    (1, 18, 0, "root", None),
+    (2, 17, 1, "element", "journal"),
+    (3, 12, 2, "element", "authors"),
+    (4, 7, 3, "element", "name"),
+    (5, 6, 4, "text", "Ana"),
+    (8, 11, 3, "element", "name"),
+    (9, 10, 8, "text", "Bob"),
+    (13, 16, 2, "element", "title"),
+    (14, 15, 13, "text", "DB"),
+]
+
+EDGE_CASE_DOCUMENTS: dict[str, str] = {
+    "empty-root": "<a/>",
+    "single-text": "<a>x</a>",
+    "deep-chain": ("<a><b><c><d><e><f><g>bottom</g></f></e></d></c></b>"
+                   "</a>"),
+    "wide-flat": "<r>" + "".join(f"<item>i{i}</item>"
+                                 for i in range(20)) + "</r>",
+    "repeated-text": ("<r><x>same</x><y>same</y><z>other</z>"
+                      "<w>same</w></r>"),
+    "same-labels-nested": "<a><a><a>deep</a></a><a>wide</a></a>",
+    "mixed-empty": "<r><a/><b>t</b><c/><d><e/></d></r>",
+}

@@ -1,0 +1,142 @@
+"""The query suites of Section 4.
+
+**Correctness suite** — "up to 16 complex XQ queries ... covering fairly
+all XQ constructs and combinations of them".  The sixteen queries below
+collectively exercise: empty sequence, construction (nested, empty, with
+literal text), concatenation, bare variables, both axes, all three node
+tests, absolute and multi-step paths, for-nesting, if with every condition
+form (true(), =const, =var, some with child/descendant sources, nested
+some, and, or, not), constructors between for-loops (the strict-merging
+case), and non-existent labels.  They are designed to be well-typed on any
+document (comparisons only ever touch text()-bound variables), so every
+engine must produce byte-identical output on all four test documents.
+
+**Efficiency suite** — five "secret" queries engineered, as in the paper,
+so that "query plans with costs varying by orders of magnitude" exist and
+the optimized engines separate cleanly from the unoptimized ones
+(Figure 7).  Each query documents the trap it sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The sixteen public correctness queries (name → XQ text).
+CORRECTNESS_QUERIES: dict[str, str] = {
+    # 1. Bare descendant step from the root.
+    "q01-all-titles": "//title",
+    # 2. Child path with output of whole subtrees.
+    "q02-child-path": "for $x in /*/author return $x",
+    # 3. Multi-step path with text() test.
+    "q03-text-leaves": "for $t in /*/title/text() return <t>{ $t }</t>",
+    # 4. Wildcard test.
+    "q04-wildcard": "for $x in /* return for $y in $x/* return <c/>",
+    # 5. Nested construction with literal text.
+    "q05-construct": "<out>found<inner>{ //year }</inner></out>",
+    # 6. Concatenation of three subresults.
+    "q06-sequence": "//volume, <sep/>, //booktitle",
+    # 7. if true() and empty else.
+    "q07-if-true": "if (true()) then <yes/> else ()",
+    # 8. some over descendant text with constant comparison.
+    "q08-some-const": ("for $x in /*/article return "
+                       "if (some $t in $x//text() satisfies $t = \"42\") "
+                       "then <hit/> else ()"),
+    # 9. Variable-variable comparison (both text-bound).
+    "q09-var-eq-var": ("for $x in //author return "
+                       "if (some $s in $x/text() satisfies "
+                       "some $t in $x/text() satisfies $s = $t) "
+                       "then <same/> else ()"),
+    # 10. Constructor *between* for-loops (strict merging: empty inner
+    # results must still construct).
+    "q10-strict-merge": ("for $x in /*/article return "
+                         "<entry>{ for $v in $x/volume return $v }"
+                         "</entry>"),
+    # 11. and / or / not combination.
+    "q11-boolean": ("for $x in //article return "
+                    "if ((some $t in $x/year/text() satisfies "
+                    "$t = \"2005\") and "
+                    "(not(some $v in $x/volume/text() satisfies "
+                    "$v = \"1\") or true())) "
+                    "then <m/> else ()"),
+    # 12. Deep descendant chain (TREEBANK-flavoured).
+    "q12-deep-descendant": ("for $s in //S return "
+                            "for $n in $s//NN return $n"),
+    # 13. Non-existent label (must be empty everywhere, fast on indexed
+    # engines).
+    "q13-nonexistent": "for $x in //phdthesis return $x",
+    # 14. Nested for with repeated labels.
+    "q14-same-label": ("for $a in //NP return "
+                       "for $b in $a//NP return <nested/>"),
+    # 15. if between loops plus descendant inside condition.
+    "q15-cond-descendant": ("for $x in /* return "
+                            "if (some $d in $x//DT satisfies true()) "
+                            "then <has-dt/> else ()"),
+    # 16. Everything at once: path, nesting, construction, some/and.
+    "q16-kitchen-sink": ("<report>{ for $x in /*/article return "
+                         "if ((some $a in $x/author/text() satisfies "
+                         "$a = \"Wei Wang\") and "
+                         "(some $y in $x/year/text() satisfies "
+                         "$y = \"2000\")) "
+                         "then <match>{ $x/title }</match> else () "
+                         "}</report>"),
+}
+
+
+@dataclass(frozen=True)
+class EfficiencyQuery:
+    """One secret efficiency test: the query plus the trap it sets."""
+
+    name: str
+    xq: str
+    trap: str
+
+
+#: The five secret efficiency queries (Figure 7's columns).
+EFFICIENCY_QUERIES: list[EfficiencyQuery] = [
+    EfficiencyQuery(
+        name="test-1",
+        xq=("for $x in //article return for $t in $x/title return $t"),
+        trap=("Baseline child-axis join.  Every engine finishes; engines "
+              "without indexes pay nested full scans and land 10–100×ドル "
+              "behind the INL-join engines.")),
+    EfficiencyQuery(
+        name="test-2",
+        xq=("for $x in //erratum return for $y in $x/note return $y"),
+        trap=("Highly selective label (a handful of errata).  Label-index "
+              "engines answer almost instantly; scan-based engines pay "
+              "two full relation scans.")),
+    EfficiencyQuery(
+        name="test-3",
+        xq=("for $x in //author return for $y in //author return "
+            "if (some $s in $x/text() satisfies "
+            "(some $t in $y/text() satisfies "
+            "($s = $t and $s = \"Wei Wang\"))) "
+            "then <dup/> else ()"),
+        trap=("Author self-join on text values, anchored to one name.  "
+              "Cost-based engines start from the text-value index and "
+              "stay linear; syntactic-order engines hit the author × "
+              "author cross product — time-out (Figure 7: engines 3–5 "
+              "stopped at the cap).")),
+    EfficiencyQuery(
+        name="test-4",
+        xq=("for $x in //phdthesis return for $y in $x//author "
+            "return $y"),
+        trap=("Non-existent node label.  'The query in the fourth test "
+              "uses a non-existent node label' — label-index engines "
+              "return empty in ~0 s; scan engines still scan.")),
+    EfficiencyQuery(
+        name="test-5",
+        xq=("for $t1 in //editor/text() return "
+            "for $t2 in //author/text() return "
+            "if ($t1 = $t2) then <edits>{ $t1 }</edits> else ()"),
+        trap=("Two nested, yet unrelated, for-loops — a rare-label loop "
+              "(editor, a handful of nodes) and a huge one (author) — "
+              "joined only through a text-value equality: 'two joins "
+              "with very different selectivities'.  The calibrated "
+              "engine starts from the editors and drives the value "
+              "index (a few probes); a skew-blind estimator sees every "
+              "label tie and its tie-break starts from the authors — "
+              "'the very unselective join at the bottom of the plan' — "
+              "time-out.  The syntactic order is the good one, so the "
+              "no-reorder engine 3 survives, exactly as in Figure 7.")),
+]

@@ -1,0 +1,81 @@
+"""Synthetic TREEBANK: deeply nested parse-tree XML.
+
+The real TREEBANK (80 MB) is Penn-Treebank-derived: parse trees with deep
+recursive nesting — the opposite structural extreme from DBLP.  The
+generator emits sentences whose syntactic structure recurses (S → NP VP,
+VP → VB NP PP, PP → IN NP, NP → DT NN | NP PP ...), giving documents with
+average depth 10–25 and long descendant chains, which is exactly what
+stresses the descendant-axis access paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_NOUNS = ["parser", "index", "query", "tree", "page", "join", "cache",
+          "engine", "scan", "node"]
+_VERBS = ["evaluates", "stores", "splits", "merges", "scans", "rewrites"]
+_DETS = ["the", "a", "every", "some"]
+_PREPS = ["with", "over", "under", "near"]
+_ADJS = ["fast", "large", "nested", "sorted", "lazy"]
+
+
+@dataclass(frozen=True)
+class TreebankConfig:
+    """Knobs of the synthetic TREEBANK generator."""
+
+    sentences: int = 120
+    seed: int = 1986
+    max_depth: int = 18
+    #: Probability that an NP recurses into NP-PP (drives depth).
+    recursion: float = 0.55
+
+
+def generate_treebank(config: TreebankConfig | None = None) -> str:
+    """Generate a synthetic TREEBANK document as XML text."""
+    config = config or TreebankConfig()
+    rng = random.Random(config.seed)
+    parts: list[str] = ["<FILE>"]
+    for __ in range(config.sentences):
+        parts.append("<S>")
+        _np(rng, config, parts, depth=2)
+        _vp(rng, config, parts, depth=2)
+        parts.append("</S>")
+    parts.append("</FILE>")
+    return "".join(parts)
+
+
+def _np(rng: random.Random, config: TreebankConfig, parts: list[str],
+        depth: int) -> None:
+    parts.append("<NP>")
+    if depth < config.max_depth and rng.random() < config.recursion:
+        _np(rng, config, parts, depth + 1)
+        _pp(rng, config, parts, depth + 1)
+    else:
+        parts.append(f"<DT>{rng.choice(_DETS)}</DT>")
+        if rng.random() < 0.4:
+            parts.append(f"<JJ>{rng.choice(_ADJS)}</JJ>")
+        parts.append(f"<NN>{rng.choice(_NOUNS)}</NN>")
+    parts.append("</NP>")
+
+
+def _vp(rng: random.Random, config: TreebankConfig, parts: list[str],
+        depth: int) -> None:
+    parts.append("<VP>")
+    parts.append(f"<VB>{rng.choice(_VERBS)}</VB>")
+    _np(rng, config, parts, depth + 1)
+    if depth < config.max_depth and rng.random() < 0.3:
+        _pp(rng, config, parts, depth + 1)
+    parts.append("</VP>")
+
+
+def _pp(rng: random.Random, config: TreebankConfig, parts: list[str],
+        depth: int) -> None:
+    parts.append("<PP>")
+    parts.append(f"<IN>{rng.choice(_PREPS)}</IN>")
+    if depth < config.max_depth:
+        _np(rng, config, parts, depth + 1)
+    else:
+        parts.append(f"<NN>{rng.choice(_NOUNS)}</NN>")
+    parts.append("</PP>")

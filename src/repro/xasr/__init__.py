@@ -1,0 +1,48 @@
+"""XASR: extended access support relations (Fiebig & Moerkotte).
+
+An XML document is shredded into the relation::
+
+    Node(in, out, parent_in, type, value)
+
+where ``in``/``out`` are assigned by a depth-first left-to-right preorder
+traversal counting opening *and* closing tags (Figure 2 of the paper), and:
+
+* *y is a child of x*       ⇔  ``y.parent_in = x.in``
+* *y is a descendant of x*  ⇔  ``x.in < y.in  ∧  y.out < x.out``
+
+Physical design (milestone 4):
+
+* the table itself is a B+-tree **clustered on in** — so a descendant range
+  is one sequential leaf scan;
+* secondary index on ``(type, value, in)`` — label and text lookups;
+* secondary index on ``(parent_in, in)`` — the child axis.
+
+:mod:`~repro.xasr.loader` shreds a document *streaming*, never building the
+DOM (milestone 2's requirement), and gathers the statistics milestone 4's
+cost model needs.  :mod:`~repro.xasr.document` is the read-side facade.
+"""
+
+from repro.xasr.loader import DocumentStatistics, load_document
+from repro.xasr.document import StoredDocument
+from repro.xasr.schema import (
+    ELEMENT,
+    ROOT,
+    TEXT,
+    XasrNode,
+    index_label_name,
+    index_parent_name,
+    table_name,
+)
+
+__all__ = [
+    "ROOT",
+    "ELEMENT",
+    "TEXT",
+    "XasrNode",
+    "table_name",
+    "index_label_name",
+    "index_parent_name",
+    "load_document",
+    "DocumentStatistics",
+    "StoredDocument",
+]

@@ -1,0 +1,179 @@
+"""Read-side facade over a stored XASR document.
+
+:class:`StoredDocument` exposes the access paths the engines build their
+physical operators from:
+
+* :meth:`node` — primary-key fetch by in-value;
+* :meth:`children` — ``(parent_in, in)`` secondary-index prefix scan;
+* :meth:`descendants` — clustered primary range scan over
+  ``(x.in, x.out)`` (the interval property);
+* :meth:`nodes_with_label` / :meth:`text_nodes_with_value` — label-index
+  lookups;
+* :meth:`scan` — full relation scan in document order;
+* :meth:`subtree` / :meth:`serialize_subtree` — reconstruction of the XML
+  tree below a node, per the paper's observation that parent_in preserves
+  the child relation and in/out preserve sibling order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.db import Database
+from repro.storage.record import decode_key
+from repro.xasr import schema
+from repro.xasr.loader import DocumentStatistics
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xmlkit.serializer import serialize
+
+
+class StoredDocument:
+    """A loaded document and its indexes."""
+
+    def __init__(self, db: Database, name: str):
+        self.db = db
+        self.name = name
+        try:
+            self.primary = db.open_btree(schema.table_name(name))
+        except CatalogError:
+            raise CatalogError(f"document {name!r} is not loaded") from None
+        self.label_index = db.open_btree(schema.index_label_name(name))
+        self.parent_index = db.open_btree(schema.index_parent_name(name))
+        payload = db.get_meta(schema.stats_name(name))
+        if payload is None:
+            raise CatalogError(f"document {name!r} has no statistics")
+        self.statistics = DocumentStatistics.from_payload(payload)
+
+    # -- record decoding -----------------------------------------------------
+
+    def _decode(self, raw: bytes) -> schema.XasrNode:
+        in_, out, parent_in, node_type, val_kind, value = \
+            schema.RECORD_CODEC.decode(raw)
+        if val_kind == 1:
+            head_page, __, length = value.partition(":")
+            data = self.db.overflow.load(int(head_page), int(length))
+            value = data.decode("utf-8")
+        return schema.XasrNode(in_, out, parent_in, node_type, value)
+
+    # -- point access ------------------------------------------------------------
+
+    def node(self, in_: int) -> schema.XasrNode:
+        """Fetch the node with the given in-value."""
+        raw = self.primary.search(schema.primary_key(in_))
+        if raw is None:
+            raise StorageError(f"document {self.name!r} has no node with "
+                               f"in={in_}")
+        return self._decode(raw)
+
+    def root(self) -> schema.XasrNode:
+        """The virtual root (always ``in = 1``)."""
+        return self.node(1)
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    # -- scans ----------------------------------------------------------------------
+
+    def scan(self) -> Iterator[schema.XasrNode]:
+        """Every node, in document order (= ascending in)."""
+        for __, raw in self.primary.items():
+            yield self._decode(raw)
+
+    def range(self, low_in: int, high_in: int,
+              inclusive: bool = True) -> Iterator[schema.XasrNode]:
+        """Nodes with ``low_in ≤ in ≤ high_in`` (document order)."""
+        for __, raw in self.primary.range_scan(
+                schema.primary_key(low_in), schema.primary_key(high_in),
+                include_low=inclusive, include_high=inclusive):
+            yield self._decode(raw)
+
+    def descendants(self, node: schema.XasrNode) -> Iterator[schema.XasrNode]:
+        """Proper descendants of ``node`` — one clustered range scan.
+
+        By the interval property, these are exactly the nodes with
+        ``node.in < in < node.out``; no post-filtering is needed.
+        """
+        for __, raw in self.primary.range_scan(
+                schema.primary_key(node.in_), schema.primary_key(node.out),
+                include_low=False, include_high=False):
+            yield self._decode(raw)
+
+    def children(self, parent_in: int) -> Iterator[schema.XasrNode]:
+        """Children of the node with in-value ``parent_in``, in order."""
+        prefix = schema.parent_prefix(parent_in)
+        for key, __ in self.parent_index.prefix_scan(prefix):
+            __, child_in = decode_key(key, ("u32", "u32"))
+            yield self.node(child_in)
+
+    def nodes_with_label(self, label: str) -> Iterator[schema.XasrNode]:
+        """All element nodes labelled ``label``, in document order."""
+        yield from self._label_scan(schema.ELEMENT, label)
+
+    def text_nodes_with_value(self, value: str) -> Iterator[schema.XasrNode]:
+        """All text nodes whose full text equals ``value``."""
+        yield from self._label_scan(schema.TEXT, value)
+
+    def _label_scan(self, node_type: int, value: str
+                    ) -> Iterator[schema.XasrNode]:
+        """Label-index lookup by full value, re-checking lossy entries.
+
+        Values longer than :data:`~repro.xasr.schema.VALUE_INDEX_PREFIX`
+        are stored truncated in the index, so matches on a truncated prefix
+        must be verified against the record.
+        """
+        indexed = schema.index_value(value)
+        lossy = indexed != value or len(indexed) >= schema.VALUE_INDEX_PREFIX
+        prefix = schema.label_prefix(node_type, indexed)
+        for key, __ in self.label_index.prefix_scan(prefix):
+            __, __, in_ = decode_key(key, ("u32", "str", "u32"))
+            node = self.node(in_)
+            if lossy and node.value != value:
+                continue
+            yield node
+
+    def label_count(self, label: str) -> int:
+        """Occurrences of an element label, from statistics (O(1))."""
+        return self.statistics.label_counts.get(label, 0)
+
+    # -- reconstruction ---------------------------------------------------------------
+
+    def subtree(self, node: schema.XasrNode) -> Node:
+        """Rebuild the DOM subtree rooted at ``node``.
+
+        One clustered range scan; parents precede children in the scan, so
+        a single in→DOM map wires the tree up (this is the paper's
+        "documents stored using this schema can be reconstructed").
+        """
+        top = self._make_dom(node)
+        by_in: dict[int, Node] = {node.in_: top}
+        for descendant in self.descendants(node):
+            dom = self._make_dom(descendant)
+            by_in[descendant.in_] = dom
+            parent = by_in.get(descendant.parent_in)
+            if parent is None:  # pragma: no cover - corrupt relation
+                raise StorageError(
+                    f"node in={descendant.in_} references missing parent "
+                    f"{descendant.parent_in}")
+            parent.append(dom)
+        return top
+
+    @staticmethod
+    def _make_dom(node: schema.XasrNode) -> Node:
+        if node.is_text:
+            return Text(node.value)
+        if node.is_element:
+            return Element(node.value)
+        return Document()
+
+    def serialize_subtree(self, node: schema.XasrNode,
+                          indent: int | None = None) -> str:
+        """Serialize the subtree below ``node`` to XML text."""
+        return serialize(self.subtree(node), indent=indent)
+
+    def to_document(self) -> Document:
+        """Rebuild the entire document tree (for testing round-trips)."""
+        dom = self.subtree(self.root())
+        if not isinstance(dom, Document):  # pragma: no cover - defensive
+            raise StorageError("root node did not decode as a document")
+        return dom

@@ -1,0 +1,140 @@
+"""XASR relational schema and physical encodings.
+
+Record layout (see :class:`~repro.storage.record.RecordCodec`)::
+
+    in        u32   preorder entry number (primary key)
+    out       u32   preorder exit number
+    parent_in u32   in-value of the parent (0 for the virtual root)
+    type      u8    0 = root, 1 = element, 2 = text
+    val_kind  u8    0 = value inline, 1 = value in the overflow store
+    value     str   label / text / "" for the root;
+                    for val_kind = 1: "head_page:length"
+
+Key layouts (order-preserving, :func:`~repro.storage.record.encode_key`)::
+
+    primary:       (in)
+    label index:   (type, value, in)     value truncated for overflow texts
+    parent index:  (parent_in, in)
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.storage.record import RecordCodec, encode_key
+
+#: XASR ``type`` values, as in Example 1 of the paper.
+ROOT = 0
+ELEMENT = 1
+TEXT = 2
+
+TYPE_NAMES = {ROOT: "root", ELEMENT: "element", TEXT: "text"}
+
+#: Values longer than this are stored in the overflow store.  The label
+#: index only sees the first :data:`VALUE_INDEX_PREFIX` characters of such
+#: values, which is sound because XQ only ever compares *whole* text values
+#: fetched from the record, never from the index key.
+VALUE_INLINE_MAX = 1024
+VALUE_INDEX_PREFIX = 64
+
+#: Codec for XASR records.
+RECORD_CODEC = RecordCodec(["u32", "u32", "u32", "u8", "u8", "str"])
+
+_KEY_U32 = ("u32",)
+_KEY_LABEL = ("u32", "str", "u32")
+_KEY_PARENT = ("u32", "u32")
+
+
+class XasrNode(NamedTuple):
+    """One decoded XASR tuple (value already resolved from overflow)."""
+
+    in_: int
+    out: int
+    parent_in: int
+    type: int
+    value: str
+
+    @property
+    def is_element(self) -> bool:
+        return self.type == ELEMENT
+
+    @property
+    def is_text(self) -> bool:
+        return self.type == TEXT
+
+    @property
+    def is_root(self) -> bool:
+        return self.type == ROOT
+
+    @property
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (self included)."""
+        return (self.out - self.in_ + 1) // 2
+
+    def contains(self, other: "XasrNode") -> bool:
+        """Ancestor test via the interval property."""
+        return self.in_ < other.in_ and other.out < self.out
+
+    def describe(self) -> str:
+        """Human-readable rendering, as in Example 1 of the paper."""
+        value = "NULL" if self.is_root else self.value
+        return (f"({self.in_}, {self.out}, {self.parent_in}, "
+                f"{TYPE_NAMES[self.type]}, {value})")
+
+
+# -- object naming conventions ------------------------------------------------
+
+
+def table_name(document: str) -> str:
+    """Catalog name of a document's primary (clustered) B+-tree."""
+    return f"xasr:{document}:primary"
+
+
+def index_label_name(document: str) -> str:
+    """Catalog name of the ``(type, value, in)`` secondary index."""
+    return f"xasr:{document}:label"
+
+
+def index_parent_name(document: str) -> str:
+    """Catalog name of the ``(parent_in, in)`` secondary index."""
+    return f"xasr:{document}:parent"
+
+
+def stats_name(document: str) -> str:
+    """Catalog name of a document's statistics metadata."""
+    return f"stats:{document}"
+
+
+# -- key encoders ----------------------------------------------------------------
+
+
+def primary_key(in_: int) -> bytes:
+    return encode_key((in_,), _KEY_U32)
+
+
+def label_key(type_: int, value: str, in_: int) -> bytes:
+    return encode_key((type_, value, in_), _KEY_LABEL)
+
+
+def label_prefix(type_: int, value: str | None = None) -> bytes:
+    """Prefix of label-index keys for a node type (and optionally value)."""
+    if value is None:
+        return encode_key((type_,), _KEY_U32)
+    # str keys are terminated, so (type, value) is a clean prefix of
+    # (type, value, in).
+    return encode_key((type_, value), ("u32", "str"))
+
+
+def parent_key(parent_in: int, in_: int) -> bytes:
+    return encode_key((parent_in, in_), _KEY_PARENT)
+
+
+def parent_prefix(parent_in: int) -> bytes:
+    return encode_key((parent_in,), _KEY_U32)
+
+
+def index_value(value: str) -> str:
+    """The (possibly truncated) value stored in label-index keys."""
+    if len(value) > VALUE_INDEX_PREFIX:
+        return value[:VALUE_INDEX_PREFIX]
+    return value

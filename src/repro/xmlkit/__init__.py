@@ -1,0 +1,60 @@
+"""A from-scratch XML toolkit (the paper's "scanner and parser" skeleton).
+
+This package deliberately avoids both ``lxml`` and the standard library's
+``xml`` modules: the course handed students a bare scanner/parser skeleton,
+and this reproduction builds the equivalent substrate natively.
+
+Supported XML subset (sufficient for the paper's documents — DBLP,
+TREEBANK, handmade test files):
+
+* elements with attributes,
+* text content with the five predefined entities and numeric references,
+* comments, processing instructions and an XML declaration (skipped),
+* CDATA sections,
+* UTF-8 input.
+
+Not supported (and not needed by the paper): DTDs, namespaces-aware
+processing (prefixes are kept verbatim in names), external entities.
+
+Public API
+----------
+:func:`parse` / :func:`parse_file`
+    Build a :class:`~repro.xmlkit.dom.Document` tree.
+:func:`iterparse` / :func:`iterparse_file`
+    Stream :class:`~repro.xmlkit.events.XmlEvent` objects without
+    materialising a tree (used by the XASR bulk loader).
+:func:`serialize`
+    Render a DOM node back to XML text.
+"""
+
+from repro.xmlkit.dom import Document, Element, Node, NodeKind, Text
+from repro.xmlkit.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.parser import parse, parse_file
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit.tokenizer import iterparse, iterparse_file
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "NodeKind",
+    "Text",
+    "XmlEvent",
+    "StartDocument",
+    "EndDocument",
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "parse",
+    "parse_file",
+    "iterparse",
+    "iterparse_file",
+    "serialize",
+]

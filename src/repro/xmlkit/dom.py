@@ -1,0 +1,187 @@
+"""In-memory document tree (the milestone-1 data model).
+
+The tree deliberately mirrors the paper's node taxonomy: a document has a
+virtual *root* node whose single child is the root element; inner nodes are
+*element* nodes; leaves carrying character data are *text* nodes.  These are
+exactly the three ``type`` values of the XASR relation
+(:mod:`repro.xasr.schema`).
+
+Navigation follows the two XQ axes, ``child`` and ``descendant``; both honor
+document order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Iterator
+
+
+class NodeKind(enum.Enum):
+    """The three node types of the paper's data model."""
+
+    ROOT = "root"
+    ELEMENT = "element"
+    TEXT = "text"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Node:
+    """Base class for tree nodes.
+
+    Attributes
+    ----------
+    parent:
+        The parent node, or ``None`` for the document root.
+    children:
+        Child nodes in document order (always empty for text nodes).
+    """
+
+    __slots__ = ("parent", "children")
+
+    kind: NodeKind
+
+    def __init__(self) -> None:
+        self.parent: Node | None = None
+        self.children: list[Node] = []
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Attach ``child`` as the last child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- navigation --------------------------------------------------------
+
+    def iter_children(self) -> Iterator[Node]:
+        """Children in document order (the ``child`` axis)."""
+        return iter(self.children)
+
+    def iter_descendants(self) -> Iterator[Node]:
+        """Proper descendants in document order (the ``descendant`` axis)."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_self_and_descendants(self) -> Iterator[Node]:
+        """This node, then its descendants, in document order."""
+        return itertools.chain((self,), self.iter_descendants())
+
+    # -- content -----------------------------------------------------------
+
+    def string_value(self) -> str:
+        """Concatenation of all descendant-or-self text, in document order."""
+        parts = [node.text for node in self.iter_self_and_descendants()
+                 if isinstance(node, Text)]
+        return "".join(parts)
+
+    def is_text(self) -> bool:
+        return self.kind is NodeKind.TEXT
+
+    def is_element(self) -> bool:
+        return self.kind is NodeKind.ELEMENT
+
+    @property
+    def label(self) -> str | None:
+        """Element label, text content, or ``None`` for the root.
+
+        This is the XASR ``value`` column.
+        """
+        return None
+
+
+class Document(Node):
+    """The virtual root node of a document tree.
+
+    The paper assigns it XASR type ``root`` and value ``NULL``; its in-value
+    is always 1 (the anchor for absolute paths like ``/journal``).
+    """
+
+    __slots__ = ()
+    kind = NodeKind.ROOT
+
+    @property
+    def root_element(self) -> Element | None:
+        """The document's root element, if any."""
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    def __repr__(self) -> str:
+        root = self.root_element
+        name = root.name if root is not None else "<empty>"
+        return f"Document(root={name!r})"
+
+
+class Element(Node):
+    """An element node with a label and, optionally, attributes.
+
+    Attributes are preserved for round-tripping but are *not* part of the XQ
+    data model (the paper's XQ fragment has no attribute axis); the XASR
+    loader ignores them.
+    """
+
+    __slots__ = ("name", "attributes")
+    kind = NodeKind.ELEMENT
+
+    def __init__(self, name: str,
+                 attributes: tuple[tuple[str, str], ...] = ()):
+        super().__init__()
+        self.name = name
+        self.attributes = attributes
+
+    @property
+    def label(self) -> str | None:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Element({self.name!r}, children={len(self.children)})"
+
+
+class Text(Node):
+    """A text node."""
+
+    __slots__ = ("text",)
+    kind = NodeKind.TEXT
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = text
+
+    @property
+    def label(self) -> str | None:
+        return self.text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        preview = self.text if len(self.text) <= 24 else self.text[:21] + "..."
+        return f"Text({preview!r})"
+
+
+def deep_equal(left: Node, right: Node) -> bool:
+    """Structural equality: same kinds, labels and child sequences.
+
+    Used by the correctness tester to compare engine output against the
+    oracle without depending on serialization details.
+    """
+    if left.kind is not right.kind:
+        return False
+    if isinstance(left, Element) and isinstance(right, Element):
+        if left.name != right.name:
+            return False
+    if isinstance(left, Text) and isinstance(right, Text):
+        if left.text != right.text:
+            return False
+    if len(left.children) != len(right.children):
+        return False
+    return all(deep_equal(lc, rc)
+               for lc, rc in zip(left.children, right.children))

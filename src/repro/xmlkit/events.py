@@ -1,0 +1,71 @@
+"""Event objects produced by the streaming XML tokenizer.
+
+The streaming interface mirrors SAX: a document is a flat sequence of
+events.  The XASR bulk loader consumes these events directly, which is what
+lets milestone 2 load arbitrarily large documents "without building the DOM
+tree of the input XML document".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class XmlEvent:
+    """Base class of all streaming events.
+
+    ``line``/``column`` locate the event in the source text (1-based), which
+    makes loader and parser errors reportable.
+    """
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class StartDocument(XmlEvent):
+    """Emitted once, before any other event."""
+
+
+@dataclass(frozen=True)
+class EndDocument(XmlEvent):
+    """Emitted once, after the root element closes."""
+
+
+@dataclass(frozen=True)
+class StartElement(XmlEvent):
+    """An opening tag ``<name a="v" ...>``.
+
+    Self-closing tags ``<name/>`` produce a :class:`StartElement`
+    immediately followed by a matching :class:`EndElement`.
+    """
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        """Return the value of ``attribute`` or ``default``."""
+        for key, value in self.attributes:
+            if key == attribute:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndElement(XmlEvent):
+    """A closing tag ``</name>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Characters(XmlEvent):
+    """Text content between tags, entity references already resolved.
+
+    The tokenizer coalesces adjacent raw text, entity references and CDATA
+    sections into a single :class:`Characters` event, so consumers never see
+    two Characters events in a row.
+    """
+
+    text: str

@@ -1,0 +1,58 @@
+"""DOM construction from the event stream.
+
+Whitespace policy: text that consists purely of whitespace *between* markup
+is dropped by default (``strip_whitespace=True``), which matches how the
+course's data files (DBLP, TREEBANK) are pretty-printed.  Mixed content with
+significant whitespace can be preserved by passing
+``strip_whitespace=False``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xmlkit.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.tokenizer import iterparse, iterparse_file
+
+
+def build(events: Iterable[XmlEvent], strip_whitespace: bool = True
+          ) -> Document:
+    """Fold an event stream into a :class:`~repro.xmlkit.dom.Document`."""
+    document = Document()
+    stack: list[Node] = [document]
+    for event in events:
+        if isinstance(event, StartElement):
+            element = Element(event.name, event.attributes)
+            stack[-1].append(element)
+            stack.append(element)
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Characters):
+            text = event.text
+            if strip_whitespace and not text.strip():
+                continue
+            stack[-1].append(Text(text))
+        elif isinstance(event, (StartDocument, EndDocument)):
+            continue
+        else:  # pragma: no cover - defensive
+            raise XmlError(f"unexpected event {event!r}")
+    return document
+
+
+def parse(text: str, strip_whitespace: bool = True) -> Document:
+    """Parse XML ``text`` into a document tree."""
+    return build(iterparse(text), strip_whitespace=strip_whitespace)
+
+
+def parse_file(path: str, strip_whitespace: bool = True) -> Document:
+    """Parse the UTF-8 XML file at ``path`` into a document tree."""
+    return build(iterparse_file(path), strip_whitespace=strip_whitespace)

@@ -1,0 +1,67 @@
+"""Serialization of DOM trees back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmlkit.dom import Document, Element, Node, Text
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, escaped in _ATTR_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def serialize(node: Node, indent: int | None = None) -> str:
+    """Render ``node`` (and its subtree) as XML text.
+
+    ``indent=None`` produces compact output — the canonical form used when
+    comparing engine results.  An integer ``indent`` pretty-prints with that
+    many spaces per level; text nodes are then kept on their own lines, so
+    pretty output is for human eyes, not for equality checks.
+    """
+    parts: list[str] = []
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: int | None,
+           depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    if isinstance(node, Document):
+        for child in node.children:
+            _write(child, parts, indent, depth)
+        return
+    if isinstance(node, Text):
+        parts.append(f"{pad}{escape_text(node.text)}{newline}")
+        return
+    if isinstance(node, Element):
+        attrs = "".join(f' {name}="{escape_attribute(value)}"'
+                        for name, value in node.attributes)
+        if not node.children:
+            parts.append(f"{pad}<{node.name}{attrs}/>{newline}")
+            return
+        only_text = (len(node.children) == 1
+                     and isinstance(node.children[0], Text))
+        if indent is not None and only_text:
+            text = escape_text(node.children[0].text)  # type: ignore[union-attr]
+            parts.append(f"{pad}<{node.name}{attrs}>{text}"
+                         f"</{node.name}>{newline}")
+            return
+        parts.append(f"{pad}<{node.name}{attrs}>{newline}")
+        for child in node.children:
+            _write(child, parts, indent, depth + 1)
+        parts.append(f"{pad}</{node.name}>{newline}")
+        return
+    raise TypeError(f"cannot serialize {type(node).__name__}")

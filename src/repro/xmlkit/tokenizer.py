@@ -1,0 +1,326 @@
+"""Streaming XML tokenizer.
+
+:func:`iterparse` turns XML text into a stream of
+:class:`~repro.xmlkit.events.XmlEvent` objects.  The tokenizer is a single
+forward pass with O(depth) memory, which is the property the paper's
+milestone 2 relies on ("does not require building the DOM tree").
+
+The grammar implemented is the well-formed-document subset described in
+:mod:`repro.xmlkit`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import XmlError
+from repro.xmlkit.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    XmlEvent,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-·")
+_WHITESPACE = set(" \t\r\n")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Cursor:
+    """Position-tracking cursor over the source text."""
+
+    __slots__ = ("text", "pos", "line", "column")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.text):
+            return ""
+        return self.text[index]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> str:
+        """Consume ``count`` characters, updating line/column."""
+        consumed = self.text[self.pos:self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def error(self, message: str) -> XmlError:
+        return XmlError(message, self.line, self.column)
+
+
+def _skip_whitespace(cur: _Cursor) -> None:
+    while not cur.at_end() and cur.peek() in _WHITESPACE:
+        cur.advance()
+
+
+def _read_name(cur: _Cursor) -> str:
+    if cur.at_end() or not _is_name_start(cur.peek()):
+        raise cur.error(f"expected a name, found {cur.peek()!r}")
+    start = cur.pos
+    cur.advance()
+    while not cur.at_end() and _is_name_char(cur.peek()):
+        cur.advance()
+    return cur.text[start:cur.pos]
+
+
+def _expect(cur: _Cursor, literal: str) -> None:
+    if not cur.startswith(literal):
+        raise cur.error(f"expected {literal!r}")
+    cur.advance(len(literal))
+
+
+def _read_until(cur: _Cursor, terminator: str, what: str) -> str:
+    end = cur.text.find(terminator, cur.pos)
+    if end < 0:
+        raise cur.error(f"unterminated {what}")
+    content = cur.text[cur.pos:end]
+    cur.advance(end - cur.pos + len(terminator))
+    return content
+
+
+def _resolve_entity(cur: _Cursor, body: str) -> str:
+    """Resolve the body of ``&body;`` into its character."""
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            return chr(int(body[2:], 16))
+        except ValueError:
+            raise cur.error(f"bad hexadecimal character reference &{body};")
+    if body.startswith("#"):
+        try:
+            return chr(int(body[1:], 10))
+        except ValueError:
+            raise cur.error(f"bad decimal character reference &{body};")
+    try:
+        return _PREDEFINED_ENTITIES[body]
+    except KeyError:
+        raise cur.error(f"unknown entity &{body};") from None
+
+
+def _read_attribute_value(cur: _Cursor) -> str:
+    quote = cur.peek()
+    if quote not in ("'", '"'):
+        raise cur.error("attribute value must be quoted")
+    cur.advance()
+    parts: list[str] = []
+    while True:
+        if cur.at_end():
+            raise cur.error("unterminated attribute value")
+        ch = cur.peek()
+        if ch == quote:
+            cur.advance()
+            return "".join(parts)
+        if ch == "<":
+            raise cur.error("'<' not allowed in attribute value")
+        if ch == "&":
+            cur.advance()
+            body = _read_until(cur, ";", "entity reference")
+            parts.append(_resolve_entity(cur, body))
+        else:
+            parts.append(cur.advance())
+
+
+def _read_tag(cur: _Cursor) -> tuple[str, tuple[tuple[str, str], ...], bool]:
+    """Parse an opening tag after the ``<``; returns (name, attrs, empty)."""
+    name = _read_name(cur)
+    attributes: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    while True:
+        _skip_whitespace(cur)
+        if cur.at_end():
+            raise cur.error(f"unterminated start tag <{name}")
+        if cur.startswith("/>"):
+            cur.advance(2)
+            return name, tuple(attributes), True
+        if cur.peek() == ">":
+            cur.advance()
+            return name, tuple(attributes), False
+        attr_name = _read_name(cur)
+        if attr_name in seen:
+            raise cur.error(f"duplicate attribute {attr_name!r}")
+        seen.add(attr_name)
+        _skip_whitespace(cur)
+        _expect(cur, "=")
+        _skip_whitespace(cur)
+        attributes.append((attr_name, _read_attribute_value(cur)))
+
+
+def iterparse(text: str) -> Iterator[XmlEvent]:
+    """Stream events from XML ``text``.
+
+    Yields :class:`StartDocument`, then tag/text events, then
+    :class:`EndDocument`.  Raises :class:`~repro.errors.XmlError` on
+    malformed input, including unbalanced tags and trailing garbage.
+    """
+    cur = _Cursor(text)
+    yield StartDocument(line=cur.line, column=cur.column)
+
+    open_tags: list[str] = []
+    seen_root = False
+    pending_text: list[str] = []
+    pending_pos: tuple[int, int] | None = None
+
+    def flush_text() -> Iterator[Characters]:
+        nonlocal pending_pos
+        if pending_text:
+            content = "".join(pending_text)
+            pending_text.clear()
+            line, column = pending_pos or (cur.line, cur.column)
+            pending_pos = None
+            if open_tags:
+                yield Characters(content, line=line, column=column)
+            elif content.strip():
+                raise XmlError("text content outside the root element",
+                               line, column)
+
+    while not cur.at_end():
+        ch = cur.peek()
+        if ch == "<":
+            if cur.startswith("<?"):
+                yield from flush_text()
+                cur.advance(2)
+                _read_until(cur, "?>", "processing instruction")
+                continue
+            if cur.startswith("<!--"):
+                yield from flush_text()
+                cur.advance(4)
+                _read_until(cur, "-->", "comment")
+                continue
+            if cur.startswith("<![CDATA["):
+                if not open_tags:
+                    raise cur.error("CDATA outside the root element")
+                if pending_pos is None:
+                    pending_pos = (cur.line, cur.column)
+                cur.advance(9)
+                pending_text.append(_read_until(cur, "]]>", "CDATA section"))
+                continue
+            if cur.startswith("<!DOCTYPE"):
+                yield from flush_text()
+                cur.advance(9)
+                # Skip to the matching '>' allowing one internal-subset
+                # bracket pair; full DTD parsing is out of scope.
+                depth = 0
+                while not cur.at_end():
+                    c = cur.advance()
+                    if c == "[":
+                        depth += 1
+                    elif c == "]":
+                        depth -= 1
+                    elif c == ">" and depth <= 0:
+                        break
+                else:
+                    raise cur.error("unterminated DOCTYPE")
+                continue
+            if cur.startswith("</"):
+                yield from flush_text()
+                line, column = cur.line, cur.column
+                cur.advance(2)
+                name = _read_name(cur)
+                _skip_whitespace(cur)
+                _expect(cur, ">")
+                if not open_tags:
+                    raise XmlError(f"closing tag </{name}> with no open "
+                                   "element", line, column)
+                expected = open_tags.pop()
+                if name != expected:
+                    raise XmlError(f"mismatched closing tag </{name}>, "
+                                   f"expected </{expected}>", line, column)
+                yield EndElement(name, line=line, column=column)
+                if not open_tags:
+                    seen_root = True
+                continue
+            # Plain start tag.
+            yield from flush_text()
+            line, column = cur.line, cur.column
+            cur.advance()
+            if open_tags and not _is_name_start(cur.peek()):
+                raise cur.error("malformed markup")
+            if not open_tags and seen_root:
+                raise XmlError("multiple root elements", line, column)
+            name, attributes, empty = _read_tag(cur)
+            yield StartElement(name, attributes, line=line, column=column)
+            if empty:
+                yield EndElement(name, line=line, column=column)
+                if not open_tags:
+                    seen_root = True
+            else:
+                open_tags.append(name)
+        elif ch == "&":
+            if not open_tags:
+                raise cur.error("entity reference outside the root element")
+            if pending_pos is None:
+                pending_pos = (cur.line, cur.column)
+            cur.advance()
+            body = _read_until(cur, ";", "entity reference")
+            pending_text.append(_resolve_entity(cur, body))
+        else:
+            if pending_pos is None:
+                pending_pos = (cur.line, cur.column)
+            start = cur.pos
+            while (not cur.at_end()
+                   and cur.peek() != "<" and cur.peek() != "&"):
+                cur.advance()
+            chunk = cur.text[start:cur.pos]
+            pending_text.append(chunk)
+            if open_tags:
+                pass
+            elif chunk.strip():
+                raise XmlError("text content outside the root element",
+                               *(pending_pos or (cur.line, cur.column)))
+            if not open_tags and seen_root:
+                # Whitespace after the root is fine; drop it.
+                pending_text.clear()
+                pending_pos = None
+
+    yield from flush_text()
+    if open_tags:
+        raise cur.error(f"unclosed element <{open_tags[-1]}>")
+    if not seen_root:
+        raise cur.error("document has no root element")
+    yield EndDocument(line=cur.line, column=cur.column)
+
+
+def iterparse_file(path: str) -> Iterator[XmlEvent]:
+    """Stream events from the UTF-8 file at ``path``.
+
+    The file is read fully into memory before tokenizing; the documents this
+    library targets (scaled DBLP/TREEBANK) comfortably fit, while the *tree*
+    they would expand into is what milestone 2 avoids materialising.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    yield from iterparse(text)

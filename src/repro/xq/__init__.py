@@ -1,0 +1,78 @@
+"""The XQ query language (Figure 1 of the paper).
+
+XQ is composition-free XQuery [Koch, WebDB 2005]: for-expressions,
+conditionals, node construction and downward navigation, but no recursion,
+duplicate elimination, reordering or aggregation.  Its key property —
+variables always bind to *single nodes* of the input document — is what
+makes the milestone-2 streaming evaluation and the milestone-3 relational
+translation possible.
+
+Public API
+----------
+:func:`parse_query`
+    Text → abstract syntax tree (:mod:`repro.xq.ast`).  The concrete syntax
+    accepts multi-step paths (``$x/a//b``) and absolute paths (``/journal``)
+    and desugars them to the single-step core grammar.
+:func:`evaluate`
+    The milestone-1 in-memory evaluator (the library's reference oracle).
+:func:`unparse`
+    AST → canonical query text.
+"""
+
+from repro.xq.ast import (
+    And,
+    Axis,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    NodeTest,
+    Not,
+    Or,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+)
+from repro.xq.eval_memory import evaluate
+from repro.xq.parser import parse_query
+from repro.xq.pretty import unparse
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "LabelTest",
+    "WildcardTest",
+    "TextTest",
+    "Query",
+    "Empty",
+    "Constr",
+    "Sequence",
+    "Var",
+    "TextLiteral",
+    "Step",
+    "For",
+    "If",
+    "Condition",
+    "TrueCond",
+    "VarEqVar",
+    "VarEqConst",
+    "Some",
+    "And",
+    "Or",
+    "Not",
+    "ROOT_VAR",
+    "parse_query",
+    "evaluate",
+    "unparse",
+]

@@ -1,0 +1,293 @@
+"""Abstract syntax of XQ, mirroring Figure 1 of the paper.
+
+::
+
+    query ::= () | <a>query</a> | query query
+            | var | var/axis::nu
+            | for var in var/axis::nu return query
+            | if cond then query
+    cond  ::= var = var | var = string | true()
+            | some var in var/axis::nu satisfies cond
+            | cond and cond | cond or cond | not(cond)
+    axis  ::= child | descendant
+    nu    ::= a | * | text()
+
+Variables are stored *without* the ``$`` sigil.  The reserved name
+:data:`ROOT_VAR` (spelled ``#root``, not writable in the concrete syntax)
+denotes the document root; absolute paths desugar to steps from it.
+
+All AST nodes are frozen dataclasses: they hash, compare structurally, and
+can safely be shared between rewrite stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Reserved variable bound to the virtual document root (XASR in-value 1).
+ROOT_VAR = "#root"
+
+
+class Axis(enum.Enum):
+    """The two downward axes of XQ."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# --------------------------------------------------------------------------
+# Node tests (nu)
+# --------------------------------------------------------------------------
+
+
+class NodeTest:
+    """Base class of node tests."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class LabelTest(NodeTest):
+    """Matches element nodes labelled ``name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class WildcardTest(NodeTest):
+    """Matches any element node (``*``)."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class TextTest(NodeTest):
+    """Matches text nodes (``text()``)."""
+
+    def __str__(self) -> str:
+        return "text()"
+
+
+# --------------------------------------------------------------------------
+# Queries
+# --------------------------------------------------------------------------
+
+
+class Query:
+    """Base class of query expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Empty(Query):
+    """The empty sequence ``()``."""
+
+
+@dataclass(frozen=True)
+class Constr(Query):
+    """Element construction ``<label>{ body }</label>``."""
+
+    label: str
+    body: Query
+
+
+@dataclass(frozen=True)
+class Sequence(Query):
+    """Concatenation ``left, right`` (the grammar's ``query query``)."""
+
+    left: Query
+    right: Query
+
+
+@dataclass(frozen=True)
+class TextLiteral(Query):
+    """Literal text inside a constructor, e.g. ``<a>hello</a>``.
+
+    Not part of Figure 1's abstract grammar, but the natural concrete-syntax
+    companion of element construction; evaluates to a single text node.
+    """
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Var(Query):
+    """A variable occurrence; evaluates to the single node it is bound to."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Step(Query):
+    """A single navigation step ``$var/axis::nu``."""
+
+    var: str
+    axis: Axis
+    test: NodeTest
+
+
+@dataclass(frozen=True)
+class For(Query):
+    """``for $var in source return body`` — ``source`` is a single step."""
+
+    var: str
+    source: Step
+    body: Query
+
+
+@dataclass(frozen=True)
+class If(Query):
+    """``if (cond) then body`` with an implicitly empty else branch."""
+
+    cond: Condition
+    body: Query
+
+
+# --------------------------------------------------------------------------
+# Conditions
+# --------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class of condition expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    """The constant ``true()``."""
+
+
+@dataclass(frozen=True)
+class VarEqVar(Condition):
+    """``$left = $right`` — defined only when both bind to text nodes."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class VarEqConst(Condition):
+    """``$var = "literal"`` — defined only when ``$var`` binds to a text
+    node."""
+
+    var: str
+    literal: str
+
+
+@dataclass(frozen=True)
+class Some(Condition):
+    """``some $var in source satisfies cond``."""
+
+    var: str
+    source: Step
+    cond: Condition
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    cond: Condition
+
+
+# --------------------------------------------------------------------------
+# Structural helpers shared by evaluators and the algebraic translator
+# --------------------------------------------------------------------------
+
+
+def free_variables(expr: Query | Condition) -> frozenset[str]:
+    """Free variables of a query or condition.
+
+    ``for`` and ``some`` bind their variable in the body/condition; the
+    source step's variable is free.
+    """
+    if isinstance(expr, (Empty, TextLiteral, TrueCond)):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Step):
+        return frozenset({expr.var})
+    if isinstance(expr, Constr):
+        return free_variables(expr.body)
+    if isinstance(expr, Sequence):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, For):
+        return (free_variables(expr.source)
+                | (free_variables(expr.body) - {expr.var}))
+    if isinstance(expr, If):
+        return free_variables(expr.cond) | free_variables(expr.body)
+    if isinstance(expr, VarEqVar):
+        return frozenset({expr.left, expr.right})
+    if isinstance(expr, VarEqConst):
+        return frozenset({expr.var})
+    if isinstance(expr, Some):
+        return (free_variables(expr.source)
+                | (free_variables(expr.cond) - {expr.var}))
+    if isinstance(expr, (And, Or)):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, Not):
+        return free_variables(expr.cond)
+    raise TypeError(f"not an XQ expression: {expr!r}")
+
+
+def contains_constructor(expr: Query) -> bool:
+    """True if ``expr`` syntactically contains a node constructor.
+
+    The relfor merging rule of milestone 3 must *not* merge across a
+    constructor (see "strict merging" in the paper): a merged relfor would
+    fail to emit empty constructed elements for outer bindings with no inner
+    matches.
+    """
+    if isinstance(expr, (Constr, TextLiteral)):
+        return True
+    if isinstance(expr, Sequence):
+        return (contains_constructor(expr.left)
+                or contains_constructor(expr.right))
+    if isinstance(expr, For):
+        return contains_constructor(expr.body)
+    if isinstance(expr, If):
+        return contains_constructor(expr.body)
+    return False
+
+
+def query_size(expr: Query | Condition) -> int:
+    """Number of AST nodes — a convenient complexity measure for tests."""
+    if isinstance(expr, (Empty, TextLiteral, Var, Step, TrueCond, VarEqVar,
+                         VarEqConst)):
+        return 1
+    if isinstance(expr, Constr):
+        return 1 + query_size(expr.body)
+    if isinstance(expr, Sequence):
+        return 1 + query_size(expr.left) + query_size(expr.right)
+    if isinstance(expr, For):
+        return 1 + query_size(expr.source) + query_size(expr.body)
+    if isinstance(expr, If):
+        return 1 + query_size(expr.cond) + query_size(expr.body)
+    if isinstance(expr, Some):
+        return 1 + query_size(expr.source) + query_size(expr.cond)
+    if isinstance(expr, (And, Or)):
+        return 1 + query_size(expr.left) + query_size(expr.right)
+    if isinstance(expr, Not):
+        return 1 + query_size(expr.cond)
+    raise TypeError(f"not an XQ expression: {expr!r}")

@@ -1,0 +1,204 @@
+"""Milestone 1: the in-memory XQ evaluator.
+
+A direct transcription of the denotational semantics: an environment maps
+variables to *single nodes* of the input document (or of previously
+constructed trees), and every query form maps to a list of result nodes.
+
+This evaluator is the library's correctness oracle — the role Galax played
+in the course.  Every other engine (navigational, algebraic, optimized) is
+tested for result equality against it.
+
+The paper's simplification is honored faithfully: equality comparisons are
+only defined when the compared variables are bound to **text nodes**;
+anything else raises :class:`~repro.errors.XQTypeError` at runtime.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import XQEvalError, XQTypeError
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xq.ast import (
+    And,
+    Axis,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    Not,
+    Or,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+)
+
+Environment = dict[str, Node]
+
+
+def evaluate(query: Query, document: Document,
+             environment: Environment | None = None) -> list[Node]:
+    """Evaluate ``query`` against ``document``.
+
+    Returns the result sequence as a list of nodes.  Nodes originating from
+    the input document are returned *by reference*; constructed elements own
+    deep copies of their content (XQuery's copy semantics for node
+    construction).
+
+    ``environment`` optionally pre-binds free variables; the root variable
+    is always bound to the document node.
+    """
+    env: Environment = {ROOT_VAR: document}
+    if environment:
+        env.update(environment)
+    return list(_eval(query, env))
+
+
+def _eval(query: Query, env: Environment) -> Iterator[Node]:
+    if isinstance(query, Empty):
+        return
+    if isinstance(query, TextLiteral):
+        yield Text(query.text)
+        return
+    if isinstance(query, Constr):
+        element = Element(query.label)
+        for item in _eval(query.body, env):
+            element.append(_copy(item))
+        yield element
+        return
+    if isinstance(query, Sequence):
+        yield from _eval(query.left, env)
+        yield from _eval(query.right, env)
+        return
+    if isinstance(query, Var):
+        yield _lookup(env, query.name)
+        return
+    if isinstance(query, Step):
+        yield from _step(query, env)
+        return
+    if isinstance(query, For):
+        for node in _step(query.source, env):
+            inner = dict(env)
+            inner[query.var] = node
+            yield from _eval(query.body, inner)
+        return
+    if isinstance(query, If):
+        if _cond(query.cond, env):
+            yield from _eval(query.body, env)
+        return
+    raise XQEvalError(f"cannot evaluate query node {query!r}")
+
+
+def _step(step: Step, env: Environment) -> Iterator[Node]:
+    """Nodes reached from the step's base variable, in document order."""
+    base = _lookup(env, step.var)
+    if step.axis is Axis.CHILD:
+        candidates = base.iter_children()
+    else:
+        candidates = base.iter_descendants()
+    test = step.test
+    if isinstance(test, LabelTest):
+        wanted = test.name
+        for node in candidates:
+            if isinstance(node, Element) and node.name == wanted:
+                yield node
+    elif isinstance(test, WildcardTest):
+        for node in candidates:
+            if isinstance(node, Element):
+                yield node
+    elif isinstance(test, TextTest):
+        for node in candidates:
+            if isinstance(node, Text):
+                yield node
+    else:  # pragma: no cover - defensive
+        raise XQEvalError(f"unknown node test {test!r}")
+
+
+def _cond(cond: Condition, env: Environment) -> bool:
+    if isinstance(cond, TrueCond):
+        return True
+    if isinstance(cond, VarEqVar):
+        left = _text_value(env, cond.left)
+        right = _text_value(env, cond.right)
+        return left == right
+    if isinstance(cond, VarEqConst):
+        return _text_value(env, cond.var) == cond.literal
+    if isinstance(cond, Some):
+        for node in _step(cond.source, env):
+            inner = dict(env)
+            inner[cond.var] = node
+            if _cond(cond.cond, inner):
+                return True
+        return False
+    if isinstance(cond, And):
+        return _cond(cond.left, env) and _cond(cond.right, env)
+    if isinstance(cond, Or):
+        return _cond(cond.left, env) or _cond(cond.right, env)
+    if isinstance(cond, Not):
+        return not _cond(cond.cond, env)
+    raise XQEvalError(f"cannot evaluate condition {cond!r}")
+
+
+def _lookup(env: Environment, name: str) -> Node:
+    try:
+        return env[name]
+    except KeyError:
+        raise XQEvalError(f"unbound variable ${name}") from None
+
+
+def _text_value(env: Environment, name: str) -> str:
+    """The text content of the node ``$name`` is bound to.
+
+    Per the paper, comparisons are only implemented for text-node bindings;
+    any other node kind is a runtime type error.
+    """
+    node = _lookup(env, name)
+    if not isinstance(node, Text):
+        raise XQTypeError(
+            f"comparison requires ${name} to be bound to a text node, "
+            f"got a {node.kind.value} node")
+    return node.text
+
+
+def _copy(node: Node) -> Node:
+    """Deep copy a node for insertion under a constructed element."""
+    if isinstance(node, Text):
+        return Text(node.text)
+    if isinstance(node, Element):
+        clone = Element(node.name, node.attributes)
+        for child in node.children:
+            clone.append(_copy(child))
+        return clone
+    if isinstance(node, Document):
+        # Copying the root copies the forest below it.
+        clone_children = [_copy(child) for child in node.children]
+        if len(clone_children) == 1:
+            return clone_children[0]
+        wrapper = Element("#document")
+        for child in clone_children:
+            wrapper.append(child)
+        return wrapper
+    raise XQEvalError(f"cannot copy node {node!r}")
+
+
+def serialize_result(nodes: list[Node], indent: int | None = None) -> str:
+    """Serialize a result sequence to XML text.
+
+    Input-document nodes are serialized with their whole subtree, matching
+    the paper's semantics where "the subtree to which a variable is bound is
+    written to the output".
+    """
+    from repro.xmlkit.serializer import serialize
+
+    return "".join(serialize(node, indent=indent) for node in nodes)

@@ -1,0 +1,528 @@
+"""Recursive-descent parser for XQ.
+
+The concrete syntax is a friendly superset of Figure 1's abstract syntax:
+
+* multi-step paths (``$x/a/b``, ``$x//name/text()``) are accepted and
+  desugared into nested ``for``/``some`` expressions over single steps;
+* absolute paths (``/journal``, ``//article``) desugar to steps from the
+  reserved root variable;
+* element constructors take XQuery form: ``<a>{ expr }</a>``, with nested
+  constructors, several embedded ``{ expr }`` blocks and literal text all
+  allowed in the content;
+* ``if (cond) then q`` may optionally end in ``else ()`` (the only legal
+  else branch in XQ).
+
+Example::
+
+    >>> from repro.xq import parse_query, unparse
+    >>> q = parse_query('for $j in /journal return $j//name')
+    >>> print(unparse(q))
+    for $j in #root/child::journal return for $#1 in \
+$j/descendant::name return $#1
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQSyntaxError
+from repro.xq.ast import (
+    And,
+    Axis,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    NodeTest,
+    Not,
+    Or,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+)
+
+_KEYWORDS = {"for", "in", "return", "if", "then", "else", "some",
+             "satisfies", "and", "or", "not", "true"}
+
+_NAME_START_EXTRA = set("_")
+_NAME_EXTRA = set("_-.")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character-level scanner with position tracking.
+
+    The parser drives it directly (no token stream) so that element
+    constructors can switch into raw-content mode, exactly like an XQuery
+    lexer's state machine.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> XQSyntaxError:
+        return XQSyntaxError(message, self.line, self.column)
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> str:
+        consumed = self.text[self.pos:self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.advance()
+            elif self.text.startswith("(:", self.pos):
+                end = self.text.find(":)", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated comment (: ... :)")
+                self.advance(end + 2 - self.pos)
+            else:
+                break
+
+    # -- lookahead ---------------------------------------------------------
+
+    def looking_at(self, literal: str) -> bool:
+        self.skip_ws()
+        return self.text.startswith(literal, self.pos)
+
+    def looking_at_keyword(self, word: str) -> bool:
+        """True if the next token is exactly the keyword ``word``."""
+        self.skip_ws()
+        if not self.text.startswith(word, self.pos):
+            return False
+        after = self.pos + len(word)
+        return after >= len(self.text) or not _is_name_char(self.text[after])
+
+    # -- consumption -------------------------------------------------------
+
+    def try_literal(self, literal: str) -> bool:
+        if self.looking_at(literal):
+            self.advance(len(literal))
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.try_literal(literal):
+            found = self.peek() or "<end of query>"
+            raise self.error(f"expected {literal!r}, found {found!r}")
+
+    def try_keyword(self, word: str) -> bool:
+        if self.looking_at_keyword(word):
+            self.advance(len(word))
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.try_keyword(word):
+            raise self.error(f"expected keyword {word!r}")
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        if not _is_name_start(self.peek()):
+            found = self.peek() or "<end of query>"
+            raise self.error(f"expected a name, found {found!r}")
+        start = self.pos
+        self.advance()
+        while _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start:self.pos]
+
+    def read_variable(self) -> str:
+        self.skip_ws()
+        self.expect("$")
+        # '$#n' re-reads fresh variables produced by path desugaring, so
+        # unparse∘parse round-trips; users cannot clash with them because a
+        # plain name may not start with '#'.
+        if self.peek() == "#":
+            self.advance()
+            digits = []
+            while self.peek().isdigit():
+                digits.append(self.advance())
+            if not digits:
+                raise self.error("expected digits after '$#'")
+            return "#" + "".join(digits)
+        name = self.read_name()
+        if name in _KEYWORDS:
+            raise self.error(f"{name!r} is a keyword, not a variable name")
+        return name
+
+    def read_string(self) -> str:
+        self.skip_ws()
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a string literal")
+        self.advance()
+        parts: list[str] = []
+        while True:
+            ch = self.peek()
+            if not ch:
+                raise self.error("unterminated string literal")
+            if ch == quote:
+                self.advance()
+                # XQuery-style doubled quote escapes the quote itself.
+                if self.peek() == quote:
+                    parts.append(self.advance())
+                    continue
+                return "".join(parts)
+            parts.append(self.advance())
+
+
+class _PathStep:
+    """One parsed concrete-syntax step, before desugaring."""
+
+    __slots__ = ("axis", "test")
+
+    def __init__(self, axis: Axis, test: NodeTest):
+        self.axis = axis
+        self.test = test
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.scanner = _Scanner(text)
+        self._fresh_counter = 0
+
+    # -- fresh variables for path desugaring -------------------------------
+
+    def fresh_var(self) -> str:
+        """Generate a variable name unwritable in the concrete syntax."""
+        self._fresh_counter += 1
+        return f"#{self._fresh_counter}"
+
+    # -- entry point --------------------------------------------------------
+
+    def parse(self) -> Query:
+        query = self.parse_sequence()
+        if not self.scanner.at_end():
+            raise self.scanner.error(
+                f"unexpected trailing input {self.scanner.peek()!r}")
+        return query
+
+    # -- queries ------------------------------------------------------------
+
+    def parse_sequence(self) -> Query:
+        query = self.parse_single()
+        while self.scanner.try_literal(","):
+            query = Sequence(query, self.parse_single())
+        return query
+
+    def parse_single(self) -> Query:
+        scanner = self.scanner
+        if scanner.looking_at_keyword("for"):
+            return self.parse_for()
+        if scanner.looking_at_keyword("if"):
+            return self.parse_if()
+        if scanner.looking_at("<"):
+            return self.parse_constructor()
+        if scanner.looking_at("("):
+            return self.parse_parenthesized()
+        if scanner.looking_at("$") or scanner.looking_at("/"):
+            return self.parse_path_query()
+        found = scanner.peek() or "<end of query>"
+        raise scanner.error(f"expected a query expression, found {found!r}")
+
+    def parse_parenthesized(self) -> Query:
+        scanner = self.scanner
+        scanner.expect("(")
+        if scanner.try_literal(")"):
+            return Empty()
+        inner = self.parse_sequence()
+        scanner.expect(")")
+        return inner
+
+    def parse_for(self) -> Query:
+        scanner = self.scanner
+        scanner.expect_keyword("for")
+        var = scanner.read_variable()
+        scanner.expect_keyword("in")
+        base, steps = self.parse_path()
+        if not steps:
+            raise scanner.error("'for' requires a path with at least one "
+                                "step (variables bind to single nodes)")
+        scanner.expect_keyword("return")
+        body = self.parse_single()
+        return self._desugar_for(var, base, steps, body)
+
+    def _desugar_for(self, var: str, base: str, steps: list[_PathStep],
+                     body: Query) -> Query:
+        """``for $v in $base/s1/.../sn return body`` as nested fors."""
+        *outer_steps, last = steps
+        bindings: list[tuple[str, str, _PathStep]] = []
+        current = base
+        for step in outer_steps:
+            temp = self.fresh_var()
+            bindings.append((temp, current, step))
+            current = temp
+        result: Query = For(var, Step(current, last.axis, last.test), body)
+        for temp, source_var, step in reversed(bindings):
+            result = For(temp, Step(source_var, step.axis, step.test), result)
+        return result
+
+    def parse_if(self) -> Query:
+        scanner = self.scanner
+        scanner.expect_keyword("if")
+        scanner.expect("(")
+        cond = self.parse_condition()
+        scanner.expect(")")
+        scanner.expect_keyword("then")
+        body = self.parse_single()
+        if scanner.try_keyword("else"):
+            scanner.expect("(")
+            scanner.expect(")")
+        return If(cond, body)
+
+    def parse_constructor(self) -> Query:
+        scanner = self.scanner
+        scanner.expect("<")
+        label = scanner.read_name()
+        scanner.skip_ws()
+        if scanner.try_literal("/>"):
+            return Constr(label, Empty())
+        scanner.expect(">")
+        body = self.parse_constructor_content(label)
+        return Constr(label, body)
+
+    def parse_constructor_content(self, label: str) -> Query:
+        """Content of ``<label> ... </label>``: text, ``{expr}``, nested
+        constructors."""
+        scanner = self.scanner
+        parts: list[Query] = []
+        text_run: list[str] = []
+
+        def flush_text() -> None:
+            if text_run:
+                content = "".join(text_run)
+                text_run.clear()
+                if content.strip():
+                    parts.append(TextLiteral(content.strip()))
+
+        while True:
+            ch = scanner.peek()
+            if not ch:
+                raise scanner.error(f"unterminated constructor <{label}>")
+            if scanner.text.startswith("</", scanner.pos):
+                flush_text()
+                scanner.advance(2)
+                closing = scanner.read_name()
+                if closing != label:
+                    raise scanner.error(f"mismatched </{closing}>, expected "
+                                        f"</{label}>")
+                scanner.skip_ws()
+                scanner.expect(">")
+                break
+            if ch == "<":
+                flush_text()
+                parts.append(self.parse_constructor())
+                continue
+            if ch == "{":
+                flush_text()
+                scanner.advance()
+                scanner.skip_ws()
+                if scanner.try_literal("}"):
+                    continue
+                parts.append(self.parse_sequence())
+                scanner.expect("}")
+                continue
+            text_run.append(scanner.advance())
+        flush_text()
+        if not parts:
+            return Empty()
+        body = parts[0]
+        for part in parts[1:]:
+            body = Sequence(body, part)
+        return body
+
+    # -- paths --------------------------------------------------------------
+
+    def parse_path(self) -> tuple[str, list[_PathStep]]:
+        """Parse ``$var(/step)*`` or an absolute ``/step(/step)*`` path.
+
+        Returns the base variable name and the step list (possibly empty for
+        a bare variable).
+        """
+        scanner = self.scanner
+        scanner.skip_ws()
+        if scanner.peek() == "$":
+            base = scanner.read_variable()
+        elif scanner.peek() == "/":
+            base = ROOT_VAR
+        else:
+            raise scanner.error("expected a variable or an absolute path")
+        steps: list[_PathStep] = []
+        while True:
+            scanner.skip_ws()
+            if scanner.text.startswith("//", scanner.pos):
+                scanner.advance(2)
+                steps.append(_PathStep(Axis.DESCENDANT, self.parse_nodetest()))
+            elif scanner.peek() == "/":
+                scanner.advance()
+                axis = Axis.CHILD
+                save = scanner.pos
+                if _is_name_start(scanner.peek()):
+                    word = scanner.read_name()
+                    if scanner.text.startswith("::", scanner.pos):
+                        scanner.advance(2)
+                        axis = self._axis_from_name(word)
+                        steps.append(_PathStep(axis, self.parse_nodetest()))
+                        continue
+                    scanner.pos = save
+                steps.append(_PathStep(axis, self.parse_nodetest()))
+            else:
+                break
+        if base == ROOT_VAR and not steps:
+            raise scanner.error("'/' must be followed by a step")
+        return base, steps
+
+    def _axis_from_name(self, word: str) -> Axis:
+        if word == "child":
+            return Axis.CHILD
+        if word == "descendant":
+            return Axis.DESCENDANT
+        raise self.scanner.error(f"unknown axis {word!r} (XQ has child and "
+                                 "descendant only)")
+
+    def parse_nodetest(self) -> NodeTest:
+        scanner = self.scanner
+        scanner.skip_ws()
+        if scanner.try_literal("*"):
+            return WildcardTest()
+        name = scanner.read_name()
+        if name == "text":
+            scanner.expect("(")
+            scanner.expect(")")
+            return TextTest()
+        return LabelTest(name)
+
+    def parse_path_query(self) -> Query:
+        """A path used as a query expression; desugars to nested fors."""
+        base, steps = self.parse_path()
+        if not steps:
+            return Var(base)
+        *outer, last = steps
+        current = base
+        bindings: list[tuple[str, str, _PathStep]] = []
+        for step in outer:
+            temp = self.fresh_var()
+            bindings.append((temp, current, step))
+            current = temp
+        result: Query = Step(current, last.axis, last.test)
+        for temp, source_var, step in reversed(bindings):
+            result = For(temp, Step(source_var, step.axis, step.test), result)
+        return result
+
+    # -- conditions -----------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        cond = self.parse_and_condition()
+        while self.scanner.try_keyword("or"):
+            cond = Or(cond, self.parse_and_condition())
+        return cond
+
+    def parse_and_condition(self) -> Condition:
+        cond = self.parse_primary_condition()
+        while self.scanner.try_keyword("and"):
+            cond = And(cond, self.parse_primary_condition())
+        return cond
+
+    def parse_primary_condition(self) -> Condition:
+        scanner = self.scanner
+        if scanner.try_keyword("true"):
+            scanner.expect("(")
+            scanner.expect(")")
+            return TrueCond()
+        if scanner.try_keyword("not"):
+            scanner.expect("(")
+            cond = self.parse_condition()
+            scanner.expect(")")
+            return Not(cond)
+        if scanner.looking_at_keyword("some"):
+            return self.parse_some()
+        if scanner.looking_at("("):
+            scanner.expect("(")
+            cond = self.parse_condition()
+            scanner.expect(")")
+            return cond
+        if scanner.looking_at("$"):
+            left = scanner.read_variable()
+            scanner.expect("=")
+            scanner.skip_ws()
+            if scanner.peek() in ("'", '"'):
+                return VarEqConst(left, scanner.read_string())
+            right = scanner.read_variable()
+            return VarEqVar(left, right)
+        found = scanner.peek() or "<end of query>"
+        raise scanner.error(f"expected a condition, found {found!r}")
+
+    def parse_some(self) -> Condition:
+        scanner = self.scanner
+        scanner.expect_keyword("some")
+        var = scanner.read_variable()
+        scanner.expect_keyword("in")
+        base, steps = self.parse_path()
+        if not steps:
+            raise scanner.error("'some' requires a path with at least one "
+                                "step")
+        scanner.expect_keyword("satisfies")
+        cond = self.parse_condition()
+        return self._desugar_some(var, base, steps, cond)
+
+    def _desugar_some(self, var: str, base: str, steps: list[_PathStep],
+                      cond: Condition) -> Condition:
+        """``some $v in $base/s1/.../sn satisfies c`` as nested somes."""
+        *outer_steps, last = steps
+        current = base
+        bindings: list[tuple[str, str, _PathStep]] = []
+        for step in outer_steps:
+            temp = self.fresh_var()
+            bindings.append((temp, current, step))
+            current = temp
+        result: Condition = Some(var, Step(current, last.axis, last.test),
+                                 cond)
+        for temp, source_var, step in reversed(bindings):
+            result = Some(temp, Step(source_var, step.axis, step.test),
+                          result)
+        return result
+
+
+def parse_query(text: str) -> Query:
+    """Parse XQ query ``text`` into its abstract syntax tree.
+
+    Raises :class:`~repro.errors.XQSyntaxError` with a source position on
+    malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,119 @@
+"""Unparsing: AST back to canonical XQ concrete syntax.
+
+The output re-parses to an equal AST (``parse(unparse(q)) == q`` for ASTs
+produced by the parser — fresh desugaring variables are spelled ``$#n`` and
+re-read as-is), which the test suite exercises as a round-trip property.
+"""
+
+from __future__ import annotations
+
+from repro.xq.ast import (
+    And,
+    Condition,
+    Constr,
+    Empty,
+    For,
+    If,
+    Not,
+    Or,
+    Query,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+)
+
+
+def unparse(expr: Query | Condition) -> str:
+    """Render an XQ query or condition as text."""
+    if isinstance(expr, Query):
+        return _query(expr)
+    return _condition(expr)
+
+
+def _var(name: str) -> str:
+    return f"${name}"
+
+
+def _step(step: Step) -> str:
+    prefix = "" if step.var == ROOT_VAR else _var(step.var)
+    return f"{prefix}/{step.axis.value}::{step.test}"
+
+
+def _query(expr: Query) -> str:
+    if isinstance(expr, Empty):
+        return "()"
+    if isinstance(expr, TextLiteral):
+        # Only legal inside a constructor; _constructor_body handles that
+        # case.  A standalone text literal has no stand-alone concrete
+        # syntax, so wrap it in a constructor-shaped marker for debugging.
+        return f"<text>{expr.text}</text>"
+    if isinstance(expr, Constr):
+        if isinstance(expr.body, Empty):
+            return f"<{expr.label}/>"
+        return f"<{expr.label}>{_constructor_body(expr.body)}</{expr.label}>"
+    if isinstance(expr, Sequence):
+        return f"{_query(expr.left)}, {_query(expr.right)}"
+    if isinstance(expr, Var):
+        return _var(expr.name)
+    if isinstance(expr, Step):
+        return _step(expr)
+    if isinstance(expr, For):
+        return (f"for {_var(expr.var)} in {_step(expr.source)} "
+                f"return {_braced(expr.body)}")
+    if isinstance(expr, If):
+        return f"if ({_condition(expr.cond)}) then {_braced(expr.body)}"
+    raise TypeError(f"not an XQ query: {expr!r}")
+
+
+def _constructor_body(expr: Query) -> str:
+    """Render constructor content: text literals and nested constructors go
+    in raw, everything else inside ``{ ... }`` blocks."""
+    parts = _flatten_sequence(expr)
+    rendered: list[str] = []
+    for part in parts:
+        if isinstance(part, TextLiteral):
+            rendered.append(part.text)
+        elif isinstance(part, Constr):
+            rendered.append(_query(part))
+        else:
+            rendered.append(f"{{ {_query(part)} }}")
+    return "".join(rendered)
+
+
+def _flatten_sequence(expr: Query) -> list[Query]:
+    if isinstance(expr, Sequence):
+        return _flatten_sequence(expr.left) + _flatten_sequence(expr.right)
+    return [expr]
+
+
+def _braced(expr: Query) -> str:
+    """Parenthesize sequences so they parse back as one return body."""
+    if isinstance(expr, Sequence):
+        return f"({_query(expr)})"
+    return _query(expr)
+
+
+def _condition(cond: Condition) -> str:
+    if isinstance(cond, TrueCond):
+        return "true()"
+    if isinstance(cond, VarEqVar):
+        return f"{_var(cond.left)} = {_var(cond.right)}"
+    if isinstance(cond, VarEqConst):
+        escaped = cond.literal.replace('"', '""')
+        return f'{_var(cond.var)} = "{escaped}"'
+    if isinstance(cond, Some):
+        return (f"some {_var(cond.var)} in {_step(cond.source)} "
+                f"satisfies {_condition(cond.cond)}")
+    if isinstance(cond, And):
+        return f"({_condition(cond.left)} and {_condition(cond.right)})"
+    if isinstance(cond, Or):
+        return f"({_condition(cond.left)} or {_condition(cond.right)})"
+    if isinstance(cond, Not):
+        return f"not({_condition(cond.cond)})"
+    raise TypeError(f"not an XQ condition: {cond!r}")

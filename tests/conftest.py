@@ -1,0 +1,59 @@
+"""Shared fixtures: temporary databases with the standard documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dbms import XmlDbms
+from repro.storage.db import Database
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.handmade import EDGE_CASE_DOCUMENTS, FIGURE2_XML
+from repro.workloads.treebank import TreebankConfig, generate_treebank
+
+#: Small, fast workload sizes for unit/integration tests.
+SMALL_DBLP = DblpConfig(articles=60, inproceedings=20, name_pool=20,
+                        errata=3, editors=3, volume_fraction=0.1)
+SMALL_TREEBANK = TreebankConfig(sentences=12, max_depth=12)
+
+
+@pytest.fixture
+def database(tmp_path):
+    """An empty low-level database."""
+    with Database.create(str(tmp_path / "unit.db"),
+                         buffer_capacity=64) as db:
+        yield db
+
+
+@pytest.fixture
+def dbms(tmp_path):
+    """An empty XmlDbms."""
+    with XmlDbms(str(tmp_path / "dbms.db"), buffer_capacity=512) as dbms:
+        yield dbms
+
+
+@pytest.fixture
+def fig2(dbms):
+    """XmlDbms with the Figure 2 document loaded as 'fig2'."""
+    dbms.load("fig2", xml=FIGURE2_XML)
+    return dbms
+
+
+@pytest.fixture(scope="session")
+def dblp_xml():
+    return generate_dblp(SMALL_DBLP)
+
+
+@pytest.fixture(scope="session")
+def treebank_xml():
+    return generate_treebank(SMALL_TREEBANK)
+
+
+@pytest.fixture
+def loaded(tmp_path, dblp_xml, treebank_xml):
+    """XmlDbms with all four paper documents loaded (scaled down)."""
+    with XmlDbms(str(tmp_path / "all.db"), buffer_capacity=1024) as dbms:
+        dbms.load("fig2", xml=FIGURE2_XML)
+        dbms.load("dblp", xml=dblp_xml)
+        dbms.load("treebank", xml=treebank_xml)
+        dbms.load("edge", xml=EDGE_CASE_DOCUMENTS["mixed-empty"])
+        yield dbms

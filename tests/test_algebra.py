@@ -1,0 +1,289 @@
+"""TPM algebra tests: translation rules, merging (Figure 4), strict
+merging, redundant-relation elimination, residual promotion, ordering."""
+
+import pytest
+
+from repro.algebra.merge import (
+    eliminate_in_psx,
+    eliminate_redundant_relations,
+    merge_relfors,
+    promote_residuals,
+)
+from repro.algebra.ra import Attr, Compare, Const, EQ, LT, PSX, VarField
+from repro.algebra.order import (
+    hierarchical_key,
+    is_hierarchically_sorted,
+    is_weakly_sorted,
+)
+from repro.algebra.tpm import (
+    RelFor,
+    TpmConstr,
+    TpmEmpty,
+    TpmSequence,
+    TpmText,
+    TpmVarOut,
+    count_relfors,
+)
+from repro.algebra.translate import translate
+from repro.errors import AlgebraError
+from repro.xasr.schema import ELEMENT, TEXT, XasrNode
+from repro.xq.ast import ROOT_VAR
+from repro.xq.parser import parse_query
+
+
+def tr(text, **kwargs):
+    return translate(parse_query(text), **kwargs)
+
+
+class TestTranslationRules:
+    def test_child_rule_shape(self):
+        """for $y in $x/a ⊢ relfor ($y) in PSX(parent_in=$x ∧ type=elem ∧
+        value=a)."""
+        tpm = tr("for $y in $x/a return $y")
+        assert isinstance(tpm, RelFor)
+        assert tpm.vartuple == ("y",)
+        psx = tpm.source
+        alias = psx.alias_of("y")
+        rendered = {str(c) for c in psx.conditions}
+        assert f"{alias}.parent_in = $x.in" in rendered
+        assert f"{alias}.type = 1" in rendered
+        assert f"{alias}.value = 'a'" in rendered
+        assert isinstance(tpm.body, TpmVarOut)
+
+    def test_descendant_rule_with_out_values(self):
+        tpm = tr("for $y in $x//a return $y")
+        psx = tpm.source
+        alias = psx.alias_of("y")
+        rendered = {str(c) for c in psx.conditions}
+        assert f"$x.in < {alias}.in" in rendered
+        assert f"{alias}.out < $x.out" in rendered
+        assert len(psx.relations) == 1
+
+    def test_descendant_rule_paper_original_form(self):
+        """carry_out_values=False emits the extra XASR[R1] self-join of
+        the paper's verbatim rule."""
+        tpm = tr("for $y in $x//a return $y", carry_out_values=False)
+        psx = tpm.source
+        assert len(psx.relations) == 2
+        rendered = {str(c) for c in psx.conditions}
+        anchor = psx.relations[0]
+        assert f"{anchor}.in = $x.in" in rendered
+
+    def test_text_test_rule(self):
+        tpm = tr("for $t in $x/text() return $t")
+        rendered = {str(c) for c in tpm.source.conditions}
+        alias = tpm.source.alias_of("t")
+        assert f"{alias}.type = 2" in rendered
+
+    def test_wildcard_rule_has_no_value_condition(self):
+        tpm = tr("for $y in $x/* return $y")
+        assert not any("value" in str(c) for c in tpm.source.conditions)
+
+    def test_if_becomes_nullary_relfor(self):
+        """if φ then α ⊢ relfor () in ALG(φ) return α."""
+        tpm = tr("if (some $t in $x/text() satisfies true()) then <y/>",
+                 )
+        assert isinstance(tpm, RelFor)
+        assert tpm.vartuple == ()
+        assert len(tpm.source.relations) == 1
+        assert tpm.source.bindings == ()
+
+    def test_true_condition_is_empty_psx(self):
+        tpm = tr("if (true()) then <y/>")
+        assert tpm.source.relations == ()
+        assert tpm.source.conditions == ()
+
+    def test_some_equality_becomes_value_condition(self):
+        tpm = tr('if (some $t in $x/text() satisfies $t = "Ana") '
+                 "then <y/>")
+        assert any(".value = 'Ana'" in str(c)
+                   for c in tpm.source.conditions)
+        assert tpm.source.residuals == ()
+
+    def test_some_equality_on_elements_stays_residual(self):
+        # $t binds elements; '=' on it is a runtime type error, so it
+        # must NOT silently become a value condition.
+        tpm = tr('if (some $t in $x/a satisfies $t = "v") then <y/>')
+        assert len(tpm.source.residuals) == 1
+
+    def test_or_condition_becomes_residual(self):
+        tpm = tr("if (true() or true()) then <y/>")
+        assert len(tpm.source.residuals) == 1
+
+    def test_and_splits_into_conjuncts(self):
+        tpm = tr("if (some $t in $x/text() satisfies true() and "
+                 "some $u in $x/text() satisfies true()) then <y/>")
+        assert len(tpm.source.relations) == 2
+
+    def test_sequence_and_constructor(self):
+        tpm = tr("<a>hi</a>, ()")
+        assert isinstance(tpm, TpmSequence)
+        assert isinstance(tpm.parts[0], TpmConstr)
+        assert isinstance(tpm.parts[1], TpmEmpty)
+
+    def test_bare_step_translates_to_relfor(self):
+        tpm = tr("//name")
+        assert isinstance(tpm, RelFor)
+        assert isinstance(tpm.body, TpmVarOut)
+
+    def test_count_relfors(self):
+        tpm = tr("for $a in /x return for $b in $a/y return $b")
+        assert count_relfors(tpm) == 2
+
+
+class TestMerging:
+    def test_figure4_merge(self):
+        """Example 2's nested fors merge into one relfor (Figure 4)."""
+        tpm = tr("for $j in /journal return "
+                 "for $n in $j//name return $n")
+        merged = merge_relfors(tpm)
+        assert isinstance(merged, RelFor)
+        assert merged.vartuple == ("j", "n")
+        assert count_relfors(merged) == 1
+        # The inner PSX's reference to $j was substituted by J's attrs.
+        j_alias = merged.source.alias_of("j")
+        rendered = {str(c) for c in merged.source.conditions}
+        assert any(f"{j_alias}.in <" in r for r in rendered)
+
+    def test_constructor_blocks_merge(self):
+        """The strict merging rule: a constructor between the loops."""
+        tpm = tr("for $j in /journal return "
+                 "<j>{ for $n in $j//name return $n }</j>")
+        merged = merge_relfors(tpm)
+        assert count_relfors(merged) == 2
+
+    def test_if_relfor_merges_through(self):
+        """Figure 5's three relfors merge into one."""
+        tpm = tr("for $j in /journal return "
+                 "if (some $t in $j//text() satisfies true()) "
+                 "then for $n in $j//name return $n else ()")
+        merged = merge_relfors(tpm)
+        assert count_relfors(merged) == 1
+        assert merged.vartuple == ("j", "n")
+        assert len(merged.source.relations) == 3
+
+    def test_merge_rebinds_residuals(self):
+        tpm = tr("for $t in /a/text() return "
+                 "if ($t = $u or true()) then $t else ()")
+        merged = merge_relfors(tpm)
+        assert count_relfors(merged) == 1
+        (residual,) = merged.source.residuals
+        bound = dict(residual.bound)
+        assert bound["t"][0] == "alias"
+        assert bound["u"] == ("var", "u")
+
+    def test_three_level_merge(self):
+        tpm = tr("for $a in /x return for $b in $a/y return "
+                 "for $c in $b/z return $c")
+        merged = merge_relfors(tpm)
+        assert count_relfors(merged) == 1
+        assert merged.vartuple == ("a", "b", "c")
+
+
+class TestRedundantElimination:
+    def test_example4_note_drop_same_relation(self):
+        """'Because N1.in = $j = J.in ... we can safely drop N1.'"""
+        tpm = tr("for $j in /journal return for $n in $j//name return $n",
+                 carry_out_values=False)
+        merged = merge_relfors(tpm)
+        before = len(merged.source.relations)
+        eliminated = eliminate_redundant_relations(merged)
+        after = len(eliminated.source.relations)
+        assert before == 3          # J, anchor N1, N2
+        assert after == 2           # anchor pinned to J.in is dropped
+
+    def test_elimination_preserves_bindings(self):
+        tpm = tr("for $j in /journal return for $n in $j//name return $n",
+                 carry_out_values=False)
+        eliminated = eliminate_redundant_relations(merge_relfors(tpm))
+        assert eliminated.vartuple == ("j", "n")
+        assert len(eliminated.source.bindings) == 2
+
+    def test_manual_pin_to_relation(self):
+        psx = PSX(
+            bindings=(("x", "A"),),
+            conditions=(
+                Compare(Attr("A", "in"), EQ, Attr("B", "in")),
+                Compare(Attr("B", "value"), EQ, Const("a")),
+            ),
+            relations=("A", "B"))
+        out = eliminate_in_psx(psx)
+        assert out.relations == ("A",)
+        assert any("A.value = 'a'" == str(c) for c in out.conditions)
+
+    def test_var_pin_requires_in_out_columns_only(self):
+        # B.value is used, and $x carries only in/out — cannot eliminate.
+        psx = PSX(
+            bindings=(("x", "A"),),
+            conditions=(
+                Compare(Attr("A", "in"), LT, Attr("B", "in")),
+                Compare(Attr("B", "in"), EQ, VarField("v", "in")),
+                Compare(Attr("B", "value"), EQ, Const("a")),
+            ),
+            relations=("A", "B"))
+        assert len(eliminate_in_psx(psx).relations) == 2
+
+
+class TestResidualPromotion:
+    def test_for_bound_text_equality_promotes(self):
+        tpm = tr("for $s in /a/text() return for $t in /b/text() return "
+                 "if ($s = $t) then <m/> else ()")
+        merged = promote_residuals(merge_relfors(tpm))
+        assert merged.source.residuals == ()
+        assert any(".value = " in str(c) and "'" not in str(c)
+                   for c in merged.source.conditions)
+
+    def test_element_bound_equality_not_promoted(self):
+        tpm = tr("for $s in /a/x return for $t in /b/y return "
+                 "if ($s = $t) then <m/> else ()")
+        merged = promote_residuals(merge_relfors(tpm))
+        assert len(merged.source.residuals) == 1
+
+    def test_const_equality_promotes(self):
+        tpm = tr('for $s in /a/text() return '
+                 'if ($s = "v") then $s else ()')
+        merged = promote_residuals(merge_relfors(tpm))
+        assert merged.source.residuals == ()
+
+
+class TestPsxValidation:
+    def test_binding_alias_must_exist(self):
+        with pytest.raises(AlgebraError):
+            PSX(bindings=(("x", "A"),), conditions=(), relations=("B",))
+
+    def test_condition_alias_must_exist(self):
+        with pytest.raises(AlgebraError):
+            PSX(bindings=(), conditions=(
+                Compare(Attr("A", "in"), EQ, Const(1)),),
+                relations=("B",))
+
+    def test_describe_uses_paper_notation(self):
+        psx = PSX(bindings=(("x", "A"),),
+                  conditions=(Compare(Attr("A", "value"), EQ,
+                                      Const("a")),),
+                  relations=("A",))
+        text = psx.describe()
+        assert text.startswith("PSX((A.in)")
+        assert "XASR[A]" in text
+
+
+class TestOrder:
+    def node(self, in_):
+        return XasrNode(in_, in_ + 1, 0, ELEMENT, "x")
+
+    def test_hierarchical_key(self):
+        row = (self.node(3), self.node(7))
+        assert hierarchical_key(row) == (3, 7)
+
+    def test_sorted_detection(self):
+        rows = [(self.node(2), self.node(4)), (self.node(2), self.node(8))]
+        assert is_hierarchically_sorted(rows)
+
+    def test_duplicates_fail_strict(self):
+        rows = [(self.node(2),), (self.node(2),)]
+        assert not is_hierarchically_sorted(rows)
+        assert is_weakly_sorted(rows)
+
+    def test_out_of_order_detected(self):
+        rows = [(self.node(2), self.node(8)), (self.node(2), self.node(4))]
+        assert not is_weakly_sorted(rows)

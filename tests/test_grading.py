@@ -1,0 +1,198 @@
+"""Grading testbed tests: tester caps, submission fairness, scoring."""
+
+import pytest
+
+from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
+from repro.grading.scoring import CourseRules, GradeBook, StudentRecord
+from repro.grading.submission import SubmissionSystem
+from repro.grading.tester import Tester, format_figure7
+from repro.workloads.queries import EfficiencyQuery
+
+
+@pytest.fixture
+def tester(fig2):
+    return Tester(fig2, "fig2", time_limit=1.0)
+
+
+SMALL_SUITE = {
+    "names": "//name",
+    "cond": ("for $n in //name return "
+             "if (some $t in $n/text() satisfies $t = \"Ana\") "
+             "then $n else ()"),
+}
+
+
+class TestCorrectnessTesting:
+    def test_correct_engine_passes(self, tester):
+        results = tester.run_correctness("m4", SMALL_SUITE)
+        assert all(result.passed for result in results)
+
+    def test_wrong_engine_detected(self, tester, monkeypatch):
+        # Sabotage: an "engine" that always answers the empty sequence.
+        import repro.core.dbms as dbms_module
+
+        original = dbms_module.XmlDbms.query
+
+        def sabotaged(self, document, query, profile="m4", **kwargs):
+            if getattr(profile, "name", profile) == "m4":
+                return ""
+            return original(self, document, query, profile=profile,
+                            **kwargs)
+
+        monkeypatch.setattr(dbms_module.XmlDbms, "query", sabotaged)
+        results = tester.run_correctness("m4", SMALL_SUITE)
+        assert not all(result.passed for result in results)
+        assert any("expected" in result.detail for result in results)
+
+
+class TestEfficiencyCaps:
+    def test_ok_run_records_elapsed(self, tester):
+        query = EfficiencyQuery("q", "//name", "")
+        result = tester.run_efficiency("m4", query)
+        assert result.status == "ok"
+        assert result.assigned_seconds == result.elapsed_seconds
+
+    def test_timeout_assigns_cap(self, fig2):
+        tester = Tester(fig2, "fig2", time_limit=0.0)
+        query = EfficiencyQuery("q", "//name", "")
+        result = tester.run_efficiency("m4", query)
+        assert result.status == "timeout"
+        assert result.assigned_seconds == 0.0  # the cap itself
+
+    def test_memory_assigns_double_cap(self, loaded):
+        """Over-memory is assigned 2× the cap (Figure 7's '(4800)')."""
+        tester = Tester(loaded, "dblp", time_limit=1.0,
+                        memory_limit_bytes=1024)
+        query = EfficiencyQuery(
+            "q", ("for $x in //author return for $y in //author "
+                  "return <t/>"), "")
+        result = tester.run_efficiency("engine-5", query)
+        assert result.status == "memory"
+        assert result.assigned_seconds == 2.0
+
+    def test_figure7_rows_and_totals(self, tester):
+        queries = [EfficiencyQuery("t1", "//name", ""),
+                   EfficiencyQuery("t2", "//title", "")]
+        rows = tester.run_figure7(profiles=["m4", "m3"], queries=queries)
+        assert [row.engine for row in rows] == ["m4", "m3"]
+        for row in rows:
+            assert row.total_seconds == pytest.approx(
+                sum(result.assigned_seconds for result in row.results))
+
+    def test_format_figure7(self, tester):
+        queries = [EfficiencyQuery("t1", "//name", "")]
+        rows = tester.run_figure7(profiles=["m4"], queries=queries)
+        table = format_figure7(rows)
+        assert "Engine" in table and "Total" in table and "m4" in table
+
+
+class TestSubmissionSystem:
+    def make_system(self, fig2):
+        tester = Tester(fig2, "fig2", time_limit=1.0)
+        return SubmissionSystem(tester, SMALL_SUITE)
+
+    def test_round_robin_fairness(self, fig2):
+        system = self.make_system(fig2)
+        # Team A floods the queue; team B submits once.
+        for __ in range(3):
+            system.submit("team-a", ENGINE_PROFILES["m4"])
+        system.submit("team-b", ENGINE_PROFILES["m3"])
+        order = [system.next_submission().team for __ in range(4)]
+        assert order == ["team-a", "team-b", "team-a", "team-a"]
+
+    def test_process_all_tests_everything(self, fig2):
+        system = self.make_system(fig2)
+        system.submit("a", ENGINE_PROFILES["m4"])
+        system.submit("b", ENGINE_PROFILES["m2"])
+        done = system.process_all()
+        assert len(done) == 2
+        assert all(submission.tested for submission in done)
+        assert system.pending_count() == 0
+
+    def test_passing_submission_gets_efficiency_results(self, fig2):
+        system = self.make_system(fig2)
+        system.submit("a", ENGINE_PROFILES["m4"])
+        (submission,) = system.process_all()
+        assert submission.passed_correctness
+        assert len(submission.efficiency) == 5
+
+    def test_report_mentions_timing(self, fig2):
+        system = self.make_system(fig2)
+        system.submit("a", ENGINE_PROFILES["m4"])
+        (submission,) = system.process_all()
+        report = system.render_report(submission)
+        assert "CORRECTNESS: passed" in report
+        assert "total:" in report
+
+    def test_empty_pool_returns_none(self, fig2):
+        system = self.make_system(fig2)
+        assert system.process_one() is None
+
+
+class TestScoring:
+    def student(self, name, exam=80, delays=(0, 0, 0, 0), seconds=10.0,
+                team_size=2):
+        return StudentRecord(name=name, team=name, team_size=team_size,
+                             exam_points=exam,
+                             milestone_delays=list(delays),
+                             engine_total_seconds=seconds)
+
+    def test_early_bird_points(self):
+        book = GradeBook()
+        record = self.student("a")
+        assert book.milestone_points(record) == 8  # 4 × 2
+
+    def test_lateness_penalty_grows(self):
+        book = GradeBook()
+        late1 = book.milestone_points(self.student("a",
+                                                   delays=(1, 0, 0, 0)))
+        late3 = book.milestone_points(self.student("b",
+                                                   delays=(3, 0, 0, 0)))
+        assert late3 < late1 < 6
+
+    def test_unsubmitted_milestone_blocks_exam(self):
+        book = GradeBook()
+        record = self.student("a", delays=(0, 0, 0, None))
+        assert not book.admitted_to_exam(record)
+        assert book.total_points(record) == 0
+
+    def test_exam_pass_mark(self):
+        book = GradeBook()
+        assert not book.passed_exam(self.student("a", exam=49))
+        assert book.passed_exam(self.student("a", exam=50))
+
+    def test_small_team_bonus(self):
+        book = GradeBook()
+        small = self.student("a", team_size=2)
+        big = self.student("b", team_size=4)
+        assert book.team_points(small) == 2
+        assert book.team_points(big) == 0
+
+    def test_scalability_bonus_top_tiers(self):
+        book = GradeBook()
+        for index in range(20):
+            book.add(self.student(f"s{index}", seconds=float(index + 1)))
+        book.apply_scalability_bonus()
+        by_name = {record.name: record for record in book.records}
+        assert by_name["s0"].bonus_points == 8    # top 10%
+        assert by_name["s3"].bonus_points == 4    # top 25%
+        assert by_name["s10"].bonus_points == 0
+
+    def test_quarter_of_cohort_exceeds_100(self):
+        """The paper: '25% of the students that successfully passed the
+        exam got more than 100 points in total.'"""
+        book = GradeBook()
+        # Base total 87 + 8 (milestones) + 2 (small team) = 97: only the
+        # scalability bonus tiers (top 10% get +8, top 25% get +4) cross
+        # the 100-point line — exactly a quarter of the cohort.
+        for index in range(20):
+            book.add(self.student(f"s{index}", exam=87,
+                                  seconds=float(index + 1)))
+        summary = book.summary()
+        assert summary["passed"] == 20
+        assert summary["over_100_fraction"] == pytest.approx(0.25)
+
+    def test_custom_rules(self):
+        rules = CourseRules(early_bird_points=5)
+        book = GradeBook(rules)
+        assert book.milestone_points(self.student("a")) == 20

@@ -1,0 +1,125 @@
+"""Document-order and duplicate semantics across engines.
+
+Milestone 3's longest discussion is ordering: projections of
+hierarchically sorted intermediate results need duplicate elimination,
+and the engines differ in *how* they guarantee order (order-preserving
+join orders vs. sorting).  These tests pin the observable semantics on
+purposely tricky inputs for every engine.
+"""
+
+import pytest
+
+from repro.engine.navigational import NavigationalEvaluator
+from repro.xasr import StoredDocument, load_document
+from repro.xq.parser import parse_query
+
+#: NN leaves sit under several nested NPs — the classic duplicate
+#: source: (np, nn) pairs are distinct, but projections on nn repeat.
+NESTED = ("<FILE><S><NP><NP><NN>inner</NN></NP><PP><NN>pp</NN></PP>"
+          "</NP><NN>outer</NN></S></FILE>")
+
+PROFILES = ["m1", "m2", "m3", "m4", "engine-2", "engine-5"]
+
+
+@pytest.fixture
+def nested(dbms):
+    dbms.load("nested", xml=NESTED)
+    return dbms
+
+
+class TestOrderAndDuplicates:
+    def test_nested_for_emits_one_result_per_pair(self, nested):
+        """for (x, y) pairs: 'inner' is reachable from two NPs, so it is
+        emitted twice — set semantics applies to *bindings*, not
+        output."""
+        query = "for $x in //NP return for $y in $x//NN return $y"
+        expected = nested.query("nested", query, profile="m1")
+        # 'inner' sits under both the outer and the inner NP (two
+        # pairs); 'pp' only under the outer one.
+        assert expected == "<NN>inner</NN><NN>pp</NN><NN>inner</NN>"
+        for profile in PROFILES[1:]:
+            assert nested.query("nested", query, profile=profile) == \
+                expected, profile
+
+    def test_existential_collapses_duplicates(self, nested):
+        """With an if/some, multiple witnesses yield ONE output per
+        outer binding (the π∅ dedup of the nullary relfor)."""
+        query = ("for $x in //NP return "
+                 "if (some $y in $x//NN satisfies true()) "
+                 "then <has/> else ()")
+        expected = nested.query("nested", query, profile="m1")
+        assert expected == "<has/>" * 2
+        for profile in PROFILES[1:]:
+            assert nested.query("nested", query, profile=profile) == \
+                expected, profile
+
+    def test_results_in_document_order(self, nested):
+        """Descendant results stream in document order on every
+        engine."""
+        query = "//NN/text()"
+        for profile in PROFILES:
+            assert nested.query("nested", query, profile=profile) == \
+                "innerppouter", profile
+
+    def test_sequence_concatenation_repeats_nodes(self, nested):
+        query = "//NN, //NN"
+        expected = nested.query("nested", query, profile="m1")
+        assert expected.count("<NN>") == 6
+        for profile in PROFILES[1:]:
+            assert nested.query("nested", query, profile=profile) == \
+                expected, profile
+
+    def test_descendant_of_self_nested_same_label(self, nested):
+        """NP inside NP: the (outer, inner) pair exists, (inner, outer)
+        does not — interval containment is asymmetric."""
+        query = "for $a in //NP return for $b in $a//NP return <pair/>"
+        for profile in PROFILES:
+            assert nested.query("nested", query,
+                                profile=profile) == "<pair/>", profile
+
+
+class TestNavigationalDetails:
+    def test_step_from_text_node_is_empty(self, database):
+        load_document(database, "d", xml="<a>txt</a>")
+        doc = StoredDocument(database, "d")
+        evaluator = NavigationalEvaluator(doc)
+        text_node = next(node for node in doc.scan() if node.is_text)
+        results = evaluator.evaluate(
+            parse_query("for $y in $t/x return $y"), {"t": text_node})
+        assert results == []
+
+    def test_ticker_is_called_during_navigation(self, database):
+        load_document(database, "d", xml="<a><b/><c/><d/></a>")
+        doc = StoredDocument(database, "d")
+        ticks = []
+        evaluator = NavigationalEvaluator(doc,
+                                          ticker=lambda: ticks.append(1))
+        evaluator.evaluate(parse_query("//b"))
+        assert ticks
+
+    def test_environment_prebinding(self, database):
+        load_document(database, "d", xml="<a><b>x</b></a>")
+        doc = StoredDocument(database, "d")
+        evaluator = NavigationalEvaluator(doc)
+        b_node = next(node for node in doc.scan()
+                      if node.value == "b" and node.is_element)
+        results = evaluator.evaluate(parse_query("$v/text()"),
+                                     {"v": b_node})
+        assert [node.text for node in results] == ["x"]
+
+
+class TestWhitespaceHandling:
+    def test_strip_whitespace_affects_text_nodes(self, dbms):
+        xml = "<a>\n  <b>x</b>\n</a>"
+        dbms.load("stripped", xml=xml, strip_whitespace=True)
+        dbms.load("kept", xml=xml, strip_whitespace=False)
+        assert dbms.query("stripped", "//text()") == "x"
+        assert dbms.query("kept", "//text()") == "\n  x\n"
+
+    def test_whitespace_documents_agree_across_engines(self, dbms):
+        dbms.load("kept", xml="<a> <b>x</b> </a>",
+                  strip_whitespace=False)
+        expected = dbms.query("kept", "//text()", profile="m1")
+        for profile in ("m2", "m4"):
+            assert dbms.query("kept", "//text()", profile=profile) == \
+                expected

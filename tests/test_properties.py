@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+* XML: serialize ∘ parse is the identity on generated trees;
+* XASR: interval nesting invariants and full document reconstruction;
+* B+-tree ≡ a sorted-dict model under random workloads;
+* external sort ≡ ``sorted``;
+* **engine equivalence**: random XQ queries over random documents give
+  identical serialized results on the milestone-1 oracle, the
+  navigational engine and the cost-based algebraic engine.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.record import decode_key, encode_key
+from repro.xmlkit.dom import deep_equal
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import serialize
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+_LABELS = ["a", "b", "c", "item", "name"]
+_TEXTS = ["x", "yy", "hello world", "42", "<&>"]
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    """Serialized random element trees."""
+
+    def element(depth):
+        label = draw(st.sampled_from(_LABELS))
+        if depth >= max_depth:
+            children = []
+        else:
+            children = draw(st.lists(
+                st.one_of(st.just("text"), st.just("elem")),
+                max_size=3))
+        parts = [f"<{label}>"]
+        for kind in children:
+            if kind == "text":
+                text = draw(st.sampled_from(_TEXTS))
+                escaped = (text.replace("&", "&amp;")
+                           .replace("<", "&lt;").replace(">", "&gt;"))
+                parts.append(escaped)
+            else:
+                parts.append(element(depth + 1))
+        parts.append(f"</{label}>")
+        return "".join(parts)
+
+    return element(0)
+
+
+@st.composite
+def xq_queries(draw, depth=0):
+    """Random well-typed XQ queries (comparisons only on text())."""
+    choices = ["path", "for", "if", "constr", "empty"]
+    if depth >= 3:
+        choices = ["path", "empty"]
+    kind = draw(st.sampled_from(choices))
+    label = draw(st.sampled_from(_LABELS))
+    axis = draw(st.sampled_from(["/", "//"]))
+    variables = [f"v{level}" for level in range(depth)]
+    base = f"${draw(st.sampled_from(variables))}" if variables else ""
+    test = draw(st.sampled_from([label, "*", "text()"]))
+    if kind == "empty":
+        return "()"
+    if kind == "path":
+        return f"{base}{axis}{test}"
+    if kind == "constr":
+        inner = draw(xq_queries(depth=depth))
+        return f"<w>{{ {inner} }}</w>"
+    if kind == "for":
+        body = draw(xq_queries(depth=depth + 1))
+        elem_test = draw(st.sampled_from([label, "*", "text()"]))
+        return (f"for $v{depth} in {base}{axis}{elem_test} "
+                f"return {body}")
+    # if — note: 'if' binds no variable, so the body stays at this depth.
+    body = draw(xq_queries(depth=depth))
+    literal = draw(st.sampled_from(_TEXTS[:4]))
+    cond_kind = draw(st.sampled_from(["true", "some", "not-some"]))
+    if cond_kind == "true":
+        cond = "true()"
+    else:
+        source = f"{base}{axis}text()"
+        inner_var = f"t{depth}"
+        cond = (f"some ${inner_var} in {source} satisfies "
+                f"${inner_var} = \"{literal}\"")
+        if cond_kind == "not-some":
+            cond = f"not({cond})"
+    # 'if' needs a fresh binding level to stay interesting:
+    return f"if ({cond}) then {body} else ()"
+
+
+# ---------------------------------------------------------------------------
+# XML round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestXmlRoundTrip:
+    @given(xml_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_serialize_parse_identity(self, text):
+        tree = parse(text, strip_whitespace=False)
+        assert deep_equal(parse(serialize(tree), strip_whitespace=False),
+                          tree)
+
+
+# ---------------------------------------------------------------------------
+# key encoding
+# ---------------------------------------------------------------------------
+
+
+class TestKeyEncodingProperty:
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1),
+                              st.text(max_size=8),
+                              st.integers(0, 2**32 - 1)),
+                    min_size=2, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_byte_order_equals_tuple_order(self, tuples):
+        schema = ("u32", "str", "u32")
+        keys = [encode_key(t, schema) for t in tuples]
+        by_bytes = [decode_key(k, schema) for k in sorted(keys)]
+        assert by_bytes == sorted(tuples)
+
+
+# ---------------------------------------------------------------------------
+# B+-tree vs dict model
+# ---------------------------------------------------------------------------
+
+
+class TestBTreeModelProperty:
+    @given(operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup", "range"]),
+                  st.integers(0, 300), st.integers(0, 300)),
+        max_size=120))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_dict_model(self, operations, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("bt") / "tree.db")
+        pager = Pager(path, create=True, page_size=512)
+        pool = BufferPool(pager, capacity=16)
+        tree = BTree.create(pool)
+        model = {}
+        try:
+            for op, low, high in operations:
+                key = encode_key((low,))
+                if op == "insert":
+                    tree.insert(key, str(low).encode(), replace=True)
+                    model[low] = str(low).encode()
+                elif op == "lookup":
+                    assert tree.search(key) == model.get(low)
+                else:
+                    low, high = min(low, high), max(low, high)
+                    got = [decode_key(k, ("u32",))[0]
+                           for k, __ in tree.range_scan(
+                               encode_key((low,)), encode_key((high,)))]
+                    expected = sorted(value for value in model
+                                      if low <= value <= high)
+                    assert got == expected
+            assert len(tree) == len(model)
+        finally:
+            pager.close()
+
+
+# ---------------------------------------------------------------------------
+# XASR invariants
+# ---------------------------------------------------------------------------
+
+
+class TestXasrProperty:
+    @given(text=xml_trees())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_interval_invariants_and_reconstruction(self, text,
+                                                    tmp_path_factory):
+        from repro.storage.db import Database
+        from repro.xasr import StoredDocument, load_document
+
+        path = str(tmp_path_factory.mktemp("xa") / "x.db")
+        with Database.create(path) as db:
+            load_document(db, "d", xml=text, strip_whitespace=False)
+            doc = StoredDocument(db, "d")
+            nodes = list(doc.scan())
+            seen = set()
+            for node in nodes:
+                # in < out, all numbers distinct.
+                assert node.in_ < node.out
+                assert node.in_ not in seen and node.out not in seen
+                seen.add(node.in_)
+                seen.add(node.out)
+            by_in = {node.in_: node for node in nodes}
+            for node in nodes:
+                if node.parent_in:
+                    parent = by_in[node.parent_in]
+                    assert parent.in_ < node.in_ < node.out < parent.out
+            # Reconstruction round-trips.
+            rebuilt = serialize(doc.to_document())
+            assert rebuilt == serialize(parse(text,
+                                              strip_whitespace=False))
+
+
+# ---------------------------------------------------------------------------
+# engine equivalence — the headline property
+# ---------------------------------------------------------------------------
+
+
+class TestEngineEquivalenceProperty:
+    @given(document=xml_trees(), query=xq_queries())
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_all_engines_agree(self, document, query, tmp_path_factory):
+        from repro.core.dbms import XmlDbms
+
+        path = str(tmp_path_factory.mktemp("eq") / "eq.db")
+        with XmlDbms(path, buffer_capacity=128) as dbms:
+            dbms.load("d", xml=document)
+            reference = dbms.query("d", query, profile="m1")
+            for profile in ("m2", "m3", "m4", "engine-2", "engine-5"):
+                assert dbms.query("d", query, profile=profile) == \
+                    reference, (profile, query, document)

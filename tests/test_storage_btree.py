@@ -1,0 +1,202 @@
+"""B+-tree tests: lookups, splits, range scans, bulk load, persistence."""
+
+import random
+
+import pytest
+
+from repro.errors import BTreeError
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.record import encode_key
+
+
+@pytest.fixture
+def pool(tmp_path):
+    pager = Pager(str(tmp_path / "btree.db"), create=True, page_size=512)
+    pool = BufferPool(pager, capacity=64)
+    yield pool
+    pool.flush_and_clear()
+    pager.close()
+
+
+@pytest.fixture
+def tree(pool):
+    return BTree.create(pool)
+
+
+def k(value):
+    return encode_key((value,))
+
+
+class TestPointOperations:
+    def test_empty_tree_search(self, tree):
+        assert tree.search(k(1)) is None
+        assert len(tree) == 0
+
+    def test_insert_then_search(self, tree):
+        tree.insert(k(5), b"five")
+        assert tree.search(k(5)) == b"five"
+        assert len(tree) == 1
+
+    def test_contains(self, tree):
+        tree.insert(k(5), b"v")
+        assert k(5) in tree
+        assert k(6) not in tree
+
+    def test_duplicate_insert_rejected(self, tree):
+        tree.insert(k(1), b"a")
+        with pytest.raises(BTreeError):
+            tree.insert(k(1), b"b")
+
+    def test_replace(self, tree):
+        tree.insert(k(1), b"a")
+        tree.insert(k(1), b"b", replace=True)
+        assert tree.search(k(1)) == b"b"
+        assert len(tree) == 1
+
+    def test_oversized_entry_rejected(self, tree):
+        with pytest.raises(BTreeError):
+            tree.insert(k(1), b"x" * 4096)
+
+
+class TestSplitsAndOrder:
+    def test_many_random_inserts(self, tree):
+        keys = list(range(1500))
+        random.Random(42).shuffle(keys)
+        for key in keys:
+            tree.insert(k(key), str(key).encode())
+        assert tree.height > 1
+        for probe in (0, 1, 499, 750, 1499):
+            assert tree.search(k(probe)) == str(probe).encode()
+
+    def test_full_scan_is_sorted(self, tree):
+        keys = list(range(500))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(k(key), b"")
+        scanned = [key for key, __ in tree.items()]
+        assert scanned == sorted(scanned)
+        assert len(scanned) == 500
+
+    def test_string_keys(self, tree):
+        words = ["journal", "author", "title", "year", "volume"]
+        for word in words:
+            tree.insert(encode_key((word,)), word.encode())
+        scanned = [value for __, value in tree.items()]
+        assert scanned == [word.encode() for word in sorted(words)]
+
+    def test_leaf_page_count_grows(self, tree):
+        for key in range(800):
+            tree.insert(k(key), b"v" * 20)
+        assert tree.leaf_page_count() > 1
+
+
+class TestRangeScan:
+    @pytest.fixture(autouse=True)
+    def populate(self, tree):
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert(k(key), str(key).encode())
+        self.tree = tree
+
+    def decode(self, pairs):
+        return [int(value) for __, value in pairs]
+
+    def test_inclusive_range(self):
+        assert self.decode(self.tree.range_scan(k(10), k(20))) == \
+            [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self):
+        got = self.decode(self.tree.range_scan(k(10), k(20),
+                                               include_low=False,
+                                               include_high=False))
+        assert got == [12, 14, 16, 18]
+
+    def test_bounds_between_keys(self):
+        assert self.decode(self.tree.range_scan(k(11), k(15))) == [12, 14]
+
+    def test_open_ended_low(self):
+        assert self.decode(self.tree.range_scan(None, k(6))) == [0, 2, 4, 6]
+
+    def test_open_ended_high(self):
+        assert self.decode(self.tree.range_scan(k(94), None)) == [94, 96, 98]
+
+    def test_empty_range(self):
+        assert self.decode(self.tree.range_scan(k(11), k(11))) == []
+
+    def test_prefix_scan(self, pool):
+        tree = BTree.create(pool)
+        for label, in_ in [("aa", 1), ("aa", 5), ("ab", 2), ("b", 3)]:
+            tree.insert(encode_key((label, in_)), b"")
+        got = list(tree.prefix_scan(encode_key(("aa",))))
+        assert len(got) == 2
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self, pool):
+        items = [(k(key), str(key).encode()) for key in range(2000)]
+        bulk = BTree.create(pool)
+        bulk.bulk_load(iter(items))
+        assert len(bulk) == 2000
+        assert bulk.search(k(1234)) == b"1234"
+        assert [key for key, __ in bulk.items()] == [key for key, __ in
+                                                     items]
+
+    def test_bulk_load_empty(self, tree):
+        tree.bulk_load(iter([]))
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_bulk_load_requires_sorted_input(self, tree):
+        with pytest.raises(BTreeError):
+            tree.bulk_load(iter([(k(2), b""), (k(1), b"")]))
+
+    def test_bulk_load_rejects_duplicates(self, tree):
+        with pytest.raises(BTreeError):
+            tree.bulk_load(iter([(k(1), b""), (k(1), b"")]))
+
+    def test_bulk_load_on_nonempty_rejected(self, tree):
+        tree.insert(k(1), b"")
+        with pytest.raises(BTreeError):
+            tree.bulk_load(iter([(k(2), b"")]))
+
+    def test_insert_after_bulk_load(self, tree):
+        tree.bulk_load((k(key), b"v") for key in range(0, 100, 2))
+        tree.insert(k(51), b"new")
+        scanned = [key for key, __ in tree.items()]
+        assert scanned == sorted(scanned)
+        assert tree.search(k(51)) == b"new"
+
+
+class TestPersistence:
+    def test_reopen_by_meta_page(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        pager = Pager(path, create=True, page_size=512)
+        pool = BufferPool(pager, capacity=16)
+        tree = BTree.create(pool)
+        for key in range(300):
+            tree.insert(k(key), str(key).encode())
+        meta = tree.meta_page_id
+        pool.flush_and_clear()
+        pager.close()
+
+        pager = Pager(path)
+        pool = BufferPool(pager, capacity=16)
+        reopened = BTree(pool, meta)
+        assert len(reopened) == 300
+        assert reopened.search(k(250)) == b"250"
+        pager.close()
+
+    def test_small_buffer_pool_still_correct(self, tmp_path):
+        """The tree works with only a handful of frames (heavy
+        eviction)."""
+        pager = Pager(str(tmp_path / "tiny.db"), create=True,
+                      page_size=512)
+        pool = BufferPool(pager, capacity=4)
+        tree = BTree.create(pool)
+        for key in range(400):
+            tree.insert(k(key), str(key).encode())
+        assert [int(value) for __, value in tree.items()] == \
+            list(range(400))
+        assert pool.stats.evictions > 0
+        pager.close()

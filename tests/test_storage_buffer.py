@@ -1,0 +1,129 @@
+"""Buffer pool tests: pinning, LRU eviction, write-back, accounting."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def pool(tmp_path):
+    pager = Pager(str(tmp_path / "buf.db"), create=True, page_size=256)
+    pool = BufferPool(pager, capacity=3)
+    yield pool
+    pager.close()
+
+
+def fill(pool, count):
+    """Allocate ``count`` pages, each tagged with its index."""
+    ids = []
+    for index in range(count):
+        page_id, page = pool.new_page()
+        page[0] = index + 1
+        pool.unpin(page_id, dirty=True)
+        ids.append(page_id)
+    return ids
+
+
+class TestBasics:
+    def test_new_page_is_pinned_and_dirty(self, pool):
+        page_id, __ = pool.new_page()
+        assert pool.pin_count(page_id) == 1
+
+    def test_get_page_returns_written_data(self, pool):
+        (page_id,) = fill(pool, 1)
+        with pool.pinned(page_id) as page:
+            assert page[0] == 1
+
+    def test_unpin_without_pin_rejected(self, pool):
+        (page_id,) = fill(pool, 1)
+        pool.get_page(page_id)
+        pool.unpin(page_id)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page_id)
+
+    def test_capacity_must_be_positive(self, pool):
+        with pytest.raises(BufferPoolError):
+            BufferPool(pool.pager, capacity=0)
+
+
+class TestEviction:
+    def test_lru_victim_is_least_recently_used(self, pool):
+        first, second, third = fill(pool, 3)
+        pool.get_page(first, pin=False)      # first becomes MRU
+        fill(pool, 1)                        # force one eviction
+        resident = pool.resident_pages()
+        assert second not in resident
+        assert first in resident
+
+    def test_eviction_writes_back_dirty_pages(self, pool):
+        ids = fill(pool, 6)                  # overflows capacity 3
+        # All data must still be readable (faulted back from disk).
+        for index, page_id in enumerate(ids):
+            with pool.pinned(page_id) as page:
+                assert page[0] == index + 1
+
+    def test_pinned_pages_are_not_evicted(self, pool):
+        first, __, __ = fill(pool, 3)
+        pool.get_page(first)                 # keep pinned
+        fill(pool, 2)
+        assert first in pool.resident_pages()
+        pool.unpin(first)
+
+    def test_all_pinned_raises(self, pool):
+        for __ in range(3):
+            pool.new_page()                  # never unpinned
+        with pytest.raises(BufferPoolError):
+            pool.new_page()
+
+    def test_eviction_callback_fires(self, pool):
+        evicted = []
+        pool.on_evict(evicted.append)
+        ids = fill(pool, 5)
+        assert evicted
+        assert set(evicted) <= set(ids)
+
+
+class TestFlush:
+    def test_flush_persists_without_evicting(self, pool):
+        (page_id,) = fill(pool, 1)
+        pool.flush()
+        assert page_id in pool.resident_pages()
+        raw = pool.pager.read_page(page_id)
+        assert raw[0] == 1
+
+    def test_flush_and_clear_empties_pool(self, pool):
+        fill(pool, 2)
+        pool.flush_and_clear()
+        assert pool.resident_pages() == []
+
+    def test_free_page_returns_to_pager(self, pool):
+        (page_id,) = fill(pool, 1)
+        pool.free_page(page_id)
+        assert pool.pager.free_head == page_id
+
+    def test_free_pinned_page_rejected(self, pool):
+        page_id, __ = pool.new_page()
+        with pytest.raises(BufferPoolError):
+            pool.free_page(page_id)
+
+
+class TestStats:
+    def test_hit_and_miss_accounting(self, pool):
+        (page_id,) = fill(pool, 1)
+        pool.flush_and_clear()
+        pool.get_page(page_id, pin=False)    # miss
+        pool.get_page(page_id, pin=False)    # hit
+        assert pool.stats.misses >= 1
+        assert pool.stats.hits >= 1
+
+    def test_hit_rate(self, pool):
+        (page_id,) = fill(pool, 1)
+        for __ in range(9):
+            pool.get_page(page_id, pin=False)
+        assert pool.stats.hit_rate > 0.8
+
+    def test_memory_bytes_bounded_by_capacity(self, pool):
+        fill(pool, 10)
+        assert pool.memory_bytes <= 3 * pool.pager.page_size

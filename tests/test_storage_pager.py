@@ -1,0 +1,109 @@
+"""Pager unit tests: allocation, free list, persistence, header."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pager import NO_PAGE, Pager
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "pager.db")
+
+
+class TestAllocation:
+    def test_fresh_file_has_header_only(self, path):
+        with Pager(path, create=True) as pager:
+            assert pager.num_pages == 1
+
+    def test_allocate_returns_sequential_ids(self, path):
+        with Pager(path, create=True) as pager:
+            assert pager.allocate_page() == 1
+            assert pager.allocate_page() == 2
+
+    def test_freed_page_is_reused(self, path):
+        with Pager(path, create=True) as pager:
+            first = pager.allocate_page()
+            second = pager.allocate_page()
+            pager.free_page(first)
+            assert pager.allocate_page() == first
+            assert pager.allocate_page() == second + 1
+
+    def test_free_list_chains(self, path):
+        with Pager(path, create=True) as pager:
+            pages = [pager.allocate_page() for __ in range(4)]
+            for page in pages:
+                pager.free_page(page)
+            reused = {pager.allocate_page() for __ in range(4)}
+            assert reused == set(pages)
+
+
+class TestReadWrite:
+    def test_write_then_read(self, path):
+        with Pager(path, create=True, page_size=512) as pager:
+            page = pager.allocate_page()
+            pager.write_page(page, b"\xab" * 512)
+            assert bytes(pager.read_page(page)) == b"\xab" * 512
+
+    def test_wrong_size_write_rejected(self, path):
+        with Pager(path, create=True) as pager:
+            page = pager.allocate_page()
+            with pytest.raises(PageError):
+                pager.write_page(page, b"short")
+
+    @pytest.mark.parametrize("bad_id", [0, -1, 999])
+    def test_out_of_range_access_rejected(self, path, bad_id):
+        with Pager(path, create=True) as pager:
+            with pytest.raises(PageError):
+                pager.read_page(bad_id)
+
+    def test_io_counters(self, path):
+        with Pager(path, create=True) as pager:
+            page = pager.allocate_page()
+            pager.write_page(page, b"\x00" * pager.page_size)
+            pager.read_page(page)
+            assert pager.pages_written >= 1
+            assert pager.pages_read >= 1
+
+
+class TestPersistence:
+    def test_page_count_survives_reopen(self, path):
+        with Pager(path, create=True) as pager:
+            for __ in range(5):
+                pager.allocate_page()
+        with Pager(path) as pager:
+            assert pager.num_pages == 6
+
+    def test_data_survives_reopen(self, path):
+        with Pager(path, create=True, page_size=512) as pager:
+            page = pager.allocate_page()
+            pager.write_page(page, b"z" * 512)
+            pager.sync()
+        with Pager(path) as pager:
+            assert bytes(pager.read_page(page)) == b"z" * 512
+
+    def test_page_size_read_from_header(self, path):
+        with Pager(path, create=True, page_size=1024):
+            pass
+        with Pager(path) as pager:
+            assert pager.page_size == 1024
+
+    def test_catalog_root_persisted(self, path):
+        with Pager(path, create=True) as pager:
+            pager.set_catalog_root(7)
+        with Pager(path) as pager:
+            assert pager.catalog_root == 7
+
+    def test_free_list_survives_reopen(self, path):
+        with Pager(path, create=True) as pager:
+            page = pager.allocate_page()
+            pager.allocate_page()
+            pager.free_page(page)
+        with Pager(path) as pager:
+            assert pager.free_head == page
+
+    def test_non_database_file_rejected(self, path):
+        with open(path, "wb") as handle:
+            handle.write(b"not a database, definitely" * 100)
+        with pytest.raises(PageError):
+            Pager(path)

@@ -1,0 +1,118 @@
+"""Workload generator tests: determinism, structure, parseability."""
+
+import pytest
+
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.handmade import EDGE_CASE_DOCUMENTS, FIGURE2_XML
+from repro.workloads.queries import CORRECTNESS_QUERIES, EFFICIENCY_QUERIES
+from repro.workloads.treebank import TreebankConfig, generate_treebank
+from repro.xmlkit.parser import parse
+from repro.xq.parser import parse_query
+
+
+class TestDblpGenerator:
+    def test_deterministic(self):
+        config = DblpConfig(articles=30)
+        assert generate_dblp(config) == generate_dblp(config)
+
+    def test_seed_changes_output(self):
+        assert generate_dblp(DblpConfig(articles=30, seed=1)) != \
+            generate_dblp(DblpConfig(articles=30, seed=2))
+
+    def test_parses_as_xml(self):
+        doc = parse(generate_dblp(DblpConfig(articles=20)))
+        assert doc.root_element.name == "dblp"
+
+    def test_record_counts(self):
+        config = DblpConfig(articles=25, inproceedings=10)
+        doc = parse(generate_dblp(config))
+        labels = [child.name for child in doc.root_element.children]
+        assert labels.count("article") == 25
+        assert labels.count("inproceedings") == 10
+
+    def test_structure_is_shallow(self):
+        doc = parse(generate_dblp(DblpConfig(articles=10)))
+
+        def depth(node, level=0):
+            children = getattr(node, "children", [])
+            return max([level] + [depth(child, level + 1)
+                                  for child in children])
+
+        assert depth(doc) <= 5
+
+    def test_rare_labels_present(self):
+        config = DblpConfig(articles=50, inproceedings=30, errata=4,
+                            editors=3)
+        text = generate_dblp(config)
+        assert text.count("<erratum>") == 4
+        assert text.count("<editor>") == 3
+
+    def test_name_pool_bounds_distinct_authors(self):
+        config = DblpConfig(articles=100, name_pool=10)
+        doc = parse(generate_dblp(config))
+        names = {node.string_value()
+                 for node in doc.root_element.iter_descendants()
+                 if getattr(node, "name", None) == "author"}
+        assert len(names) <= 10
+
+    def test_volume_fraction_respected(self):
+        config = DblpConfig(articles=200, volume_fraction=0.0)
+        assert "<volume>" not in generate_dblp(config)
+
+
+class TestTreebankGenerator:
+    def test_deterministic(self):
+        config = TreebankConfig(sentences=10)
+        assert generate_treebank(config) == generate_treebank(config)
+
+    def test_parses_and_is_deep(self):
+        doc = parse(generate_treebank(TreebankConfig(sentences=30,
+                                                     max_depth=16)))
+
+        def depth(node, level=0):
+            children = getattr(node, "children", [])
+            return max([level] + [depth(child, level + 1)
+                                  for child in children])
+
+        assert doc.root_element.name == "FILE"
+        assert depth(doc) >= 8
+
+    def test_sentence_count(self):
+        doc = parse(generate_treebank(TreebankConfig(sentences=7)))
+        assert len(doc.root_element.children) == 7
+
+
+class TestHandmade:
+    def test_figure2_matches_paper(self):
+        doc = parse(FIGURE2_XML)
+        assert doc.root_element.string_value() == "AnaBobDB"
+
+    @pytest.mark.parametrize("name", sorted(EDGE_CASE_DOCUMENTS))
+    def test_edge_cases_parse(self, name):
+        parse(EDGE_CASE_DOCUMENTS[name])
+
+
+class TestQuerySuites:
+    def test_sixteen_correctness_queries(self):
+        assert len(CORRECTNESS_QUERIES) == 16
+
+    @pytest.mark.parametrize("name", sorted(CORRECTNESS_QUERIES))
+    def test_correctness_queries_parse(self, name):
+        parse_query(CORRECTNESS_QUERIES[name])
+
+    def test_five_efficiency_queries(self):
+        assert len(EFFICIENCY_QUERIES) == 5
+        assert [query.name for query in EFFICIENCY_QUERIES] == \
+            [f"test-{index}" for index in range(1, 6)]
+
+    @pytest.mark.parametrize("index", range(5))
+    def test_efficiency_queries_parse(self, index):
+        parse_query(EFFICIENCY_QUERIES[index].xq)
+
+    def test_every_query_documents_its_trap(self):
+        assert all(query.trap for query in EFFICIENCY_QUERIES)
+
+    def test_test4_uses_nonexistent_label(self):
+        xml = generate_dblp(DblpConfig(articles=50))
+        assert "phdthesis" in EFFICIENCY_QUERIES[3].xq
+        assert "phdthesis" not in xml

@@ -1,0 +1,183 @@
+"""XASR loader and stored-document tests — Figure 2 and Example 1 are
+asserted verbatim."""
+
+import pytest
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.db import Database
+from repro.xasr import ELEMENT, ROOT, TEXT, StoredDocument, load_document
+from repro.xasr.schema import TYPE_NAMES
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit.dom import deep_equal
+from repro.workloads.handmade import FIGURE2_XASR, FIGURE2_XML
+
+
+@pytest.fixture
+def fig2_doc(database):
+    load_document(database, "fig2", xml=FIGURE2_XML)
+    return StoredDocument(database, "fig2")
+
+
+class TestFigure2:
+    """The paper's running example, asserted number for number."""
+
+    def test_exact_in_out_labels(self, fig2_doc):
+        actual = [(node.in_, node.out, node.parent_in,
+                   TYPE_NAMES[node.type], node.value or None)
+                  for node in fig2_doc.scan()]
+        assert actual == FIGURE2_XASR
+
+    def test_example1_journal_tuple(self, fig2_doc):
+        node = fig2_doc.node(2)
+        assert node.describe() == "(2, 17, 1, element, journal)"
+
+    def test_example1_ana_tuple(self, fig2_doc):
+        node = fig2_doc.node(5)
+        assert node.describe() == "(5, 6, 4, text, Ana)"
+
+    def test_root_has_in_1(self, fig2_doc):
+        root = fig2_doc.root()
+        assert root.in_ == 1 and root.type == ROOT
+
+    def test_child_iff_parent_in(self, fig2_doc):
+        """xi+1 is child of xi ⇔ xi+1.parent_in = xi.in (paper)."""
+        nodes = list(fig2_doc.scan())
+        for parent in nodes:
+            children = {node.in_ for node in nodes
+                        if node.parent_in == parent.in_
+                        and node.in_ != parent.in_}
+            via_index = {node.in_
+                         for node in fig2_doc.children(parent.in_)}
+            assert children == via_index
+
+    def test_descendant_iff_interval(self, fig2_doc):
+        """xi+1 descendant of xi ⇔ xi.in < xi+1.in ∧ xi.out > xi+1.out."""
+        nodes = list(fig2_doc.scan())
+        for ancestor in nodes:
+            expected = {node.in_ for node in nodes
+                        if ancestor.in_ < node.in_
+                        and ancestor.out > node.out}
+            got = {node.in_ for node in fig2_doc.descendants(ancestor)}
+            assert got == expected
+
+
+class TestLoader:
+    def test_statistics(self, database):
+        stats = load_document(database, "d", xml=FIGURE2_XML)
+        assert stats.total_nodes == 9
+        assert stats.element_count == 5
+        assert stats.text_count == 3
+        assert stats.label_counts == {"journal": 1, "authors": 1,
+                                      "name": 2, "title": 1}
+        assert stats.max_in == 18
+        # name elements sit at depth 3; their text children at depth 4.
+        assert stats.max_depth == 4
+
+    def test_average_depth(self, database):
+        stats = load_document(database, "d", xml=FIGURE2_XML)
+        # depths: root 0, journal 1, authors 2, name 3, Ana 3(text at
+        # depth 3? text depth == stack depth), name 3, Bob, title 2, DB
+        assert stats.average_depth == pytest.approx(stats.depth_sum / 9)
+
+    def test_duplicate_load_rejected(self, database):
+        load_document(database, "d", xml="<a/>")
+        with pytest.raises(CatalogError):
+            load_document(database, "d", xml="<a/>")
+
+    def test_exactly_one_source_required(self, database):
+        with pytest.raises(ValueError):
+            load_document(database, "d", xml="<a/>", path="also.xml")
+        with pytest.raises(ValueError):
+            load_document(database, "d")
+
+    def test_streaming_and_bulk_agree(self, tmp_path):
+        xml = FIGURE2_XML
+        with Database.create(str(tmp_path / "a.db")) as db_a, \
+                Database.create(str(tmp_path / "b.db")) as db_b:
+            load_document(db_a, "d", xml=xml, bulk=True)
+            load_document(db_b, "d", xml=xml, bulk=False)
+            rows_a = list(StoredDocument(db_a, "d").scan())
+            rows_b = list(StoredDocument(db_b, "d").scan())
+            assert rows_a == rows_b
+
+    def test_load_from_file(self, database, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(FIGURE2_XML, encoding="utf-8")
+        load_document(database, "d", path=str(path))
+        assert len(StoredDocument(database, "d")) == 9
+
+    def test_long_text_value_goes_to_overflow(self, database):
+        big = "x" * 5000
+        load_document(database, "d", xml=f"<a>{big}</a>")
+        doc = StoredDocument(database, "d")
+        text = [node for node in doc.scan() if node.type == TEXT]
+        assert text[0].value == big
+
+    def test_missing_document_raises(self, database):
+        with pytest.raises(CatalogError):
+            StoredDocument(database, "ghost")
+
+
+class TestAccessPaths:
+    def test_nodes_with_label(self, fig2_doc):
+        assert [node.in_ for node in fig2_doc.nodes_with_label("name")] \
+            == [4, 8]
+
+    def test_nodes_with_absent_label(self, fig2_doc):
+        assert list(fig2_doc.nodes_with_label("ghost")) == []
+
+    def test_text_nodes_with_value(self, fig2_doc):
+        assert [node.in_
+                for node in fig2_doc.text_nodes_with_value("Bob")] == [9]
+
+    def test_text_value_no_prefix_false_positives(self, database):
+        load_document(database, "d", xml="<r><a>ab</a><b>abc</b></r>")
+        doc = StoredDocument(database, "d")
+        assert len(list(doc.text_nodes_with_value("ab"))) == 1
+
+    def test_long_value_lookup_rechecks_record(self, database):
+        long_a = "y" * 100
+        long_b = "y" * 100 + "tail"
+        load_document(database, "d",
+                      xml=f"<r><a>{long_a}</a><b>{long_b}</b></r>")
+        doc = StoredDocument(database, "d")
+        assert len(list(doc.text_nodes_with_value(long_a))) == 1
+        assert len(list(doc.text_nodes_with_value(long_b))) == 1
+
+    def test_range_scan(self, fig2_doc):
+        ins = [node.in_ for node in fig2_doc.range(3, 9)]
+        assert ins == [3, 4, 5, 8, 9]
+
+    def test_node_missing_in_value(self, fig2_doc):
+        with pytest.raises(StorageError):
+            fig2_doc.node(6)  # 6 is an out value, not an in value
+
+    def test_label_count_from_statistics(self, fig2_doc):
+        assert fig2_doc.label_count("name") == 2
+        assert fig2_doc.label_count("ghost") == 0
+
+
+class TestReconstruction:
+    """'XML documents stored using this schema can be reconstructed.'"""
+
+    def test_full_document_round_trip(self, fig2_doc):
+        rebuilt = fig2_doc.to_document()
+        assert deep_equal(rebuilt, parse(FIGURE2_XML))
+
+    def test_subtree_serialization(self, fig2_doc):
+        authors = fig2_doc.node(3)
+        assert fig2_doc.serialize_subtree(authors) == \
+            "<authors><name>Ana</name><name>Bob</name></authors>"
+
+    def test_text_subtree(self, fig2_doc):
+        assert fig2_doc.serialize_subtree(fig2_doc.node(5)) == "Ana"
+
+    @pytest.mark.parametrize("xml", [
+        "<a/>", "<a>x</a>", "<a><b/><c>t</c><d><e>u</e></d></a>",
+        "<a><a><a>deep</a></a></a>",
+    ])
+    def test_round_trip_various_shapes(self, database, xml):
+        load_document(database, "d", xml=xml)
+        doc = StoredDocument(database, "d")
+        assert serialize(doc.to_document()) == serialize(parse(xml))

@@ -1,0 +1,128 @@
+"""Tests for the DOM, the DOM parser and the serializer."""
+
+import pytest
+
+from repro.xmlkit.dom import Document, Element, NodeKind, Text, deep_equal
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import escape_attribute, escape_text, serialize
+
+
+class TestParse:
+    def test_root_element(self):
+        doc = parse("<journal/>")
+        assert doc.root_element.name == "journal"
+
+    def test_children_in_order(self):
+        doc = parse("<a><b/><c/><d/></a>")
+        names = [child.name for child in doc.root_element.children]
+        assert names == ["b", "c", "d"]
+
+    def test_text_nodes(self):
+        doc = parse("<a>hi</a>")
+        (text,) = doc.root_element.children
+        assert isinstance(text, Text)
+        assert text.text == "hi"
+
+    def test_whitespace_stripped_by_default(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert len(doc.root_element.children) == 1
+
+    def test_whitespace_preserved_on_request(self):
+        doc = parse("<a> <b/> </a>", strip_whitespace=False)
+        kinds = [child.kind for child in doc.root_element.children]
+        assert kinds == [NodeKind.TEXT, NodeKind.ELEMENT, NodeKind.TEXT]
+
+    def test_parent_links(self):
+        doc = parse("<a><b><c/></b></a>")
+        c = doc.root_element.children[0].children[0]
+        assert c.parent.name == "b"
+        assert c.parent.parent.name == "a"
+
+    def test_attributes_survive(self):
+        doc = parse('<a key="v"/>')
+        assert doc.root_element.attributes == (("key", "v"),)
+
+
+class TestNavigation:
+    def setup_method(self):
+        self.doc = parse(
+            "<journal><authors><name>Ana</name><name>Bob</name>"
+            "</authors><title>DB</title></journal>")
+
+    def test_iter_children(self):
+        journal = self.doc.root_element
+        labels = [child.label for child in journal.iter_children()]
+        assert labels == ["authors", "title"]
+
+    def test_iter_descendants_document_order(self):
+        labels = [node.label
+                  for node in self.doc.root_element.iter_descendants()]
+        assert labels == ["authors", "name", "Ana", "name", "Bob",
+                          "title", "DB"]
+
+    def test_iter_self_and_descendants(self):
+        nodes = list(self.doc.root_element.iter_self_and_descendants())
+        assert nodes[0] is self.doc.root_element
+        assert len(nodes) == 8
+
+    def test_string_value_concatenates_in_order(self):
+        assert self.doc.root_element.string_value() == "AnaBobDB"
+
+    def test_text_node_string_value(self):
+        assert Text("x").string_value() == "x"
+
+    def test_kind_predicates(self):
+        assert Element("a").is_element()
+        assert not Element("a").is_text()
+        assert Text("x").is_text()
+
+    def test_labels(self):
+        assert Element("a").label == "a"
+        assert Text("x").label == "x"
+        assert Document().label is None
+
+
+class TestDeepEqual:
+    def test_equal_trees(self):
+        assert deep_equal(parse("<a><b>x</b></a>"), parse("<a><b>x</b></a>"))
+
+    def test_different_label(self):
+        assert not deep_equal(parse("<a/>"), parse("<b/>"))
+
+    def test_different_text(self):
+        assert not deep_equal(parse("<a>x</a>"), parse("<a>y</a>"))
+
+    def test_different_child_count(self):
+        assert not deep_equal(parse("<a><b/></a>"), parse("<a><b/><b/></a>"))
+
+    def test_different_child_order(self):
+        assert not deep_equal(parse("<a><b/><c/></a>"),
+                              parse("<a><c/><b/></a>"))
+
+
+class TestSerialize:
+    def test_compact_round_trip(self):
+        text = "<a><b>x</b><c/><d>y&amp;z</d></a>"
+        assert serialize(parse(text)) == text
+
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a></a>")) == "<a/>"
+
+    def test_attributes_rendered(self):
+        assert serialize(parse('<a k="v"/>')) == '<a k="v"/>'
+
+    def test_text_escaping(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escaping_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_pretty_print_indents(self):
+        pretty = serialize(parse("<a><b>x</b></a>"), indent=2)
+        assert pretty == "<a>\n  <b>x</b>\n</a>\n"
+
+    def test_serialize_parse_fixpoint(self):
+        text = ("<dblp><article><author>A &amp; B</author>"
+                "<title>T</title></article></dblp>")
+        once = serialize(parse(text))
+        assert serialize(parse(once)) == once

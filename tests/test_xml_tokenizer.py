@@ -1,0 +1,179 @@
+"""Unit tests for the streaming XML tokenizer."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlkit.tokenizer import iterparse
+
+
+def events_of(text):
+    return list(iterparse(text))
+
+
+def kinds(text):
+    return [type(event).__name__ for event in events_of(text)]
+
+
+class TestBasicDocuments:
+    def test_single_empty_element(self):
+        assert kinds("<a/>") == ["StartDocument", "StartElement",
+                                 "EndElement", "EndDocument"]
+
+    def test_open_close_pair(self):
+        assert kinds("<a></a>") == ["StartDocument", "StartElement",
+                                    "EndElement", "EndDocument"]
+
+    def test_element_names_are_reported(self):
+        events = events_of("<root><child/></root>")
+        starts = [event.name for event in events
+                  if isinstance(event, StartElement)]
+        assert starts == ["root", "child"]
+
+    def test_text_content(self):
+        events = events_of("<a>hello</a>")
+        texts = [event.text for event in events
+                 if isinstance(event, Characters)]
+        assert texts == ["hello"]
+
+    def test_nested_structure_order(self):
+        events = events_of("<a><b>x</b><c/></a>")
+        trace = []
+        for event in events:
+            if isinstance(event, StartElement):
+                trace.append(f"<{event.name}>")
+            elif isinstance(event, EndElement):
+                trace.append(f"</{event.name}>")
+            elif isinstance(event, Characters):
+                trace.append(event.text)
+        assert trace == ["<a>", "<b>", "x", "</b>", "<c>", "</c>", "</a>"]
+
+    def test_whitespace_between_elements_is_characters(self):
+        events = events_of("<a> <b/> </a>")
+        texts = [event.text for event in events
+                 if isinstance(event, Characters)]
+        assert texts == [" ", " "]
+
+    def test_document_events_bracket_everything(self):
+        events = events_of("<a/>")
+        assert isinstance(events[0], StartDocument)
+        assert isinstance(events[-1], EndDocument)
+
+
+class TestAttributes:
+    def test_single_attribute(self):
+        event = events_of('<a x="1"/>')[1]
+        assert event.attributes == (("x", "1"),)
+
+    def test_multiple_attributes_preserve_order(self):
+        event = events_of('<a x="1" y="2" z="3"/>')[1]
+        assert [name for name, __ in event.attributes] == ["x", "y", "z"]
+
+    def test_single_quoted_values(self):
+        event = events_of("<a x='v'/>")[1]
+        assert event.get("x") == "v"
+
+    def test_get_returns_default_for_missing(self):
+        event = events_of("<a/>")[1]
+        assert event.get("nope", "dflt") == "dflt"
+
+    def test_entity_in_attribute_value(self):
+        event = events_of('<a x="a&amp;b"/>')[1]
+        assert event.get("x") == "a&b"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlError):
+            events_of('<a x="1" x="2"/>')
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(XmlError):
+            events_of("<a x=1/>")
+
+
+class TestEntitiesAndCData:
+    def test_predefined_entities(self):
+        events = events_of("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        text = "".join(event.text for event in events
+                       if isinstance(event, Characters))
+        assert text == "<>&'\""
+
+    def test_decimal_character_reference(self):
+        events = events_of("<a>&#65;</a>")
+        assert events[2].text == "A"
+
+    def test_hex_character_reference(self):
+        events = events_of("<a>&#x41;</a>")
+        assert events[2].text == "A"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlError):
+            events_of("<a>&nosuch;</a>")
+
+    def test_cdata_is_literal(self):
+        events = events_of("<a><![CDATA[<not> &markup;]]></a>")
+        assert events[2].text == "<not> &markup;"
+
+    def test_adjacent_text_and_cdata_coalesce(self):
+        events = events_of("<a>x<![CDATA[y]]>z</a>")
+        texts = [event for event in events
+                 if isinstance(event, Characters)]
+        assert len(texts) == 1
+        assert texts[0].text == "xyz"
+
+
+class TestSkippedMarkup:
+    def test_comment_is_skipped(self):
+        assert kinds("<a><!-- hi --></a>") == [
+            "StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_processing_instruction_skipped(self):
+        assert kinds("<?xml version='1.0'?><a/>") == [
+            "StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_doctype_skipped(self):
+        assert kinds("<!DOCTYPE a><a/>") == [
+            "StartDocument", "StartElement", "EndElement", "EndDocument"]
+
+    def test_doctype_with_internal_subset(self):
+        text = "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>"
+        assert kinds(text)[-1] == "EndDocument"
+
+    def test_comment_splits_text_into_two_events(self):
+        events = events_of("<a>x<!-- c -->y</a>")
+        texts = [event.text for event in events
+                 if isinstance(event, Characters)]
+        assert texts == ["x", "y"]
+
+
+class TestMalformedInput:
+    @pytest.mark.parametrize("text", [
+        "", "   ", "<a>", "<a></b>", "</a>", "<a><b></a></b>",
+        "<a/><b/>", "text only", "<a>&unterminated", "<a x=></a>",
+        "<a><!-- unterminated</a>", "<a><![CDATA[x</a>",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XmlError):
+            events_of(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlError) as excinfo:
+            events_of("<a>\n  </b>")
+        assert excinfo.value.line == 2
+
+    def test_mismatched_tag_message_names_both(self):
+        with pytest.raises(XmlError, match="mismatched"):
+            events_of("<outer></inner>")
+
+
+class TestPositions:
+    def test_start_element_line_column(self):
+        events = events_of("<a>\n<b/></a>")
+        b_event = [event for event in events
+                   if isinstance(event, StartElement)][1]
+        assert (b_event.line, b_event.column) == (2, 1)

@@ -1,0 +1,155 @@
+"""Milestone-1 evaluator semantics (the oracle itself)."""
+
+import pytest
+
+from repro.errors import XQEvalError, XQTypeError
+from repro.xmlkit.parser import parse
+from repro.xq.eval_memory import evaluate, serialize_result
+from repro.xq.parser import parse_query
+
+JOURNAL = ("<journal><authors><name>Ana</name><name>Bob</name>"
+           "</authors><title>DB</title></journal>")
+
+
+def run(query, xml=JOURNAL):
+    return serialize_result(evaluate(parse_query(query), parse(xml)))
+
+
+class TestQueryForms:
+    def test_empty(self):
+        assert run("()") == ""
+
+    def test_absolute_child(self):
+        assert run("/journal/title") == "<title>DB</title>"
+
+    def test_descendant(self):
+        assert run("//name") == "<name>Ana</name><name>Bob</name>"
+
+    def test_variable_outputs_subtree(self):
+        assert run("for $a in /journal/authors return $a") == \
+            "<authors><name>Ana</name><name>Bob</name></authors>"
+
+    def test_text_test(self):
+        assert run("//name/text()") == "AnaBob"
+
+    def test_wildcard(self):
+        assert run("/journal/*") == \
+            ("<authors><name>Ana</name><name>Bob</name></authors>"
+             "<title>DB</title>")
+
+    def test_construction_copies(self):
+        assert run("<out>{ //title }</out>") == \
+            "<out><title>DB</title></out>"
+
+    def test_construction_literal_text(self):
+        assert run("<a>hi</a>") == "<a>hi</a>"
+
+    def test_empty_construction(self):
+        assert run("<a/>") == "<a/>"
+
+    def test_sequence_order(self):
+        assert run("//title, //name") == \
+            "<title>DB</title><name>Ana</name><name>Bob</name>"
+
+    def test_nested_for_document_order(self):
+        assert run("for $j in /journal return "
+                   "for $n in $j//name return $n") == \
+            "<name>Ana</name><name>Bob</name>"
+
+    def test_for_over_empty_source(self):
+        assert run("for $x in //nothing return <y/>") == ""
+
+    def test_if_true(self):
+        assert run("if (true()) then <t/>") == "<t/>"
+
+    def test_if_false_yields_empty(self):
+        assert run("for $n in //name return "
+                   "if (some $t in $n/text() satisfies $t = \"Zoe\") "
+                   "then $n else ()") == ""
+
+
+class TestConditions:
+    def test_var_eq_const_true(self):
+        assert run("for $t in //name/text() return "
+                   "if ($t = \"Ana\") then <hit/> else ()") == "<hit/>"
+
+    def test_var_eq_var(self):
+        query = ("for $s in //name/text() return "
+                 "for $t in //name/text() return "
+                 "if ($s = $t) then <eq/> else ()")
+        assert run(query) == "<eq/><eq/>"  # Ana=Ana, Bob=Bob
+
+    def test_some_descendant(self):
+        assert run("if (some $t in //journal satisfies true()) "
+                   "then <found/>") == "<found/>"
+
+    def test_some_is_existential(self):
+        # One witness is enough; no duplicates from multiple matches.
+        assert run("for $a in /journal/authors return "
+                   "if (some $n in $a/name satisfies true()) "
+                   "then <yes/> else ()") == "<yes/>"
+
+    def test_and_or_not(self):
+        assert run("if (true() and not(true())) then <a/>") == ""
+        assert run("if (true() or not(true())) then <a/>") == "<a/>"
+
+    def test_nested_some(self):
+        query = ("if (some $n in //name satisfies "
+                  "some $t in $n/text() satisfies $t = \"Bob\") "
+                  "then <bob/>")
+        assert run(query) == "<bob/>"
+
+
+class TestTypingRules:
+    """The paper's restriction: comparisons require text-node bindings."""
+
+    def test_element_comparison_raises(self):
+        query = ("for $n in //name return "
+                 "if ($n = \"Ana\") then $n else ()")
+        with pytest.raises(XQTypeError):
+            run(query)
+
+    def test_element_to_element_comparison_raises(self):
+        query = ("for $a in //name return for $b in //name return "
+                 "if ($a = $b) then <x/> else ()")
+        with pytest.raises(XQTypeError):
+            run(query)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(XQEvalError):
+            run("$nosuch")
+
+    def test_comparison_not_reached_when_source_empty(self):
+        # 'some' never binds, so the ill-typed comparison never runs.
+        query = ("for $n in //name return "
+                 "if (some $t in $n/nothing satisfies $t = \"x\") "
+                 "then $n else ()")
+        assert run(query) == ""
+
+
+class TestConstructionSemantics:
+    def test_constructed_nodes_are_copies(self):
+        document = parse(JOURNAL)
+        result = evaluate(parse_query("<w>{ //title }</w>"), document)
+        copied_title = result[0].children[0]
+        original_title = document.root_element.children[1]
+        assert copied_title is not original_title
+        assert copied_title.name == original_title.name
+
+    def test_navigation_into_constructed_content_not_supported(self):
+        # Composition-freeness: queries navigate the *input* document
+        # only; a for over a constructed variable is simply not
+        # expressible because 'for' sources are paths from variables
+        # bound to input nodes.  Binding a constructed node and stepping
+        # from it still works mechanically (it is a node), which is the
+        # expected generalization.
+        assert run("for $x in /journal return <a>{ $x/title }</a>") == \
+            "<a><title>DB</title></a>"
+
+    def test_strict_merge_example_constructs_empty_elements(self):
+        # The paper's example: journals without children must still
+        # produce empty <j/> elements.
+        xml = "<lib><journal><name>X</name></journal><journal/></lib>"
+        query = ("for $j in //journal return "
+                 "<j>{ for $n in $j//name return $n }</j>")
+        assert run(query, xml) == "<j><name>X</name></j><j/>"

@@ -1,0 +1,213 @@
+"""Tests for the XQ lexer/parser, desugaring, and unparser."""
+
+import pytest
+
+from repro.errors import XQSyntaxError
+from repro.xq.ast import (
+    And,
+    Axis,
+    Constr,
+    Empty,
+    For,
+    If,
+    LabelTest,
+    Not,
+    Or,
+    ROOT_VAR,
+    Sequence,
+    Some,
+    Step,
+    TextLiteral,
+    TextTest,
+    TrueCond,
+    Var,
+    VarEqConst,
+    VarEqVar,
+    WildcardTest,
+    contains_constructor,
+    free_variables,
+    query_size,
+)
+from repro.xq.parser import parse_query
+from repro.xq.pretty import unparse
+
+
+class TestGrammarProductions:
+    """Every production of Figure 1 parses to its AST form."""
+
+    def test_empty(self):
+        assert parse_query("()") == Empty()
+
+    def test_variable(self):
+        assert parse_query("$x") == Var("x")
+
+    def test_child_step(self):
+        assert parse_query("$x/a") == Step("x", Axis.CHILD, LabelTest("a"))
+
+    def test_descendant_step(self):
+        assert parse_query("$x//a") == Step("x", Axis.DESCENDANT,
+                                            LabelTest("a"))
+
+    def test_explicit_axes(self):
+        assert parse_query("$x/child::a") == parse_query("$x/a")
+        assert parse_query("$x/descendant::a") == parse_query("$x//a")
+
+    def test_wildcard_test(self):
+        assert parse_query("$x/*") == Step("x", Axis.CHILD, WildcardTest())
+
+    def test_text_test(self):
+        assert parse_query("$x/text()") == Step("x", Axis.CHILD, TextTest())
+
+    def test_for_expression(self):
+        query = parse_query("for $y in $x/a return $y")
+        assert query == For("y", Step("x", Axis.CHILD, LabelTest("a")),
+                            Var("y"))
+
+    def test_if_expression(self):
+        query = parse_query("if (true()) then $x")
+        assert query == If(TrueCond(), Var("x"))
+
+    def test_if_with_empty_else(self):
+        assert parse_query("if (true()) then $x else ()") == \
+            parse_query("if (true()) then $x")
+
+    def test_constructor_empty(self):
+        assert parse_query("<a/>") == Constr("a", Empty())
+
+    def test_constructor_with_expression(self):
+        assert parse_query("<a>{ $x }</a>") == Constr("a", Var("x"))
+
+    def test_constructor_literal_text(self):
+        assert parse_query("<a>hello</a>") == Constr("a",
+                                                     TextLiteral("hello"))
+
+    def test_nested_constructors(self):
+        query = parse_query("<a><b/></a>")
+        assert query == Constr("a", Constr("b", Empty()))
+
+    def test_sequence(self):
+        assert parse_query("$x, $y") == Sequence(Var("x"), Var("y"))
+
+    def test_conditions_full_set(self):
+        text = ("if ($a = $b and $a = \"s\" or not(true()) or "
+                "some $t in $x/text() satisfies true()) then ()")
+        query = parse_query(text)
+        assert isinstance(query, If)
+        assert isinstance(query.cond, Or)
+
+    def test_and_or_precedence(self):
+        query = parse_query('if ($a = $b or $a = $b and true()) then ()')
+        # 'and' binds tighter than 'or'.
+        assert isinstance(query.cond, Or)
+        assert isinstance(query.cond.right, And)
+
+
+class TestDesugaring:
+    def test_absolute_path_uses_root(self):
+        query = parse_query("/journal")
+        assert query == Step(ROOT_VAR, Axis.CHILD, LabelTest("journal"))
+
+    def test_absolute_descendant(self):
+        query = parse_query("//article")
+        assert query == Step(ROOT_VAR, Axis.DESCENDANT,
+                             LabelTest("article"))
+
+    def test_multi_step_for_becomes_nested_fors(self):
+        query = parse_query("for $y in $x/a/b return $y")
+        assert isinstance(query, For)
+        assert query.source.test == LabelTest("a")
+        assert isinstance(query.body, For)
+        assert query.body.var == "y"
+        assert query.body.source.test == LabelTest("b")
+
+    def test_multi_step_path_query(self):
+        query = parse_query("$x/a/b")
+        assert isinstance(query, For)
+        assert isinstance(query.body, Step)
+
+    def test_multi_step_some(self):
+        query = parse_query(
+            "if (some $t in $x/a/text() satisfies true()) then ()")
+        assert isinstance(query.cond, Some)
+        assert isinstance(query.cond.cond, Some)
+        assert query.cond.cond.var == "t"
+
+    def test_fresh_variables_unwritable(self):
+        query = parse_query("for $y in $x/a/b return $y")
+        assert query.var.startswith("#")
+
+    def test_bare_slash_rejected(self):
+        with pytest.raises(XQSyntaxError):
+            parse_query("/")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", [
+        "", "for $x return $x", "for $x in $y", "$", "$for",
+        "if true() then ()", "if (true()) then", "<a>{</a>",
+        "<a></b>", "$x/", "$x/unknownaxis::a", "some $x in $y",
+        "$x = $y", "for $x in $y return $x extra",
+        "if ($x = ) then ()", "(: unclosed",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XQSyntaxError):
+            parse_query(text)
+
+    def test_comments_are_skipped(self):
+        assert parse_query("(: c :) $x (: d :)") == Var("x")
+
+    def test_error_position_reported(self):
+        with pytest.raises(XQSyntaxError) as excinfo:
+            parse_query("for $x in\n  $y")
+        assert excinfo.value.line == 2
+
+
+class TestUnparseRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "()",
+        "$x",
+        "$x/child::a",
+        "$x/descendant::*",
+        "$x/child::text()",
+        "for $y in $x/child::a return $y",
+        "if (true()) then <yes/>",
+        'if ($a = "s") then $a',
+        "if ($a = $b) then ()",
+        "if (some $t in $x/child::text() satisfies true()) then $x",
+        "if (not(($a = $b and true()))) then ()",
+        "<out>{ $x, $y }</out>",
+        "<names>{ for $n in $j/descendant::name return $n }</names>",
+    ])
+    def test_round_trip(self, text):
+        first = parse_query(text)
+        assert parse_query(unparse(first)) == first
+
+    def test_round_trip_with_desugared_paths(self):
+        query = parse_query("for $y in /a/b//c return $y")
+        assert parse_query(unparse(query)) == query
+
+
+class TestAstHelpers:
+    def test_free_variables_of_for(self):
+        query = parse_query("for $y in $x/a return $y, $z")
+        assert free_variables(query) == {"x", "z"}
+
+    def test_for_variable_is_bound(self):
+        query = parse_query("for $y in $x/a return $y")
+        assert "y" not in free_variables(query)
+
+    def test_some_variable_is_bound(self):
+        cond = parse_query(
+            "if (some $t in $x/text() satisfies $t = $u) then ()").cond
+        assert free_variables(cond) == {"x", "u"}
+
+    def test_contains_constructor(self):
+        assert contains_constructor(parse_query("<a/>"))
+        assert contains_constructor(
+            parse_query("for $x in $y/a return <b/>"))
+        assert not contains_constructor(
+            parse_query("for $x in $y/a return $x"))
+
+    def test_query_size_counts_nodes(self):
+        assert query_size(parse_query("$x")) == 1
+        assert query_size(parse_query("for $y in $x/a return $y")) == 3
