@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""Quickstart: load the paper's Figure 2 document and query it.
+"""Quickstart: the session API on the paper's Figure 2 document.
+
+Load a document, prepare a parameterized query once, execute it many
+times with different bindings, and stream results through a cursor.
 
 Run with::
 
@@ -11,6 +14,7 @@ from pathlib import Path
 
 from repro import XmlDbms
 from repro.workloads.handmade import FIGURE2_XML
+from repro.xmlkit.serializer import serialize
 
 
 def main() -> None:
@@ -21,28 +25,48 @@ def main() -> None:
         print(f"loaded {stats.total_nodes} nodes; labels: "
               f"{stats.label_counts}")
 
-        # 2. The paper's Example 2 query: all names under the journal.
+        # 2. Open a session: per-session defaults plus a plan cache.
+        session = dbms.session(profile="m4")
+
+        # 3. The paper's Example 2 query: all names under the journal.
         query = ("<names>{ for $j in /journal return "
                  "for $n in $j//name return $n }</names>")
         print("\nExample 2 query result:")
-        print(dbms.query("fig2", query, indent=2))
+        print(session.query("fig2", query, indent=2))
 
-        # 3. A condition: which names have the text 'Ana'?
-        print("authors named Ana:")
-        print(dbms.query("fig2",
-                         'for $n in //name return '
-                         'if (some $t in $n/text() satisfies $t = "Ana") '
-                         'then $n else ()'))
+        # 4. Prepare once, execute many: an external variable binds a
+        #    fresh parameter value per execution while the compiled plan
+        #    is reused.
+        prepared = session.prepare("fig2", """
+            declare variable $who external;
+            for $n in //name return
+            if (some $t in $n/text() satisfies $t = $who)
+            then $n else ()
+        """)
+        for who in ("Ana", "Bob", "Eve"):
+            print(f"authors named {who}:",
+                  prepared.query(bindings={"who": who}) or "(none)")
 
-        # 4. Look under the hood: the TPM translation and physical plan
-        #    the milestone-4 optimizer chooses.
-        print("\nTPM tree and physical plan:")
-        print(dbms.explain("fig2", query))
+        # 5. Cursors stream: fetch a batch, then close early — the rest
+        #    of the result is never materialised.
+        with prepared.execute(bindings={"who": "Ana"}) as cursor:
+            first = cursor.fetch(1)
+            print("first match only:", serialize(first[0]))
 
-        # 5. The same query runs identically on every milestone engine.
+        # 6. Look under the hood: the structured explain report carries
+        #    the TPM tree, the chosen plans, costs, and cache state.
+        report = session.explain("fig2", query)
+        print(f"\nplan cache hit: {report.cache_hit}; "
+              f"estimated cost: {report.estimated_cost:.1f}")
+        print(report)
+
+        # 7. The same query runs identically on every milestone engine,
+        #    and the one-shot facade still works.
         for profile in ("m1", "m2", "m3", "m4"):
             result = dbms.query("fig2", query, profile=profile)
             print(f"{profile}: {result}")
+
+        print("\nplan cache:", session.cache_info())
 
 
 if __name__ == "__main__":

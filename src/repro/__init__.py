@@ -8,9 +8,24 @@ XML into relations, the TPM algebra with its rewrite rules, physical
 operators, a cost-based optimizer — plus the course's grading testbed and
 workload generators used to reproduce the paper's evaluation.
 
-Quick start::
+Quick start — the session API (prepare once, bind, execute many,
+stream)::
 
     from repro import XmlDbms
+
+    with XmlDbms("library.db") as dbms:
+        dbms.load("doc", xml="<journal><name>Ana</name></journal>")
+        session = dbms.session()
+        prepared = session.prepare("doc", '''
+            declare variable $who external;
+            for $n in //name return
+            if (some $t in $n/text() satisfies $t = $who)
+            then $n else ()
+        ''')
+        with prepared.execute(bindings={"who": "Ana"}) as cursor:
+            print(cursor.serialize())
+
+One-shot convenience wrappers remain::
 
     with XmlDbms("library.db") as dbms:
         dbms.load("doc", xml="<journal><name>Ana</name></journal>")
@@ -18,6 +33,14 @@ Quick start::
 """
 
 from repro.core.dbms import XmlDbms
+from repro.core.session import (
+    CacheInfo,
+    Cursor,
+    ExecutionOptions,
+    ExplainReport,
+    PreparedQuery,
+    Session,
+)
 from repro.engine.profiles import (
     ENGINE_PROFILES,
     EngineProfile,
@@ -25,10 +48,16 @@ from repro.engine.profiles import (
     TOP_FIVE,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "XmlDbms",
+    "Session",
+    "PreparedQuery",
+    "Cursor",
+    "ExecutionOptions",
+    "ExplainReport",
+    "CacheInfo",
     "EngineProfile",
     "ENGINE_PROFILES",
     "MILESTONE_PROFILES",

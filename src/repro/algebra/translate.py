@@ -65,6 +65,7 @@ from repro.xq.ast import (
     NodeTest,
     Not,
     Or,
+    Program,
     Query,
     Sequence,
     Some,
@@ -111,9 +112,28 @@ def translate(query: Query, carry_out_values: bool = True) -> TpmExpr:
     rule with the extra ``XASR[R1]`` self-join (useful with
     :func:`~repro.algebra.merge.eliminate_redundant_relations`, which is
     exactly the cleanup Example 4 performs on it).
+
+    External variables (prepared-query parameters) need no special
+    treatment here: a free variable is referenced through the vartuple
+    environment (:class:`~repro.algebra.ra.VarField`) when it anchors a
+    step, and comparisons against it become residual predicates resolved
+    from the environment at execution time.  The TPM tree and its physical
+    plans are therefore *independent of the bound values* — one plan
+    serves every execution of a parameterized query.
     """
     context = _Context(carry_out_values=carry_out_values)
     return _translate(query, context)
+
+
+def translate_program(program: Program,
+                      carry_out_values: bool = True) -> TpmExpr:
+    """Translate a full XQ program (prolog + query body).
+
+    The external declarations do not affect the algebra (see
+    :func:`translate`); they matter to the session layer, which validates
+    bindings against them before execution.
+    """
+    return translate(program.body, carry_out_values=carry_out_values)
 
 
 def _translate(query: Query, context: _Context) -> TpmExpr:

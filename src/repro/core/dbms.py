@@ -3,11 +3,14 @@
 One instance owns one database file and exposes the full lifecycle:
 
 * :meth:`load` — shred an XML document into XASR relations with indexes
-  and statistics (milestone 2);
-* :meth:`query` / :meth:`execute` — evaluate XQ under any engine profile
-  (milestones 1–4);
-* :meth:`explain` — show the TPM translation and the chosen physical
-  plans;
+  and statistics (milestone 2); reloading an existing name replaces the
+  document and invalidates every cached engine and plan for it;
+* :meth:`session` — the primary client API: prepared queries, external
+  variables, streaming cursors, and a per-session plan cache
+  (see :mod:`repro.core.session`);
+* :meth:`query` / :meth:`execute` — one-shot evaluation under any engine
+  profile (milestones 1–4), kept as thin wrappers over a default session;
+* :meth:`explain` — the TPM translation and the chosen physical plans;
 * :meth:`statistics` / :meth:`documents` — introspection.
 
 Updates are deliberately load/drop-only and there is no concurrency
@@ -17,6 +20,7 @@ as possible and completely disregard concurrency control and recovery").
 
 from __future__ import annotations
 
+from repro.core.session import ExecutionOptions, Session
 from repro.engine.engine import XQEngine
 from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
 from repro.errors import CatalogError
@@ -25,7 +29,10 @@ from repro.storage.pager import PAGE_SIZE
 from repro.xasr import schema
 from repro.xasr.loader import DocumentStatistics, load_document
 from repro.xmlkit.dom import Node
+from repro.xmlkit.tokenizer import iterparse, iterparse_file
 from repro.xq.ast import Query
+
+__all__ = ["XmlDbms", "ExecutionOptions", "Session", "PROFILES"]
 
 
 class XmlDbms:
@@ -36,6 +43,10 @@ class XmlDbms:
         self.db = Database(path, buffer_capacity=buffer_capacity,
                            page_size=page_size)
         self._engines: dict[tuple[str, str], XQEngine] = {}
+        #: Monotonic per-document catalog versions; bumped by load/drop so
+        #: session plan caches invalidate without explicit wiring.
+        self._versions: dict[str, int] = {}
+        self._default_session: Session | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -54,9 +65,28 @@ class XmlDbms:
              path: str | None = None,
              strip_whitespace: bool = True,
              bulk: bool = True) -> DocumentStatistics:
-        """Load a document from text or a file; returns its statistics."""
-        return load_document(self.db, name, xml=xml, path=path,
-                             strip_whitespace=strip_whitespace, bulk=bulk)
+        """Load a document from text or a file; returns its statistics.
+
+        Loading over an already-loaded ``name`` *replaces* the document:
+        the old relations, indexes and statistics are dropped, and every
+        cached engine (including any milestone-1 DOM) and cached plan for
+        the name is invalidated.  The new input is fully validated
+        *before* the old document is touched, so a malformed replacement
+        leaves the existing document intact.
+        """
+        if self.db.exists(schema.table_name(name)):
+            sources = [source for source in (xml, path)
+                       if source is not None]
+            if len(sources) != 1:
+                raise ValueError("pass exactly one of xml=, path=")
+            for __ in (iterparse(xml) if xml is not None
+                       else iterparse_file(path)):
+                pass
+            self.drop(name)
+        stats = load_document(self.db, name, xml=xml, path=path,
+                              strip_whitespace=strip_whitespace, bulk=bulk)
+        self._invalidate(name)
+        return stats
 
     def documents(self) -> list[str]:
         """Names of loaded documents."""
@@ -78,9 +108,18 @@ class XmlDbms:
                             schema.stats_name(name)):
             if self.db.exists(object_name):
                 self.db.drop(object_name)
+        self._invalidate(name)
+
+    def _invalidate(self, name: str) -> None:
+        """Forget cached engines for ``name`` and bump its version."""
         self._engines = {key: engine
                          for key, engine in self._engines.items()
                          if key[0] != name}
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def catalog_version(self, name: str) -> int:
+        """Version counter for a document; changes on every load/drop."""
+        return self._versions.get(name, 0)
 
     def statistics(self, name: str) -> DocumentStatistics:
         """The statistics gathered when ``name`` was loaded."""
@@ -88,6 +127,24 @@ class XmlDbms:
         if payload is None:
             raise CatalogError(f"document {name!r} is not loaded")
         return DocumentStatistics.from_payload(payload)
+
+    # -- sessions -----------------------------------------------------------------
+
+    def session(self, profile: EngineProfile | str = "m4",
+                time_limit: float | None = None,
+                memory_budget: int | None = None,
+                plan_cache_capacity: int = 128) -> Session:
+        """Open a client session (prepared queries, bindings, cursors)."""
+        return Session(self, profile=profile, time_limit=time_limit,
+                       memory_budget=memory_budget,
+                       plan_cache_capacity=plan_cache_capacity)
+
+    @property
+    def _session(self) -> Session:
+        """The default session backing the one-shot compatibility API."""
+        if self._default_session is None:
+            self._default_session = self.session()
+        return self._default_session
 
     # -- querying -----------------------------------------------------------------
 
@@ -107,8 +164,9 @@ class XmlDbms:
                 time_limit: float | None = None,
                 memory_budget: int | None = None) -> list[Node]:
         """Evaluate a query; returns result nodes."""
-        return self.engine(document, profile).execute(
-            query, time_limit=time_limit, memory_budget=memory_budget)
+        return self._session.execute(document, query, profile=profile,
+                                     time_limit=time_limit,
+                                     memory_budget=memory_budget)
 
     def query(self, document: str, query: str | Query,
               profile: EngineProfile | str = "m4",
@@ -116,14 +174,20 @@ class XmlDbms:
               memory_budget: int | None = None,
               indent: int | None = None) -> str:
         """Evaluate a query; returns serialized XML text."""
-        return self.engine(document, profile).execute_serialized(
-            query, time_limit=time_limit, memory_budget=memory_budget,
-            indent=indent)
+        return self._session.query(document, query, profile=profile,
+                                   time_limit=time_limit,
+                                   memory_budget=memory_budget,
+                                   indent=indent)
 
     def explain(self, document: str, query: str | Query,
                 profile: EngineProfile | str = "m4") -> str:
-        """The TPM tree and physical plans the profile would run."""
-        return self.engine(document, profile).explain(query)
+        """The TPM tree and physical plans the profile would run.
+
+        Returns text for backward compatibility;
+        :meth:`Session.explain` returns the structured
+        :class:`~repro.core.session.ExplainReport` this is rendered from.
+        """
+        return str(self._session.explain(document, query, profile=profile))
 
     # -- accounting ----------------------------------------------------------------
 
@@ -132,7 +196,7 @@ class XmlDbms:
         return self.db.stats
 
     def reset_buffer_stats(self) -> None:
-        self.db.reset_stats()
+        return self.db.reset_stats()
 
 
 #: Re-exported for convenience.

@@ -39,13 +39,23 @@ from repro.algebra.translate import translate
 from repro.engine.navigational import NavigationalEvaluator
 from repro.errors import XQEvalError
 from repro.optimizer.planner import Planner, PlannerConfig
-from repro.physical.materialize import reset_materializers
-from repro.physical.context import Bindings, ExecutionContext
+from repro.physical.materialize import instantiate_plan, reset_materializers
+from repro.physical.context import (
+    Bindings,
+    ExecutionContext,
+    is_external_node,
+)
 from repro.physical.operators import PhysicalOp
 from repro.xasr.document import StoredDocument
 from repro.xasr.schema import XasrNode
 from repro.xmlkit.dom import Element, Node, Text
 from repro.xq.ast import Query, ROOT_VAR
+
+
+#: One physical plan per RelFor node of a compiled TPM tree, keyed by the
+#: relfor's identity.  A plan set belongs to exactly one TPM tree and must
+#: stay with it (a prepared query owns both), so the id-keys stay valid.
+PlanSet = dict[int, PhysicalOp]
 
 
 class AlgebraicEvaluator:
@@ -62,8 +72,6 @@ class AlgebraicEvaluator:
         self.eliminate_redundant = eliminate_redundant
         self.carry_out_values = carry_out_values
         self.planner = Planner(document.statistics, self.config)
-        #: Plan cache: one physical plan per RelFor node of the last query.
-        self._plans: dict[int, PhysicalOp] = {}
         self.last_tpm: TpmExpr | None = None
 
     # -- compilation ---------------------------------------------------------
@@ -80,23 +88,29 @@ class AlgebraicEvaluator:
         # per profile is whether the planner can *exploit* the resulting
         # value-join condition.
         tpm = promote_residuals(tpm)
-        self._plans = {}
         self.last_tpm = tpm
         return tpm
 
-    def plan_for(self, relfor: RelFor) -> PhysicalOp:
-        plan = self._plans.get(id(relfor))
+    def plan_for(self, relfor: RelFor,
+                 plans: PlanSet | None = None) -> PhysicalOp:
+        """The physical plan for one relfor, cached in ``plans`` if given."""
+        if plans is None:
+            return self.planner.plan(relfor.source)
+        plan = plans.get(id(relfor))
         if plan is None:
             plan = self.planner.plan(relfor.source)
-            self._plans[id(relfor)] = plan
+            plans[id(relfor)] = plan
         return plan
 
     def explain(self, query: Query) -> str:
         """Human-readable TPM tree and physical plans for ``query``."""
-        tpm = self.compile(query)
+        return self.explain_compiled(self.compile(query), {})
+
+    def explain_compiled(self, tpm: TpmExpr, plans: PlanSet) -> str:
+        """Explain an already-compiled TPM tree, reusing its plan set."""
         lines = [tpm.describe(), ""]
         for relfor in _iter_relfors(tpm):
-            plan = self.plan_for(relfor)
+            plan = self.plan_for(relfor, plans)
             vars_ = ", ".join(f"${v}" for v in relfor.vartuple)
             lines.append(f"plan for relfor ({vars_}):")
             lines.append(plan.explain(2))
@@ -109,18 +123,41 @@ class AlgebraicEvaluator:
                  deadline: float | None = None,
                  memory_budget: int | None = None) -> list[Node]:
         """Run ``query`` and return the result sequence as DOM nodes."""
-        tpm = self.compile(query)
+        return list(self.stream(self.compile(query), {},
+                                deadline=deadline,
+                                memory_budget=memory_budget))
+
+    def stream(self, tpm: TpmExpr, plans: PlanSet,
+               env: dict[str, XasrNode] | None = None,
+               deadline: float | None = None,
+               memory_budget: int | None = None) -> Iterator[Node]:
+        """Lazily evaluate a compiled TPM tree, reusing its plan set.
+
+        ``env`` pre-binds external variables (prepared-query parameters).
+        The shared plan set carries only the (expensive) planning result;
+        each execution runs a private instance of every plan it touches
+        (:func:`~repro.physical.materialize.instantiate_plan`), so
+        concurrently open cursors over one prepared query never share
+        materialised state.  An execution's intermediates are reset when
+        the generator is exhausted *or closed early* — a half-consumed
+        cursor releases its spill storage the moment it is closed.
+        """
         ctx = ExecutionContext(self.document, deadline=deadline,
                                memory_budget=memory_budget)
-        env: dict[str, XasrNode] = {ROOT_VAR: self.document.root()}
+        full_env: dict[str, XasrNode] = {ROOT_VAR: self.document.root()}
+        if env:
+            full_env.update(env)
+        execution_plans: PlanSet = {}
         try:
-            return list(self._eval(tpm, ctx, env))
+            yield from self._eval(tpm, ctx, full_env, plans,
+                                  execution_plans)
         finally:
-            for plan in self._plans.values():
+            for plan in execution_plans.values():
                 reset_materializers(plan, self.document.db)
 
     def _eval(self, expr: TpmExpr, ctx: ExecutionContext,
-              env: dict[str, XasrNode]) -> Iterator[Node]:
+              env: dict[str, XasrNode], plans: PlanSet,
+              execution_plans: PlanSet) -> Iterator[Node]:
         if isinstance(expr, TpmEmpty):
             return
         if isinstance(expr, TpmText):
@@ -131,26 +168,35 @@ class AlgebraicEvaluator:
                 node = env[expr.var]
             except KeyError:
                 raise XQEvalError(f"unbound variable ${expr.var}") from None
+            if is_external_node(node):
+                yield Text(node.value)
+                return
             yield self.document.subtree(node)
             return
         if isinstance(expr, TpmConstr):
             element = Element(expr.label)
-            for item in self._eval(expr.body, ctx, env):
+            for item in self._eval(expr.body, ctx, env, plans, execution_plans):
                 element.append(item)
             yield element
             return
         if isinstance(expr, TpmSequence):
             for part in expr.parts:
-                yield from self._eval(part, ctx, env)
+                yield from self._eval(part, ctx, env, plans, execution_plans)
             return
         if isinstance(expr, TpmIf):
             evaluator = NavigationalEvaluator(self.document,
                                               ticker=ctx.tick)
             if evaluator.condition(expr.cond, dict(env)):
-                yield from self._eval(expr.body, ctx, env)
+                yield from self._eval(expr.body, ctx, env, plans, execution_plans)
             return
         if isinstance(expr, RelFor):
-            plan = self.plan_for(expr)
+            plan = execution_plans.get(id(expr))
+            if plan is None:
+                # Planning is shared across executions; the executed tree
+                # is a private instance so concurrent cursors over one
+                # prepared query cannot share materialised state.
+                plan = instantiate_plan(self.plan_for(expr, plans))
+                execution_plans[id(expr)] = plan
             # The paper: an un-merged inner relfor "will be evaluated for
             # each new binding" — materialised intermediates belong to one
             # execution and are invalid once the environment changes.
@@ -161,16 +207,21 @@ class AlgebraicEvaluator:
                 # Nullary relfor: pure existence check — evaluate the body
                 # once iff the condition relation is non-empty.
                 for __ in rows:
-                    yield from self._eval(expr.body, ctx, env)
+                    yield from self._eval(expr.body, ctx, env, plans, execution_plans)
                     break
                 return
             for row in rows:
                 inner = dict(env)
                 for var, node in zip(expr.vartuple, row):
                     inner[var] = node
-                yield from self._eval(expr.body, ctx, inner)
+                yield from self._eval(expr.body, ctx, inner, plans, execution_plans)
             return
         raise XQEvalError(f"cannot evaluate TPM node {expr!r}")
+
+
+def iter_relfors(expr: TpmExpr) -> Iterator[RelFor]:
+    """All relfor nodes of a TPM tree, outermost first."""
+    yield from _iter_relfors(expr)
 
 
 def _iter_relfors(expr: TpmExpr) -> Iterator[RelFor]:

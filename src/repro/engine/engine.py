@@ -7,28 +7,62 @@ interface::
     nodes = engine.execute('for $x in //article return $x')
     xml   = engine.execute_serialized('<out>{ //title }</out>')
 
+The session layer builds on two further entry points: :meth:`prepare`
+compiles a query once into a :class:`CompiledQuery` (AST + TPM tree +
+physical plans), and :meth:`stream_compiled` executes a compiled query
+lazily under fresh external-variable bindings, yielding result nodes one
+at a time.
+
 Resource limits are per-call: ``time_limit`` (seconds) and
 ``memory_budget`` (bytes of engine-controlled materialisation), raising
 :class:`~repro.errors.ResourceLimitExceeded` — the exception the grading
-tester converts into Figure 7's capped scores.
+tester converts into Figure 7's capped scores.  All three evaluator kinds
+enforce them, including the milestone-1 in-memory evaluator.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 
-from repro.engine.algebraic import AlgebraicEvaluator
+from repro.engine.algebraic import AlgebraicEvaluator, PlanSet
 from repro.engine.navigational import NavigationalEvaluator
 from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
-from repro.errors import ReproError
-from repro.physical.context import ExecutionContext
+from repro.errors import BindingError, ReproError
+from repro.physical.context import ExecutionContext, external_text_node
 from repro.storage.db import Database
 from repro.xasr.document import StoredDocument
-from repro.xmlkit.dom import Document, Node
+from repro.xasr.schema import XasrNode
+from repro.xmlkit.dom import Document, Node, Text
 from repro.xmlkit.serializer import serialize
-from repro.xq.ast import Query
-from repro.xq.eval_memory import evaluate as evaluate_in_memory
-from repro.xq.parser import parse_query
+from repro.xq.ast import Program, Query
+from repro.xq.eval_memory import stream as stream_in_memory
+from repro.xq.parser import parse_program
+
+
+class CompiledQuery:
+    """One query, fully compiled for one engine.
+
+    Holds everything whose construction :meth:`XQEngine.prepare` pays for
+    exactly once: the parsed :class:`~repro.xq.ast.Program`, and — for
+    algebraic profiles — the rewritten TPM tree plus the physical plans
+    built for its relfors (plans are planned lazily, on first execution or
+    explain).  Instances are shared freely across executions; per-run
+    state (contexts, materialised intermediates) never lives here.
+    """
+
+    __slots__ = ("engine", "program", "tpm", "plans")
+
+    def __init__(self, engine: "XQEngine", program: Program,
+                 tpm=None):
+        self.engine = engine
+        self.program = program
+        self.tpm = tpm
+        self.plans: PlanSet = {}
+
+    @property
+    def required_variables(self) -> frozenset[str]:
+        return self.program.required_variables()
 
 
 class XQEngine:
@@ -58,10 +92,12 @@ class XQEngine:
 
     # -- helpers -------------------------------------------------------------
 
-    def _parse(self, query: str | Query) -> Query:
+    def _parse(self, query: str | Query | Program) -> Program:
         if isinstance(query, str):
-            return parse_query(query)
-        return query
+            return parse_program(query)
+        if isinstance(query, Program):
+            return query
+        return Program(body=query)
 
     def _dom_document(self) -> Document:
         """The milestone-1 engine works on the DOM; build it lazily."""
@@ -69,30 +105,76 @@ class XQEngine:
             self._dom = self.document.to_document()
         return self._dom
 
+    def _external_env(self, bindings: dict[str, object] | None):
+        """Convert binding values into the evaluator's node kind.
+
+        Accepted values are plain strings and DOM :class:`Text` nodes; the
+        milestone-1 evaluator binds DOM text nodes, the storage-backed
+        evaluators bind synthetic XASR text nodes
+        (:func:`~repro.physical.context.external_text_node`).
+        """
+        if not bindings:
+            return {}
+        env: dict[str, object] = {}
+        in_memory = self.profile.evaluator == "memory"
+        for name, value in bindings.items():
+            if isinstance(value, Text):
+                text = value.text
+            elif isinstance(value, str):
+                text = value
+            else:
+                raise BindingError(
+                    f"binding ${name} must be a string or a text node, "
+                    f"got {type(value).__name__}")
+            env[name] = Text(text) if in_memory else external_text_node(text)
+        return env
+
+    # -- compilation ---------------------------------------------------------
+
+    def prepare(self, query: str | Query | Program) -> CompiledQuery:
+        """Parse (and, for algebraic profiles, translate) a query once."""
+        program = self._parse(query)
+        tpm = None
+        if self._algebraic is not None:
+            tpm = self._algebraic.compile(program.body)
+        return CompiledQuery(self, program, tpm=tpm)
+
     # -- execution -----------------------------------------------------------------
+
+    def stream_compiled(self, compiled: CompiledQuery,
+                        bindings: dict[str, object] | None = None,
+                        deadline: float | None = None,
+                        memory_budget: int | None = None) -> Iterator[Node]:
+        """Lazily execute a compiled query under fresh bindings."""
+        env = self._external_env(bindings)
+        kind = self.profile.evaluator
+        if kind == "memory":
+            ctx = ExecutionContext(None, deadline=deadline,
+                                   memory_budget=memory_budget)
+            return stream_in_memory(compiled.program.body,
+                                    self._dom_document(),
+                                    environment=env,
+                                    ticker=ctx.tick, meter=ctx.meter)
+        if kind == "navigational":
+            ctx = ExecutionContext(self.document, deadline=deadline,
+                                   memory_budget=memory_budget)
+            evaluator = NavigationalEvaluator(self.document, ticker=ctx.tick)
+            return evaluator.stream(compiled.program.body, env)
+        assert self._algebraic is not None and compiled.tpm is not None
+        stored_env: dict[str, XasrNode] = env  # type: ignore[assignment]
+        return self._algebraic.stream(compiled.tpm, compiled.plans,
+                                      env=stored_env, deadline=deadline,
+                                      memory_budget=memory_budget)
 
     def execute(self, query: str | Query,
                 time_limit: float | None = None,
                 memory_budget: int | None = None) -> list[Node]:
         """Evaluate a query; returns the result sequence as DOM nodes."""
-        ast = self._parse(query)
         deadline = (time.monotonic() + time_limit
                     if time_limit is not None else None)
-        evaluator_kind = self.profile.evaluator
-        if evaluator_kind == "memory":
-            return evaluate_in_memory(ast, self._dom_document())
-        if evaluator_kind == "navigational":
-            return self._execute_navigational(ast, deadline, memory_budget)
-        assert self._algebraic is not None
-        return self._algebraic.evaluate(ast, deadline=deadline,
-                                        memory_budget=memory_budget)
-
-    def _execute_navigational(self, ast: Query, deadline: float | None,
-                              memory_budget: int | None) -> list[Node]:
-        ctx = ExecutionContext(self.document, deadline=deadline,
-                               memory_budget=memory_budget)
-        evaluator = NavigationalEvaluator(self.document, ticker=ctx.tick)
-        return list(evaluator.stream(ast))
+        return list(self.stream_compiled(self.prepare(query),
+                                         deadline=deadline,
+                                         memory_budget=memory_budget))
 
     def execute_serialized(self, query: str | Query,
                            time_limit: float | None = None,
@@ -108,4 +190,4 @@ class XQEngine:
         if self._algebraic is None:
             return (f"profile {self.profile.name!r} uses the "
                     f"{self.profile.evaluator} evaluator (no plans)")
-        return self._algebraic.explain(self._parse(query))
+        return self._algebraic.explain(self._parse(query).body)

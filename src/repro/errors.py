@@ -63,6 +63,20 @@ class XQEvalError(ReproError):
     """Any other failure during query evaluation (e.g. unbound variable)."""
 
 
+class BindingError(ReproError):
+    """External-variable bindings do not match a prepared query.
+
+    Raised when a required external variable is missing from the supplied
+    bindings, when a binding names a variable the query neither declares
+    external nor leaves free, or when a bound value has an unsupported
+    type.
+    """
+
+
+class CursorClosedError(ReproError):
+    """Operation on a :class:`~repro.core.session.Cursor` after close()."""
+
+
 # --------------------------------------------------------------------------
 # Storage layer
 # --------------------------------------------------------------------------

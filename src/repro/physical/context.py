@@ -23,10 +23,34 @@ from dataclasses import dataclass
 
 from repro.errors import ResourceLimitExceeded, XQEvalError
 from repro.algebra.ra import Attr, Compare, Const, VarField, attr_value
-from repro.xasr.schema import XasrNode
+from repro.xasr.schema import TEXT, XasrNode
 
 #: How many ticks pass between wall-clock checks.
 _TICK_INTERVAL = 256
+
+#: The in-value reserved for synthetic external-variable nodes.  Stored
+#: nodes have ``in ≥ 1`` (the virtual root takes 1), so 0 is free; every
+#: access path degenerates correctly for it: ``children(0)`` can only
+#: surface the root (filtered out by the element/text node tests), and the
+#: ``0 < in < 0`` descendant range is empty.
+EXTERNAL_IN = 0
+
+
+def external_text_node(value: str) -> XasrNode:
+    """A synthetic XASR text node carrying an external parameter value.
+
+    Prepared-query bindings enter the storage-backed evaluators as these
+    nodes: they compare like any stored text node (``type = TEXT``,
+    ``value`` holds the text), navigation from them yields nothing (text
+    nodes have no children or descendants), and serializing them emits the
+    bare text.
+    """
+    return XasrNode(EXTERNAL_IN, EXTERNAL_IN, EXTERNAL_IN, TEXT, value)
+
+
+def is_external_node(node: XasrNode) -> bool:
+    """True for nodes created by :func:`external_text_node`."""
+    return node.in_ == EXTERNAL_IN
 
 #: Crude per-node charge for in-memory rows: five fields plus object
 #: overhead, roughly matching sys.getsizeof of a small XasrNode.

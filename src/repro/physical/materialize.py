@@ -15,6 +15,7 @@ variables (fixed for the lifetime of one plan execution).
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Iterator
 
 from repro.physical.context import Bindings, ExecutionContext, NODE_BYTES
@@ -28,6 +29,12 @@ class Materializer(PhysicalOp):
     ``memory_threshold_rows``: row counts up to this stay in a Python
     list (charged to the memory meter); beyond it, rows spill to a heap
     file in the document database.
+
+    A Materializer is the only stateful physical operator: its cache is
+    valid for one plan execution (conditions below it may reference
+    relfor-external variables, fixed per execution).  Concurrent
+    executions of one compiled plan must therefore not share instances —
+    see :func:`instantiate_plan`.
     """
 
     def __init__(self, child: PhysicalOp,
@@ -38,6 +45,7 @@ class Materializer(PhysicalOp):
         self._rows: list[Row] | None = None
         self._heap_name: str | None = None
         self._charged = 0
+        self._meter = None
 
     def reset(self, database=None) -> None:
         """Forget the cached result (used between relfor re-executions,
@@ -47,6 +55,14 @@ class Materializer(PhysicalOp):
             database.drop(self._heap_name)
         self._rows = None
         self._heap_name = None
+        # Release the cache's bytes against the meter that charged them
+        # (mid-execution resets happen per relfor re-entry, within one
+        # live context); a meter from a finished execution is inert, so
+        # releasing on it is harmless either way.
+        if self._charged and self._meter is not None:
+            self._meter.release(self._charged)
+        self._charged = 0
+        self._meter = None
 
     def execute(self, ctx: ExecutionContext,
                 bindings: Bindings) -> Iterator[Row]:
@@ -73,6 +89,7 @@ class Materializer(PhysicalOp):
                 collected.append(row)
                 ctx.meter.charge(NODE_BYTES * row_width)
                 self._charged += NODE_BYTES * row_width
+                self._meter = ctx.meter
                 if len(collected) > self.memory_threshold_rows:
                     # Spill everything gathered so far, continue on disk.
                     heap_name = ctx.fresh_temp_name()
@@ -104,3 +121,30 @@ def reset_materializers(plan, database=None) -> None:
         node = getattr(plan, attribute, None)
         if node is not None:
             reset_materializers(node, database)
+
+
+def instantiate_plan(plan: PhysicalOp) -> PhysicalOp:
+    """A per-execution instance of a compiled plan tree.
+
+    Materialized caches may depend on the execution's external-variable
+    bindings, so two concurrently open cursors over one prepared query
+    must not share :class:`Materializer` state.  This returns a copy of
+    the tree with fresh Materializers (empty caches); stateless subtrees
+    are shared as-is, so instantiation costs a handful of object copies.
+    """
+    if isinstance(plan, Materializer):
+        return Materializer(instantiate_plan(plan.child),
+                            memory_threshold_rows=plan.memory_threshold_rows)
+    replaced: dict[str, PhysicalOp] = {}
+    for attribute in ("child", "outer", "inner", "probe"):
+        node = getattr(plan, attribute, None)
+        if node is not None:
+            fresh = instantiate_plan(node)
+            if fresh is not node:
+                replaced[attribute] = fresh
+    if not replaced:
+        return plan
+    clone = copy.copy(plan)
+    for attribute, node in replaced.items():
+        setattr(clone, attribute, node)
+    return clone

@@ -145,6 +145,10 @@ class StoredDocument:
         a single in→DOM map wires the tree up (this is the paper's
         "documents stored using this schema can be reconstructed").
         """
+        if node.is_text:
+            # Text nodes (including synthetic external-variable nodes,
+            # which have no backing records at all) are their own subtree.
+            return Text(node.value)
         top = self._make_dom(node)
         by_in: dict[int, Node] = {node.in_: top}
         for descendant in self.descendants(node):

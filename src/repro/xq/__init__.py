@@ -31,6 +31,7 @@ from repro.xq.ast import (
     NodeTest,
     Not,
     Or,
+    Program,
     Query,
     ROOT_VAR,
     Sequence,
@@ -45,7 +46,7 @@ from repro.xq.ast import (
     WildcardTest,
 )
 from repro.xq.eval_memory import evaluate
-from repro.xq.parser import parse_query
+from repro.xq.parser import parse_program, parse_query
 from repro.xq.pretty import unparse
 
 __all__ = [
@@ -72,7 +73,9 @@ __all__ = [
     "Or",
     "Not",
     "ROOT_VAR",
+    "Program",
     "parse_query",
+    "parse_program",
     "evaluate",
     "unparse",
 ]

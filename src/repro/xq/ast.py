@@ -212,6 +212,37 @@ class Not(Condition):
 
 
 # --------------------------------------------------------------------------
+# Programs: a query plus its external-variable prolog
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Program:
+    """A full XQ program: external-variable declarations plus the query.
+
+    ``declare variable $x external;`` entries populate ``externals``;
+    ``body`` is the query proper.  Programs are frozen (hence hashable),
+    so a program can serve directly as a plan-cache key: two textually
+    different query strings that desugar to the same core AST share one
+    cached plan.
+    """
+
+    body: Query
+    externals: tuple[str, ...] = ()
+
+    def required_variables(self) -> frozenset[str]:
+        """Variables an execution must supply bindings for.
+
+        The union of the declared externals and the free variables of the
+        body (minus the reserved root) — free variables without a
+        declaration are *implicit* externals, bindable through the
+        ``bindings={...}`` dict alone.
+        """
+        return (frozenset(self.externals)
+                | (free_variables(self.body) - {ROOT_VAR}))
+
+
+# --------------------------------------------------------------------------
 # Structural helpers shared by evaluators and the algebraic translator
 # --------------------------------------------------------------------------
 

@@ -11,6 +11,13 @@ tested for result equality against it.
 The paper's simplification is honored faithfully: equality comparisons are
 only defined when the compared variables are bound to **text nodes**;
 anything else raises :class:`~repro.errors.XQTypeError` at runtime.
+
+Like the storage-backed engines, the evaluator is interruptible: the
+optional ``ticker`` callback is invoked inside every navigation loop (the
+engine facade wires it to the execution context's deadline check) and the
+optional ``meter`` is charged for every node the evaluator materialises
+(copies made for construction and yielded results), so the grading
+testbed's time and memory caps apply to milestone 1 too.
 """
 
 from __future__ import annotations
@@ -46,9 +53,30 @@ from repro.xq.ast import (
 
 Environment = dict[str, Node]
 
+#: Crude per-node memory charge, matching the physical layer's accounting
+#: (see :data:`repro.physical.context.NODE_BYTES`).
+_NODE_BYTES = 96
+
+
+def _no_tick() -> None:
+    return None
+
+
+class _NoMeter:
+    """Null object standing in for a memory meter when none is supplied."""
+
+    __slots__ = ()
+
+    def charge(self, nbytes: int) -> None:
+        return None
+
+
+_NO_METER = _NoMeter()
+
 
 def evaluate(query: Query, document: Document,
-             environment: Environment | None = None) -> list[Node]:
+             environment: Environment | None = None,
+             ticker=None, meter=None) -> list[Node]:
     """Evaluate ``query`` against ``document``.
 
     Returns the result sequence as a list of nodes.  Nodes originating from
@@ -57,52 +85,68 @@ def evaluate(query: Query, document: Document,
     construction).
 
     ``environment`` optionally pre-binds free variables; the root variable
-    is always bound to the document node.
+    is always bound to the document node.  ``ticker`` is called inside
+    navigation loops (deadline enforcement); ``meter.charge(nbytes)`` is
+    called for every materialised node (memory enforcement).
     """
+    return list(stream(query, document, environment=environment,
+                       ticker=ticker, meter=meter))
+
+
+def stream(query: Query, document: Document,
+           environment: Environment | None = None,
+           ticker=None, meter=None) -> Iterator[Node]:
+    """Like :func:`evaluate`, but yields result nodes lazily."""
     env: Environment = {ROOT_VAR: document}
     if environment:
         env.update(environment)
-    return list(_eval(query, env))
+    tick = ticker if ticker is not None else _no_tick
+    charge = meter if meter is not None else _NO_METER
+    yield from _eval(query, env, tick, charge)
 
 
-def _eval(query: Query, env: Environment) -> Iterator[Node]:
+def _eval(query: Query, env: Environment, tick, meter) -> Iterator[Node]:
     if isinstance(query, Empty):
         return
     if isinstance(query, TextLiteral):
+        meter.charge(_NODE_BYTES)
         yield Text(query.text)
         return
     if isinstance(query, Constr):
         element = Element(query.label)
-        for item in _eval(query.body, env):
-            element.append(_copy(item))
+        meter.charge(_NODE_BYTES)
+        for item in _eval(query.body, env, tick, meter):
+            element.append(_copy(item, meter))
         yield element
         return
     if isinstance(query, Sequence):
-        yield from _eval(query.left, env)
-        yield from _eval(query.right, env)
+        yield from _eval(query.left, env, tick, meter)
+        yield from _eval(query.right, env, tick, meter)
         return
     if isinstance(query, Var):
         yield _lookup(env, query.name)
         return
     if isinstance(query, Step):
-        yield from _step(query, env)
+        yield from _step(query, env, tick)
         return
     if isinstance(query, For):
-        for node in _step(query.source, env):
+        for node in _step(query.source, env, tick):
             inner = dict(env)
             inner[query.var] = node
-            yield from _eval(query.body, inner)
+            yield from _eval(query.body, inner, tick, meter)
         return
     if isinstance(query, If):
-        if _cond(query.cond, env):
-            yield from _eval(query.body, env)
+        if _cond(query.cond, env, tick):
+            yield from _eval(query.body, env, tick, meter)
         return
     raise XQEvalError(f"cannot evaluate query node {query!r}")
 
 
-def _step(step: Step, env: Environment) -> Iterator[Node]:
+def _step(step: Step, env: Environment, tick) -> Iterator[Node]:
     """Nodes reached from the step's base variable, in document order."""
     base = _lookup(env, step.var)
+    if isinstance(base, Text):
+        return  # text nodes have no children or descendants
     if step.axis is Axis.CHILD:
         candidates = base.iter_children()
     else:
@@ -111,21 +155,24 @@ def _step(step: Step, env: Environment) -> Iterator[Node]:
     if isinstance(test, LabelTest):
         wanted = test.name
         for node in candidates:
+            tick()
             if isinstance(node, Element) and node.name == wanted:
                 yield node
     elif isinstance(test, WildcardTest):
         for node in candidates:
+            tick()
             if isinstance(node, Element):
                 yield node
     elif isinstance(test, TextTest):
         for node in candidates:
+            tick()
             if isinstance(node, Text):
                 yield node
     else:  # pragma: no cover - defensive
         raise XQEvalError(f"unknown node test {test!r}")
 
 
-def _cond(cond: Condition, env: Environment) -> bool:
+def _cond(cond: Condition, env: Environment, tick) -> bool:
     if isinstance(cond, TrueCond):
         return True
     if isinstance(cond, VarEqVar):
@@ -135,18 +182,18 @@ def _cond(cond: Condition, env: Environment) -> bool:
     if isinstance(cond, VarEqConst):
         return _text_value(env, cond.var) == cond.literal
     if isinstance(cond, Some):
-        for node in _step(cond.source, env):
+        for node in _step(cond.source, env, tick):
             inner = dict(env)
             inner[cond.var] = node
-            if _cond(cond.cond, inner):
+            if _cond(cond.cond, inner, tick):
                 return True
         return False
     if isinstance(cond, And):
-        return _cond(cond.left, env) and _cond(cond.right, env)
+        return _cond(cond.left, env, tick) and _cond(cond.right, env, tick)
     if isinstance(cond, Or):
-        return _cond(cond.left, env) or _cond(cond.right, env)
+        return _cond(cond.left, env, tick) or _cond(cond.right, env, tick)
     if isinstance(cond, Not):
-        return not _cond(cond.cond, env)
+        return not _cond(cond.cond, env, tick)
     raise XQEvalError(f"cannot evaluate condition {cond!r}")
 
 
@@ -171,18 +218,19 @@ def _text_value(env: Environment, name: str) -> str:
     return node.text
 
 
-def _copy(node: Node) -> Node:
+def _copy(node: Node, meter=_NO_METER) -> Node:
     """Deep copy a node for insertion under a constructed element."""
+    meter.charge(_NODE_BYTES)
     if isinstance(node, Text):
         return Text(node.text)
     if isinstance(node, Element):
         clone = Element(node.name, node.attributes)
         for child in node.children:
-            clone.append(_copy(child))
+            clone.append(_copy(child, meter))
         return clone
     if isinstance(node, Document):
         # Copying the root copies the forest below it.
-        clone_children = [_copy(child) for child in node.children]
+        clone_children = [_copy(child, meter) for child in node.children]
         if len(clone_children) == 1:
             return clone_children[0]
         wrapper = Element("#document")

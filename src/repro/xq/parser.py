@@ -36,6 +36,7 @@ from repro.xq.ast import (
     NodeTest,
     Not,
     Or,
+    Program,
     Query,
     ROOT_VAR,
     Sequence,
@@ -227,11 +228,33 @@ class _Parser:
     # -- entry point --------------------------------------------------------
 
     def parse(self) -> Query:
+        return self.parse_program().body
+
+    def parse_program(self) -> Program:
+        externals = self.parse_prolog()
         query = self.parse_sequence()
         if not self.scanner.at_end():
             raise self.scanner.error(
                 f"unexpected trailing input {self.scanner.peek()!r}")
-        return query
+        return Program(body=query, externals=externals)
+
+    # -- prolog -------------------------------------------------------------
+
+    def parse_prolog(self) -> tuple[str, ...]:
+        """``declare variable $x external;`` declarations, in order."""
+        scanner = self.scanner
+        externals: list[str] = []
+        while scanner.looking_at_keyword("declare"):
+            scanner.advance(len("declare"))
+            scanner.expect_keyword("variable")
+            var = scanner.read_variable()
+            scanner.expect_keyword("external")
+            scanner.expect(";")
+            if var in externals:
+                raise scanner.error(
+                    f"variable ${var} declared external twice")
+            externals.append(var)
+        return tuple(externals)
 
     # -- queries ------------------------------------------------------------
 
@@ -522,7 +545,18 @@ class _Parser:
 def parse_query(text: str) -> Query:
     """Parse XQ query ``text`` into its abstract syntax tree.
 
-    Raises :class:`~repro.errors.XQSyntaxError` with a source position on
+    A ``declare variable $x external;`` prolog is accepted but discarded;
+    use :func:`parse_program` to keep the declarations.  Raises
+    :class:`~repro.errors.XQSyntaxError` with a source position on
     malformed input.
     """
     return _Parser(text).parse()
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full XQ program: external-variable prolog plus query.
+
+    Returns a :class:`~repro.xq.ast.Program` whose ``externals`` lists the
+    ``declare variable $x external;`` declarations in source order.
+    """
+    return _Parser(text).parse_program()

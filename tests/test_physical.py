@@ -228,6 +228,34 @@ class TestSortAndMaterialize:
         reset_materializers(join, doc.db)
         assert mat._rows is None
 
+    def test_reset_clears_charged_bytes(self, doc, ctx):
+        """Reset releases the cache's bytes against the meter that
+        charged them (per-relfor-re-entry resets happen mid-execution,
+        within one live context) and zeroes its own counter, so budgets
+        are neither over- nor under-enforced across resets."""
+        mat = Materializer(FullScan("A", []))
+        run(mat, ctx, env_bindings(doc))
+        assert mat._charged > 0
+        assert ctx.meter.current == mat._charged
+        mat.reset(doc.db)
+        assert mat._charged == 0
+        assert ctx.meter.current == 0
+
+    def test_instantiate_plan_isolates_materializer_state(self, doc, ctx):
+        from repro.physical.materialize import instantiate_plan
+
+        mat = Materializer(FullScan("A", []))
+        join = NestedLoopsJoin(FullScan("B", []), mat, [])
+        clone = instantiate_plan(join)
+        assert clone is not join
+        assert clone.inner is not mat
+        run(clone, ctx, env_bindings(doc))
+        assert clone.inner._rows is not None
+        assert mat._rows is None  # original untouched
+        # Stateless trees are shared, not copied.
+        scan = FullScan("A", [])
+        assert instantiate_plan(scan) is scan
+
 
 class TestResourceLimits:
     def test_time_limit_interrupts(self, doc):
