@@ -42,7 +42,7 @@ def _params():
     return [f"param-{i}" for i in range(REPEATS)]
 
 
-def test_prepared_vs_one_shot_throughput(bench_dbms):
+def test_prepared_vs_one_shot_throughput(bench_dbms, bench_record):
     """Prepared parameterized execution is ≥ 2x one-shot ``query()``."""
     session = bench_dbms.session()
     prepared = session.prepare("dblp", PREPARED_QUERY)
@@ -65,6 +65,10 @@ def test_prepared_vs_one_shot_throughput(bench_dbms):
     print(f"\none-shot: {one_shot_seconds:.4f}s  "
           f"prepared: {prepared_seconds:.4f}s  "
           f"speedup: {speedup:.1f}x over {REPEATS} executions")
+    bench_record("prepared", {"prepared.speedup": round(speedup, 3)},
+                 details={"repeats": REPEATS,
+                          "one_shot_seconds": one_shot_seconds,
+                          "prepared_seconds": prepared_seconds})
     assert speedup >= 2.0, (
         f"prepared path only {speedup:.2f}x faster; expected >= 2x")
 

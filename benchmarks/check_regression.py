@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: compare BENCH_*.json against a baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baseline.json \
+        BENCH_prepared.json BENCH_vectorized.json
+
+The baseline commits conservative floors for the metrics the benchmark
+suite emits (all higher-is-better ratios — speedups — so the gate is
+robust to the absolute speed of the CI runner).  A metric regresses when
+its current value falls more than ``tolerance`` (default 20%) below the
+committed floor; a metric missing from the bench output also fails, so a
+benchmark silently not running cannot pass the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(paths: list[str]) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        metrics.update(data.get("metrics", {}))
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON with metric floors")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression "
+                             "(overrides the baseline's own value)")
+    parser.add_argument("bench_files", nargs="+",
+                        help="BENCH_*.json files produced by the suite")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else baseline.get("tolerance", 0.20))
+    current = load_metrics(args.bench_files)
+
+    failures = []
+    for name, floor in sorted(baseline["metrics"].items()):
+        value = current.get(name)
+        threshold = floor * (1.0 - tolerance)
+        if value is None:
+            failures.append(f"{name}: missing from benchmark output")
+            print(f"FAIL {name}: missing (baseline {floor})")
+        elif value < threshold:
+            failures.append(
+                f"{name}: {value} < {threshold:.3f} "
+                f"(baseline {floor}, tolerance {tolerance:.0%})")
+            print(f"FAIL {name}: {value} < {threshold:.3f} "
+                  f"(baseline {floor})")
+        else:
+            print(f"ok   {name}: {value} >= {threshold:.3f} "
+                  f"(baseline {floor})")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline['metrics'])} metrics within "
+          f"{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ in CI (small) and at full reproduction scale:
   the paper's 2400-second cap.
 """
 
+import json
 import os
 
 import pytest
@@ -33,3 +34,38 @@ def bench_dbms(tmp_path_factory):
         dbms.load("dblp", xml=generate_dblp(BENCH_DBLP))
         dbms.load("treebank", xml=generate_treebank(BENCH_TREEBANK))
         yield dbms
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Write machine-readable benchmark results as ``BENCH_<name>.json``.
+
+    ``record(name, metrics, details=...)`` merges into any existing file
+    so a benchmark module can report incrementally (partial results
+    survive a later test failing).  ``metrics`` keys are the flat,
+    fully-qualified names the CI regression gate
+    (``benchmarks/check_regression.py``) compares against
+    ``benchmarks/baseline.json``; all metrics are higher-is-better.
+    Output lands in ``REPRO_BENCH_DIR`` (default: current directory).
+    """
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+
+    def record(name: str, metrics: dict, details: dict | None = None):
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        payload = {"benchmark": name, "scale": {
+            "articles": ARTICLES, "time_limit": TIME_LIMIT},
+            "metrics": {}, "details": {}}
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+            payload["metrics"].update(existing.get("metrics", {}))
+            payload["details"].update(existing.get("details", {}))
+        payload["metrics"].update(metrics)
+        if details:
+            payload["details"].update(details)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return record

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.core.session import ExecutionOptions, Session
 from repro.engine.engine import XQEngine
+from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
 from repro.errors import CatalogError
 from repro.storage.db import Database
@@ -133,10 +134,11 @@ class XmlDbms:
     def session(self, profile: EngineProfile | str = "m4",
                 time_limit: float | None = None,
                 memory_budget: int | None = None,
+                batch_size: int = DEFAULT_BATCH_SIZE,
                 plan_cache_capacity: int = 128) -> Session:
         """Open a client session (prepared queries, bindings, cursors)."""
         return Session(self, profile=profile, time_limit=time_limit,
-                       memory_budget=memory_budget,
+                       memory_budget=memory_budget, batch_size=batch_size,
                        plan_cache_capacity=plan_cache_capacity)
 
     @property

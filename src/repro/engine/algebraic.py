@@ -42,8 +42,10 @@ from repro.optimizer.planner import Planner, PlannerConfig
 from repro.physical.materialize import instantiate_plan, reset_materializers
 from repro.physical.context import (
     Bindings,
+    DEFAULT_BATCH_SIZE,
     ExecutionContext,
     is_external_node,
+    iter_blocks,
 )
 from repro.physical.operators import PhysicalOp
 from repro.xasr.document import StoredDocument
@@ -130,12 +132,16 @@ class AlgebraicEvaluator:
     def stream(self, tpm: TpmExpr, plans: PlanSet,
                env: dict[str, XasrNode] | None = None,
                deadline: float | None = None,
-               memory_budget: int | None = None) -> Iterator[Node]:
+               memory_budget: int | None = None,
+               batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Node]:
         """Lazily evaluate a compiled TPM tree, reusing its plan set.
 
         ``env`` pre-binds external variables (prepared-query parameters).
-        The shared plan set carries only the (expensive) planning result;
-        each execution runs a private instance of every plan it touches
+        ``batch_size`` sets the block size the physical operator tree is
+        pulled with (binding tuples travel between operators in batches
+        of up to this many rows).  The shared plan set carries only the
+        (expensive) planning result; each execution runs a private
+        instance of every plan it touches
         (:func:`~repro.physical.materialize.instantiate_plan`), so
         concurrently open cursors over one prepared query never share
         materialised state.  An execution's intermediates are reset when
@@ -143,7 +149,8 @@ class AlgebraicEvaluator:
         cursor releases its spill storage the moment it is closed.
         """
         ctx = ExecutionContext(self.document, deadline=deadline,
-                               memory_budget=memory_budget)
+                               memory_budget=memory_budget,
+                               batch_size=batch_size)
         full_env: dict[str, XasrNode] = {ROOT_VAR: self.document.root()}
         if env:
             full_env.update(env)
@@ -154,6 +161,26 @@ class AlgebraicEvaluator:
         finally:
             for plan in execution_plans.values():
                 reset_materializers(plan, self.document.db)
+
+    def stream_batches(self, tpm: TpmExpr, plans: PlanSet,
+                       env: dict[str, XasrNode] | None = None,
+                       deadline: float | None = None,
+                       memory_budget: int | None = None,
+                       batch_size: int = DEFAULT_BATCH_SIZE
+                       ) -> Iterator[list[Node]]:
+        """Batched evaluation: result nodes in blocks of ``batch_size``.
+
+        The physical operator tree underneath runs block-at-a-time with
+        the same ``batch_size``; this re-blocks the produced result nodes
+        so the cursor layer can serve ``fetch(n)`` calls out of the
+        current block without re-entering the pipeline.  Closing the
+        returned generator tears the execution down exactly like closing
+        :meth:`stream`.
+        """
+        nodes = self.stream(tpm, plans, env=env, deadline=deadline,
+                            memory_budget=memory_budget,
+                            batch_size=batch_size)
+        yield from iter_blocks(nodes, max(1, batch_size))
 
     def _eval(self, expr: TpmExpr, ctx: ExecutionContext,
               env: dict[str, XasrNode], plans: PlanSet,
@@ -202,19 +229,29 @@ class AlgebraicEvaluator:
             # execution and are invalid once the environment changes.
             reset_materializers(plan, self.document.db)
             bindings = Bindings(env)
-            rows = plan.execute(ctx, bindings)
+            # Binding tuples are pulled block-at-a-time: the operator
+            # tree produces batches of up to ctx.batch_size rows, and the
+            # relfor body is evaluated per row of the current batch.
+            row_batches = plan.batches(ctx, bindings)
             if not expr.vartuple:
                 # Nullary relfor: pure existence check — evaluate the body
                 # once iff the condition relation is non-empty.
-                for __ in rows:
-                    yield from self._eval(expr.body, ctx, env, plans, execution_plans)
-                    break
+                try:
+                    for batch in row_batches:
+                        if batch:
+                            yield from self._eval(expr.body, ctx, env,
+                                                  plans, execution_plans)
+                            break
+                finally:
+                    row_batches.close()
                 return
-            for row in rows:
-                inner = dict(env)
-                for var, node in zip(expr.vartuple, row):
-                    inner[var] = node
-                yield from self._eval(expr.body, ctx, inner, plans, execution_plans)
+            for batch in row_batches:
+                for row in batch:
+                    inner = dict(env)
+                    for var, node in zip(expr.vartuple, row):
+                        inner[var] = node
+                    yield from self._eval(expr.body, ctx, inner, plans,
+                                          execution_plans)
             return
         raise XQEvalError(f"cannot evaluate TPM node {expr!r}")
 

@@ -29,7 +29,12 @@ from repro.engine.algebraic import AlgebraicEvaluator, PlanSet
 from repro.engine.navigational import NavigationalEvaluator
 from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
 from repro.errors import BindingError, ReproError
-from repro.physical.context import ExecutionContext, external_text_node
+from repro.physical.context import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionContext,
+    external_text_node,
+    iter_blocks,
+)
 from repro.storage.db import Database
 from repro.xasr.document import StoredDocument
 from repro.xasr.schema import XasrNode
@@ -144,8 +149,15 @@ class XQEngine:
     def stream_compiled(self, compiled: CompiledQuery,
                         bindings: dict[str, object] | None = None,
                         deadline: float | None = None,
-                        memory_budget: int | None = None) -> Iterator[Node]:
-        """Lazily execute a compiled query under fresh bindings."""
+                        memory_budget: int | None = None,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[Node]:
+        """Lazily execute a compiled query under fresh bindings.
+
+        ``batch_size`` sets the block size the algebraic engines pull
+        binding tuples with; the non-algebraic evaluators are inherently
+        item-at-a-time and ignore it.
+        """
         env = self._external_env(bindings)
         kind = self.profile.evaluator
         if kind == "memory":
@@ -164,7 +176,34 @@ class XQEngine:
         stored_env: dict[str, XasrNode] = env  # type: ignore[assignment]
         return self._algebraic.stream(compiled.tpm, compiled.plans,
                                       env=stored_env, deadline=deadline,
-                                      memory_budget=memory_budget)
+                                      memory_budget=memory_budget,
+                                      batch_size=batch_size)
+
+    def stream_compiled_batches(self, compiled: CompiledQuery,
+                                bindings: dict[str, object] | None = None,
+                                deadline: float | None = None,
+                                memory_budget: int | None = None,
+                                batch_size: int = DEFAULT_BATCH_SIZE
+                                ) -> Iterator[list[Node]]:
+        """Batched execution: result nodes in blocks of ``batch_size``.
+
+        For algebraic profiles the blocks come straight off the
+        vectorized pipeline; for the milestone-1/2 evaluators the flat
+        node stream is re-blocked so every profile presents the same
+        batched cursor protocol.
+        """
+        if self.profile.evaluator == "algebraic":
+            assert self._algebraic is not None and compiled.tpm is not None
+            env = self._external_env(bindings)
+            stored_env: dict[str, XasrNode] = env  # type: ignore[assignment]
+            return self._algebraic.stream_batches(
+                compiled.tpm, compiled.plans, env=stored_env,
+                deadline=deadline, memory_budget=memory_budget,
+                batch_size=batch_size)
+        nodes = self.stream_compiled(compiled, bindings=bindings,
+                                     deadline=deadline,
+                                     memory_budget=memory_budget)
+        return iter_blocks(nodes, max(1, batch_size))
 
     def execute(self, query: str | Query,
                 time_limit: float | None = None,

@@ -42,6 +42,7 @@ from repro.algebra.ra import (
 )
 from repro.errors import PlanningError
 from repro.optimizer.cost import CostModel, Costed
+from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.optimizer.stats import CardinalityEstimator
 from repro.physical.materialize import Materializer
 from repro.physical.operators import (
@@ -82,6 +83,11 @@ class PlannerConfig:
     calibration: str = "calibrated"
     sort_run_budget_rows: int = 10_000
     materialize_threshold_rows: int = 2_000
+    #: Rows per block in the vectorized execution protocol; recorded on
+    #: plan roots so ``explain()`` reports it.  The session layer may
+    #: override the size actually used at execution time
+    #: (``ExecutionOptions.batch_size``).
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if self.join_reorder not in ("syntactic", "cost"):
@@ -89,6 +95,9 @@ class PlannerConfig:
         if self.order_strategy not in ("preserve", "sort", "auto"):
             raise PlanningError(
                 f"bad order_strategy {self.order_strategy!r}")
+        if self.batch_size < 1:
+            raise PlanningError(
+                f"batch_size must be >= 1, got {self.batch_size}")
 
 
 @dataclass
@@ -121,7 +130,9 @@ class Planner:
             op: PhysicalOp = ConstantRow()
             if psx.residuals:
                 op = ResidualFilter(op, list(psx.residuals))
-            return ProjectBindings(op, aliases=(), assume_sorted=True)
+            root = ProjectBindings(op, aliases=(), assume_sorted=True)
+            root.batch_size = self.config.batch_size
+            return root
 
         candidates: list[tuple[float, PhysicalOp]] = []
         for leaf_order, strategy in self._leaf_orders(psx):
@@ -129,7 +140,9 @@ class Planner:
             candidates.append((costed.cost, plan))
         if self.config.cost_based:
             candidates.sort(key=lambda item: item[0])
-        return candidates[0][1]
+        chosen = candidates[0][1]
+        chosen.batch_size = self.config.batch_size
+        return chosen
 
     # ------------------------------------------------------------------
     # join-order candidates

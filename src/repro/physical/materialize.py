@@ -11,6 +11,11 @@ affordable: the child computes once, rescans are sequential re-reads.
 A materialised child must not depend on outer bindings; the planner only
 wraps operators whose conditions reference constants and relfor-external
 variables (fixed for the lifetime of one plan execution).
+
+The cache is built and replayed block-at-a-time: memory-resident replays
+are bulk slices of the cached row list (no per-row work at all), spill
+replays decode one batch per block, and the memory meter is charged once
+per buffered batch.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import copy
 from collections.abc import Iterator
 
 from repro.physical.context import Bindings, ExecutionContext, NODE_BYTES
-from repro.physical.operators import PhysicalOp, Row
+from repro.physical.operators import Batch, PhysicalOp, Row
 from repro.physical.sort import _decode_row, _encode_row
 
 
@@ -64,44 +69,72 @@ class Materializer(PhysicalOp):
         self._charged = 0
         self._meter = None
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        size = ctx.batch_size
         if self._rows is not None:
-            yield from self._rows
+            rows = self._rows
+            for start in range(0, len(rows), size):
+                batch = rows[start:start + size]
+                ctx.tick_batch(len(batch))
+                yield batch
             return
         if self._heap_name is not None:
             heap = ctx.document.db.open_heap(self._heap_name)
+            batch = []
             for __, raw in heap.scan():
-                ctx.tick()
-                yield _decode_row(raw, ctx.document)
+                batch.append(_decode_row(raw, ctx.document))
+                if len(batch) >= size:
+                    ctx.tick_batch(len(batch))
+                    yield batch
+                    batch = []
+            if batch:
+                ctx.tick_batch(len(batch))
+                yield batch
             return
 
-        # A consumer may abandon this iterator early (SemiJoin probes stop
+        # A consumer may abandon this pipeline early (SemiJoin probes stop
         # at the first match); the cache is only installed on normal
         # completion so a partial pass never masquerades as the result.
         collected: list[Row] = []
         heap = None
         heap_name: str | None = None
-        row_width = max(1, len(self.schema))
-        for row in self.child.execute(ctx, bindings):
-            ctx.tick()
+        row_bytes = NODE_BYTES * max(1, len(self.schema))
+        for batch in self.child.batches(ctx, bindings):
+            ctx.tick_batch(len(batch))
             if heap is None:
-                collected.append(row)
-                ctx.meter.charge(NODE_BYTES * row_width)
-                self._charged += NODE_BYTES * row_width
-                self._meter = ctx.meter
-                if len(collected) > self.memory_threshold_rows:
-                    # Spill everything gathered so far, continue on disk.
-                    heap_name = ctx.fresh_temp_name()
-                    heap = ctx.document.db.create_heap(heap_name)
-                    for spilled in collected:
-                        heap.insert(_encode_row(spilled))
-                    collected.clear()
-                    ctx.meter.release(self._charged)
-                    self._charged = 0
+                # Buffer in threshold-sized takes so the in-memory cache
+                # (and its meter charge) never overshoots the spill
+                # threshold by more than one row — a batch larger than
+                # the remaining room must not trip a memory budget the
+                # item-at-a-time engine survived by spilling.
+                position = 0
+                while position < len(batch):
+                    room = (self.memory_threshold_rows + 1
+                            - len(collected))
+                    take = batch[position:position + room]
+                    position += len(take)
+                    self._meter = ctx.meter
+                    self._charged += row_bytes * len(take)
+                    ctx.meter.charge(row_bytes * len(take))
+                    collected.extend(take)
+                    if len(collected) > self.memory_threshold_rows:
+                        # Spill everything gathered so far; this batch's
+                        # remainder and all later ones go to disk.
+                        heap_name = ctx.fresh_temp_name()
+                        heap = ctx.document.db.create_heap(heap_name)
+                        for spilled in collected:
+                            heap.insert(_encode_row(spilled))
+                        collected = []
+                        ctx.meter.release(self._charged)
+                        self._charged = 0
+                        for row in batch[position:]:
+                            heap.insert(_encode_row(row))
+                        break
             else:
-                heap.insert(_encode_row(row))
-            yield row
+                for row in batch:
+                    heap.insert(_encode_row(row))
+            yield batch
         if heap is None:
             self._rows = collected
         else:

@@ -1,4 +1,4 @@
-"""The physical operator set.
+"""The physical operator set — block-at-a-time (vectorized) execution.
 
 Access paths (leaves):
 
@@ -30,7 +30,23 @@ Glue:
   one-pass duplicate elimination (requires hierarchically sorted input —
   the milestone 3 ordering discussion).
 
-Every operator yields rows lexicographically ordered in its schema's
+Execution protocol
+------------------
+
+Operators run **block-at-a-time**: :meth:`PhysicalOp.batches` yields
+non-empty lists of up to ``ctx.batch_size`` rows, and every operator
+processes whole batches in tight loops (list comprehensions, bulk
+slicing) rather than resuming a generator per row.  Deadline checks
+(:meth:`~repro.physical.context.ExecutionContext.tick_batch`) and memory
+charges happen once per batch instead of once per item, so Python
+interpreter overhead is paid per block, not per row.  The item-at-a-time
+view (:meth:`PhysicalOp.execute`) is kept as a thin flattening shim for
+tests and ad-hoc consumers; driving the tree with ``batch_size=1``
+recovers the classic one-row-per-``next()`` behaviour.
+
+Within a batch, rows keep their order; across batches, concatenation
+reproduces exactly the row stream the item-at-a-time engine produced —
+every operator yields rows lexicographically ordered in its schema's
 in-values, given order-preserving children (all of these are).
 """
 
@@ -45,10 +61,46 @@ from repro.physical.context import (
     ExecutionContext,
     NODE_BYTES,
     compile_single_alias_predicate,
+    iter_blocks,
 )
 from repro.xasr.schema import ELEMENT, XasrNode
 
 Row = tuple[XasrNode, ...]
+#: One block of rows — the unit of exchange between physical operators.
+Batch = list[Row]
+
+
+def _block_batches(ctx: ExecutionContext, bindings: Bindings, blocks,
+                   predicate, filtered: bool) -> Iterator[Batch]:
+    """Turn pre-blocked node lists into single-alias row batches.
+
+    The shared hot loop of the clustered access paths: the storage layer
+    hands over whole blocks (``scan_batches``/``range_batches``), the
+    compiled predicate runs in one list comprehension, and the deadline
+    meter is charged once per block.
+    """
+    for block in blocks:
+        ctx.tick_batch(len(block))
+        if filtered:
+            batch = [(node,) for node in block
+                     if predicate(node, bindings)]
+        else:
+            batch = [(node,) for node in block]
+        if batch:
+            yield batch
+
+
+def _node_batches(ctx: ExecutionContext, bindings: Bindings, source,
+                  predicate, filtered: bool) -> Iterator[Batch]:
+    """Chunk a flat node iterator into single-alias row batches.
+
+    Used by the index access paths, whose sources (per-probe index
+    lookups) are not worth pre-blocking in storage; clustered scans use
+    :func:`_block_batches` over pre-decoded storage blocks instead.
+    """
+    yield from _block_batches(ctx, bindings,
+                              iter_blocks(iter(source), ctx.batch_size),
+                              predicate, filtered)
 
 
 class PhysicalOp:
@@ -59,18 +111,33 @@ class PhysicalOp:
     #: Filled in by the planner for explain output.
     estimated_cost: float = 0.0
     estimated_rows: float = 0.0
+    #: Stamped by the planner on plan roots so ``explain()`` reports the
+    #: configured block size; execution reads ``ctx.batch_size``.
+    batch_size: int | None = None
+
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        """Yield non-empty row batches of at most ``ctx.batch_size``."""
+        raise NotImplementedError
 
     def execute(self, ctx: ExecutionContext,
                 bindings: Bindings) -> Iterator[Row]:
-        raise NotImplementedError
+        """Item-at-a-time view: flattens :meth:`batches`."""
+        for batch in self.batches(ctx, bindings):
+            yield from batch
 
     def explain(self, indent: int = 0) -> str:
         raise NotImplementedError
 
     def _annotate(self) -> str:
+        parts = []
         if self.estimated_cost or self.estimated_rows:
-            return (f"  [cost≈{self.estimated_cost:.1f}, "
-                    f"rows≈{self.estimated_rows:.1f}]")
+            parts.append(f"cost≈{self.estimated_cost:.1f}, "
+                         f"rows≈{self.estimated_rows:.1f}")
+        if self.batch_size is not None:
+            parts.append(f"batch={self.batch_size}")
+        if parts:
+            return f"  [{', '.join(parts)}]"
         return ""
 
 
@@ -88,13 +155,11 @@ class FullScan(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        predicate = self._predicate
-        for node in ctx.document.scan():
-            ctx.tick()
-            if predicate(node, bindings):
-                yield (node,)
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        yield from _block_batches(ctx, bindings,
+                                  ctx.document.scan_batches(ctx.batch_size),
+                                  self._predicate, bool(self.conditions))
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -114,18 +179,15 @@ class LabelIndexScan(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        predicate = self._predicate
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         document = ctx.document
         if self.node_type == ELEMENT:
             matches = document.nodes_with_label(self.value)
         else:
             matches = document.text_nodes_with_value(self.value)
-        for node in matches:
-            ctx.tick()
-            if predicate(node, bindings):
-                yield (node,)
+        yield from _node_batches(ctx, bindings, matches, self._predicate,
+                                 bool(self.conditions))
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -145,8 +207,8 @@ class PrimaryLookup(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         from repro.errors import StorageError
 
         in_value = bindings.resolve(self.in_operand)
@@ -154,8 +216,9 @@ class PrimaryLookup(PhysicalOp):
             node = ctx.document.node(in_value)
         except StorageError:
             return
+        ctx.tick_batch(1)
         if self._predicate(node, bindings):
-            yield (node,)
+            yield [(node,)]
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -182,17 +245,16 @@ class PrimaryRangeScan(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         low = bindings.resolve(self.low_operand)
         high = bindings.resolve(self.high_operand)
         if high <= low:
             return
-        predicate = self._predicate
-        for node in ctx.document.range(low + 1, high - 1):
-            ctx.tick()
-            if predicate(node, bindings):
-                yield (node,)
+        blocks = ctx.document.range_batches(low + 1, high - 1,
+                                            ctx.batch_size)
+        yield from _block_batches(ctx, bindings, blocks,
+                                  self._predicate, bool(self.conditions))
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -213,14 +275,12 @@ class ChildLookup(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         parent_in = bindings.resolve(self.parent_operand)
-        predicate = self._predicate
-        for node in ctx.document.children(parent_in):
-            ctx.tick()
-            if predicate(node, bindings):
-                yield (node,)
+        yield from _node_batches(ctx, bindings,
+                                 ctx.document.children(parent_in),
+                                 self._predicate, bool(self.conditions))
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -247,8 +307,8 @@ class ValueIndexProbe(PhysicalOp):
         self.conditions = list(conditions)
         self._predicate = compile_single_alias_predicate(conditions, alias)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         value = bindings.resolve(self.value_operand)
         if not isinstance(value, str):  # pragma: no cover - defensive
             return
@@ -256,11 +316,8 @@ class ValueIndexProbe(PhysicalOp):
             matches = ctx.document.nodes_with_label(value)
         else:
             matches = ctx.document.text_nodes_with_value(value)
-        predicate = self._predicate
-        for node in matches:
-            ctx.tick()
-            if predicate(node, bindings):
-                yield (node,)
+        yield from _node_batches(ctx, bindings, matches, self._predicate,
+                                 bool(self.conditions))
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -284,14 +341,21 @@ class Filter(PhysicalOp):
         self.conditions = list(conditions)
         self.schema = child.schema
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        for row in self.child.execute(ctx, bindings):
-            ctx.tick()
-            combined = bindings.extended(self.schema, row)
-            if all(combined.holds(condition)
-                   for condition in self.conditions):
-                yield row
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        schema = self.schema
+        conditions = self.conditions
+        extended = bindings.extended
+        for batch in self.child.batches(ctx, bindings):
+            ctx.tick_batch(len(batch))
+            out: Batch = []
+            for row in batch:
+                combined = extended(schema, row)
+                if all(combined.holds(condition)
+                       for condition in conditions):
+                    out.append(row)
+            if out:
+                yield out
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -306,12 +370,15 @@ class Filter(PhysicalOp):
 
 
 class NestedLoopsJoin(PhysicalOp):
-    """Order-preserving tuple-at-a-time nested-loops join.
+    """Order-preserving nested-loops join, block-at-a-time.
 
     ``join_conditions`` may reference aliases from both sides (evaluated on
-    the combined row).  The inner side is re-executed per outer row; wrap
-    it in a :class:`~repro.physical.materialize.Materializer` when a
-    rescan is expensive.
+    the combined row).  The inner side is re-executed per outer row (the
+    paper rules out block-nested-loops proper — it would not be
+    order-preserving), but both inputs arrive and matches leave in
+    batches.  Wrap the inner in a
+    :class:`~repro.physical.materialize.Materializer` when a rescan is
+    expensive.
     """
 
     def __init__(self, outer: PhysicalOp, inner: PhysicalOp,
@@ -321,17 +388,33 @@ class NestedLoopsJoin(PhysicalOp):
         self.join_conditions = list(join_conditions)
         self.schema = outer.schema + inner.schema
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        for outer_row in self.outer.execute(ctx, bindings):
-            inner_bindings = bindings.extended(self.outer.schema, outer_row)
-            for inner_row in self.inner.execute(ctx, inner_bindings):
-                ctx.tick()
-                row = outer_row + inner_row
-                combined = bindings.extended(self.schema, row)
-                if all(combined.holds(condition)
-                       for condition in self.join_conditions):
-                    yield row
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        size = ctx.batch_size
+        outer_schema = self.outer.schema
+        schema = self.schema
+        conditions = self.join_conditions
+        out: Batch = []
+        for outer_batch in self.outer.batches(ctx, bindings):
+            for outer_row in outer_batch:
+                inner_bindings = bindings.extended(outer_schema, outer_row)
+                for inner_batch in self.inner.batches(ctx, inner_bindings):
+                    ctx.tick_batch(len(inner_batch))
+                    if conditions:
+                        for inner_row in inner_batch:
+                            row = outer_row + inner_row
+                            combined = bindings.extended(schema, row)
+                            if all(combined.holds(condition)
+                                   for condition in conditions):
+                                out.append(row)
+                    else:
+                        out.extend(outer_row + inner_row
+                                   for inner_row in inner_batch)
+                    while len(out) >= size:
+                        yield out[:size]
+                        del out[:size]
+        if out:
+            yield out
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -354,13 +437,23 @@ class IndexNestedLoopsJoin(PhysicalOp):
         self.probe = probe
         self.schema = outer.schema + probe.schema
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        for outer_row in self.outer.execute(ctx, bindings):
-            probe_bindings = bindings.extended(self.outer.schema, outer_row)
-            for probe_row in self.probe.execute(ctx, probe_bindings):
-                ctx.tick()
-                yield outer_row + probe_row
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        size = ctx.batch_size
+        outer_schema = self.outer.schema
+        out: Batch = []
+        for outer_batch in self.outer.batches(ctx, bindings):
+            for outer_row in outer_batch:
+                probe_bindings = bindings.extended(outer_schema, outer_row)
+                for probe_batch in self.probe.batches(ctx, probe_bindings):
+                    ctx.tick_batch(len(probe_batch))
+                    out.extend(outer_row + probe_row
+                               for probe_row in probe_batch)
+                    while len(out) >= size:
+                        yield out[:size]
+                        del out[:size]
+        if out:
+            yield out
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -374,7 +467,8 @@ class SemiJoin(PhysicalOp):
 
     Realizes the projection-pushing trick of Example 6 — the probed
     relation contributes no columns, so probing can stop at the first
-    match.
+    match (the probe pipeline is closed as soon as its first batch
+    arrives).
     """
 
     def __init__(self, outer: PhysicalOp, probe: PhysicalOp):
@@ -382,14 +476,24 @@ class SemiJoin(PhysicalOp):
         self.probe = probe
         self.schema = outer.schema
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        for outer_row in self.outer.execute(ctx, bindings):
-            ctx.tick()
-            probe_bindings = bindings.extended(self.outer.schema, outer_row)
-            for __ in self.probe.execute(ctx, probe_bindings):
-                yield outer_row
-                break
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        outer_schema = self.outer.schema
+        for outer_batch in self.outer.batches(ctx, bindings):
+            ctx.tick_batch(len(outer_batch))
+            out: Batch = []
+            for outer_row in outer_batch:
+                probe_bindings = bindings.extended(outer_schema, outer_row)
+                probe = self.probe.batches(ctx, probe_bindings)
+                try:
+                    for probe_batch in probe:
+                        if probe_batch:
+                            out.append(outer_row)
+                            break
+                finally:
+                    probe.close()
+            if out:
+                yield out
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -417,17 +521,25 @@ class ResidualFilter(PhysicalOp):
         self.residuals = list(residuals)
         self.schema = child.schema
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         from repro.engine.navigational import NavigationalEvaluator
 
         evaluator = NavigationalEvaluator(ctx.document, ticker=ctx.tick)
-        for row in self.child.execute(ctx, bindings):
-            ctx.tick()
-            combined = bindings.extended(self.schema, row)
-            if all(self._residual_holds(evaluator, residual, combined)
-                   for residual in self.residuals):
-                yield row
+        schema = self.schema
+        residuals = self.residuals
+        holds = self._residual_holds
+        extended = bindings.extended
+        for batch in self.child.batches(ctx, bindings):
+            ctx.tick_batch(len(batch))
+            out: Batch = []
+            for row in batch:
+                combined = extended(schema, row)
+                if all(holds(evaluator, residual, combined)
+                       for residual in residuals):
+                    out.append(row)
+            if out:
+                yield out
 
     @staticmethod
     def _residual_holds(evaluator, residual: Residual,
@@ -453,10 +565,11 @@ class ProjectBindings(PhysicalOp):
     ``assume_sorted=True`` is milestone 3's one-pass strategy: input rows
     arrive hierarchically sorted on the projection attributes, so a
     duplicate is always adjacent and a single "last emitted" comparison
-    suffices.  With ``assume_sorted=False`` a seen-set is kept (and
-    charged to the memory meter) — used when the planner chose a
-    non-order-preserving join order *and* a final sort was pushed below
-    the projection instead.
+    suffices.  With ``assume_sorted=False`` a seen-set is kept — charged
+    to the memory meter once per batch of new keys, and released when the
+    pipeline finishes or is torn down mid-batch — used when the planner
+    chose a non-order-preserving join order *and* a final sort was pushed
+    below the projection instead.
     """
 
     def __init__(self, child: PhysicalOp, aliases: tuple[str, ...],
@@ -472,29 +585,46 @@ class ProjectBindings(PhysicalOp):
             raise PlanningError(f"projection alias missing from child "
                                 f"schema {child.schema}: {exc}") from None
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         positions = self._positions
         if self.assume_sorted:
             last_key: tuple[int, ...] | None = None
-            for row in self.child.execute(ctx, bindings):
-                ctx.tick()
-                projected = tuple(row[position] for position in positions)
-                key = tuple(node.in_ for node in projected)
-                if key != last_key:
-                    last_key = key
-                    yield projected
-        else:
-            seen: set[tuple[int, ...]] = set()
-            for row in self.child.execute(ctx, bindings):
-                ctx.tick()
-                projected = tuple(row[position] for position in positions)
-                key = tuple(node.in_ for node in projected)
-                if key not in seen:
-                    seen.add(key)
-                    ctx.meter.charge(NODE_BYTES)
-                    yield projected
-            ctx.meter.release(NODE_BYTES * len(seen))
+            for batch in self.child.batches(ctx, bindings):
+                ctx.tick_batch(len(batch))
+                out: Batch = []
+                for row in batch:
+                    projected = tuple(row[position]
+                                      for position in positions)
+                    key = tuple(node.in_ for node in projected)
+                    if key != last_key:
+                        last_key = key
+                        out.append(projected)
+                if out:
+                    yield out
+            return
+        seen: set[tuple[int, ...]] = set()
+        charged = 0
+        try:
+            for batch in self.child.batches(ctx, bindings):
+                ctx.tick_batch(len(batch))
+                out = []
+                added = 0
+                for row in batch:
+                    projected = tuple(row[position]
+                                      for position in positions)
+                    key = tuple(node.in_ for node in projected)
+                    if key not in seen:
+                        seen.add(key)
+                        added += 1
+                        out.append(projected)
+                if added:
+                    charged += NODE_BYTES * added
+                    ctx.meter.charge(NODE_BYTES * added)
+                if out:
+                    yield out
+        finally:
+            ctx.meter.release(charged)
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent
@@ -510,9 +640,9 @@ class ConstantRow(PhysicalOp):
 
     schema: tuple[str, ...] = ()
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
-        yield ()
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        yield [()]
 
     def explain(self, indent: int = 0) -> str:
         return " " * indent + "ConstantRow()"

@@ -11,6 +11,11 @@ in-memory budget are spilled to heap files in the database — block-based
 writes, which the paper laments Berkeley DB made difficult ("this made it
 difficult to have the students implement external sort ... properly by the
 book"); our own storage manager has no such limitation.
+
+Like every physical operator, the sort runs block-at-a-time: input rows
+arrive in batches, buffer bytes are charged to the memory meter one block
+at a time (and released even when the budget trips mid-batch), and the
+sorted output is re-blocked into ``ctx.batch_size`` slices.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import struct
 from collections.abc import Iterator
 
 from repro.physical.context import Bindings, ExecutionContext, NODE_BYTES
-from repro.physical.operators import PhysicalOp, Row
+from repro.physical.operators import Batch, PhysicalOp, Row
 
 
 def _encode_row(row: Row) -> bytes:
@@ -63,9 +68,12 @@ class ExternalSort(PhysicalOp):
     def _key(self, row: Row) -> tuple[int, ...]:
         return tuple(row[position].in_ for position in self._key_positions)
 
-    def execute(self, ctx: ExecutionContext,
-                bindings: Bindings) -> Iterator[Row]:
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
         database = ctx.document.db
+        size = ctx.batch_size
+        row_bytes = NODE_BYTES * max(1, len(self.schema))
+        run_budget = max(1, self.run_budget_rows)
         runs: list[str] = []
         buffer: list[tuple[tuple[int, ...], int, Row]] = []
         charged = 0
@@ -86,20 +94,32 @@ class ExternalSort(PhysicalOp):
             charged = 0
 
         try:
-            for row in self.child.execute(ctx, bindings):
-                ctx.tick()
-                cost = NODE_BYTES * max(1, len(row))
-                ctx.meter.charge(cost)
-                charged += cost
-                buffer.append((self._key(row), sequence, row))
-                sequence += 1
-                if len(buffer) >= self.run_budget_rows:
-                    spill()
+            key = self._key
+            for batch in self.child.batches(ctx, bindings):
+                ctx.tick_batch(len(batch))
+                # Buffer the batch in run-budget-sized takes: bytes are
+                # charged per take (not per row), and runs keep exactly
+                # the sizes the item-at-a-time sort produced.
+                position = 0
+                while position < len(batch):
+                    room = run_budget - len(buffer)
+                    take = batch[position:position + room]
+                    position += len(take)
+                    charged += row_bytes * len(take)
+                    ctx.meter.charge(row_bytes * len(take))
+                    for row in take:
+                        buffer.append((key(row), sequence, row))
+                        sequence += 1
+                    if len(buffer) >= run_budget:
+                        spill()
 
             if not runs:
                 buffer.sort(key=lambda item: item[:2])
-                for __, __, row in buffer:
-                    yield row
+                rows = [row for __, __, row in buffer]
+                for start in range(0, len(rows), size):
+                    out = rows[start:start + size]
+                    ctx.tick_batch(len(out))
+                    yield out
                 return
             if buffer:
                 spill()
@@ -109,9 +129,16 @@ class ExternalSort(PhysicalOp):
                 streams.append((_decode_row(raw, ctx.document)
                                 for __, raw in heap.scan()))
             merged = heapq.merge(*streams, key=self._key)
+            out = []
             for row in merged:
-                ctx.tick()
-                yield row
+                out.append(row)
+                if len(out) >= size:
+                    ctx.tick_batch(len(out))
+                    yield out
+                    out = []
+            if out:
+                ctx.tick_batch(len(out))
+                yield out
         finally:
             ctx.meter.release(charged)
             for name in runs:

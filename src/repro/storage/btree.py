@@ -30,7 +30,7 @@ stores the root page id, height and entry count, so structural changes
 from __future__ import annotations
 
 import struct
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterable, Iterator
 
 from repro.errors import BTreeError

@@ -18,6 +18,7 @@ physical operators from:
 from __future__ import annotations
 
 from collections.abc import Iterator
+from itertools import islice
 
 from repro.errors import CatalogError, StorageError
 from repro.storage.db import Database
@@ -49,7 +50,7 @@ class StoredDocument:
 
     def _decode(self, raw: bytes) -> schema.XasrNode:
         in_, out, parent_in, node_type, val_kind, value = \
-            schema.RECORD_CODEC.decode(raw)
+            schema.decode_record(raw)
         if val_kind == 1:
             head_page, __, length = value.partition(":")
             data = self.db.overflow.load(int(head_page), int(length))
@@ -80,6 +81,25 @@ class StoredDocument:
         for __, raw in self.primary.items():
             yield self._decode(raw)
 
+    def _decode_blocks(self, records, size: int
+                       ) -> Iterator[list[schema.XasrNode]]:
+        """Decode a ``(key, raw)`` record iterator in blocks of ``size``.
+
+        The block-at-a-time hot path: each batch is decoded in one list
+        comprehension straight off the B+-tree leaf iterator, with no
+        per-row generator resumption between storage and the operator.
+        """
+        decode = self._decode
+        while True:
+            chunk = list(islice(records, size))
+            if not chunk:
+                return
+            yield [decode(raw) for __, raw in chunk]
+
+    def scan_batches(self, size: int) -> Iterator[list[schema.XasrNode]]:
+        """Full scan in blocks of ``size`` nodes (document order)."""
+        yield from self._decode_blocks(self.primary.items(), size)
+
     def range(self, low_in: int, high_in: int,
               inclusive: bool = True) -> Iterator[schema.XasrNode]:
         """Nodes with ``low_in ≤ in ≤ high_in`` (document order)."""
@@ -87,6 +107,15 @@ class StoredDocument:
                 schema.primary_key(low_in), schema.primary_key(high_in),
                 include_low=inclusive, include_high=inclusive):
             yield self._decode(raw)
+
+    def range_batches(self, low_in: int, high_in: int, size: int,
+                      inclusive: bool = True
+                      ) -> Iterator[list[schema.XasrNode]]:
+        """Primary range scan in blocks of ``size`` nodes."""
+        records = self.primary.range_scan(
+            schema.primary_key(low_in), schema.primary_key(high_in),
+            include_low=inclusive, include_high=inclusive)
+        yield from self._decode_blocks(records, size)
 
     def descendants(self, node: schema.XasrNode) -> Iterator[schema.XasrNode]:
         """Proper descendants of ``node`` — one clustered range scan.

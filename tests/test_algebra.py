@@ -20,14 +20,12 @@ from repro.algebra.tpm import (
     TpmConstr,
     TpmEmpty,
     TpmSequence,
-    TpmText,
     TpmVarOut,
     count_relfors,
 )
 from repro.algebra.translate import translate
 from repro.errors import AlgebraError
-from repro.xasr.schema import ELEMENT, TEXT, XasrNode
-from repro.xq.ast import ROOT_VAR
+from repro.xasr.schema import ELEMENT, XasrNode
 from repro.xq.parser import parse_query
 
 

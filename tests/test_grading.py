@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
+from repro.engine.profiles import ENGINE_PROFILES
 from repro.grading.scoring import CourseRules, GradeBook, StudentRecord
 from repro.grading.submission import SubmissionSystem
 from repro.grading.tester import Tester, format_figure7

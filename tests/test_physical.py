@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.ra import Attr, Compare, Const, EQ, GT, LT, VarField
+from repro.algebra.ra import Attr, Compare, Const, EQ, VarField
 from repro.errors import ResourceLimitExceeded
 from repro.physical.context import Bindings, ExecutionContext, MemoryMeter
 from repro.physical.materialize import Materializer, reset_materializers

@@ -4,7 +4,6 @@ strategies, semijoin legality, estimator calibrations, cost model."""
 import pytest
 
 from repro.engine.algebraic import AlgebraicEvaluator, _iter_relfors
-from repro.engine.profiles import ENGINE_PROFILES
 from repro.optimizer.cost import CostModel, Costed
 from repro.optimizer.planner import Planner, PlannerConfig
 from repro.optimizer.stats import CardinalityEstimator

@@ -9,7 +9,6 @@
   navigational engine and the cost-based algebraic engine.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.storage.btree import BTree

@@ -3,7 +3,7 @@ facade."""
 
 import pytest
 
-from repro.errors import BTreeError, CatalogError, StorageError
+from repro.errors import CatalogError, StorageError
 from repro.storage.db import Database
 from repro.storage.heap import HeapFile, RecordId
 from repro.storage.overflow import OverflowStore

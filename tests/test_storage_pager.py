@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PageError
-from repro.storage.pager import NO_PAGE, Pager
+from repro.storage.pager import Pager
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import CatalogError, StorageError
 from repro.storage.db import Database
-from repro.xasr import ELEMENT, ROOT, TEXT, StoredDocument, load_document
+from repro.xasr import ROOT, TEXT, StoredDocument, load_document
 from repro.xasr.schema import TYPE_NAMES
 from repro.xmlkit.parser import parse
 from repro.xmlkit.serializer import serialize

@@ -1,6 +1,5 @@
 """Tests for the DOM, the DOM parser and the serializer."""
 
-import pytest
 
 from repro.xmlkit.dom import Document, Element, NodeKind, Text, deep_equal
 from repro.xmlkit.parser import parse

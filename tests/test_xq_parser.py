@@ -11,7 +11,6 @@ from repro.xq.ast import (
     For,
     If,
     LabelTest,
-    Not,
     Or,
     ROOT_VAR,
     Sequence,
@@ -21,8 +20,6 @@ from repro.xq.ast import (
     TextTest,
     TrueCond,
     Var,
-    VarEqConst,
-    VarEqVar,
     WildcardTest,
     contains_constructor,
     free_variables,
