@@ -1,0 +1,159 @@
+"""Concurrent serving: the Figure-7 workload from N closed-loop clients.
+
+The paper timed five engines running the efficiency suite one query at a
+time; the serving layer's question is what happens when the *same
+workload* arrives from many clients at once.  Each client thread drives
+a :class:`~repro.core.server.QueryServer` synchronously (submit, wait,
+submit the next — a closed loop), so offered load scales with the client
+count while total work stays fixed: every client count executes the same
+number of workload suites, split evenly across clients.
+
+Measured per client count (1 / 4 / 16 / 64):
+
+* **throughput** — completed queries per second over the whole run;
+* **latency** — per-query p50/p99, measured from submission to result
+  (queue wait included, exactly what a caller experiences).
+
+Two relative metrics feed the CI regression gate (absolute numbers are
+machine-bound; ratios are not):
+
+* ``concurrency.single_client_efficiency`` — server throughput at one
+  client over bare-session serial throughput: what the queue, futures
+  and worker hand-off cost.  The acceptance bar asserts serving adds at
+  most ~2x overhead at smoke scale (in practice it is far cheaper).
+* ``concurrency.scaling_4`` — throughput at 4 clients over 1 client.
+  Pure-Python execution under the GIL cannot scale CPU-bound work, so
+  the bar only demands that concurrency does not *collapse* throughput.
+
+Results land in ``BENCH_concurrency.json``.
+"""
+
+import statistics
+import threading
+import time
+
+from repro.core.server import QueryServer
+from repro.workloads.queries import EFFICIENCY_QUERIES
+
+#: Closed-loop client counts (the Figure-7 axis of the serving story).
+CLIENT_COUNTS = [1, 4, 16, 64]
+#: Workload suites executed at *every* client count (divided evenly), so
+#: throughput numbers compare equal work.
+TOTAL_SUITES = 64
+#: engine-1 finishes all five efficiency tests (Figure 7's winner); the
+#: serving benchmark wants throughput, not timeouts.
+PROFILE = "engine-1"
+
+#: Acceptance bars (lenient: CI runners jitter; the committed baseline
+#: carries the real floors).
+MIN_SINGLE_CLIENT_EFFICIENCY = 0.5
+MIN_SCALING_4 = 0.3
+
+QUERIES = [test.xq for test in EFFICIENCY_QUERIES]
+
+
+def _serial_qps(dbms, suites: int = 8) -> float:
+    """Bare-session throughput: the no-serving-layer baseline."""
+    session = dbms.session(profile=PROFILE)
+    for query in QUERIES:                      # warm plans + buffer pool
+        session.query("dblp", query)
+    started = time.perf_counter()
+    for __ in range(suites):
+        for query in QUERIES:
+            session.query("dblp", query)
+    elapsed = time.perf_counter() - started
+    return suites * len(QUERIES) / elapsed
+
+
+def _served_run(dbms, clients: int) -> dict:
+    """Throughput + latency percentiles at one client count."""
+    suites_per_client = TOTAL_SUITES // clients
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    with QueryServer(dbms, workers=clients,
+                     max_pending=max(64, clients * len(QUERIES) * 2),
+                     profile=PROFILE) as server:
+        # Warm every worker's session (plan caches are per worker): the
+        # warm-up burst is submitted all at once so every worker is busy
+        # compiling — sequential warm-ups could all land on one idle
+        # worker and leave the rest to compile inside the timed run.
+        warm = [server.submit("dblp", query)
+                for __ in range(clients) for query in QUERIES]
+        for future in warm:
+            future.result()
+
+        def client() -> None:
+            own: list[float] = []
+            for __ in range(suites_per_client):
+                for query in QUERIES:
+                    started = time.perf_counter()
+                    server.query("dblp", query)
+                    own.append(time.perf_counter() - started)
+            with lock:
+                latencies.extend(own)
+
+        threads = [threading.Thread(target=client) for __ in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+    executed = len(latencies)
+    assert executed == clients * suites_per_client * len(QUERIES)
+    ordered = sorted(latencies)
+    return {
+        "clients": clients,
+        "queries": executed,
+        "wall_seconds": round(wall, 4),
+        "qps": executed / wall,
+        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
+        "p99_ms": round(ordered[min(executed - 1,
+                                    int(executed * 0.99))] * 1e3, 3),
+    }
+
+
+def test_concurrent_serving_throughput(bench_dbms, bench_record):
+    serial_qps = _serial_qps(bench_dbms)
+    runs = {clients: _served_run(bench_dbms, clients)
+            for clients in CLIENT_COUNTS}
+
+    print(f"\nserial (no server): {serial_qps:8.1f} q/s")
+    for run in runs.values():
+        print(f"{run['clients']:3d} clients: {run['qps']:8.1f} q/s   "
+              f"p50 {run['p50_ms']:7.2f} ms   p99 {run['p99_ms']:7.2f} ms")
+
+    single_client_efficiency = runs[1]["qps"] / serial_qps
+    scaling_4 = runs[4]["qps"] / runs[1]["qps"]
+    bench_record(
+        "concurrency",
+        {"concurrency.single_client_efficiency":
+         round(single_client_efficiency, 3),
+         "concurrency.scaling_4": round(scaling_4, 3)},
+        details={"serial_qps": round(serial_qps, 1),
+                 "profile": PROFILE,
+                 "total_suites": TOTAL_SUITES,
+                 "runs": {str(clients): run
+                          for clients, run in runs.items()}})
+
+    assert single_client_efficiency >= MIN_SINGLE_CLIENT_EFFICIENCY, (
+        f"serving layer overhead too high: 1-client throughput is only "
+        f"{single_client_efficiency:.2f}x of serial "
+        f"(floor {MIN_SINGLE_CLIENT_EFFICIENCY}x)")
+    assert scaling_4 >= MIN_SCALING_4, (
+        f"throughput collapsed under concurrency: 4 clients run at "
+        f"{scaling_4:.2f}x of 1 client (floor {MIN_SCALING_4}x)")
+
+
+def test_served_results_identical_to_serial(bench_dbms):
+    """The speed comparison is only meaningful if answers match."""
+    session = bench_dbms.session(profile=PROFILE)
+    expected = {query: session.query("dblp", query) for query in QUERIES}
+    with QueryServer(bench_dbms, workers=8, max_pending=256,
+                     profile=PROFILE) as server:
+        futures = [(query, server.submit("dblp", query, serialize=True))
+                   for __ in range(4) for query in QUERIES]
+        for query, future in futures:
+            assert future.result(timeout=120.0) == expected[query]

@@ -11,6 +11,7 @@
 """
 
 from repro.core.dbms import XmlDbms
+from repro.core.server import QueryServer, ServerStats
 from repro.core.session import (
     CacheInfo,
     Cursor,
@@ -30,4 +31,6 @@ __all__ = [
     "ExplainReport",
     "PlanExplain",
     "CacheInfo",
+    "QueryServer",
+    "ServerStats",
 ]

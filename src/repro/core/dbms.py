@@ -13,12 +13,24 @@ One instance owns one database file and exposes the full lifecycle:
 * :meth:`explain` — the TPM translation and the chosen physical plans;
 * :meth:`statistics` / :meth:`documents` — introspection.
 
-Updates are deliberately load/drop-only and there is no concurrency
-control or recovery: the paper scoped those out ("keep updates as simple
-as possible and completely disregard concurrency control and recovery").
+Updates are deliberately load/drop-only and there is no recovery: the
+paper scoped those out ("keep updates as simple as possible and
+completely disregard concurrency control and recovery").  Concurrency,
+however, is scoped back in by the serving layer: one ``XmlDbms`` may be
+shared by any number of threads.  The engine cache, catalog versions and
+default session are guarded by a dbms-level lock, the storage layer
+latches pages and trees (see :mod:`repro.storage.latch`), and
+:meth:`load` replacing a document is well-defined against concurrent
+readers — executions already running (and open cursors) finish on the
+*old* snapshot, whose pages are never reclaimed, while sessions touching
+the document afterwards see the new version (a dropped document raises
+:class:`~repro.errors.CatalogError`).  For a bounded worker pool with
+admission control on top, see :class:`repro.core.server.QueryServer`.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.session import ExecutionOptions, Session
 from repro.engine.engine import XQEngine
@@ -48,6 +60,17 @@ class XmlDbms:
         #: session plan caches invalidate without explicit wiring.
         self._versions: dict[str, int] = {}
         self._default_session: Session | None = None
+        #: Guards catalog mutation (load/drop) and the version counters.
+        #: Held across a whole load/drop, so readers either see the old
+        #: document (their engines keep the old pages alive) or the new
+        #: one — never a half-replaced catalog.
+        self._lock = threading.RLock()
+        #: Short-held lock for the engine cache and default session —
+        #: deliberately separate from ``_lock`` so query setup on *any*
+        #: document never stalls behind an in-progress multi-second
+        #: ``load()``.  Lock order: ``_lock`` → ``_engine_lock`` (from
+        #: ``_invalidate``); nothing acquires them the other way.
+        self._engine_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -75,19 +98,37 @@ class XmlDbms:
         *before* the old document is touched, so a malformed replacement
         leaves the existing document intact.
         """
+        # Validate a *replacement* before taking the dbms lock: parsing
+        # the input can dwarf the load itself, and nothing it does needs
+        # the lock.  The existence check is repeated under the lock — if
+        # the document appeared (or vanished) meanwhile, the rare race
+        # just validates again inside.
+        validated = False
         if self.db.exists(schema.table_name(name)):
-            sources = [source for source in (xml, path)
-                       if source is not None]
-            if len(sources) != 1:
-                raise ValueError("pass exactly one of xml=, path=")
-            for __ in (iterparse(xml) if xml is not None
-                       else iterparse_file(path)):
-                pass
-            self.drop(name)
-        stats = load_document(self.db, name, xml=xml, path=path,
-                              strip_whitespace=strip_whitespace, bulk=bulk)
-        self._invalidate(name)
-        return stats
+            self._validate_source(xml, path)
+            validated = True
+        with self._lock:
+            if self.db.exists(schema.table_name(name)):
+                if not validated:
+                    self._validate_source(xml, path)
+                self.drop(name)
+            stats = load_document(self.db, name, xml=xml, path=path,
+                                  strip_whitespace=strip_whitespace,
+                                  bulk=bulk)
+            self._invalidate(name)
+            return stats
+
+    @staticmethod
+    def _validate_source(xml: str | None, path: str | None) -> None:
+        """Fully parse a replacement input before the old document is
+        touched, so a malformed replacement leaves it intact."""
+        sources = [source for source in (xml, path)
+                   if source is not None]
+        if len(sources) != 1:
+            raise ValueError("pass exactly one of xml=, path=")
+        for __ in (iterparse(xml) if xml is not None
+                   else iterparse_file(path)):
+            pass
 
     def documents(self) -> list[str]:
         """Names of loaded documents."""
@@ -101,25 +142,34 @@ class XmlDbms:
 
     def drop(self, name: str) -> None:
         """Remove a document from the catalog."""
-        if not self.db.exists(schema.table_name(name)):
-            raise CatalogError(f"document {name!r} is not loaded")
-        for object_name in (schema.table_name(name),
-                            schema.index_label_name(name),
-                            schema.index_parent_name(name),
-                            schema.stats_name(name)):
-            if self.db.exists(object_name):
-                self.db.drop(object_name)
-        self._invalidate(name)
+        with self._lock:
+            if not self.db.exists(schema.table_name(name)):
+                raise CatalogError(f"document {name!r} is not loaded")
+            for object_name in (schema.table_name(name),
+                                schema.index_label_name(name),
+                                schema.index_parent_name(name),
+                                schema.stats_name(name)):
+                if self.db.exists(object_name):
+                    self.db.drop(object_name)
+            self._invalidate(name)
 
     def _invalidate(self, name: str) -> None:
         """Forget cached engines for ``name`` and bump its version."""
-        self._engines = {key: engine
-                         for key, engine in self._engines.items()
-                         if key[0] != name}
-        self._versions[name] = self._versions.get(name, 0) + 1
+        with self._lock:
+            with self._engine_lock:
+                self._engines = {key: engine
+                                 for key, engine in self._engines.items()
+                                 if key[0] != name}
+            self._versions[name] = self._versions.get(name, 0) + 1
 
     def catalog_version(self, name: str) -> int:
-        """Version counter for a document; changes on every load/drop."""
+        """Version counter for a document; changes on every load/drop.
+
+        Deliberately lock-free: this sits on every execution's hot path
+        (the prepared-query staleness check), and a single ``dict.get``
+        is atomic under the GIL — readers must not stall behind an
+        in-progress multi-second ``load()`` of some other document.
+        """
         return self._versions.get(name, 0)
 
     def statistics(self, name: str) -> DocumentStatistics:
@@ -144,9 +194,10 @@ class XmlDbms:
     @property
     def _session(self) -> Session:
         """The default session backing the one-shot compatibility API."""
-        if self._default_session is None:
-            self._default_session = self.session()
-        return self._default_session
+        with self._engine_lock:
+            if self._default_session is None:
+                self._default_session = self.session()
+            return self._default_session
 
     # -- querying -----------------------------------------------------------------
 
@@ -155,11 +206,24 @@ class XmlDbms:
         """A (cached) engine for a document under a profile."""
         profile_name = profile if isinstance(profile, str) else profile.name
         key = (document, profile_name)
-        engine = self._engines.get(key)
-        if engine is None:
+        with self._engine_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+        try:
+            # Built outside both locks: construction reads the catalog
+            # and may take a while, and must not stall other documents.
             engine = XQEngine(self.db, document, profile)
-            self._engines[key] = engine
-        return engine
+        except CatalogError:
+            # Possibly the mid-replacement window (old objects dropped,
+            # new ones not yet complete — the statistics entry, written
+            # last, is the completeness marker).  Retry serialized
+            # against load/drop; a genuinely missing document raises
+            # CatalogError again, now authoritatively.
+            with self._lock:
+                engine = XQEngine(self.db, document, profile)
+        with self._engine_lock:
+            return self._engines.setdefault(key, engine)
 
     def execute(self, document: str, query: str | Query,
                 profile: EngineProfile | str = "m4",

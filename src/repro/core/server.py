@@ -1,0 +1,331 @@
+"""Concurrent query serving: a bounded worker pool over one ``XmlDbms``.
+
+The paper's setting is many independent engines answering one workload;
+the serving layer turns that into a single process answering many
+clients::
+
+    with XmlDbms("library.db") as dbms:
+        dbms.load("dblp", path="dblp.xml")
+        with QueryServer(dbms, workers=8, max_pending=64,
+                         time_limit=2.0) as server:
+            future = server.submit("dblp", "//title")
+            nodes = future.result()
+
+Three serving concerns, each deliberately explicit:
+
+* **Worker pool** — ``workers`` threads, each owning its *own*
+  :class:`~repro.core.session.Session` (so plan caches are per-worker
+  and cursors never cross threads).  In-flight concurrency is therefore
+  bounded by the worker count.
+
+* **Admission control** — the submission queue holds at most
+  ``max_pending`` waiting queries.  A submission that would exceed the
+  queue depth fails *immediately* with
+  :class:`~repro.errors.AdmissionError` rather than blocking the client:
+  back-pressure is visible, not silent.
+
+* **Per-query deadlines** — the server's
+  :class:`~repro.core.session.ExecutionOptions` defaults (profile, time
+  limit, memory budget, batch size) apply to every submission, each
+  overridable per call.  The time limit starts at *submission*: time
+  spent waiting in the queue counts against it, so an overloaded server
+  fails queries with the familiar
+  :class:`~repro.errors.ResourceLimitExceeded` instead of letting
+  latency grow without bound.
+
+``submit`` returns a :class:`concurrent.futures.Future`; results are the
+familiar node lists (or serialized text with ``serialize=True``).  The
+futures support the full protocol — ``result(timeout)``, callbacks,
+``cancel()`` of still-queued work.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.core.session import ExecutionOptions, Session
+from repro.engine.profiles import EngineProfile
+from repro.errors import (
+    AdmissionError,
+    ResourceLimitExceeded,
+    ServerClosedError,
+)
+from repro.physical.context import DEFAULT_BATCH_SIZE
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` in
+#: per-submission overrides (mirrors the session layer's convention).
+_UNSET = object()
+
+#: Queue sentinel telling a worker to exit.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A consistent snapshot of the server's counters.
+
+    ``pending`` is the current queue depth, ``peak_pending`` its high
+    watermark; at rest ``submitted = completed + failed + cancelled +
+    pending`` (while queries are in flight, ``submitted`` also covers
+    the running ones).  Rejected submissions never enter the queue and
+    are counted separately.
+    """
+
+    workers: int
+    max_pending: int
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    rejected: int
+    pending: int
+    peak_pending: int
+
+
+@dataclass
+class _Task:
+    future: Future
+    document: str
+    query: object
+    bindings: dict | None
+    profile: EngineProfile | str
+    deadline: float | None
+    time_limit: float | None
+    memory_budget: int | None
+    batch_size: int
+    serialize: bool
+    indent: int | None
+
+
+class QueryServer:
+    """Serve queries against one :class:`~repro.core.dbms.XmlDbms`.
+
+    Thread-safe throughout: any number of client threads may ``submit``
+    concurrently, and the wrapped dbms may still be used directly (e.g.
+    an operator thread calling ``load`` while the server is running —
+    in-flight queries finish on the old snapshot, later ones see the new
+    document).
+    """
+
+    def __init__(self, dbms, workers: int = 4, max_pending: int = 64,
+                 profile: EngineProfile | str = "m4",
+                 time_limit: float | None = None,
+                 memory_budget: int | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 plan_cache_capacity: int = 128):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}")
+        self.dbms = dbms
+        self.options = ExecutionOptions(profile=profile,
+                                        time_limit=time_limit,
+                                        memory_budget=memory_budget,
+                                        batch_size=batch_size)
+        self._plan_cache_capacity = plan_cache_capacity
+        self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        self._closed = False
+        #: Orders submissions against close(): a task admitted under this
+        #: lock is guaranteed to precede the shutdown sentinels in the
+        #: queue, so its future always resolves.
+        self._lifecycle_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._rejected = 0
+        self._peak_pending = 0
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"query-server-worker-{index}",
+                             daemon=True)
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, document: str, query, bindings: dict | None = None,
+               profile: EngineProfile | str | None = None,
+               time_limit: float | None = _UNSET,
+               memory_budget: int | None = _UNSET,
+               batch_size: int = _UNSET,
+               serialize: bool = False,
+               indent: int | None = None) -> Future:
+        """Enqueue a query; returns a Future of its full result.
+
+        The future resolves to the result node list, or to serialized
+        XML text with ``serialize=True``.  Raises
+        :class:`~repro.errors.ServerClosedError` after :meth:`close` and
+        :class:`~repro.errors.AdmissionError` when the queue is at
+        ``max_pending`` — admission control never blocks the caller.
+        Execution errors (including a missed deadline) surface through
+        the future.
+        """
+        if self._closed:
+            raise ServerClosedError("submit() on a closed QueryServer")
+        time_limit = (self.options.time_limit if time_limit is _UNSET
+                      else time_limit)
+        memory_budget = (self.options.memory_budget
+                         if memory_budget is _UNSET else memory_budget)
+        if batch_size is _UNSET:
+            batch_size = self.options.batch_size
+        deadline = (time.monotonic() + time_limit
+                    if time_limit is not None else None)
+        task = _Task(future=Future(), document=document, query=query,
+                     bindings=bindings,
+                     profile=(self.options.profile if profile is None
+                              else profile),
+                     deadline=deadline, time_limit=time_limit,
+                     memory_budget=memory_budget, batch_size=batch_size,
+                     serialize=serialize, indent=indent)
+        with self._lifecycle_lock:
+            # Re-checked under the lock: close() flips the flag under it
+            # too, so a task admitted here is enqueued before the
+            # shutdown sentinels and will be served (or cancelled).
+            if self._closed:
+                raise ServerClosedError("submit() on a closed QueryServer")
+            # Counted *before* the task becomes visible to workers, so
+            # the stats invariant (submitted ≥ completed + failed +
+            # cancelled) holds under any interleaving.
+            with self._stats_lock:
+                self._submitted += 1
+            try:
+                self._queue.put_nowait(task)
+            except queue.Full:
+                with self._stats_lock:
+                    self._submitted -= 1
+                    self._rejected += 1
+                raise AdmissionError(
+                    f"query queue is full ({self._queue.maxsize} "
+                    f"pending); resubmit after the backlog drains"
+                ) from None
+        with self._stats_lock:
+            self._peak_pending = max(self._peak_pending,
+                                     self._queue.qsize())
+        return task.future
+
+    def execute(self, document: str, query,
+                bindings: dict | None = None, **overrides):
+        """Submit and wait: the synchronous convenience wrapper."""
+        return self.submit(document, query, bindings=bindings,
+                           **overrides).result()
+
+    def query(self, document: str, query,
+              bindings: dict | None = None, **overrides) -> str:
+        """Submit, wait and serialize in one call."""
+        return self.submit(document, query, bindings=bindings,
+                           serialize=True, **overrides).result()
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        session = Session(self.dbms, profile=self.options.profile,
+                          time_limit=self.options.time_limit,
+                          memory_budget=self.options.memory_budget,
+                          batch_size=self.options.batch_size,
+                          plan_cache_capacity=self._plan_cache_capacity)
+        while True:
+            task = self._queue.get()
+            if task is _SHUTDOWN:
+                return
+            if not task.future.set_running_or_notify_cancel():
+                with self._stats_lock:
+                    self._cancelled += 1
+                continue
+            try:
+                result = self._run(session, task)
+            except BaseException as exc:  # the future carries it
+                # Counters move before the future resolves: a caller
+                # that returns from future.result() and immediately
+                # reads stats() must see this query accounted for.
+                with self._stats_lock:
+                    self._failed += 1
+                task.future.set_exception(exc)
+            else:
+                with self._stats_lock:
+                    self._completed += 1
+                task.future.set_result(result)
+
+    def _run(self, session: Session, task: _Task):
+        self._check_deadline(task)    # fail fast on queue-expired work
+        prepared = session.prepare(task.document, task.query,
+                                   profile=task.profile)
+        # The deadline is re-taken *after* prepare: compilation counts
+        # against the submission deadline exactly like queue wait does.
+        remaining = self._check_deadline(task)
+        with prepared.execute(bindings=task.bindings,
+                              time_limit=remaining,
+                              memory_budget=task.memory_budget,
+                              batch_size=task.batch_size) as cursor:
+            if task.serialize:
+                return cursor.serialize(indent=task.indent)
+            return cursor.fetchall()
+
+    @staticmethod
+    def _check_deadline(task: _Task) -> float | None:
+        """Seconds left until the task's submission deadline (``None``
+        when unlimited); raises once it has passed."""
+        if task.deadline is None:
+            return None
+        remaining = task.deadline - time.monotonic()
+        if remaining <= 0:
+            raise ResourceLimitExceeded("time", task.time_limit,
+                                        task.time_limit - remaining)
+        return remaining
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            return ServerStats(workers=len(self._workers),
+                               max_pending=self._queue.maxsize,
+                               submitted=self._submitted,
+                               completed=self._completed,
+                               failed=self._failed,
+                               cancelled=self._cancelled,
+                               rejected=self._rejected,
+                               pending=self._queue.qsize(),
+                               peak_pending=self._peak_pending)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the pool down.  Idempotent.
+
+        ``wait=True`` (default) drains the queue: everything already
+        admitted runs to completion before the workers exit.
+        ``wait=False`` cancels still-queued tasks (their futures report
+        ``cancelled()``); the queries currently executing still finish,
+        and their futures resolve normally.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not wait:
+            while True:
+                try:
+                    task = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if task is not _SHUTDOWN and task.future.cancel():
+                    with self._stats_lock:
+                        self._cancelled += 1
+        for __ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -38,6 +38,7 @@ Three ideas, mirroring what every production database client exposes:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict, deque
 from collections.abc import Iterator
@@ -139,38 +140,51 @@ class ExplainReport:
 
 
 class _PlanCache:
-    """A small LRU cache of compiled queries."""
+    """A small LRU cache of compiled queries.
+
+    Thread-safe: the ``OrderedDict`` recency moves and trims are not
+    atomic operations, so every access runs under the cache's own lock —
+    this is the piece of a session that concurrent workers genuinely
+    share.
+    """
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple) -> CompiledQuery | None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+            return None
 
     def put(self, key: tuple, compiled: CompiledQuery) -> None:
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def info(self) -> CacheInfo:
-        return CacheInfo(hits=self.hits, misses=self.misses,
-                         size=len(self._entries), capacity=self.capacity)
+        with self._lock:
+            return CacheInfo(hits=self.hits, misses=self.misses,
+                             size=len(self._entries),
+                             capacity=self.capacity)
 
 
 class Session:
@@ -178,8 +192,12 @@ class Session:
 
     Sessions are cheap — they share the database, buffer pool and engine
     instances with their ``XmlDbms`` — and own only defaults plus the plan
-    cache.  They are not thread-safe; open one session per thread of
-    control, as with any DBMS connection.
+    cache.  ``prepare``/``execute``/``query`` are thread-safe (the plan
+    cache and parse memo are locked), but prefer one session per thread
+    of control, as with any DBMS connection: per-thread sessions also
+    mean per-thread cache statistics.  The :class:`Cursor` objects an
+    execution returns are **not** thread-safe — each cursor belongs to
+    the one thread that drives it.
     """
 
     def __init__(self, dbms, profile: EngineProfile | str = "m4",
@@ -195,6 +213,7 @@ class Session:
         self._cache = _PlanCache(plan_cache_capacity)
         self._parse_memo: OrderedDict[str, Program] = OrderedDict()
         self._parse_memo_capacity = plan_cache_capacity
+        self._parse_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -215,21 +234,26 @@ class Session:
 
     def clear_cache(self) -> None:
         self._cache.clear()
-        self._parse_memo.clear()
+        with self._parse_lock:
+            self._parse_memo.clear()
 
     def _parse(self, query: str | Query | Program) -> Program:
         if isinstance(query, Program):
             return query
         if isinstance(query, Query):
             return Program(body=query)
-        program = self._parse_memo.get(query)
-        if program is None:
-            program = parse_program(query)
+        with self._parse_lock:
+            program = self._parse_memo.get(query)
+            if program is not None:
+                self._parse_memo.move_to_end(query)
+                return program
+        # Parse outside the lock: texts are parsed at most twice under a
+        # race, and a slow parse never stalls the other sessions.
+        program = parse_program(query)
+        with self._parse_lock:
             self._parse_memo[query] = program
             while len(self._parse_memo) > self._parse_memo_capacity:
                 self._parse_memo.popitem(last=False)
-        else:
-            self._parse_memo.move_to_end(query)
         return program
 
     def _lookup(self, document: str, program: Program,
@@ -343,6 +367,7 @@ class PreparedQuery:
         #: True if this prepare was served from the session's plan cache.
         self.from_cache = from_cache
         self._version = session.dbms.catalog_version(document)
+        self._refresh_lock = threading.Lock()
 
     def _refresh_if_stale(self) -> None:
         """Recompile against the current document if it changed.
@@ -351,15 +376,21 @@ class PreparedQuery:
         the catalog version captured at prepare time is checked before
         every execution, and a mismatch transparently re-prepares against
         the fresh document (or raises ``CatalogError`` if it was dropped)
-        instead of silently serving results from the replaced one.
+        instead of silently serving results from the replaced one.  The
+        check-and-swap runs under a lock so two threads executing one
+        prepared query across a ``load`` agree on a single recompile.
         """
-        current = self.session.dbms.catalog_version(self.document)
-        if current == self._version:
+        if self.session.dbms.catalog_version(self.document) \
+                == self._version:
             return
-        compiled, __ = self.session._lookup(
-            self.document, self.compiled.program, self.options)
-        self.compiled = compiled
-        self._version = current
+        with self._refresh_lock:
+            current = self.session.dbms.catalog_version(self.document)
+            if current == self._version:
+                return
+            compiled, __ = self.session._lookup(
+                self.document, self.compiled.program, self.options)
+            self.compiled = compiled
+            self._version = current
 
     @property
     def externals(self) -> tuple[str, ...]:

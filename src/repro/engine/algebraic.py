@@ -18,6 +18,7 @@ concatenated.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 
 from repro.algebra.merge import (
@@ -75,6 +76,9 @@ class AlgebraicEvaluator:
         self.carry_out_values = carry_out_values
         self.planner = Planner(document.statistics, self.config)
         self.last_tpm: TpmExpr | None = None
+        # Guards lazy plan population: a shared PlanSet (one per
+        # CompiledQuery) may be filled from several executing threads.
+        self._plan_lock = threading.Lock()
 
     # -- compilation ---------------------------------------------------------
 
@@ -95,13 +99,21 @@ class AlgebraicEvaluator:
 
     def plan_for(self, relfor: RelFor,
                  plans: PlanSet | None = None) -> PhysicalOp:
-        """The physical plan for one relfor, cached in ``plans`` if given."""
+        """The physical plan for one relfor, cached in ``plans`` if given.
+
+        Thread-safe: double-checked under the evaluator's plan lock, so
+        two sessions hitting the same not-yet-planned relfor of a shared
+        compiled query agree on one plan instead of racing the dict.
+        """
         if plans is None:
             return self.planner.plan(relfor.source)
         plan = plans.get(id(relfor))
         if plan is None:
-            plan = self.planner.plan(relfor.source)
-            plans[id(relfor)] = plan
+            with self._plan_lock:
+                plan = plans.get(id(relfor))
+                if plan is None:
+                    plan = self.planner.plan(relfor.source)
+                    plans[id(relfor)] = plan
         return plan
 
     def explain(self, query: Query) -> str:

@@ -22,6 +22,7 @@ enforce them, including the milestone-1 in-memory evaluator.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterator
 
@@ -86,6 +87,7 @@ class XQEngine:
         self.profile = profile
         self.document = StoredDocument(db, document_name)
         self._dom: Document | None = None
+        self._dom_lock = threading.Lock()
         self._algebraic: AlgebraicEvaluator | None = None
         if profile.evaluator == "algebraic":
             self._algebraic = AlgebraicEvaluator(
@@ -105,9 +107,16 @@ class XQEngine:
         return Program(body=query)
 
     def _dom_document(self) -> Document:
-        """The milestone-1 engine works on the DOM; build it lazily."""
+        """The milestone-1 engine works on the DOM; build it lazily.
+
+        Double-checked under a lock so concurrent first queries on an m1
+        engine share one DOM build instead of racing two; after the
+        build the DOM is only ever read.
+        """
         if self._dom is None:
-            self._dom = self.document.to_document()
+            with self._dom_lock:
+                if self._dom is None:
+                    self._dom = self.document.to_document()
         return self._dom
 
     def _external_env(self, bindings: dict[str, object] | None):

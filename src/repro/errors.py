@@ -78,6 +78,28 @@ class CursorClosedError(ReproError):
 
 
 # --------------------------------------------------------------------------
+# Serving layer
+# --------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for :class:`~repro.core.server.QueryServer` failures."""
+
+
+class AdmissionError(ServerError):
+    """The server refused a submission (queue at capacity).
+
+    Raised by ``QueryServer.submit`` instead of blocking, so callers see
+    back-pressure immediately and can shed load or retry.
+    """
+
+
+class ServerClosedError(ServerError):
+    """Submission to a :class:`~repro.core.server.QueryServer` after
+    close()."""
+
+
+# --------------------------------------------------------------------------
 # Storage layer
 # --------------------------------------------------------------------------
 

@@ -114,7 +114,13 @@ class MemoryMeter:
 
 
 class ExecutionContext:
-    """Per-query execution state shared by all operators."""
+    """Per-query execution state shared by all operators.
+
+    One context is built for every execution and driven by exactly one
+    thread: the memory meter, tick counter and temp-name counter are
+    deliberately unsynchronized because they are never shared — two
+    concurrent executions of the same prepared query get two contexts.
+    """
 
     def __init__(self, document, deadline: float | None = None,
                  memory_budget: int | None = None,

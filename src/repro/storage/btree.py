@@ -25,6 +25,20 @@ resident.
 Tree identity: a B+-tree is named by its **meta page** id.  The meta page
 stores the root page id, height and entry count, so structural changes
 (root splits) never require catalog updates.
+
+Concurrency: each tree instance carries a shared/exclusive latch.
+Traversals (``search``, ``range_scan``, ``prefix_scan``,
+``leaf_page_count``) hold it shared — any number run together, including
+long-lived scan generators, which keep it across ``yield``\\ s and
+release it when exhausted or closed.  Structural modification
+(``insert``, ``bulk_load``) holds it exclusively, so a reader can never
+observe a half-applied split.  Underneath, node reads and writes take
+the buffer pool's per-page latch while (de)serialising, so concurrent
+trees sharing one pool cannot interleave byte-level access to a page.
+Instances do not share their node cache: concurrent *writers through
+different instances of the same tree* are unsupported (the catalog, the
+one mutated tree, is a single shared instance guarded by the database
+lock).
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ from collections.abc import Iterable, Iterator
 
 from repro.errors import BTreeError
 from repro.storage.buffer import BufferPool
+from repro.storage.latch import SharedLatch
 
 _META = struct.Struct(">4sIIQ")  # magic, root, height, entry count
 _META_MAGIC = b"BTRE"
@@ -145,7 +160,12 @@ class BTree:
     def __init__(self, buffer_pool: BufferPool, meta_page_id: int):
         self.buffer_pool = buffer_pool
         self.meta_page_id = meta_page_id
+        # Node-cache entries are only ever replaced wholesale (single
+        # dict get/set/pop bytecodes, atomic under the GIL); structural
+        # consistency across *multiple* nodes is what the tree latch
+        # provides.
         self._cache: dict[int, _Node] = {}
+        self._latch = SharedLatch()
         buffer_pool.on_evict(self._cache_invalidate)
         self._load_meta()
 
@@ -180,12 +200,10 @@ class BTree:
         self.entry_count = count
 
     def _save_meta(self) -> None:
-        page = self.buffer_pool.get_page(self.meta_page_id)
-        try:
+        with self.buffer_pool.latched(self.meta_page_id,
+                                      exclusive=True) as page:
             _META.pack_into(page, 0, _META_MAGIC, self.root_page_id,
                             self.height, self.entry_count)
-        finally:
-            self.buffer_pool.unpin(self.meta_page_id, dirty=True)
 
     # -- node access ---------------------------------------------------------------
 
@@ -195,22 +213,17 @@ class BTree:
             # Logical access still goes through the pool for accounting.
             self.buffer_pool.get_page(page_id, pin=False)
             return node
-        page = self.buffer_pool.get_page(page_id)
-        try:
+        with self.buffer_pool.latched(page_id) as page:
             node = _Node.deserialize(page_id, page)
-        finally:
-            self.buffer_pool.unpin(page_id)
         self._cache[page_id] = node
         return node
 
     def _write_node(self, node: _Node) -> None:
-        page = self.buffer_pool.get_page(node.page_id)
-        try:
+        with self.buffer_pool.latched(node.page_id,
+                                      exclusive=True) as page:
             if node.serialized_size() > len(page):
                 raise BTreeError("node exceeds page capacity after write")
             node.serialize_into(page)
-        finally:
-            self.buffer_pool.unpin(node.page_id, dirty=True)
         self._cache[node.page_id] = node
 
     def _new_node(self, is_leaf: bool) -> _Node:
@@ -234,11 +247,12 @@ class BTree:
 
     def search(self, key: bytes) -> bytes | None:
         """Point lookup; returns the value or ``None``."""
-        leaf = self._descend_to_leaf(key)
-        index = bisect_left(leaf.keys, key)
-        if index < len(leaf.keys) and leaf.keys[index] == key:
-            return leaf.values[index]
-        return None
+        with self._latch.shared():
+            leaf = self._descend_to_leaf(key)
+            index = bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                return leaf.values[index]
+            return None
 
     def __contains__(self, key: bytes) -> bool:
         return self.search(key) is not None
@@ -250,29 +264,38 @@ class BTree:
 
         ``None`` bounds are open-ended.  Keys stream in ascending order via
         the leaf chain.
+
+        The tree latch is held shared for the generator's whole life —
+        across ``yield``\\ s, released when the scan is exhausted *or
+        closed early* — so an in-flight scan never observes a structural
+        modification half-applied.
         """
-        if low is None:
-            leaf = self._leftmost_leaf()
-            index = 0
-        else:
-            leaf = self._descend_to_leaf(low)
-            index = (bisect_left(leaf.keys, low) if include_low
-                     else bisect_right(leaf.keys, low))
-        while True:
-            while index < len(leaf.keys):
-                key = leaf.keys[index]
-                if high is not None:
-                    if include_high:
-                        if key > high:
+        self._latch.acquire_shared()
+        try:
+            if low is None:
+                leaf = self._leftmost_leaf()
+                index = 0
+            else:
+                leaf = self._descend_to_leaf(low)
+                index = (bisect_left(leaf.keys, low) if include_low
+                         else bisect_right(leaf.keys, low))
+            while True:
+                while index < len(leaf.keys):
+                    key = leaf.keys[index]
+                    if high is not None:
+                        if include_high:
+                            if key > high:
+                                return
+                        elif key >= high:
                             return
-                    elif key >= high:
-                        return
-                yield key, leaf.values[index]
-                index += 1
-            if leaf.next_leaf == 0:
-                return
-            leaf = self._read_node(leaf.next_leaf)
-            index = 0
+                    yield key, leaf.values[index]
+                    index += 1
+                if leaf.next_leaf == 0:
+                    return
+                leaf = self._read_node(leaf.next_leaf)
+                index = 0
+        finally:
+            self._latch.release_shared()
 
     def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
         """All entries whose key starts with ``prefix``, in order."""
@@ -306,16 +329,18 @@ class BTree:
             raise BTreeError(
                 f"entry of {len(key) + len(value)} bytes cannot fit in a "
                 f"{self._max_node_size()}-byte page; use the overflow store")
-        split = self._insert_into(self.root_page_id, key, value, replace)
-        if split is not None:
-            separator, right_id = split
-            new_root = self._new_node(is_leaf=False)
-            new_root.keys = [separator]
-            new_root.children = [self.root_page_id, right_id]
-            self._write_node(new_root)
-            self.root_page_id = new_root.page_id
-            self.height += 1
-        self._save_meta()
+        with self._latch.exclusive():
+            split = self._insert_into(self.root_page_id, key, value,
+                                      replace)
+            if split is not None:
+                separator, right_id = split
+                new_root = self._new_node(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [self.root_page_id, right_id]
+                self._write_node(new_root)
+                self.root_page_id = new_root.page_id
+                self.height += 1
+            self._save_meta()
 
     def _insert_into(self, page_id: int, key: bytes, value: bytes,
                      replace: bool) -> tuple[bytes, int] | None:
@@ -397,6 +422,11 @@ class BTree:
         Only valid on an empty tree.  Leaves are packed to ``fill_factor``
         of the page and chained; internal levels are built bottom-up.
         """
+        with self._latch.exclusive():
+            self._bulk_load(items, fill_factor)
+
+    def _bulk_load(self, items: Iterable[tuple[bytes, bytes]],
+                   fill_factor: float) -> None:
         if self.entry_count:
             raise BTreeError("bulk_load requires an empty tree")
         capacity = int(self._max_node_size() * fill_factor)
@@ -466,10 +496,11 @@ class BTree:
 
     def leaf_page_count(self) -> int:
         """Number of leaf pages (walks the leaf chain)."""
-        count = 0
-        leaf = self._leftmost_leaf()
-        while True:
-            count += 1
-            if leaf.next_leaf == 0:
-                return count
-            leaf = self._read_node(leaf.next_leaf)
+        with self._latch.shared():
+            count = 0
+            leaf = self._leftmost_leaf()
+            while True:
+                count += 1
+                if leaf.next_leaf == 0:
+                    return count
+                leaf = self._read_node(leaf.next_leaf)

@@ -20,12 +20,14 @@ materialisation budget) to emulate that.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import BufferPoolError
+from repro.storage.latch import SharedLatch
 from repro.storage.pager import Pager
 
 
@@ -56,6 +58,11 @@ class _Frame:
     data: bytearray
     pin_count: int = 0
     dirty: bool = False
+    #: Per-page latch: shared while a reader decodes the page, exclusive
+    #: while a writer mutates its bytes.  The latch lives with the frame,
+    #: which is safe because a page can only be evicted at pin count 0 —
+    #: latch holders are always pinned.
+    latch: SharedLatch = field(default_factory=SharedLatch)
 
 
 class BufferPool:
@@ -64,6 +71,15 @@ class BufferPool:
     ``capacity`` is the number of frames.  ``on_evict`` callbacks let
     higher layers (the B+-tree node cache) invalidate derived state when a
     page leaves memory.
+
+    The pool is thread-safe.  A single pool mutex guards the frame table,
+    the LRU order and the counters; it is held only for the table
+    manipulation itself, never while page *contents* are being read or
+    written.  Content access is protected separately by per-page latches
+    — see :meth:`latched` — so two sessions can decode different pages
+    concurrently while a third faults in a fresh one.  Lock order is
+    pool mutex → pager mutex; per-page latches are acquired with neither
+    held and at most one at a time, so no cycle exists.
     """
 
     def __init__(self, pager: Pager, capacity: int = 64):
@@ -74,18 +90,21 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._evict_callbacks: list[Callable[[int], None]] = []
+        self._lock = threading.RLock()
 
     # -- configuration -----------------------------------------------------
 
     def on_evict(self, callback: Callable[[int], None]) -> None:
         """Register ``callback(page_id)`` to run whenever a page is evicted
         or flushed out of the pool."""
-        self._evict_callbacks.append(callback)
+        with self._lock:
+            self._evict_callbacks.append(callback)
 
     @property
     def memory_bytes(self) -> int:
         """Bytes of page data currently held (≤ capacity · page_size)."""
-        return len(self._frames) * self.pager.page_size
+        with self._lock:
+            return len(self._frames) * self.pager.page_size
 
     # -- core protocol -------------------------------------------------------
 
@@ -95,28 +114,30 @@ class BufferPool:
         With ``pin=True`` (default) the caller must balance with
         :meth:`unpin`; prefer the :meth:`pinned` context manager.
         """
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-        else:
-            self.stats.misses += 1
-            self._make_room()
-            frame = _Frame(self.pager.read_page(page_id))
-            self._frames[page_id] = frame
-        if pin:
-            frame.pin_count += 1
-        return frame.data
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+                self._frames.move_to_end(page_id)
+            else:
+                self.stats.misses += 1
+                self._make_room()
+                frame = _Frame(self.pager.read_page(page_id))
+                self._frames[page_id] = frame
+            if pin:
+                frame.pin_count += 1
+            return frame.data
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin; ``dirty=True`` marks the page for write-back."""
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pin_count <= 0:
-            raise BufferPoolError(f"unpin of page {page_id} that is not "
-                                  "pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferPoolError(f"unpin of page {page_id} that is "
+                                      "not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
 
     @contextmanager
     def pinned(self, page_id: int) -> Iterator[bytearray]:
@@ -127,30 +148,60 @@ class BufferPool:
         finally:
             self.unpin(page_id)
 
+    @contextmanager
+    def latched(self, page_id: int,
+                exclusive: bool = False) -> Iterator[bytearray]:
+        """Pin a page *and* hold its per-page latch for a ``with`` block.
+
+        Shared mode (default) admits any number of concurrent readers of
+        the same page; ``exclusive=True`` is required while mutating the
+        page bytes and excludes every other latch holder.  The pin is
+        taken first (under the pool mutex) so the frame — and with it the
+        latch — cannot be evicted while we wait; the latch itself is then
+        acquired with no pool-level lock held, so a slow reader never
+        stalls unrelated faults.  Exclusive latching marks the page dirty
+        on exit.
+        """
+        data = self.get_page(page_id)
+        with self._lock:
+            frame = self._frames[page_id]
+        latch = frame.latch
+        try:
+            with (latch.exclusive() if exclusive else latch.shared()):
+                yield data
+        finally:
+            self.unpin(page_id, dirty=exclusive)
+
     def mark_dirty(self, page_id: int) -> None:
         """Mark a resident page dirty without changing its pin count."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise BufferPoolError(f"mark_dirty of non-resident page "
-                                  f"{page_id}")
-        frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise BufferPoolError(f"mark_dirty of non-resident page "
+                                      f"{page_id}")
+            frame.dirty = True
 
     def new_page(self) -> tuple[int, bytearray]:
         """Allocate a fresh page and return it pinned and dirty."""
-        page_id = self.pager.allocate_page()
-        self._make_room()
-        frame = _Frame(bytearray(self.pager.page_size), pin_count=1,
-                       dirty=True)
-        self._frames[page_id] = frame
-        return page_id, frame.data
+        with self._lock:
+            page_id = self.pager.allocate_page()
+            self._make_room()
+            frame = _Frame(bytearray(self.pager.page_size), pin_count=1,
+                           dirty=True)
+            self._frames[page_id] = frame
+            return page_id, frame.data
 
     def free_page(self, page_id: int) -> None:
         """Drop a page from the pool and return it to the pager free list."""
-        frame = self._frames.pop(page_id, None)
-        if frame is not None and frame.pin_count > 0:
-            raise BufferPoolError(f"freeing pinned page {page_id}")
-        self._notify_evict(page_id)
-        self.pager.free_page(page_id)
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.pin_count > 0:
+                # Checked before touching the table: a refused free must
+                # leave the pin holder's frame (and latch) fully intact.
+                raise BufferPoolError(f"freeing pinned page {page_id}")
+            self._frames.pop(page_id, None)
+            self._notify_evict(page_id)
+            self.pager.free_page(page_id)
 
     # -- eviction / flushing ---------------------------------------------------
 
@@ -180,25 +231,29 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write back every dirty frame (pages stay resident)."""
-        for page_id, frame in self._frames.items():
-            if frame.dirty:
-                self.pager.write_page(page_id, bytes(frame.data))
-                self.stats.dirty_writebacks += 1
-                frame.dirty = False
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.pager.write_page(page_id, bytes(frame.data))
+                    self.stats.dirty_writebacks += 1
+                    frame.dirty = False
 
     def flush_and_clear(self) -> None:
         """Write back everything and empty the pool (e.g. before closing)."""
-        self.flush()
-        for page_id in list(self._frames):
-            self._notify_evict(page_id)
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            for page_id in list(self._frames):
+                self._notify_evict(page_id)
+            self._frames.clear()
 
     # -- introspection -----------------------------------------------------------
 
     def resident_pages(self) -> list[int]:
         """Page ids currently cached, in LRU-to-MRU order."""
-        return list(self._frames)
+        with self._lock:
+            return list(self._frames)
 
     def pin_count(self, page_id: int) -> int:
-        frame = self._frames.get(page_id)
-        return frame.pin_count if frame is not None else 0
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.pin_count if frame is not None else 0

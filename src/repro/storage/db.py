@@ -12,6 +12,7 @@ id lives in the pager header, so a database file is fully self-describing:
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any
 
 from repro.errors import CatalogError
@@ -36,6 +37,13 @@ class Database:
     * B+-trees (tables and indexes),
     * heap files (materialised intermediates, statistics runs),
     * bare metadata entries (per-document statistics, load info).
+
+    Catalog operations are thread-safe: a database-level mutex makes each
+    name→object operation (existence check + create, lookup + open,
+    lookup + drop) atomic, so two sessions spilling intermediates — or a
+    ``load`` racing a reader opening the same document — cannot interleave
+    inside the catalog.  Objects handed out (trees, heaps) carry their
+    own latches; page access below is protected by the buffer pool.
     """
 
     def __init__(self, path: str, create: bool = False,
@@ -43,6 +51,7 @@ class Database:
         self.pager = Pager(path, page_size=page_size, create=create)
         self.buffer_pool = BufferPool(self.pager, capacity=buffer_capacity)
         self.overflow = OverflowStore(self.buffer_pool)
+        self._lock = threading.RLock()
         if self.pager.catalog_root == NO_PAGE:
             self._catalog = BTree.create(self.buffer_pool)
             self.pager.set_catalog_root(self._catalog.meta_page_id)
@@ -92,76 +101,86 @@ class Database:
 
     def list_names(self) -> list[str]:
         """All live object names, sorted."""
-        names = []
         from repro.storage.record import decode_key
 
-        for key, value in self._catalog.items():
-            if json.loads(value.decode("utf-8")) is None:
-                continue
-            (name,) = decode_key(key, ("str",))
-            names.append(name)
-        return names
+        with self._lock:
+            names = []
+            for key, value in self._catalog.items():
+                if json.loads(value.decode("utf-8")) is None:
+                    continue
+                (name,) = decode_key(key, ("str",))
+                names.append(name)
+            return names
 
     def exists(self, name: str) -> bool:
-        return self._catalog_get(name) is not None
+        with self._lock:
+            return self._catalog_get(name) is not None
 
     # -- B+-trees ---------------------------------------------------------------
 
     def create_btree(self, name: str) -> BTree:
-        if self.exists(name):
-            raise CatalogError(f"object {name!r} already exists")
-        tree = BTree.create(self.buffer_pool)
-        self._catalog_put(name, {"kind": _KIND_BTREE,
-                                 "meta_page": tree.meta_page_id},
-                          replace=True)
-        return tree
+        with self._lock:
+            if self.exists(name):
+                raise CatalogError(f"object {name!r} already exists")
+            tree = BTree.create(self.buffer_pool)
+            self._catalog_put(name, {"kind": _KIND_BTREE,
+                                     "meta_page": tree.meta_page_id},
+                              replace=True)
+            return tree
 
     def open_btree(self, name: str) -> BTree:
-        entry = self._catalog_get(name)
-        if entry is None or entry.get("kind") != _KIND_BTREE:
-            raise CatalogError(f"no B+-tree named {name!r}")
-        return BTree(self.buffer_pool, entry["meta_page"])
+        with self._lock:
+            entry = self._catalog_get(name)
+            if entry is None or entry.get("kind") != _KIND_BTREE:
+                raise CatalogError(f"no B+-tree named {name!r}")
+            return BTree(self.buffer_pool, entry["meta_page"])
 
     # -- heap files -----------------------------------------------------------------
 
     def create_heap(self, name: str) -> HeapFile:
-        if self.exists(name):
-            raise CatalogError(f"object {name!r} already exists")
-        heap = HeapFile.create(self.buffer_pool)
-        self._catalog_put(name, {"kind": _KIND_HEAP,
-                                 "head_page": heap.head_page_id},
-                          replace=True)
-        return heap
+        with self._lock:
+            if self.exists(name):
+                raise CatalogError(f"object {name!r} already exists")
+            heap = HeapFile.create(self.buffer_pool)
+            self._catalog_put(name, {"kind": _KIND_HEAP,
+                                     "head_page": heap.head_page_id},
+                              replace=True)
+            return heap
 
     def open_heap(self, name: str) -> HeapFile:
-        entry = self._catalog_get(name)
-        if entry is None or entry.get("kind") != _KIND_HEAP:
-            raise CatalogError(f"no heap file named {name!r}")
-        return HeapFile(self.buffer_pool, entry["head_page"])
+        with self._lock:
+            entry = self._catalog_get(name)
+            if entry is None or entry.get("kind") != _KIND_HEAP:
+                raise CatalogError(f"no heap file named {name!r}")
+            return HeapFile(self.buffer_pool, entry["head_page"])
 
     def drop(self, name: str) -> None:
         """Remove an object from the catalog (heap pages are freed)."""
-        entry = self._catalog_get(name)
-        if entry is None:
-            raise CatalogError(f"no object named {name!r}")
-        if entry.get("kind") == _KIND_HEAP:
-            HeapFile(self.buffer_pool, entry["head_page"]).drop()
-        self._catalog_delete(name)
+        with self._lock:
+            entry = self._catalog_get(name)
+            if entry is None:
+                raise CatalogError(f"no object named {name!r}")
+            if entry.get("kind") == _KIND_HEAP:
+                HeapFile(self.buffer_pool, entry["head_page"]).drop()
+            self._catalog_delete(name)
 
     # -- metadata -----------------------------------------------------------------
 
     def put_meta(self, name: str, payload: dict[str, Any]) -> None:
         """Store a JSON metadata document under ``name`` (upsert)."""
-        self._catalog_put(name, {"kind": _KIND_META, "payload": payload},
-                          replace=True)
+        with self._lock:
+            self._catalog_put(name, {"kind": _KIND_META,
+                                     "payload": payload},
+                              replace=True)
 
     def get_meta(self, name: str) -> dict[str, Any] | None:
-        entry = self._catalog_get(name)
-        if entry is None:
-            return None
-        if entry.get("kind") != _KIND_META:
-            raise CatalogError(f"object {name!r} is not metadata")
-        return entry["payload"]
+        with self._lock:
+            entry = self._catalog_get(name)
+            if entry is None:
+                return None
+            if entry.get("kind") != _KIND_META:
+                raise CatalogError(f"object {name!r} is not metadata")
+            return entry["payload"]
 
     # -- accounting -----------------------------------------------------------------
 

@@ -8,12 +8,19 @@ The pager deals exclusively in whole pages — callers are expected to go
 through the buffer pool (:mod:`repro.storage.buffer`) rather than use
 :meth:`Pager.read_page`/:meth:`Pager.write_page` directly, so that all I/O
 is accounted.
+
+All public operations are thread-safe: a single mutex serializes the
+``seek``/``read``/``write`` pairs (which are not atomic on a shared file
+object) and the header/free-list updates.  The pager is the leaf of the
+storage lock order — it never calls back up into the buffer pool — so
+holding its mutex can never participate in a deadlock cycle.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
 
 from repro.errors import PageError
 
@@ -40,6 +47,7 @@ class Pager:
                  create: bool = False):
         self.path = path
         self.page_size = page_size
+        self._lock = threading.RLock()
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         if create or not exists:
             self._file = open(path, "w+b")
@@ -79,8 +87,9 @@ class Pager:
 
     def set_catalog_root(self, page_id: int) -> None:
         """Persist the catalog B+-tree root in the header."""
-        self.catalog_root = page_id
-        self._write_header()
+        with self._lock:
+            self.catalog_root = page_id
+            self._write_header()
 
     # -- page I/O -------------------------------------------------------------
 
@@ -91,61 +100,67 @@ class Pager:
 
     def read_page(self, page_id: int) -> bytearray:
         """Read one page; returns a mutable copy of its bytes."""
-        self._check(page_id)
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            data = data + b"\x00" * (self.page_size - len(data))
-        self.pages_read += 1
-        return bytearray(data)
+        with self._lock:
+            self._check(page_id)
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
+            if len(data) < self.page_size:
+                data = data + b"\x00" * (self.page_size - len(data))
+            self.pages_read += 1
+            return bytearray(data)
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one full page."""
-        self._check(page_id)
-        if len(data) != self.page_size:
-            raise PageError(f"page write of {len(data)} bytes, expected "
-                            f"{self.page_size}")
-        self._file.seek(page_id * self.page_size)
-        self._file.write(data)
-        self.pages_written += 1
+        with self._lock:
+            self._check(page_id)
+            if len(data) != self.page_size:
+                raise PageError(f"page write of {len(data)} bytes, "
+                                f"expected {self.page_size}")
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
+            self.pages_written += 1
 
     # -- allocation ----------------------------------------------------------
 
     def allocate_page(self) -> int:
         """Allocate a page, reusing the free list when possible."""
-        if self.free_head != NO_PAGE:
-            page_id = self.free_head
-            page = self.read_page(page_id)
-            (self.free_head,) = struct.unpack_from(">I", page, 0)
+        with self._lock:
+            if self.free_head != NO_PAGE:
+                page_id = self.free_head
+                page = self.read_page(page_id)
+                (self.free_head,) = struct.unpack_from(">I", page, 0)
+                self._write_header()
+                return page_id
+            page_id = self.num_pages
+            self.num_pages += 1
+            self._file.seek(page_id * self.page_size)
+            self._file.write(b"\x00" * self.page_size)
             self._write_header()
             return page_id
-        page_id = self.num_pages
-        self.num_pages += 1
-        self._file.seek(page_id * self.page_size)
-        self._file.write(b"\x00" * self.page_size)
-        self._write_header()
-        return page_id
 
     def free_page(self, page_id: int) -> None:
         """Return a page to the free list."""
-        self._check(page_id)
-        page = bytearray(self.page_size)
-        struct.pack_into(">I", page, 0, self.free_head)
-        self.write_page(page_id, bytes(page))
-        self.free_head = page_id
-        self._write_header()
+        with self._lock:
+            self._check(page_id)
+            page = bytearray(self.page_size)
+            struct.pack_into(">I", page, 0, self.free_head)
+            self.write_page(page_id, bytes(page))
+            self.free_head = page_id
+            self._write_header()
 
     # -- lifecycle -------------------------------------------------------------
 
     def sync(self) -> None:
         """Flush OS buffers to stable storage."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
-        self._write_header()
-        self._file.flush()
-        self._file.close()
+        with self._lock:
+            self._write_header()
+            self._file.flush()
+            self._file.close()
 
     def __enter__(self) -> "Pager":
         return self

@@ -1,0 +1,499 @@
+"""Differential concurrency stress suite.
+
+The serving layer's correctness claim is *differential*: whatever a
+workload produces when executed serially, it must produce byte-identical
+results when the same queries run from many threads and sessions against
+one shared :class:`~repro.core.dbms.XmlDbms` — and it must keep making
+progress (every test runs under a global deadlock timeout).
+
+Layers under test:
+
+* the :class:`~repro.storage.latch.SharedLatch` primitive itself;
+* the latched B+-tree (concurrent scans racing inserts vs. a dict model);
+* the shared engine/plan caches (the stress test);
+* catalog races — ``load()`` replacing a document under an open cursor;
+* the :class:`~repro.core.server.QueryServer` worker pool, admission
+  control and deadlines.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import QueryServer, XmlDbms
+from repro.errors import (
+    AdmissionError,
+    CatalogError,
+    ResourceLimitExceeded,
+    ServerClosedError,
+)
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.latch import SharedLatch
+from repro.storage.pager import Pager
+from repro.storage.record import encode_key
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.queries import CORRECTNESS_QUERIES
+
+#: Global per-test deadlock budget (seconds).  Generous — the suite
+#: normally finishes in a fraction of it — but finite, so a latch cycle
+#: fails the test instead of hanging CI.
+JOIN_TIMEOUT = 120.0
+
+#: The stress geometry the issue pins: 8 threads × 16 sessions each.
+STRESS_THREADS = 8
+SESSIONS_PER_THREAD = 16
+
+#: A representative slice of the milestone workload: every query family
+#: (paths, nesting, construction, some/and/or/not, strict merging), kept
+#: small enough that the full stress matrix stays fast.
+STRESS_QUERIES = [
+    CORRECTNESS_QUERIES["q01-all-titles"],
+    CORRECTNESS_QUERIES["q03-text-leaves"],
+    CORRECTNESS_QUERIES["q08-some-const"],
+    CORRECTNESS_QUERIES["q10-strict-merge"],
+    CORRECTNESS_QUERIES["q11-boolean"],
+    CORRECTNESS_QUERIES["q16-kitchen-sink"],
+]
+STRESS_PROFILES = ["m4", "engine-2"]
+
+
+def run_threads(workers, timeout=JOIN_TIMEOUT):
+    """Start, join with a deadline, and re-raise worker failures."""
+    errors = []
+
+    def guarded(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+        return run
+
+    threads = [threading.Thread(target=guarded(fn), daemon=True)
+               for fn in workers]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + timeout
+    for thread in threads:
+        thread.join(max(0.0, deadline - time.monotonic()))
+    stuck = [thread for thread in threads if thread.is_alive()]
+    assert not stuck, (f"{len(stuck)} worker thread(s) still alive after "
+                       f"{timeout}s — deadlock?")
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture(scope="module")
+def shared_dbms(tmp_path_factory):
+    """One dbms, shared by every thread in this module."""
+    path = str(tmp_path_factory.mktemp("conc") / "conc.db")
+    with XmlDbms(path, buffer_capacity=512) as dbms:
+        dbms.load("dblp", xml=generate_dblp(
+            DblpConfig(articles=20, inproceedings=6, name_pool=8)))
+        yield dbms
+
+
+# ---------------------------------------------------------------------------
+# the latch primitive
+# ---------------------------------------------------------------------------
+
+
+class TestSharedLatch:
+    def test_readers_are_concurrent(self):
+        latch = SharedLatch()
+        inside = threading.Barrier(4, timeout=JOIN_TIMEOUT)
+
+        def reader():
+            with latch.shared():
+                # All four readers must sit inside the latch at once.
+                inside.wait()
+
+        run_threads([reader] * 4)
+
+    def test_writer_excludes_readers_and_writers(self):
+        latch = SharedLatch()
+        active = []
+        seen_overlap = []
+
+        def worker(exclusive):
+            def run():
+                for __ in range(200):
+                    ctx = (latch.exclusive() if exclusive
+                           else latch.shared())
+                    with ctx:
+                        active.append(exclusive)
+                        if exclusive and len(active) > 1:
+                            seen_overlap.append(tuple(active))
+                        active.pop()
+            return run
+
+        run_threads([worker(True), worker(True), worker(False),
+                     worker(False)])
+        assert not seen_overlap
+
+    def test_exclusive_is_reentrant_and_allows_shared_inside(self):
+        latch = SharedLatch()
+        with latch.exclusive():
+            with latch.exclusive():
+                with latch.shared():
+                    assert latch.held_exclusively()
+        assert not latch.held_exclusively()
+
+    def test_release_exclusive_by_stranger_raises(self):
+        latch = SharedLatch()
+        with pytest.raises(RuntimeError):
+            latch.release_exclusive()
+
+    def test_nested_shared_overtakes_a_waiting_writer(self):
+        """Reader preference, the property the B+-tree depends on: a
+        thread already holding the latch shared (an open scan) may take
+        it shared again even while a writer is queued — a waiting
+        writer blocks nobody."""
+        latch = SharedLatch()
+        reader_inside = threading.Event()
+        writer_started = threading.Event()
+
+        def reader():
+            with latch.shared():
+                reader_inside.set()
+                assert writer_started.wait(JOIN_TIMEOUT)
+                time.sleep(0.05)          # let the writer block
+                with latch.shared():      # must not queue behind it
+                    pass
+
+        def writer():
+            assert reader_inside.wait(JOIN_TIMEOUT)
+            writer_started.set()
+            with latch.exclusive():
+                pass
+
+        run_threads([reader, writer])
+
+
+# ---------------------------------------------------------------------------
+# latched B+-tree vs. dict model
+# ---------------------------------------------------------------------------
+
+
+class TestBTreeUnderConcurrency:
+    def test_scans_race_inserts_without_corruption(self, tmp_path):
+        pager = Pager(str(tmp_path / "t.db"), create=True, page_size=512)
+        pool = BufferPool(pager, capacity=64)
+        tree = BTree.create(pool)
+        committed = {}
+        commit_lock = threading.Lock()
+
+        def writer(base):
+            def run():
+                for i in range(150):
+                    key = base + i * 7
+                    with commit_lock:
+                        tree.insert(encode_key((key,)),
+                                    str(key).encode(), replace=True)
+                        committed[key] = str(key).encode()
+            return run
+
+        def scanner():
+            for __ in range(60):
+                with commit_lock:
+                    expected = dict(committed)
+                got = dict(tree.range_scan())
+                # Every key committed before the scan started must be
+                # present with its exact value; keys are strictly
+                # ascending (no torn splits).
+                keys = list(got)
+                assert keys == sorted(keys)
+                for key, value in expected.items():
+                    assert got[encode_key((key,))] == value
+
+        try:
+            run_threads([writer(0), writer(100_000), scanner, scanner])
+            assert dict(tree.range_scan()) == {
+                encode_key((key,)): value
+                for key, value in committed.items()}
+        finally:
+            pager.close()
+
+    def test_point_lookups_race_inserts(self, tmp_path):
+        pager = Pager(str(tmp_path / "p.db"), create=True, page_size=512)
+        pool = BufferPool(pager, capacity=32)
+        tree = BTree.create(pool)
+        for i in range(300):
+            tree.insert(encode_key((i,)), str(i).encode())
+
+        def reader():
+            for i in range(300):
+                assert tree.search(encode_key((i,))) == str(i).encode()
+
+        def writer():
+            for i in range(300, 600):
+                tree.insert(encode_key((i,)), str(i).encode())
+
+        try:
+            run_threads([reader, reader, reader, writer])
+            assert len(tree) == 600
+        finally:
+            pager.close()
+
+
+# ---------------------------------------------------------------------------
+# the headline stress test: N threads × M sessions ≡ serial
+# ---------------------------------------------------------------------------
+
+
+class TestStressDifferential:
+    def test_shared_dbms_serves_identical_results(self, shared_dbms):
+        """8 threads × 16 sessions each replay the workload; every result
+        must be byte-identical to its serial execution."""
+        expected = {
+            (profile, query): shared_dbms.session(profile=profile)
+            .query("dblp", query)
+            for profile in STRESS_PROFILES
+            for query in STRESS_QUERIES
+        }
+
+        def client(thread_index):
+            def run():
+                for session_index in range(SESSIONS_PER_THREAD):
+                    profile = STRESS_PROFILES[
+                        (thread_index + session_index)
+                        % len(STRESS_PROFILES)]
+                    with shared_dbms.session(profile=profile) as session:
+                        for query in STRESS_QUERIES:
+                            assert session.query("dblp", query) == \
+                                expected[(profile, query)]
+            return run
+
+        run_threads([client(index) for index in range(STRESS_THREADS)])
+
+    def test_interleaved_cursors_across_threads(self, shared_dbms):
+        """Each thread drives several half-open cursors of its own while
+        the other threads do the same against the shared engines."""
+        queries = STRESS_QUERIES[:3]
+        session = shared_dbms.session()
+        expected = [session.query("dblp", query) for query in queries]
+
+        def client():
+            own = shared_dbms.session()
+            prepared = [own.prepare("dblp", query) for query in queries]
+            for __ in range(8):
+                cursors = [p.execute() for p in prepared]
+                # Drain round-robin, two nodes at a time.
+                parts = [[] for __ in cursors]
+                live = set(range(len(cursors)))
+                while live:
+                    for index in sorted(live):
+                        nodes = cursors[index].fetch(2)
+                        if nodes:
+                            parts[index].extend(nodes)
+                        else:
+                            live.discard(index)
+                for cursor in cursors:
+                    cursor.close()
+                from repro.xmlkit.serializer import serialize
+                for index, nodes in enumerate(parts):
+                    assert "".join(serialize(node) for node in nodes) \
+                        == expected[index]
+            return None
+
+        run_threads([client] * STRESS_THREADS)
+
+    def test_shared_session_prepare_is_thread_safe(self, shared_dbms):
+        """One *shared* session: the locked plan cache serves every
+        thread the same compiled plans, and hit counts add up."""
+        session = shared_dbms.session()
+        query = STRESS_QUERIES[0]
+        expected = session.query("dblp", query)
+
+        def client():
+            for __ in range(20):
+                assert session.query("dblp", query) == expected
+
+        run_threads([client] * STRESS_THREADS)
+        info = session.cache_info()
+        assert info.hits + info.misses >= STRESS_THREADS * 20
+        assert info.size >= 1
+
+
+# ---------------------------------------------------------------------------
+# catalog races: load()/drop() vs. open cursors
+# ---------------------------------------------------------------------------
+
+OLD_DOC = "<r>" + "".join(f"<item>old{i}</item>" for i in range(64)) + "</r>"
+NEW_DOC = "<r>" + "".join(f"<item>new{i}</item>" for i in range(5)) + "</r>"
+
+
+class TestCatalogRaces:
+    @pytest.fixture
+    def dbms(self, tmp_path):
+        with XmlDbms(str(tmp_path / "cat.db"), buffer_capacity=64) as dbms:
+            dbms.load("doc", xml=OLD_DOC)
+            yield dbms
+
+    def test_open_cursor_survives_replacement_on_old_snapshot(self, dbms):
+        """A cursor opened before ``load()`` replaces its document
+        finishes on the *old* snapshot — never a mix of the two."""
+        session = dbms.session()
+        expected_old = session.query("doc", "//item")
+        prepared = session.prepare("doc", "//item")
+        cursor = prepared.execute()
+        first = cursor.fetch(3)          # cursor is live mid-results
+
+        dbms.load("doc", xml=NEW_DOC)    # replace under the open cursor
+
+        from repro.xmlkit.serializer import serialize
+        rest = cursor.fetchall()
+        cursor.close()
+        text = "".join(serialize(node) for node in first + rest)
+        assert text == expected_old
+        assert "new" not in text
+
+        # The *next* execution of the same prepared query re-prepares
+        # against the replacement document.
+        assert prepared.query() == session.query("doc", "//item")
+        assert "old" not in prepared.query()
+
+    def test_replacement_racing_readers_is_linearizable(self, dbms):
+        """Concurrent readers during ``load()`` see exactly the old or
+        exactly the new document, never a torn mixture."""
+        session = dbms.session()
+        old_text = session.query("doc", "//item")
+        stop = threading.Event()
+        outputs = []
+
+        def reader():
+            own = dbms.session()
+            while not stop.is_set():
+                outputs.append(own.query("doc", "//item"))
+
+        def replacer():
+            try:
+                for xml in (NEW_DOC, OLD_DOC, NEW_DOC):
+                    time.sleep(0.02)
+                    dbms.load("doc", xml=xml)
+            finally:
+                stop.set()
+
+        run_threads([reader, reader, replacer])
+        new_text = dbms.session().query("doc", "//item")
+        for text in outputs:
+            assert text in (old_text, new_text), \
+                f"torn read: {text[:80]}..."
+
+    def test_execute_after_drop_raises_catalog_error(self, dbms):
+        session = dbms.session()
+        prepared = session.prepare("doc", "//item")
+        assert prepared.query()          # works while loaded
+        dbms.drop("doc")
+        with pytest.raises(CatalogError):
+            prepared.execute()
+
+
+# ---------------------------------------------------------------------------
+# the query server
+# ---------------------------------------------------------------------------
+
+
+class TestQueryServer:
+    def test_results_match_serial_under_load(self, shared_dbms):
+        expected = {query: shared_dbms.session().query("dblp", query)
+                    for query in STRESS_QUERIES}
+        with QueryServer(shared_dbms, workers=STRESS_THREADS,
+                         max_pending=256) as server:
+            futures = [(query, server.submit("dblp", query,
+                                             serialize=True))
+                       for __ in range(6)
+                       for query in STRESS_QUERIES]
+            for query, future in futures:
+                assert future.result(timeout=JOIN_TIMEOUT) \
+                    == expected[query]
+            stats = server.stats()
+        assert stats.completed == len(futures)
+        assert stats.failed == stats.rejected == 0
+
+    def test_admission_control_rejects_over_queue_depth(self, shared_dbms):
+        with QueryServer(shared_dbms, workers=1, max_pending=2) as server:
+            # One worker, queue depth 2: a burst of 50 submissions must
+            # overrun the queue while the worker is busy, and each
+            # overrun fails fast with AdmissionError.
+            rejected = 0
+            accepted = []
+            for __ in range(50):
+                try:
+                    accepted.append(
+                        server.submit("dblp", STRESS_QUERIES[5]))
+                except AdmissionError:
+                    rejected += 1
+            assert rejected > 0, "queue depth was never enforced"
+            for future in accepted:
+                future.result(timeout=JOIN_TIMEOUT)
+            assert server.stats().rejected == rejected
+
+    def test_deadline_counts_queue_wait(self, shared_dbms):
+        """A query admitted under a deadline that expires while it sits
+        in the queue fails with ResourceLimitExceeded."""
+        with QueryServer(shared_dbms, workers=1,
+                         max_pending=64) as server:
+            backlog = [server.submit("dblp", query)
+                       for __ in range(8)
+                       for query in STRESS_QUERIES]
+            doomed = server.submit("dblp", STRESS_QUERIES[0],
+                                   time_limit=1e-6)
+            with pytest.raises(ResourceLimitExceeded):
+                doomed.result(timeout=JOIN_TIMEOUT)
+            for future in backlog:
+                future.result(timeout=JOIN_TIMEOUT)
+
+    def test_submit_after_close_raises(self, shared_dbms):
+        server = QueryServer(shared_dbms, workers=1)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit("dblp", "//title")
+
+    def test_close_without_wait_cancels_pending(self, shared_dbms):
+        server = QueryServer(shared_dbms, workers=1, max_pending=64)
+        futures = [server.submit("dblp", query)
+                   for __ in range(8)
+                   for query in STRESS_QUERIES]
+        server.close(wait=False)
+        cancelled = sum(1 for future in futures if future.cancelled())
+        finished = sum(1 for future in futures
+                       if future.done() and not future.cancelled())
+        assert cancelled + finished == len(futures)
+        assert server.stats().cancelled == cancelled
+
+    def test_per_query_overrides_and_bindings(self, shared_dbms):
+        query = ("declare variable $who external; "
+                 "for $a in //author return "
+                 "if (some $t in $a/text() satisfies $t = $who) "
+                 "then <hit>{ $a }</hit> else ()")
+        session = shared_dbms.session()
+        authors = session.execute("dblp", "//author/text()")
+        who = authors[0].text
+        expected = session.query("dblp", query, bindings={"who": who})
+        with QueryServer(shared_dbms, workers=2) as server:
+            future = server.submit("dblp", query, bindings={"who": who},
+                                   profile="engine-2", serialize=True)
+            assert future.result(timeout=JOIN_TIMEOUT) == expected
+
+    def test_server_rides_out_a_replacement_load(self, tmp_path):
+        """Queries racing a ``load()`` through the server resolve to the
+        old or the new document, and queries after it see the new one."""
+        with XmlDbms(str(tmp_path / "srv.db")) as dbms:
+            dbms.load("doc", xml=OLD_DOC)
+            old_text = dbms.session().query("doc", "//item")
+            with QueryServer(dbms, workers=4, max_pending=256) as server:
+                futures = []
+                for index in range(40):
+                    if index == 20:
+                        dbms.load("doc", xml=NEW_DOC)
+                    futures.append(server.submit("doc", "//item",
+                                                 serialize=True))
+                new_text = dbms.session().query("doc", "//item")
+                for future in futures:
+                    assert future.result(timeout=JOIN_TIMEOUT) in (
+                        old_text, new_text)
+                late = server.submit("doc", "//item", serialize=True)
+                assert late.result(timeout=JOIN_TIMEOUT) == new_text

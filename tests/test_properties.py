@@ -208,6 +208,96 @@ class TestXasrProperty:
 # ---------------------------------------------------------------------------
 
 
+class TestCursorInterleavingProperty:
+    """Interleaved ``Cursor.fetch(n)`` streams ≡ their serial runs.
+
+    Several prepared queries (spread over two sessions with different
+    profiles and a deliberately tiny batch size, so every cursor crosses
+    many block boundaries) are opened at once; hypothesis drives the
+    fetch schedule — which cursor, how many nodes — in random orders.
+    Each cursor's concatenated output must equal the query's serial
+    result, no matter how the pulls interleave.
+    """
+
+    #: (query text, needs external binding) — over the document below.
+    QUERIES = [
+        ("//name", False),
+        ("//text()", False),
+        ("for $j in //journal return <t>{ $j/title }</t>", False),
+        ("for $n in //name return "
+         "if (some $t in $n/text() satisfies $t = $w) "
+         "then <hit>{ $n }</hit> else ()", True),
+    ]
+    BINDING_POOL = ["Ana", "Bob", "nobody"]
+    DOCUMENT = ("<lib>" + "".join(
+        f"<journal><authors><name>Ana</name><name>Bob</name>"
+        f"<name>n{i}</name></authors><title>t{i}</title></journal>"
+        for i in range(6)) + "</lib>")
+
+    _dbms = None
+
+    @classmethod
+    def _shared_dbms(cls):
+        # One read-only dbms reused across hypothesis examples (loads
+        # are expensive; examples only vary the fetch schedule).
+        if cls._dbms is None:
+            import atexit
+            import tempfile
+            import os
+
+            from repro.core.dbms import XmlDbms
+
+            path = os.path.join(tempfile.mkdtemp("interleave"), "i.db")
+            cls._dbms = XmlDbms(path, buffer_capacity=128)
+            atexit.register(cls._dbms.close)
+            cls._dbms.load("doc", xml=cls.DOCUMENT)
+        return cls._dbms
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_fetches_equal_serial(self, data):
+        from repro.xmlkit.serializer import serialize
+
+        dbms = self._shared_dbms()
+        sessions = [dbms.session(batch_size=3),
+                    dbms.session(profile="engine-2", batch_size=2)]
+        picks = data.draw(
+            st.lists(st.tuples(st.integers(0, len(sessions) - 1),
+                               st.integers(0, len(self.QUERIES) - 1)),
+                     min_size=2, max_size=4),
+            label="cursors (session, query)")
+
+        serial, cursors = [], []
+        for session_index, query_index in picks:
+            query, needs_binding = self.QUERIES[query_index]
+            bindings = None
+            if needs_binding:
+                bindings = {"w": data.draw(
+                    st.sampled_from(self.BINDING_POOL), label="binding")}
+            session = sessions[session_index]
+            serial.append(session.query("doc", query, bindings=bindings))
+            cursors.append(session.prepare("doc", query)
+                           .execute(bindings=bindings))
+
+        collected = [[] for __ in cursors]
+        live = set(range(len(cursors)))
+        while live:
+            index = data.draw(st.sampled_from(sorted(live)),
+                              label="which cursor")
+            nodes = cursors[index].fetch(
+                data.draw(st.integers(1, 5), label="fetch size"))
+            if nodes:
+                collected[index].extend(nodes)
+            else:
+                live.discard(index)
+        for cursor in cursors:
+            cursor.close()
+
+        for index, nodes in enumerate(collected):
+            assert "".join(serialize(node) for node in nodes) \
+                == serial[index], picks[index]
+
+
 class TestEngineEquivalenceProperty:
     @given(document=xml_trees(), query=xq_queries())
     @settings(max_examples=50, deadline=None,
