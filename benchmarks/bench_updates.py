@@ -1,0 +1,134 @@
+"""Update throughput and crash-recovery speed on the DBLP workload.
+
+Two ratio metrics feed the CI regression gate (ratios, not absolute
+rates, so the gate is robust to runner speed):
+
+* ``updates.point_speedup_vs_reload`` — committed point updates
+  (``replace value of``) per unit time versus full-document reloads per
+  unit time.  This is the case for *incremental* maintenance: a point
+  update rewrites one record and one index entry (plus a WAL commit
+  fsync), while the pre-update way to change a stored document was to
+  reload it wholesale.
+* ``updates.recovery_speedup_vs_reload`` — WAL redo of a burst of
+  committed-but-unapplied updates versus reloading the document from
+  XML.  Recovery replays page images; it must never be slower than
+  abandoning the file and reloading.
+
+The read path is asserted elsewhere: the WAL stamps LSNs on *log
+records only* — page layout is untouched — so the vectorized/prepared
+read benchmarks in the same CI job double as the no-regression check.
+
+Absolute updates/sec and recovery milliseconds land in the details of
+``BENCH_updates.json``.
+"""
+
+import os
+import time
+
+from repro.core.dbms import XmlDbms
+from repro.storage.db import Database
+from repro.workloads.dblp import DblpConfig, generate_dblp
+
+#: Same scale knob as benchmarks/conftest.py (import from conftest is
+#: unreliable across pytest invocation styles, so the config is mirrored).
+ARTICLES = int(os.environ.get("REPRO_BENCH_ARTICLES", "500"))
+BENCH_DBLP = DblpConfig(articles=ARTICLES,
+                        inproceedings=max(1, ARTICLES * 3 // 10),
+                        name_pool=40)
+
+#: Committed point updates in the throughput measurement.
+POINT_UPDATES = 40
+#: Structural appends committed into the WAL for the recovery replay.
+RECOVERY_UPDATES = 32
+
+#: Lenient in-bench bars; the committed baseline carries the real floors.
+MIN_POINT_SPEEDUP = 2.0
+MIN_RECOVERY_SPEEDUP = 0.7
+
+
+def test_update_throughput_and_recovery(tmp_path_factory, bench_record):
+    path = str(tmp_path_factory.mktemp("bench-upd") / "upd.db")
+    dblp_xml = generate_dblp(BENCH_DBLP)
+
+    dbms = XmlDbms(path, buffer_capacity=4096)
+    dbms.load("dblp", xml=dblp_xml)
+    dbms.update("dblp",
+                'insert node <bench-counter>0</bench-counter> '
+                'as last into /dblp')
+
+    # -- baseline: full-document reload ------------------------------------
+    started = time.perf_counter()
+    dbms.load("reload", xml=dblp_xml)
+    reload_seconds = time.perf_counter() - started
+    dbms.drop("reload")
+
+    # -- point updates (replace value, committed + fsynced each) -----------
+    statement = ("declare variable $v external; replace value of node "
+                 "/dblp/bench-counter/text() with $v")
+    dbms.update("dblp", statement, bindings={"v": "warmup"})
+    started = time.perf_counter()
+    for i in range(POINT_UPDATES):
+        dbms.update("dblp", statement, bindings={"v": f"tick-{i}"})
+    point_seconds = time.perf_counter() - started
+    per_update = point_seconds / POINT_UPDATES
+    point_speedup = reload_seconds / per_update
+
+    # Reads reflect the last committed value.
+    assert "tick-" in dbms.query("dblp", "/dblp/bench-counter")
+
+    # -- recovery: redo a committed burst from the WAL ----------------------
+    # Snapshot the database file, commit a burst of appends with
+    # checkpointing disabled, snapshot the log, then restore the old
+    # file image: exactly the state a crash leaves behind after the
+    # write-backs were lost.
+    dbms.db.checkpoint()
+    with open(path, "rb") as handle:
+        before = handle.read()
+    dbms.db.checkpoint_interval = 10 ** 9
+    for i in range(RECOVERY_UPDATES):
+        dbms.update("dblp",
+                    f"insert node <bench-entry>r{i}</bench-entry> "
+                    f"as last into /dblp")
+    with open(path + ".wal", "rb") as handle:
+        wal_bytes = handle.read()
+    expected = len(dbms.execute("dblp", "//bench-entry"))
+    dbms.db.pager._file.close()
+    dbms.db._wal.close()
+    with open(path, "wb") as handle:
+        handle.write(before)
+    with open(path + ".wal", "wb") as handle:
+        handle.write(wal_bytes)
+
+    started = time.perf_counter()
+    recovered_db = Database.open(path, buffer_capacity=4096)
+    recovery_seconds = time.perf_counter() - started
+    report = recovered_db.last_recovery
+    recovered_db.close()
+    assert report is not None
+    assert report.transactions_replayed == RECOVERY_UPDATES
+    recovery_speedup = reload_seconds / max(recovery_seconds, 1e-9)
+
+    with XmlDbms(path, buffer_capacity=4096) as reopened:
+        assert len(reopened.execute("dblp", "//bench-entry")) == expected
+
+    print(f"\nreload: {reload_seconds * 1e3:.1f}ms  "
+          f"point update: {per_update * 1e3:.2f}ms "
+          f"({point_speedup:.1f}x reload)  "
+          f"recovery of {RECOVERY_UPDATES} txns: "
+          f"{recovery_seconds * 1e3:.1f}ms "
+          f"({recovery_speedup:.1f}x reload)")
+    bench_record(
+        "updates",
+        {"updates.point_speedup_vs_reload": round(point_speedup, 3),
+         "updates.recovery_speedup_vs_reload": round(recovery_speedup, 3)},
+        details={"reload_seconds": reload_seconds,
+                 "point_updates": POINT_UPDATES,
+                 "updates_per_second": 1.0 / per_update,
+                 "recovery_updates": RECOVERY_UPDATES,
+                 "recovery_seconds": recovery_seconds,
+                 "pages_replayed": report.pages_applied})
+    assert point_speedup >= MIN_POINT_SPEEDUP, (
+        f"point update only {point_speedup:.2f}x faster than reload")
+    assert recovery_speedup >= MIN_RECOVERY_SPEEDUP, (
+        f"recovery {recovery_speedup:.2f}x of reload; expected "
+        f">= {MIN_RECOVERY_SPEEDUP}")

@@ -30,9 +30,18 @@ One-shot convenience wrappers remain::
     with XmlDbms("library.db") as dbms:
         dbms.load("doc", xml="<journal><name>Ana</name></journal>")
         print(dbms.query("doc", "for $n in //name return $n"))
+
+Stored documents are writable — ``dbms.update`` runs an XQuery Update
+subset atomically and durably through a write-ahead log::
+
+    with XmlDbms("library.db") as dbms:
+        result = dbms.update("doc",
+            "insert node <name>Bo</name> into /journal")
+        result.nodes_inserted   # -> 2 (element + text)
 """
 
 from repro.core.dbms import XmlDbms
+from repro.updates.pul import UpdateResult
 from repro.core.session import (
     CacheInfo,
     Cursor,
@@ -48,10 +57,11 @@ from repro.engine.profiles import (
     TOP_FIVE,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "XmlDbms",
+    "UpdateResult",
     "Session",
     "PreparedQuery",
     "Cursor",

@@ -13,10 +13,14 @@ One instance owns one database file and exposes the full lifecycle:
 * :meth:`explain` — the TPM translation and the chosen physical plans;
 * :meth:`statistics` / :meth:`documents` — introspection.
 
-Updates are deliberately load/drop-only and there is no recovery: the
-paper scoped those out ("keep updates as simple as possible and
-completely disregard concurrency control and recovery").  Concurrency,
-however, is scoped back in by the serving layer: one ``XmlDbms`` may be
+The paper scoped updates out ("keep updates as simple as possible and
+completely disregard concurrency control and recovery"); this system
+scopes them back in: :meth:`update` runs an XQuery Update subset
+(``insert node``, ``delete node``, ``replace value of node``, ``rename
+node``) atomically and durably — every update commits through the
+write-ahead log (:mod:`repro.storage.wal`), so a crash mid-commit never
+loses an acknowledged update or corrupts a page.  Concurrency is
+likewise scoped back in by the serving layer: one ``XmlDbms`` may be
 shared by any number of threads.  The engine cache, catalog versions and
 default session are guarded by a dbms-level lock, the storage layer
 latches pages and trees (see :mod:`repro.storage.latch`), and
@@ -36,16 +40,21 @@ from repro.core.session import ExecutionOptions, Session
 from repro.engine.engine import XQEngine
 from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.engine.profiles import ENGINE_PROFILES, EngineProfile
-from repro.errors import CatalogError
+from repro.errors import CatalogError, UpdateError
 from repro.storage.db import Database
+from repro.storage.latch import SharedLatch
 from repro.storage.pager import PAGE_SIZE
+from repro.updates import UpdateResult, apply_pul, collect_pul
 from repro.xasr import schema
+from repro.xasr.document import StoredDocument
 from repro.xasr.loader import DocumentStatistics, load_document
 from repro.xmlkit.dom import Node
 from repro.xmlkit.tokenizer import iterparse, iterparse_file
-from repro.xq.ast import Query
+from repro.xq.ast import Program, Query, UpdateExpr
+from repro.xq.parser import parse_program
 
-__all__ = ["XmlDbms", "ExecutionOptions", "Session", "PROFILES"]
+__all__ = ["XmlDbms", "ExecutionOptions", "Session", "PROFILES",
+           "UpdateResult"]
 
 
 class XmlDbms:
@@ -71,6 +80,15 @@ class XmlDbms:
         #: ``load()``.  Lock order: ``_lock`` → ``_engine_lock`` (from
         #: ``_invalidate``); nothing acquires them the other way.
         self._engine_lock = threading.Lock()
+        #: Per-document shared/exclusive latches: ``update()`` holds a
+        #: document's latch exclusively while it rewrites pages in
+        #: place, and the serving layer (:class:`~repro.core.server
+        #: .QueryServer`) runs every read under the shared side — so
+        #: served readers always see either the pre- or the post-update
+        #: document, never a half-applied one.  Bare sessions do not
+        #: take the latch; interleaving their cursors with concurrent
+        #: updates of the *same* document is unsupported.
+        self._doc_latches: dict[str, SharedLatch] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -108,6 +126,10 @@ class XmlDbms:
             self._validate_source(xml, path)
             validated = True
         with self._lock:
+            # Bulk loads bypass the WAL; dropping the log first means no
+            # stale record can ever replay over the load's raw writes,
+            # and the closing checkpoint makes the load itself durable.
+            self.db.checkpoint()
             if self.db.exists(schema.table_name(name)):
                 if not validated:
                     self._validate_source(xml, path)
@@ -115,6 +137,7 @@ class XmlDbms:
             stats = load_document(self.db, name, xml=xml, path=path,
                                   strip_whitespace=strip_whitespace,
                                   bulk=bulk)
+            self.db.checkpoint()
             self._invalidate(name)
             return stats
 
@@ -145,12 +168,14 @@ class XmlDbms:
         with self._lock:
             if not self.db.exists(schema.table_name(name)):
                 raise CatalogError(f"document {name!r} is not loaded")
+            self.db.checkpoint()
             for object_name in (schema.table_name(name),
                                 schema.index_label_name(name),
                                 schema.index_parent_name(name),
                                 schema.stats_name(name)):
                 if self.db.exists(object_name):
                     self.db.drop(object_name)
+            self.db.checkpoint()
             self._invalidate(name)
 
     def _invalidate(self, name: str) -> None:
@@ -171,6 +196,90 @@ class XmlDbms:
         in-progress multi-second ``load()`` of some other document.
         """
         return self._versions.get(name, 0)
+
+    # -- updates --------------------------------------------------------------
+
+    def document_latch(self, name: str) -> SharedLatch:
+        """The document's reader/updater latch (see ``_doc_latches``)."""
+        with self._engine_lock:
+            return self._doc_latches.setdefault(name, SharedLatch())
+
+    def update(self, document: str, statement: str | Program | UpdateExpr,
+               bindings: dict[str, object] | None = None) -> UpdateResult:
+        """Run an updating statement against a stored document.
+
+        ``statement`` is XQuery Update text (``insert node``, ``delete
+        node``, ``replace value of node``, ``rename node``), a parsed
+        updating :class:`~repro.xq.ast.Program`, or a bare
+        :class:`~repro.xq.ast.UpdateExpr`.  Target paths evaluate
+        against the pre-update snapshot; the resulting pending update
+        list is validated and applied atomically inside a WAL
+        transaction, with the label/parent indexes and the document
+        statistics maintained incrementally.  On success the document's
+        catalog version is bumped, so every cached plan and engine for
+        it invalidates; the returned
+        :class:`~repro.updates.UpdateResult` carries per-kind node
+        counts and the new version.
+
+        The document latch is held exclusively for the duration:
+        queries running through a :class:`~repro.core.server
+        .QueryServer` finish on the pre-update state before the rewrite
+        starts, and updates to one document serialize.
+        """
+        program = self._parse_update(statement)
+        self._check_update_bindings(program, bindings)
+        with self.document_latch(document).exclusive():
+            with self._lock:
+                stored = StoredDocument(self.db, document)
+                pul = collect_pul(stored, program.body,
+                                  bindings=bindings).validated()
+                try:
+                    with self.db.transaction():
+                        counts = apply_pul(self.db, stored, pul)
+                        self.db.put_meta(
+                            schema.stats_name(document),
+                            stored.statistics.to_payload())
+                except BaseException:
+                    # The transaction rolled back; cached engines hold
+                    # node caches that saw aborted frames (already
+                    # pruned by evict callbacks), but drop them anyway
+                    # so nothing keeps the poisoned tree instances.
+                    self._invalidate(document)
+                    raise
+                self._invalidate(document)
+                return UpdateResult(
+                    stats_version=self.catalog_version(document),
+                    **counts)
+
+    @staticmethod
+    def _parse_update(statement: str | Program | UpdateExpr) -> Program:
+        if isinstance(statement, str):
+            program = parse_program(statement)
+        elif isinstance(statement, UpdateExpr):
+            program = Program(body=statement)
+        else:
+            program = statement
+        if not isinstance(program, Program) or not program.is_updating:
+            raise UpdateError("update() requires an updating statement "
+                              "(insert/delete/replace/rename); use "
+                              "query()/execute() for queries")
+        return program
+
+    @staticmethod
+    def _check_update_bindings(program: Program,
+                               bindings: dict[str, object] | None) -> None:
+        provided = frozenset(bindings or ())
+        required = program.required_variables()
+        missing = required - provided
+        if missing:
+            names = ", ".join(f"${name}" for name in sorted(missing))
+            raise UpdateError(f"missing bindings for external "
+                              f"variable(s) {names}")
+        extra = provided - required
+        if extra:
+            names = ", ".join(f"${name}" for name in sorted(extra))
+            raise UpdateError(f"unexpected binding(s) {names}: not used "
+                              f"by the update statement")
 
     def statistics(self, name: str) -> DocumentStatistics:
         """The statistics gathered when ``name`` was loaded."""

@@ -37,6 +37,13 @@ Three serving concerns, each deliberately explicit:
 familiar node lists (or serialized text with ``serialize=True``).  The
 futures support the full protocol — ``result(timeout)``, callbacks,
 ``cancel()`` of still-queued work.
+
+Updating statements may be submitted like any query; they resolve to an
+:class:`~repro.updates.UpdateResult` and are scheduled **exclusively per
+document**: in-flight reads of that document finish on the pre-update
+snapshot (they hold the document latch shared), the update rewrites
+under the exclusive side, and later reads see the new version through
+the usual catalog-version invalidation.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from repro.errors import (
     AdmissionError,
     ResourceLimitExceeded,
     ServerClosedError,
+    UpdateError,
 )
 from repro.physical.context import DEFAULT_BATCH_SIZE
 
@@ -256,18 +264,34 @@ class QueryServer:
 
     def _run(self, session: Session, task: _Task):
         self._check_deadline(task)    # fail fast on queue-expired work
-        prepared = session.prepare(task.document, task.query,
-                                   profile=task.profile)
-        # The deadline is re-taken *after* prepare: compilation counts
-        # against the submission deadline exactly like queue wait does.
-        remaining = self._check_deadline(task)
-        with prepared.execute(bindings=task.bindings,
-                              time_limit=remaining,
-                              memory_budget=task.memory_budget,
-                              batch_size=task.batch_size) as cursor:
+        program = session._parse(task.query)
+        if program.is_updating:
+            # Updating statements schedule exclusively per document:
+            # dbms.update takes the document latch in exclusive mode, so
+            # it waits for the readers below to finish on the pre-update
+            # snapshot and blocks new ones until the rewrite commits.
+            # The transaction is not interruptible, so the deadline is
+            # only enforced up front.
             if task.serialize:
-                return cursor.serialize(indent=task.indent)
-            return cursor.fetchall()
+                raise UpdateError("updating statements have no "
+                                  "serialized result; submit with "
+                                  "serialize=False")
+            return self.dbms.update(task.document, program,
+                                    bindings=task.bindings)
+        with self.dbms.document_latch(task.document).shared():
+            prepared = session.prepare(task.document, program,
+                                       profile=task.profile)
+            # The deadline is re-taken *after* prepare: compilation
+            # counts against the submission deadline exactly like queue
+            # wait does.
+            remaining = self._check_deadline(task)
+            with prepared.execute(bindings=task.bindings,
+                                  time_limit=remaining,
+                                  memory_budget=task.memory_budget,
+                                  batch_size=task.batch_size) as cursor:
+                if task.serialize:
+                    return cursor.serialize(indent=task.indent)
+                return cursor.fetchall()
 
     @staticmethod
     def _check_deadline(task: _Task) -> float | None:

@@ -47,7 +47,7 @@ from dataclasses import dataclass, field, replace
 from repro.engine.algebraic import iter_relfors
 from repro.engine.engine import CompiledQuery
 from repro.engine.profiles import EngineProfile
-from repro.errors import BindingError, CursorClosedError
+from repro.errors import BindingError, CursorClosedError, UpdateError
 from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.physical.operators import PhysicalOp
 from repro.xmlkit.dom import Node
@@ -294,6 +294,10 @@ class Session:
         """Compile ``query`` against ``document`` (or reuse a cached plan)."""
         options = self._options(profile, _UNSET, _UNSET)
         program = self._parse(query)
+        if program.is_updating:
+            raise UpdateError("updating statements cannot be prepared; "
+                              "run them with Session.update or "
+                              "Session.execute")
         compiled, cache_hit = self._lookup(document, program, options)
         return PreparedQuery(self, document, compiled, options,
                              from_cache=cache_hit)
@@ -303,13 +307,28 @@ class Session:
                 profile: EngineProfile | str | None = None,
                 time_limit: float | None = _UNSET,
                 memory_budget: int | None = _UNSET,
-                batch_size: int = _UNSET) -> list[Node]:
-        """Prepare (or reuse) and run; returns the full result list."""
-        prepared = self.prepare(document, query, profile=profile)
+                batch_size: int = _UNSET):
+        """Prepare (or reuse) and run; returns the full result list.
+
+        An updating statement (``insert node`` …) is routed to the
+        dbms's update path instead and returns its
+        :class:`~repro.updates.UpdateResult`; the per-execution resource
+        overrides do not apply to updates.
+        """
+        program = self._parse(query)
+        if program.is_updating:
+            return self.dbms.update(document, program, bindings=bindings)
+        prepared = self.prepare(document, program, profile=profile)
         with prepared.execute(bindings=bindings, time_limit=time_limit,
                               memory_budget=memory_budget,
                               batch_size=batch_size) as cursor:
             return cursor.fetchall()
+
+    def update(self, document: str, statement: str | Program,
+               bindings: dict[str, object] | None = None):
+        """Run an updating statement (see :meth:`XmlDbms.update`)."""
+        return self.dbms.update(document, self._parse(statement),
+                                bindings=bindings)
 
     def query(self, document: str, query: str | Query | Program,
               bindings: dict[str, object] | None = None,

@@ -124,6 +124,25 @@ class CatalogError(StorageError):
     """Unknown table/index/document, or duplicate creation."""
 
 
+class WalError(StorageError):
+    """Write-ahead-log protocol violation or unreadable log file."""
+
+
+# --------------------------------------------------------------------------
+# Update layer
+# --------------------------------------------------------------------------
+
+
+class UpdateError(ReproError):
+    """An update expression is invalid against the target document.
+
+    Raised when a target selects the wrong number or kind of nodes (e.g.
+    ``insert ... into`` a text node), when two primitives in one pending
+    update list conflict (two ``replace value of`` on the same node), or
+    when an update would produce an ill-formed document.
+    """
+
+
 # --------------------------------------------------------------------------
 # Optimizer / algebra layer
 # --------------------------------------------------------------------------

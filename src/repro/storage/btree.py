@@ -413,6 +413,32 @@ class BTree:
                 return index + 1
         return max(1, len(node.keys) // 2)
 
+    # -- deletion ---------------------------------------------------------------
+
+    def delete(self, key: bytes, missing_ok: bool = False) -> bool:
+        """Remove ``key``; returns True if it was present.
+
+        Deletion is leaf-local: the entry is removed and the leaf
+        rewritten, but leaves are never merged and separators never
+        adjusted (the classic delete-without-rebalance simplification —
+        underfull and even empty leaves stay chained and are skipped by
+        scans).  A missing key raises
+        :class:`~repro.errors.BTreeError` unless ``missing_ok``.
+        """
+        with self._latch.exclusive():
+            leaf = self._descend_to_leaf(key)
+            index = bisect_left(leaf.keys, key)
+            if index >= len(leaf.keys) or leaf.keys[index] != key:
+                if missing_ok:
+                    return False
+                raise BTreeError(f"delete of missing key {key!r}")
+            del leaf.keys[index]
+            del leaf.values[index]
+            self.entry_count -= 1
+            self._write_node(leaf)
+            self._save_meta()
+            return True
+
     # -- bulk loading -------------------------------------------------------------
 
     def bulk_load(self, items: Iterable[tuple[bytes, bytes]],

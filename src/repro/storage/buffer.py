@@ -91,6 +91,14 @@ class BufferPool:
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._evict_callbacks: list[Callable[[int], None]] = []
         self._lock = threading.RLock()
+        #: Pages dirtied by the active write transaction (None = no
+        #: transaction).  While tracking, dirty frames are pinned in
+        #: spirit: they are never evicted (no-steal) and never flushed,
+        #: so the database file only sees them after the WAL has the
+        #: commit record.
+        self._tracked: set[int] | None = None
+        #: Page frees issued during the transaction, executed at commit.
+        self._deferred_frees: list[int] = []
 
     # -- configuration -----------------------------------------------------
 
@@ -138,6 +146,8 @@ class BufferPool:
             frame.pin_count -= 1
             if dirty:
                 frame.dirty = True
+                if self._tracked is not None:
+                    self._tracked.add(page_id)
 
     @contextmanager
     def pinned(self, page_id: int) -> Iterator[bytearray]:
@@ -180,6 +190,8 @@ class BufferPool:
                 raise BufferPoolError(f"mark_dirty of non-resident page "
                                       f"{page_id}")
             frame.dirty = True
+            if self._tracked is not None:
+                self._tracked.add(page_id)
 
     def new_page(self) -> tuple[int, bytearray]:
         """Allocate a fresh page and return it pinned and dirty."""
@@ -189,10 +201,18 @@ class BufferPool:
             frame = _Frame(bytearray(self.pager.page_size), pin_count=1,
                            dirty=True)
             self._frames[page_id] = frame
+            if self._tracked is not None:
+                self._tracked.add(page_id)
             return page_id, frame.data
 
     def free_page(self, page_id: int) -> None:
-        """Drop a page from the pool and return it to the pager free list."""
+        """Drop a page from the pool and return it to the pager free list.
+
+        Inside a write transaction the pager-level free (which writes the
+        free-list next pointer straight into the file, destroying the
+        page's committed content) is deferred until the transaction
+        commits; an aborted transaction frees nothing.
+        """
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None and frame.pin_count > 0:
@@ -201,18 +221,33 @@ class BufferPool:
                 raise BufferPoolError(f"freeing pinned page {page_id}")
             self._frames.pop(page_id, None)
             self._notify_evict(page_id)
-            self.pager.free_page(page_id)
+            if self._tracked is not None:
+                self._tracked.discard(page_id)
+                self._deferred_frees.append(page_id)
+            else:
+                self.pager.free_page(page_id)
 
     # -- eviction / flushing ---------------------------------------------------
 
     def _make_room(self) -> None:
+        no_steal = self._tracked is not None
         while len(self._frames) >= self.capacity:
             victim_id = None
             for candidate_id, frame in self._frames.items():
-                if frame.pin_count == 0:
-                    victim_id = candidate_id
-                    break
+                if frame.pin_count != 0:
+                    continue
+                if no_steal and frame.dirty:
+                    # No-steal: a transaction's dirty page must not reach
+                    # the file before its WAL records do.
+                    continue
+                victim_id = candidate_id
+                break
             if victim_id is None:
+                if no_steal:
+                    raise BufferPoolError(
+                        f"write transaction dirtied more pages than the "
+                        f"pool holds ({self.capacity} frames); raise "
+                        f"buffer_capacity or split the update")
                 raise BufferPoolError(
                     f"all {self.capacity} frames are pinned; cannot evict")
             self._evict(victim_id)
@@ -232,6 +267,10 @@ class BufferPool:
     def flush(self) -> None:
         """Write back every dirty frame (pages stay resident)."""
         with self._lock:
+            if self._tracked is not None:
+                raise BufferPoolError(
+                    "flush() during a write transaction would leak "
+                    "uncommitted pages to the file; commit or abort first")
             for page_id, frame in self._frames.items():
                 if frame.dirty:
                     self.pager.write_page(page_id, bytes(frame.data))
@@ -245,6 +284,96 @@ class BufferPool:
             for page_id in list(self._frames):
                 self._notify_evict(page_id)
             self._frames.clear()
+
+    # -- write transactions ------------------------------------------------------
+
+    def begin_tracking(self) -> None:
+        """Start tracking dirtied pages for a write transaction.
+
+        Flushes first, so the tracked set is exactly the transaction's
+        own writes; from here until commit/abort, dirty frames are
+        neither flushed nor evicted (no-steal) and page frees are
+        deferred.  Only one transaction may track at a time — callers
+        serialize (see :meth:`repro.storage.db.Database.transaction`).
+        """
+        with self._lock:
+            if self._tracked is not None:
+                raise BufferPoolError("nested write transactions are not "
+                                      "supported")
+            self.flush()
+            self._tracked = set()
+            self._deferred_frees = []
+
+    def transaction_pages(self) -> dict[int, bytes]:
+        """Snapshot ``{page_id: content}`` of the transaction's dirty pages."""
+        with self._lock:
+            if self._tracked is None:
+                raise BufferPoolError("no write transaction is active")
+            return {page_id: bytes(self._frames[page_id].data)
+                    for page_id in sorted(self._tracked)}
+
+    def end_tracking_commit(self) -> None:
+        """Write the transaction's pages back and run deferred frees.
+
+        Call only after the WAL holds the commit record: from the log's
+        point of view the transaction is already durable, this merely
+        moves the images into the main file (redo would produce the same
+        bytes).
+        """
+        with self._lock:
+            if self._tracked is None:
+                raise BufferPoolError("no write transaction is active")
+            try:
+                for page_id in sorted(self._tracked):
+                    frame = self._frames.get(page_id)
+                    if frame is not None and frame.dirty:
+                        self.pager.write_page(page_id, bytes(frame.data))
+                        self.stats.dirty_writebacks += 1
+                        frame.dirty = False
+                frees, self._deferred_frees = self._deferred_frees, []
+                for page_id in frees:
+                    self.pager.free_page(page_id)
+            finally:
+                # The WAL already holds the commit: even if a write-back
+                # or free failed, the transaction is over — frames left
+                # dirty reach the file via a later flush or via replay,
+                # and tracking must not linger (an orphaned tracking
+                # state would block every later transaction).
+                self._tracked = None
+                self._deferred_frees = []
+
+    def end_tracking_abort(self) -> None:
+        """Throw the transaction's pages away without touching the file.
+
+        No-steal guarantees none of them reached disk, so dropping the
+        frames restores the pre-transaction image; deferred frees are
+        forgotten (the pages were only *going* to be freed).  Callers
+        must treat every in-memory structure over the dropped pages
+        (B+-tree caches, meta fields) as stale — evict callbacks fire
+        for each dropped page.
+        """
+        with self._lock:
+            if self._tracked is None:
+                raise BufferPoolError("no write transaction is active")
+            # Validate before touching any state: refusing the abort
+            # must leave the transaction fully tracked, or the dirty
+            # uncommitted frames would become invisible to the no-steal
+            # machinery and a later flush could write them to the file.
+            for page_id in self._tracked:
+                frame = self._frames.get(page_id)
+                if frame is not None and frame.pin_count > 0:
+                    raise BufferPoolError(
+                        f"aborting with page {page_id} still pinned")
+            tracked, self._tracked = self._tracked, None
+            self._deferred_frees = []
+            for page_id in tracked:
+                self._frames.pop(page_id, None)
+                self._notify_evict(page_id)
+
+    @property
+    def in_transaction(self) -> bool:
+        with self._lock:
+            return self._tracked is not None
 
     # -- introspection -----------------------------------------------------------
 

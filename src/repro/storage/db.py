@@ -12,16 +12,25 @@ id lives in the pager header, so a database file is fully self-describing:
 from __future__ import annotations
 
 import json
+import os
 import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
 from typing import Any
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, WalError
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile
 from repro.storage.overflow import OverflowStore
 from repro.storage.pager import NO_PAGE, PAGE_SIZE, Pager
 from repro.storage.record import encode_key
+from repro.storage.wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    default_wal_path,
+    recover,
+)
 
 _KIND_BTREE = "btree"
 _KIND_HEAP = "heap"
@@ -47,11 +56,40 @@ class Database:
     """
 
     def __init__(self, path: str, create: bool = False,
-                 buffer_capacity: int = 256, page_size: int = PAGE_SIZE):
+                 buffer_capacity: int = 256, page_size: int = PAGE_SIZE,
+                 wal: bool = True, checkpoint_interval: int = 16):
+        wal_path = default_wal_path(path)
+        self.last_recovery: RecoveryReport | None = None
+        if not create:
+            # Replay any committed-but-unapplied transactions *before*
+            # the pager parses the file: the header page itself may be
+            # among the logged images.  This runs even with wal=False —
+            # a log left by a previous WAL-enabled process may hold the
+            # only copy of acknowledged commits, and skipping (or worse,
+            # deleting) it would lose durable data over a torn file.
+            self.last_recovery = recover(path, wal_path)
+        elif os.path.exists(wal_path):
+            # Fresh database over an old path: stale log records must
+            # never replay over the new file.
+            os.remove(wal_path)
         self.pager = Pager(path, page_size=page_size, create=create)
         self.buffer_pool = BufferPool(self.pager, capacity=buffer_capacity)
         self.overflow = OverflowStore(self.buffer_pool)
         self._lock = threading.RLock()
+        self._wal = (WriteAheadLog(wal_path, self.pager.page_size)
+                     if wal else None)
+        #: Serializes write transactions and checkpoints (one at a time;
+        #: reads need no transaction and are unaffected).
+        self._txn_lock = threading.RLock()
+        #: Nesting depth of the *current* transaction — the explicit
+        #: reentrancy marker.  Deliberately not inferred from
+        #: ``buffer_pool.in_transaction``: if a commit or abort ever
+        #: failed half-way and left the pool tracking, inferring would
+        #: make every later transaction silently join the orphaned one
+        #: and run unlogged; with the explicit flag they fail loudly in
+        #: ``begin_tracking`` instead.
+        self._txn_depth = 0
+        self.checkpoint_interval = checkpoint_interval
         if self.pager.catalog_root == NO_PAGE:
             self._catalog = BTree.create(self.buffer_pool)
             self.pager.set_catalog_root(self._catalog.meta_page_id)
@@ -62,17 +100,125 @@ class Database:
 
     @classmethod
     def create(cls, path: str, buffer_capacity: int = 256,
-               page_size: int = PAGE_SIZE) -> "Database":
+               page_size: int = PAGE_SIZE, wal: bool = True,
+               checkpoint_interval: int = 16) -> "Database":
         return cls(path, create=True, buffer_capacity=buffer_capacity,
-                   page_size=page_size)
+                   page_size=page_size, wal=wal,
+                   checkpoint_interval=checkpoint_interval)
 
     @classmethod
-    def open(cls, path: str, buffer_capacity: int = 256) -> "Database":
-        return cls(path, create=False, buffer_capacity=buffer_capacity)
+    def open(cls, path: str, buffer_capacity: int = 256, wal: bool = True,
+             checkpoint_interval: int = 16) -> "Database":
+        return cls(path, create=False, buffer_capacity=buffer_capacity,
+                   wal=wal, checkpoint_interval=checkpoint_interval)
 
     def close(self) -> None:
+        if self._wal is not None:
+            self.checkpoint()
+            self._wal.close()
         self.buffer_pool.flush_and_clear()
         self.pager.close()
+
+    # -- write transactions --------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Run a block of page mutations atomically and durably.
+
+        All pages dirtied inside the block stay in the buffer pool
+        (no-steal) until, on normal exit, their after-images plus the
+        header page are appended to the WAL, a commit record is fsynced,
+        and only then written back to the database file.  If the block
+        raises, every dirtied frame is discarded and the on-disk state
+        is untouched — but in-memory structures built over those pages
+        (open B+-tree instances, cached nodes) are stale and must be
+        re-opened; the catalog itself is refreshed here.
+
+        Transactions serialize on a database-level lock (reentrancy is
+        allowed and joins the outer transaction).  Without a WAL
+        (``wal=False``) the block simply runs unprotected.
+
+        The transaction's working set must fit the buffer pool; a block
+        dirtying more pages than there are frames raises
+        :class:`~repro.errors.BufferPoolError` and aborts cleanly.
+        """
+        if self._wal is None:
+            yield
+            return
+        with self._txn_lock:
+            if self._txn_depth:
+                # Reentrant use joins the enclosing transaction: the
+                # outer exit commits or aborts the union of both blocks.
+                yield
+                return
+            header_snapshot = self.pager.header_state()
+            self.pager.defer_header_writes()
+            self.buffer_pool.begin_tracking()
+            self._txn_depth = 1
+            try:
+                try:
+                    yield
+                    # WAL append under deferral too: if the log write or
+                    # its fsync fails, nothing was acknowledged and the
+                    # whole block rolls back like any other error — and
+                    # the half-appended records are truncated away so
+                    # they can never become replayable later.
+                    images = self.buffer_pool.transaction_pages()
+                    images[0] = self.pager.header_page_image()
+                    log_mark = self._wal.size
+                    try:
+                        self._wal.log_commit(images)
+                    except BaseException:
+                        try:
+                            self._wal.truncate_to(log_mark)
+                        except OSError:  # pragma: no cover - best effort
+                            pass
+                        raise
+                except BaseException:
+                    try:
+                        self.buffer_pool.end_tracking_abort()
+                    finally:
+                        # Even a failed abort must not leak the header
+                        # deferral or the stale in-memory header state.
+                        self.pager.resume_header_writes(write=False)
+                        self.pager.restore_header_state(header_snapshot)
+                        # The catalog tree's in-memory meta (root, entry
+                        # count) may describe aborted pages; re-read it.
+                        self._catalog._load_meta()
+                    raise
+                # Durable now.  Write-back + deferred frees may tear at
+                # a crash (recovery replays the same images) or fail
+                # here (frames stay dirty, a later flush or replay
+                # delivers them) — either way tracking state is cleared.
+                self.pager.resume_header_writes(write=False)
+                self.buffer_pool.end_tracking_commit()
+            finally:
+                self._txn_depth = 0
+            if self._wal.commits_since_checkpoint \
+                    >= self.checkpoint_interval:
+                self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Flush everything to the database file and reset the WAL.
+
+        Bounds recovery work and log growth.  Must also be called before
+        mutating the file *outside* a transaction (bulk loads): resetting
+        the log first guarantees no stale record can later replay over
+        unlogged writes.  No-op without a WAL.
+        """
+        if self._wal is None:
+            return
+        with self._txn_lock:
+            if self.buffer_pool.in_transaction:
+                raise WalError("checkpoint during an open transaction")
+            self.buffer_pool.flush()
+            self.pager.write_header()
+            self.pager.sync()
+            self._wal.checkpoint()
+
+    @property
+    def wal_enabled(self) -> bool:
+        return self._wal is not None
 
     def __enter__(self) -> "Database":
         return self

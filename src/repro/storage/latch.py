@@ -2,17 +2,21 @@
 
 The paper scoped concurrency control out ("completely disregard
 concurrency control and recovery"); the serving layer scopes it back in.
-Queries are read-only — documents are bulk-loaded once and never updated
-in place — so the storage layer only needs *latches* (short physical
-locks protecting in-memory structures), not transactional locks:
+The storage layer needs *latches* (short physical locks protecting
+in-memory structures) rather than full transactional lock tables:
+transaction-level isolation for updates is provided one level up, by
+the per-document latches in :class:`~repro.core.dbms.XmlDbms` plus the
+database-wide write-transaction lock:
 
 * :class:`SharedLatch` is a reader-preference shared/exclusive latch.
   Any number of readers hold it together; a writer holds it alone.
   Readers never wait behind a merely *waiting* writer, which makes
   nested shared acquisition from one thread (a scan inside a scan, a
   prefix scan delegating to a range scan) deadlock-free by construction.
-  Writer starvation is impossible in practice because writes only happen
-  on the rare ``load``/``drop`` path and at spill-file creation.
+  Writer starvation is possible in principle under a saturated read
+  load; in practice writes happen on the rare ``load``/``drop``/
+  ``update`` paths and at spill-file creation, with gaps between
+  reader batches.
 
 The trade-off is deliberate: with CPython's GIL the latches are not
 buying parallel speed-ups, they are buying *well-defined interleavings* —

@@ -65,6 +65,18 @@ class OverflowStore:
                 f"(off by {remaining} bytes)")
         return b"".join(parts)
 
+    def load_prefix(self, head_page: int) -> bytes:
+        """The first chunk of a chain, without walking the rest.
+
+        Enough for any fixed-length prefix shorter than a page — e.g.
+        rebuilding truncated label-index keys while rekeying records —
+        where loading the whole value would make the operation scale
+        with value size instead of prefix size.
+        """
+        with self.buffer_pool.pinned(head_page) as page:
+            __, chunk_length = _HEADER.unpack_from(page, 0)
+            return bytes(page[_HEADER.size:_HEADER.size + chunk_length])
+
     def free(self, head_page: int) -> None:
         """Release every page of a chain back to the free list."""
         page_id = head_page

@@ -48,6 +48,10 @@ class Pager:
         self.path = path
         self.page_size = page_size
         self._lock = threading.RLock()
+        #: While > 0, header mutations stay in memory only (see
+        #: :meth:`defer_header_writes`) and allocation never touches the
+        #: on-disk free list.
+        self._header_deferred = 0
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         if create or not exists:
             self._file = open(path, "w+b")
@@ -65,25 +69,107 @@ class Pager:
     # -- header -------------------------------------------------------------
 
     def _write_header(self) -> None:
+        if self._header_deferred:
+            return
+        self._file.seek(0)
+        self._file.write(self.header_page_image())
+
+    def header_page_image(self) -> bytes:
+        """Page 0 as it would be written for the current in-memory state.
+
+        The write-ahead log records this image at commit so recovery can
+        restore the header (num_pages, free list, catalog root) along
+        with the data pages.
+        """
         header = _HEADER.pack(_MAGIC, self.page_size, self.num_pages,
                               self.free_head, self.catalog_root)
-        page = header + b"\x00" * (self.page_size - len(header))
-        self._file.seek(0)
-        self._file.write(page)
+        return header + b"\x00" * (self.page_size - len(header))
+
+    def defer_header_writes(self) -> None:
+        """Keep header mutations in memory until :meth:`resume_header_writes`.
+
+        Used by write transactions: while deferred, a crash leaves the
+        on-disk header untouched, so uncommitted file growth is invisible
+        (at worst, leaked pages).  Deferral also makes :meth:`allocate_page`
+        skip the on-disk free list — popping it would have to read the next
+        pointer from a page whose current content may only exist in the
+        buffer pool.  Nestable; balanced by ``resume_header_writes``.
+        """
+        with self._lock:
+            self._header_deferred += 1
+
+    def resume_header_writes(self, write: bool = True) -> None:
+        """End one deferral level; ``write=True`` persists the header."""
+        with self._lock:
+            if self._header_deferred <= 0:
+                raise PageError("resume_header_writes without deferral")
+            self._header_deferred -= 1
+            if write and not self._header_deferred:
+                self._write_header()
+
+    def header_state(self) -> tuple[int, int, int]:
+        """Snapshot of ``(num_pages, free_head, catalog_root)``."""
+        with self._lock:
+            return self.num_pages, self.free_head, self.catalog_root
+
+    def restore_header_state(self, state: tuple[int, int, int]) -> None:
+        """Reset the in-memory header to an earlier snapshot.
+
+        Used when aborting a write transaction: the snapshot from
+        transaction start *is* the last committed state (the on-disk
+        header may be older — it only catches up at checkpoints).
+        Allocations made since are forgotten; the file may stay grown —
+        leaked pages, never corruption.
+        """
+        with self._lock:
+            self.num_pages, self.free_head, self.catalog_root = state
+
+    #: Smallest page size a header is accepted with.  Anything below this
+    #: cannot hold the header itself plus a minimal B+-tree node, so a
+    #: smaller value in a header is corruption, not configuration.
+    MIN_PAGE_SIZE = 128
 
     def _read_header(self) -> None:
         self._file.seek(0)
         raw = self._file.read(_HEADER.size)
         if len(raw) < _HEADER.size:
-            raise PageError(f"{self.path}: truncated header")
-        magic, page_size, num_pages, free_head, catalog_root = \
-            _HEADER.unpack(raw)
+            raise PageError(f"{self.path}: truncated header "
+                            f"({len(raw)} bytes, need {_HEADER.size})")
+        try:
+            magic, page_size, num_pages, free_head, catalog_root = \
+                _HEADER.unpack(raw)
+        except struct.error as exc:  # pragma: no cover - defensive
+            raise PageError(f"{self.path}: unreadable header "
+                            f"({exc})") from None
         if magic != _MAGIC:
             raise PageError(f"{self.path}: not an XML-DBMS file")
+        # A well-formed magic does not make the rest of the header sane:
+        # a corrupt page_size of 0 would otherwise surface much later as
+        # a raw struct.error (or ZeroDivisionError) deep inside the
+        # B+-tree layer.  Validate everything the rest of the storage
+        # stack implicitly relies on, and blame the file by path.
+        if page_size < self.MIN_PAGE_SIZE:
+            raise PageError(f"{self.path}: corrupt header "
+                            f"(page_size={page_size}, minimum "
+                            f"{self.MIN_PAGE_SIZE})")
+        if num_pages < 1:
+            raise PageError(f"{self.path}: corrupt header "
+                            f"(num_pages={num_pages})")
         self.page_size = page_size
         self.num_pages = num_pages
         self.free_head = free_head
         self.catalog_root = catalog_root
+
+    def write_header(self) -> None:
+        """Persist the in-memory header now (checkpoints call this: the
+        commit path leaves the on-disk header to WAL replay, so it must
+        be written back before the log is dropped)."""
+        with self._lock:
+            deferred, self._header_deferred = self._header_deferred, 0
+            try:
+                self._write_header()
+            finally:
+                self._header_deferred = deferred
 
     def set_catalog_root(self, page_id: int) -> None:
         """Persist the catalog B+-tree root in the header."""
@@ -123,9 +209,16 @@ class Pager:
     # -- allocation ----------------------------------------------------------
 
     def allocate_page(self) -> int:
-        """Allocate a page, reusing the free list when possible."""
+        """Allocate a page, reusing the free list when possible.
+
+        Under deferred header writes (an open write transaction) the free
+        list is never popped: its next pointers live in page content that
+        a transaction may have modified only in the buffer pool, so the
+        file always grows instead.  Pages freed by the transaction join
+        the list at commit and are reused afterwards.
+        """
         with self._lock:
-            if self.free_head != NO_PAGE:
+            if self.free_head != NO_PAGE and not self._header_deferred:
                 page_id = self.free_head
                 page = self.read_page(page_id)
                 (self.free_head,) = struct.unpack_from(">I", page, 0)

@@ -1,0 +1,258 @@
+"""Write-ahead logging and crash recovery for the page file.
+
+The paper scoped recovery out ("completely disregard concurrency control
+and recovery"); the update subsystem scopes it back in.  The protocol is
+a deliberately simple redo-only, full-page-image WAL:
+
+* While a write transaction runs, **nothing** it touched reaches the
+  database file: the buffer pool holds every dirtied page (no-steal, see
+  :meth:`~repro.storage.buffer.BufferPool.begin_tracking`) and the pager
+  defers header writes.
+* At commit, the after-image of every dirtied page — plus the header
+  page — is appended to the log as an LSN-stamped, CRC-guarded ``PAGE``
+  record, followed by a ``COMMIT`` record, and the log is fsynced.  Only
+  then are the pages written back to the database file.
+* :func:`recover` (run by ``Database.open`` *before* the pager parses
+  the file) replays every complete committed transaction in LSN order
+  and discards any torn tail.  Full-page redo is idempotent, so replay
+  over pages that were already written back is harmless.
+* A checkpoint — taken every ``checkpoint_interval`` commits, on close,
+  and around non-transactional bulk operations like ``load`` — flushes
+  the buffer pool, fsyncs the database file and resets the log, bounding
+  both recovery time and log growth.
+
+The guarantee: after ``kill -9`` at *any* instant, reopening the
+database yields exactly the state after some committed prefix of the
+transaction history — an acknowledged (fsynced) commit is never lost,
+and no page is ever left half-written.  What is **not** guaranteed:
+transactions whose commit record did not reach disk are rolled back
+wholesale (they were never acknowledged), and pages allocated by such
+transactions may leak (the file stays grown; nothing references them).
+
+The log lives next to the database file as ``<path>.wal``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WalError
+
+_FILE_MAGIC = b"XWALLOG1"
+_FILE_HEADER = struct.Struct(">8sI")      # magic, page_size
+_RECORD = struct.Struct(">QBII")          # lsn, type, page_id, crc
+_PAGE = 1
+_COMMIT = 2
+
+#: Record types that carry no payload.
+_BARE_TYPES = frozenset({_COMMIT})
+
+
+def _crc(lsn: int, rec_type: int, page_id: int, payload: bytes) -> int:
+    head = _RECORD.pack(lsn, rec_type, page_id, 0)
+    return zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover` found and did."""
+
+    #: True if a log file with records existed at open.
+    log_found: bool
+    #: Complete committed transactions replayed into the database file.
+    transactions_replayed: int
+    #: Page images written during replay.
+    pages_applied: int
+    #: Bytes of torn/uncommitted log tail that were discarded.
+    tail_discarded: int
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needed replaying or discarding."""
+        return self.transactions_replayed == 0 and self.tail_discarded == 0
+
+
+def default_wal_path(db_path: str) -> str:
+    return db_path + ".wal"
+
+
+def recover(db_path: str, wal_path: str | None = None) -> RecoveryReport:
+    """Replay committed transactions from the log into the database file.
+
+    Must run before anything parses ``db_path`` (the header page itself
+    may be among the logged images).  Scans the log sequentially,
+    buffering each transaction's page images; a ``COMMIT`` record whose
+    CRC checks out releases them for replay, and the first torn,
+    corrupt or out-of-order record ends the scan — everything after it
+    (an unacknowledged transaction) is discarded.  On success the
+    database file is fsynced and the log reset, so recovery itself is
+    idempotent: crashing *during* recovery just means recovering again.
+    """
+    wal_path = wal_path or default_wal_path(db_path)
+    try:
+        size = os.path.getsize(wal_path)
+    except OSError:
+        return RecoveryReport(False, 0, 0, 0)
+    if size <= _FILE_HEADER.size:
+        # Empty (or torn at creation): nothing was ever committed.
+        return RecoveryReport(size > 0, 0, 0, 0)
+
+    with open(wal_path, "rb") as log:
+        header = log.read(_FILE_HEADER.size)
+        magic, page_size = _FILE_HEADER.unpack(header)
+        if magic != _FILE_MAGIC:
+            raise WalError(f"{wal_path}: not a write-ahead log")
+        if page_size < 1:
+            raise WalError(f"{wal_path}: corrupt log header "
+                           f"(page_size={page_size})")
+        committed: list[dict[int, bytes]] = []
+        pending: dict[int, bytes] = {}
+        last_lsn = 0
+        committed_end = _FILE_HEADER.size
+        while True:
+            head = log.read(_RECORD.size)
+            if len(head) < _RECORD.size:
+                break
+            lsn, rec_type, page_id, crc = _RECORD.unpack(head)
+            payload = b""
+            if rec_type == _PAGE:
+                payload = log.read(page_size)
+                if len(payload) < page_size:
+                    break
+            elif rec_type not in _BARE_TYPES:
+                break
+            if lsn <= last_lsn or _crc(lsn, rec_type, page_id,
+                                       payload) != crc:
+                break
+            last_lsn = lsn
+            if rec_type == _PAGE:
+                pending[page_id] = payload
+            else:
+                committed.append(pending)
+                pending = {}
+                committed_end = log.tell()
+        # Everything past the last COMMIT is the discarded tail: torn or
+        # corrupt records, and any unterminated page group — its COMMIT
+        # never made it, so the transaction never happened.
+        tail_discarded = size - committed_end
+        del pending
+
+    pages_applied = 0
+    if committed:
+        # Replay in commit order; later images of the same page win, and
+        # rewriting a page that already holds these bytes is a no-op.
+        with open(db_path, "r+b" if os.path.exists(db_path)
+                  else "w+b") as db:
+            for images in committed:
+                for page_id, image in images.items():
+                    db.seek(page_id * page_size)
+                    db.write(image)
+                    pages_applied += 1
+            db.flush()
+            os.fsync(db.fileno())
+    # Reset the log only after the database file is durable: a crash
+    # between the fsync above and this truncate re-runs an idempotent
+    # replay next time.
+    _reset_file(wal_path, page_size)
+    return RecoveryReport(True, len(committed), pages_applied,
+                          tail_discarded)
+
+
+def _reset_file(wal_path: str, page_size: int) -> None:
+    with open(wal_path, "wb") as log:
+        log.write(_FILE_HEADER.pack(_FILE_MAGIC, page_size))
+        log.flush()
+        os.fsync(log.fileno())
+
+
+class WriteAheadLog:
+    """Append-only redo log for one database file.
+
+    Not thread-safe on its own: the owning
+    :class:`~repro.storage.db.Database` serializes transactions (and
+    with them all log appends) under its transaction lock.
+    """
+
+    def __init__(self, path: str, page_size: int):
+        self.path = path
+        self.page_size = page_size
+        self._lsn = 0
+        #: Commit LSNs since the last checkpoint (observability + tests).
+        self.commits_since_checkpoint = 0
+        _reset_file(path, page_size)
+        self._file = open(path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+
+    # -- appending -----------------------------------------------------------
+
+    def _append(self, rec_type: int, page_id: int, payload: bytes) -> int:
+        self._lsn += 1
+        lsn = self._lsn
+        crc = _crc(lsn, rec_type, page_id, payload)
+        self._file.write(_RECORD.pack(lsn, rec_type, page_id, crc))
+        if payload:
+            self._file.write(payload)
+        return lsn
+
+    def log_commit(self, images: dict[int, bytes]) -> int:
+        """Append one transaction — page images then COMMIT — and fsync.
+
+        ``images`` maps page ids to full after-images (each exactly one
+        page).  Returns the commit record's LSN.  When this returns, the
+        transaction is durable: recovery will replay it even if the
+        database file never sees the pages.
+        """
+        for page_id, image in sorted(images.items()):
+            if len(image) != self.page_size:
+                raise WalError(f"page {page_id} image is {len(image)} "
+                               f"bytes, expected {self.page_size}")
+            self._append(_PAGE, page_id, image)
+        lsn = self._append(_COMMIT, 0, b"")
+        self.sync()
+        self.commits_since_checkpoint += 1
+        return lsn
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def truncate_to(self, size: int) -> None:
+        """Drop everything appended after ``size`` (commit-failure
+        cleanup: a half-appended transaction must not linger where a
+        later flush could make it replayable)."""
+        self._file.truncate(size)
+        self._file.seek(size)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Reset the log to empty.
+
+        Callers must first make the database file itself durable (flush
+        the buffer pool and fsync) — everything the log was protecting
+        has to be in the main file before its records may be dropped.
+        """
+        self._file.close()
+        _reset_file(self.path, self.page_size)
+        self._file = open(self.path, "r+b")
+        self._file.seek(0, os.SEEK_END)
+        self.commits_since_checkpoint = 0
+
+    @property
+    def size(self) -> int:
+        """Current log size in bytes (header included)."""
+        return self._file.tell()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

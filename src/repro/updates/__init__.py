@@ -1,0 +1,31 @@
+"""The update subsystem: XQuery Update Facility subset over XASR.
+
+The write half of the DBMS, layered exactly like the read half:
+
+* :mod:`repro.updates.collect` — evaluate an updating expression's
+  targets against the stored snapshot and build a pending update list;
+* :mod:`repro.updates.pul` — the primitives, conflict validation and
+  the :class:`~repro.updates.pul.UpdateResult` surface;
+* :mod:`repro.updates.apply` — rewrite the XASR relations with
+  incremental index and statistics maintenance;
+* :mod:`repro.updates.memory` — the same semantics over the in-memory
+  DOM, serving as the differential-testing oracle.
+
+Durability comes from the storage layer: the dbms wraps collect +
+validate + apply in one :meth:`repro.storage.db.Database.transaction`,
+so an update is all-or-nothing on disk and survives ``kill -9`` once
+acknowledged (see :mod:`repro.storage.wal`).
+"""
+
+from repro.updates.apply import apply_pul
+from repro.updates.collect import collect_pul
+from repro.updates.memory import apply_to_dom
+from repro.updates.pul import PendingUpdateList, UpdateResult
+
+__all__ = [
+    "apply_pul",
+    "apply_to_dom",
+    "collect_pul",
+    "PendingUpdateList",
+    "UpdateResult",
+]

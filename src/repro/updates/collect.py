@@ -1,0 +1,322 @@
+"""Collecting a pending update list from an updating expression.
+
+This is the evaluation half of the update subsystem: target paths run
+against the *original* document snapshot (through the navigational
+evaluator's access paths, so targets use the same index machinery as
+queries), insert payloads are evaluated without document access and
+shredded into relative XASR tuples, and every selected node becomes one
+primitive in the :class:`~repro.updates.pul.PendingUpdateList`.
+
+Nothing here mutates anything — conflicts surface in
+``PendingUpdateList.validated()`` and the storage rewrite happens in
+:mod:`repro.updates.apply`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.engine.navigational import NavigationalEvaluator
+from repro.errors import UpdateError
+from repro.updates.pul import (
+    DeleteSubtree,
+    InsertSubtree,
+    PendingUpdateList,
+    Rename,
+    RelTuple,
+    SetValue,
+)
+from repro.xasr import schema
+from repro.xasr.document import StoredDocument
+from repro.xasr.schema import XasrNode
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xq import eval_memory
+from repro.xq.ast import (
+    DeleteNode,
+    Empty,
+    For,
+    If,
+    InsertNode,
+    InsertPosition,
+    Query,
+    RenameNode,
+    ReplaceValue,
+    ROOT_VAR,
+    Sequence,
+    Step,
+    TextLiteral,
+    UpdateExpr,
+    UpdateList,
+    Var,
+)
+from repro.xq.parser import _is_name_char, _is_name_start
+
+
+def collect_pul(document: StoredDocument, update: UpdateExpr,
+                bindings: dict[str, str] | None = None
+                ) -> PendingUpdateList:
+    """Resolve ``update`` against ``document`` into a raw (unvalidated)
+    pending update list.
+
+    ``bindings`` maps external-variable names to strings; they may
+    appear as insert content, replacement values and new names, and as
+    comparison operands inside target predicates.
+    """
+    collector = _Collector(document, bindings or {})
+    collector.collect(update)
+    return collector.pul
+
+
+class _Collector:
+    def __init__(self, document: StoredDocument, bindings: dict[str, str]):
+        self.document = document
+        self.bindings = bindings
+        self.pul = PendingUpdateList()
+        #: Value slot (text node's in, or the element's for an empty
+        #: element) → replacement already collected.  Needed here, not
+        #: just in ``validated()``: empty-element and empty-string
+        #: replaces desugar to inserts/deletes, which the PUL-level
+        #: point-conflict check would never see.
+        self._replace_slots: dict[int, str] = {}
+        self._evaluator = NavigationalEvaluator(document)
+        self._env: dict[str, XasrNode] = {ROOT_VAR: document.root()}
+        for name, value in bindings.items():
+            text = value.text if isinstance(value, Text) else value
+            if not isinstance(text, str):
+                raise UpdateError(f"binding ${name} must be a string or "
+                                  f"a text node")
+            # Synthetic text node, comparable inside target predicates.
+            self._env[name] = XasrNode(0, 0, 0, schema.TEXT, text)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def collect(self, update: UpdateExpr) -> None:
+        if isinstance(update, UpdateList):
+            for member in update.updates:
+                self.collect(member)
+        elif isinstance(update, InsertNode):
+            self._collect_insert(update)
+        elif isinstance(update, DeleteNode):
+            for node in self._targets(update.target):
+                if node.in_ == 1:
+                    raise UpdateError("cannot delete the document root")
+                self.pul.deletes.append(DeleteSubtree(node.in_, node.out))
+        elif isinstance(update, ReplaceValue):
+            self._collect_replace(update)
+        elif isinstance(update, RenameNode):
+            target = self._single_target(update.target, "rename")
+            if target.type != schema.ELEMENT:
+                raise UpdateError("rename targets must be element nodes")
+            name = self._string_operand(update.name, "rename ... as")
+            _check_name(name)
+            self.pul.renames.append(Rename(target.in_, name))
+        else:
+            raise UpdateError(f"unsupported update expression {update!r}")
+
+    # -- inserts -------------------------------------------------------------
+
+    def _collect_insert(self, update: InsertNode) -> None:
+        target = self._single_target(update.target, "insert")
+        content = self._content_node(update.content)
+        position = update.position
+        if position in (InsertPosition.LAST_INTO,
+                        InsertPosition.FIRST_INTO):
+            if target.type != schema.ELEMENT:
+                raise UpdateError("'insert ... into' targets must be "
+                                  "element nodes")
+            parent_in = target.in_
+            pivot = (target.out if position is InsertPosition.LAST_INTO
+                     else target.in_ + 1)
+        else:
+            parent = self.document.node(target.parent_in)
+            if parent.type == schema.ROOT:
+                raise UpdateError("cannot insert siblings of the root "
+                                  "element")
+            parent_in = parent.in_
+            pivot = (target.in_ if position is InsertPosition.BEFORE
+                     else target.out + 1)
+        self.pul.inserts.append(InsertSubtree(
+            pivot=pivot, parent_in=parent_in, anchor_in=target.in_,
+            tuples=shred_subtree(content)))
+
+    def _content_node(self, content: Query) -> Node:
+        """Evaluate insert content to exactly one element or text node.
+
+        Content runs under the in-memory evaluator against an *empty*
+        document: new nodes are constructed, never navigated to, so an
+        insert can never alias part of the stored tree.
+        """
+        env: dict[str, Node] = {}
+        for name, value in self.bindings.items():
+            env[name] = value if isinstance(value, Text) else Text(value)
+        try:
+            nodes = eval_memory.evaluate(content, Document(),
+                                         environment=env)
+        except Exception as exc:
+            raise UpdateError(f"insert content failed to evaluate: "
+                              f"{exc}") from exc
+        if len(nodes) != 1:
+            raise UpdateError(f"insert content must produce exactly one "
+                              f"node, got {len(nodes)}")
+        node = nodes[0]
+        if not isinstance(node, (Element, Text)):
+            raise UpdateError("insert content must be an element or a "
+                              "text node")
+        return node
+
+    # -- replace value -------------------------------------------------------
+
+    def _note_replace(self, slot: int, value: str) -> bool:
+        """Record a replace on a value slot; False = equal duplicate.
+
+        Unequal replaces of one slot conflict, equal ones deduplicate —
+        the same rule ``validated()`` applies to SetValue primitives,
+        enforced here so the desugared forms (empty-element insert,
+        empty-string delete) obey it too.
+        """
+        existing = self._replace_slots.get(slot)
+        if existing is None:
+            self._replace_slots[slot] = value
+            return True
+        if existing != value:
+            raise UpdateError(
+                f"conflicting 'replace value of' primitives target the "
+                f"same node (in={slot})")
+        return False
+
+    def _collect_replace(self, update: ReplaceValue) -> None:
+        target = self._single_target(update.target, "replace value of")
+        value = self._string_operand(update.value, "with")
+        if target.type == schema.TEXT:
+            text = target
+        elif target.type == schema.ELEMENT:
+            children = list(self.document.children(target.in_))
+            if not children:
+                # Empty element: a non-empty value grows a text child.
+                if self._note_replace(target.in_, value) and value:
+                    self.pul.inserts.append(InsertSubtree(
+                        pivot=target.out, parent_in=target.in_,
+                        anchor_in=target.in_,
+                        tuples=shred_subtree(Text(value))))
+                return
+            if len(children) != 1 or children[0].type != schema.TEXT:
+                raise UpdateError(
+                    "replace value of an element is only supported when "
+                    "its content is a single text node (or empty)")
+            text = children[0]
+        else:
+            raise UpdateError("replace value targets must be text or "
+                              "element nodes")
+        if not self._note_replace(text.in_, value):
+            return
+        if value:
+            self.pul.set_values.append(SetValue(text.in_, value))
+        else:
+            # Replacing with "" deletes the text node: serialisation
+            # cannot represent an empty text node, and round-tripping
+            # (serialize → reparse → reload) must be the identity.
+            self.pul.deletes.append(DeleteSubtree(text.in_, text.out))
+
+    # -- target evaluation ---------------------------------------------------
+
+    def _single_target(self, target: Query, kind: str) -> XasrNode:
+        nodes = list(self._targets(target))
+        if len(nodes) != 1:
+            raise UpdateError(f"'{kind}' target must select exactly one "
+                              f"node, got {len(nodes)}")
+        return nodes[0]
+
+    def _targets(self, query: Query) -> Iterator[XasrNode]:
+        yield from self._eval_target(query, self._env)
+
+    def _eval_target(self, query: Query, env: dict[str, XasrNode]
+                     ) -> Iterator[XasrNode]:
+        """Evaluate a target path to stored nodes (not DOM subtrees).
+
+        Mirrors the navigational evaluator's semantics but keeps the
+        XASR tuples — updates anchor at in/out numbers, not at
+        reconstructed trees.
+        """
+        if isinstance(query, Empty):
+            return
+        if isinstance(query, Var):
+            node = env.get(query.name)
+            if node is None:
+                raise UpdateError(f"unbound variable ${query.name} in "
+                                  f"update target")
+            yield node
+            return
+        if isinstance(query, Step):
+            yield from self._evaluator.step(query, env)
+            return
+        if isinstance(query, For):
+            for node in self._evaluator.step(query.source, env):
+                inner = dict(env)
+                inner[query.var] = node
+                yield from self._eval_target(query.body, inner)
+            return
+        if isinstance(query, If):
+            if self._evaluator.condition(query.cond, env):
+                yield from self._eval_target(query.body, env)
+            return
+        if isinstance(query, Sequence):
+            yield from self._eval_target(query.left, env)
+            yield from self._eval_target(query.right, env)
+            return
+        raise UpdateError(f"update targets must navigate the document; "
+                          f"{type(query).__name__} is not a path "
+                          f"expression")
+
+    # -- scalar operands -----------------------------------------------------
+
+    def _string_operand(self, operand: Query, context: str) -> str:
+        if isinstance(operand, TextLiteral):
+            return operand.text
+        if isinstance(operand, Var):
+            value = self.bindings.get(operand.name)
+            if value is None:
+                raise UpdateError(f"unbound variable ${operand.name} "
+                                  f"after '{context}'")
+            return value.text if isinstance(value, Text) else value
+        raise UpdateError(f"expected a string literal or variable after "
+                          f"'{context}'")
+
+
+def shred_subtree(node: Node) -> tuple[RelTuple, ...]:
+    """Number a DOM subtree relative to its splice point.
+
+    The subtree root gets ``in = 0`` and parent ``-1`` (the insertion
+    parent); in/out numbers count exactly as the loader's shredder does,
+    so splicing at pivot ``p`` yields numbers ``p .. p + 2k - 1``.
+    """
+    tuples: list[RelTuple] = []
+    counter = 0
+
+    def walk(dom: Node, parent_rel: int) -> None:
+        nonlocal counter
+        in_rel = counter
+        counter += 1
+        if isinstance(dom, Text):
+            out_rel = counter
+            counter += 1
+            tuples.append((in_rel, out_rel, parent_rel, schema.TEXT,
+                           dom.text))
+            return
+        if not isinstance(dom, Element):  # pragma: no cover - defensive
+            raise UpdateError(f"cannot insert a {dom.kind.value} node")
+        for child in dom.children:
+            walk(child, in_rel)
+        out_rel = counter
+        counter += 1
+        tuples.append((in_rel, out_rel, parent_rel, schema.ELEMENT,
+                       dom.name))
+
+    walk(node, -1)
+    tuples.sort()  # ascending relative in
+    return tuple(tuples)
+
+
+def _check_name(name: str) -> None:
+    if not name or not _is_name_start(name[0]) \
+            or not all(_is_name_char(ch) for ch in name):
+        raise UpdateError(f"{name!r} is not a valid element name")

@@ -1,0 +1,318 @@
+"""The in-memory oracle: apply an updating expression to a DOM tree.
+
+The role :mod:`repro.xq.eval_memory` plays for queries, this module
+plays for updates — a direct, storage-free implementation of the same
+semantics, used by the differential test suite to check the stored-
+document applier edit for edit.  It follows the exact rules the storage
+side fixes (see :mod:`repro.updates.pul`): snapshot target resolution,
+delete-wins conflict handling, and statement-order placement for
+several inserts landing at one boundary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import UpdateError
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xq import eval_memory
+from repro.xq.ast import (
+    DeleteNode,
+    Empty,
+    For,
+    If,
+    InsertNode,
+    InsertPosition,
+    Query,
+    RenameNode,
+    ReplaceValue,
+    ROOT_VAR,
+    Sequence,
+    Step,
+    TextLiteral,
+    UpdateExpr,
+    UpdateList,
+    Var,
+)
+
+_TICK = eval_memory._no_tick
+
+
+def apply_to_dom(document: Document, update: UpdateExpr,
+                 bindings: dict[str, str] | None = None) -> dict[str, int]:
+    """Apply ``update`` to ``document`` in place; returns per-kind counts
+    (same keys as the storage applier)."""
+    resolver = _Resolver(document, bindings or {})
+    resolver.resolve(update)
+    return resolver.apply()
+
+
+def _subtree_size(node: Node) -> int:
+    return 1 + sum(_subtree_size(child) for child in node.children)
+
+
+def _is_within(node: Node, ancestor: Node) -> bool:
+    """True when ``node`` is ``ancestor`` or inside its subtree."""
+    current: Node | None = node
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+class _Resolver:
+    def __init__(self, document: Document, bindings: dict[str, str]):
+        self.document = document
+        self.env: dict[str, Node] = {ROOT_VAR: document}
+        self.bindings = bindings
+        for name, value in bindings.items():
+            self.env[name] = value if isinstance(value, Text) \
+                else Text(value)
+        #: Deletion targets, by identity.
+        self.deletes: list[Node] = []
+        #: ``(parent, original_index, payload, anchor)`` in statement
+        #: order; ``anchor`` is the target node the position came from
+        #: (the drop rule keys on it, exactly like the storage side).
+        self.inserts: list[tuple[Node, int, Node, Node]] = []
+        self.set_values: list[tuple[Text, str]] = []
+        self.renames: list[tuple[Element, str]] = []
+        #: Value slot (text node, or the element when empty) already
+        #: replaced — mirrors the storage collector's conflict rule for
+        #: the desugared replace forms.
+        self._replace_slots: dict[int, tuple[Node, str]] = {}
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, update: UpdateExpr) -> None:
+        if isinstance(update, UpdateList):
+            for member in update.updates:
+                self.resolve(member)
+        elif isinstance(update, InsertNode):
+            self._resolve_insert(update)
+        elif isinstance(update, DeleteNode):
+            for node in self._targets(update.target):
+                if node is self.document:
+                    raise UpdateError("cannot delete the document root")
+                self.deletes.append(node)
+        elif isinstance(update, ReplaceValue):
+            self._resolve_replace(update)
+        elif isinstance(update, RenameNode):
+            target = self._single(update.target, "rename")
+            if not isinstance(target, Element):
+                raise UpdateError("rename targets must be element nodes")
+            self.renames.append(
+                (target, self._string(update.name, "rename ... as")))
+        else:
+            raise UpdateError(f"unsupported update expression {update!r}")
+
+    def _resolve_insert(self, update: InsertNode) -> None:
+        target = self._single(update.target, "insert")
+        payload = self._content(update.content)
+        position = update.position
+        if position in (InsertPosition.LAST_INTO,
+                        InsertPosition.FIRST_INTO):
+            if not isinstance(target, Element):
+                raise UpdateError("'insert ... into' targets must be "
+                                  "element nodes")
+            index = (len(target.children)
+                     if position is InsertPosition.LAST_INTO else 0)
+            self.inserts.append((target, index, payload, target))
+        else:
+            parent = target.parent
+            if parent is None or isinstance(parent, Document):
+                raise UpdateError("cannot insert siblings of the root "
+                                  "element")
+            index = parent.children.index(target)
+            if position is InsertPosition.AFTER:
+                index += 1
+            self.inserts.append((parent, index, payload, target))
+
+    def _note_replace(self, slot: Node, value: str) -> bool:
+        """Record a replace on a value slot; False = equal duplicate."""
+        existing = self._replace_slots.get(id(slot))
+        if existing is None:
+            self._replace_slots[id(slot)] = (slot, value)
+            return True
+        if existing[1] != value:
+            raise UpdateError("conflicting 'replace value of' "
+                              "primitives target the same node")
+        return False
+
+    def _resolve_replace(self, update: ReplaceValue) -> None:
+        target = self._single(update.target, "replace value of")
+        value = self._string(update.value, "with")
+        if isinstance(target, Text):
+            text = target
+        elif isinstance(target, Element):
+            if not target.children:
+                if self._note_replace(target, value) and value:
+                    self.inserts.append(
+                        (target, len(target.children), Text(value),
+                         target))
+                return
+            if len(target.children) != 1 \
+                    or not isinstance(target.children[0], Text):
+                raise UpdateError(
+                    "replace value of an element is only supported when "
+                    "its content is a single text node (or empty)")
+            text = target.children[0]
+        else:
+            raise UpdateError("replace value targets must be text or "
+                              "element nodes")
+        if not self._note_replace(text, value):
+            return
+        if value:
+            self.set_values.append((text, value))
+        else:
+            self.deletes.append(text)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self) -> dict[str, int]:
+        deletes = self._collapse_deletes()
+
+        def survives(node: Node) -> bool:
+            return not any(_is_within(node, d) for d in deletes)
+
+        set_values = self._dedupe(
+            [sv for sv in self.set_values if survives(sv[0])],
+            "replace value of")
+        renames = self._dedupe(
+            [rn for rn in self.renames if survives(rn[0])], "rename")
+        inserts = [ins for ins in self.inserts if survives(ins[3])]
+
+        for text, value in set_values:
+            text.text = value
+        for element, name in renames:
+            element.name = name
+        # Group inserts by boundary; splice high indices first so lower
+        # boundaries stay valid, each group in statement order.
+        grouped: dict[tuple[int, int], list[Node]] = {}
+        parents: dict[int, Node] = {}
+        for parent, index, payload, __ in inserts:
+            grouped.setdefault((id(parent), index), []).append(payload)
+            parents[id(parent)] = parent
+        inserted_nodes = 0
+        for (parent_id, index), payloads in sorted(
+                grouped.items(), key=lambda item: item[0][1],
+                reverse=True):
+            parent = parents[parent_id]
+            for payload in payloads:
+                payload.parent = parent
+                inserted_nodes += _subtree_size(payload)
+            parent.children[index:index] = payloads
+        deleted_nodes = 0
+        for node in deletes:
+            parent = node.parent
+            if parent is not None:
+                parent.children.remove(node)
+                node.parent = None
+                deleted_nodes += _subtree_size(node)
+        return {
+            "nodes_inserted": inserted_nodes,
+            "nodes_deleted": deleted_nodes,
+            "values_replaced": len(set_values),
+            "nodes_renamed": len(renames),
+        }
+
+    def _collapse_deletes(self) -> list[Node]:
+        unique: list[Node] = []
+        for node in self.deletes:
+            if any(node is other for other in unique):
+                continue
+            unique.append(node)
+        return [node for node in unique
+                if not any(other is not node and _is_within(node, other)
+                           for other in unique)]
+
+    @staticmethod
+    def _dedupe(primitives: list[tuple], kind: str) -> list[tuple]:
+        seen: dict[int, tuple] = {}
+        kept = []
+        for primitive in primitives:
+            key = id(primitive[0])
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = primitive
+                kept.append(primitive)
+            elif existing[1] != primitive[1]:
+                raise UpdateError(
+                    f"conflicting '{kind}' primitives target the same "
+                    f"node")
+        return kept
+
+    # -- target / operand evaluation ----------------------------------------
+
+    def _single(self, target: Query, kind: str) -> Node:
+        nodes = list(self._targets(target))
+        if len(nodes) != 1:
+            raise UpdateError(f"'{kind}' target must select exactly one "
+                              f"node, got {len(nodes)}")
+        return nodes[0]
+
+    def _targets(self, query: Query) -> Iterator[Node]:
+        yield from self._eval_target(query, self.env)
+
+    def _eval_target(self, query: Query, env: dict[str, Node]
+                     ) -> Iterator[Node]:
+        if isinstance(query, Empty):
+            return
+        if isinstance(query, Var):
+            node = env.get(query.name)
+            if node is None:
+                raise UpdateError(f"unbound variable ${query.name} in "
+                                  f"update target")
+            yield node
+            return
+        if isinstance(query, Step):
+            yield from eval_memory._step(query, env, _TICK)
+            return
+        if isinstance(query, For):
+            for node in eval_memory._step(query.source, env, _TICK):
+                inner = dict(env)
+                inner[query.var] = node
+                yield from self._eval_target(query.body, inner)
+            return
+        if isinstance(query, If):
+            if eval_memory._cond(query.cond, env, _TICK):
+                yield from self._eval_target(query.body, env)
+            return
+        if isinstance(query, Sequence):
+            yield from self._eval_target(query.left, env)
+            yield from self._eval_target(query.right, env)
+            return
+        raise UpdateError(f"update targets must navigate the document; "
+                          f"{type(query).__name__} is not a path "
+                          f"expression")
+
+    def _content(self, content: Query) -> Node:
+        env: dict[str, Node] = {}
+        for name, value in self.bindings.items():
+            env[name] = value if isinstance(value, Text) else Text(value)
+        try:
+            nodes = eval_memory.evaluate(content, Document(),
+                                         environment=env)
+        except Exception as exc:
+            raise UpdateError(f"insert content failed to evaluate: "
+                              f"{exc}") from exc
+        if len(nodes) != 1:
+            raise UpdateError(f"insert content must produce exactly one "
+                              f"node, got {len(nodes)}")
+        node = nodes[0]
+        if not isinstance(node, (Element, Text)):
+            raise UpdateError("insert content must be an element or a "
+                              "text node")
+        return node
+
+    def _string(self, operand: Query, context: str) -> str:
+        if isinstance(operand, TextLiteral):
+            return operand.text
+        if isinstance(operand, Var):
+            value = self.bindings.get(operand.name)
+            if value is None:
+                raise UpdateError(f"unbound variable ${operand.name} "
+                                  f"after '{context}'")
+            return value.text if isinstance(value, Text) else value
+        raise UpdateError(f"expected a string literal or variable after "
+                          f"'{context}'")

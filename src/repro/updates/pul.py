@@ -1,0 +1,206 @@
+"""Pending update lists: resolved primitives and conflict validation.
+
+Updating expressions never mutate anything while they evaluate.  Target
+paths run against the original document snapshot and each selected node
+contributes one *primitive* — a storage-level edit anchored at the
+node's original in/out numbers.  The full list is then validated as a
+whole (XQUF's "pending update list" model) and applied atomically.
+
+Primitives and their anchors:
+
+* :class:`DeleteSubtree` — remove the closed interval ``[in, out]``;
+* :class:`InsertSubtree` — splice a shredded subtree in at ``pivot``,
+  the first in/out number the new nodes occupy;
+* :class:`SetValue` — overwrite one text node's value in place;
+* :class:`Rename` — overwrite one element's label in place.
+
+Validation order (all on original numbering):
+
+1. duplicate deletes and deletes nested inside other deletes collapse;
+2. two ``SetValue`` (or two ``Rename``) on the same node with different
+   replacements conflict — :class:`~repro.errors.UpdateError`; equal
+   replacements deduplicate;
+3. any primitive anchored at or inside a deleted subtree is dropped —
+   the delete wins (so ``delete //a, rename //a as b`` is legal and
+   deletes).
+
+Application order is part of the semantics this module fixes (XQUF
+leaves it implementation-defined): point edits first, then structural
+edits from the highest pivot down, inserts at the *same* pivot landing
+in statement order.  :mod:`repro.updates.memory` — the differential
+oracle — implements the same rules over the DOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UpdateError
+
+#: One shredded node of an insert payload, numbered relative to the
+#: splice point: ``(in, out, parent_in, type, value)`` with in/out
+#: counting from 0 and ``parent_in = -1`` marking children of the
+#: insertion parent.
+RelTuple = tuple[int, int, int, int, str]
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Remove the subtree spanning ``[in_, out]`` (the target node's
+    interval)."""
+
+    in_: int
+    out: int
+
+    @property
+    def pivot(self) -> int:
+        return self.in_
+
+    def contains(self, number: int) -> bool:
+        return self.in_ <= number <= self.out
+
+    @property
+    def node_count(self) -> int:
+        return (self.out - self.in_ + 1) // 2
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Splice ``tuples`` in so their numbers start at ``pivot``.
+
+    ``parent_in`` is the (original-numbering) in-value of the node that
+    becomes the parent of the payload's root(s); it is always strictly
+    below ``pivot``, so it never renumbers away.  ``anchor_in`` is the
+    in-value of the target node the position was computed from — used
+    only by validation (an insert whose anchor is deleted is dropped).
+    """
+
+    pivot: int
+    parent_in: int
+    anchor_in: int
+    tuples: tuple[RelTuple, ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def number_span(self) -> int:
+        """How many in/out numbers the payload consumes (2 per node)."""
+        return 2 * len(self.tuples)
+
+
+@dataclass(frozen=True)
+class SetValue:
+    """Overwrite the value of the text node at ``in_``."""
+
+    in_: int
+    value: str
+
+    @property
+    def pivot(self) -> int:  # pragma: no cover - uniform interface
+        return self.in_
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Overwrite the label of the element at ``in_``."""
+
+    in_: int
+    name: str
+
+    @property
+    def pivot(self) -> int:  # pragma: no cover - uniform interface
+        return self.in_
+
+
+@dataclass
+class PendingUpdateList:
+    """All primitives one updating statement resolved to.
+
+    Primitives keep their statement order within each list; validation
+    (:meth:`validated`) produces a new, conflict-free PUL ready for
+    :func:`repro.updates.apply.apply_pul`.
+    """
+
+    deletes: list[DeleteSubtree] = field(default_factory=list)
+    inserts: list[InsertSubtree] = field(default_factory=list)
+    set_values: list[SetValue] = field(default_factory=list)
+    renames: list[Rename] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return (len(self.deletes) + len(self.inserts)
+                + len(self.set_values) + len(self.renames))
+
+    # -- validation ----------------------------------------------------------
+
+    def validated(self) -> "PendingUpdateList":
+        """Check conflicts; returns the deduplicated, droppable-free PUL."""
+        deletes = self._collapse_deletes()
+
+        def survives(anchor: int) -> bool:
+            return not any(d.contains(anchor) for d in deletes)
+
+        set_values = self._dedupe_point(
+            [sv for sv in self.set_values if survives(sv.in_)],
+            kind="replace value of")
+        renames = self._dedupe_point(
+            [rn for rn in self.renames if survives(rn.in_)],
+            kind="rename")
+        inserts = [ins for ins in self.inserts if survives(ins.anchor_in)]
+        return PendingUpdateList(deletes=deletes, inserts=inserts,
+                                 set_values=set_values, renames=renames)
+
+    def _collapse_deletes(self) -> list[DeleteSubtree]:
+        """Drop duplicate deletes and deletes inside other deletes."""
+        unique: dict[int, DeleteSubtree] = {}
+        for delete in self.deletes:
+            unique.setdefault(delete.in_, delete)
+        kept: list[DeleteSubtree] = []
+        for delete in unique.values():
+            if any(other.in_ < delete.in_ and delete.out < other.out
+                   for other in unique.values()):
+                continue
+            kept.append(delete)
+        return kept
+
+    @staticmethod
+    def _dedupe_point(primitives, kind: str):
+        """Equal point edits on one node collapse; unequal ones conflict."""
+        by_target: dict[int, object] = {}
+        kept = []
+        for primitive in primitives:
+            existing = by_target.get(primitive.in_)
+            if existing is None:
+                by_target[primitive.in_] = primitive
+                kept.append(primitive)
+            elif existing != primitive:
+                raise UpdateError(
+                    f"conflicting '{kind}' primitives target the same "
+                    f"node (in={primitive.in_})")
+        return kept
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What one updating statement did.
+
+    Node counts are whole-subtree counts (deleting a node with three
+    descendants counts four).  ``stats_version`` is the document's new
+    catalog/statistics version — the value prepared plans were
+    invalidated to.
+    """
+
+    nodes_inserted: int = 0
+    nodes_deleted: int = 0
+    values_replaced: int = 0
+    nodes_renamed: int = 0
+    stats_version: int = 0
+
+    @property
+    def total_changes(self) -> int:
+        return (self.nodes_inserted + self.nodes_deleted
+                + self.values_replaced + self.nodes_renamed)
+
+    def __bool__(self) -> bool:
+        return self.total_changes > 0

@@ -24,15 +24,20 @@ from repro.xq.ast import (
     Axis,
     Condition,
     Constr,
+    DeleteNode,
     Empty,
     For,
     If,
+    InsertNode,
+    InsertPosition,
     LabelTest,
     NodeTest,
     Not,
     Or,
     Program,
     Query,
+    RenameNode,
+    ReplaceValue,
     ROOT_VAR,
     Sequence,
     Some,
@@ -40,6 +45,8 @@ from repro.xq.ast import (
     TextLiteral,
     TextTest,
     TrueCond,
+    UpdateExpr,
+    UpdateList,
     Var,
     VarEqConst,
     VarEqVar,
@@ -73,6 +80,13 @@ __all__ = [
     "Or",
     "Not",
     "ROOT_VAR",
+    "UpdateExpr",
+    "InsertNode",
+    "InsertPosition",
+    "DeleteNode",
+    "ReplaceValue",
+    "RenameNode",
+    "UpdateList",
     "Program",
     "parse_query",
     "parse_program",

@@ -212,23 +212,140 @@ class Not(Condition):
 
 
 # --------------------------------------------------------------------------
+# Update expressions (the XQuery Update Facility subset)
+# --------------------------------------------------------------------------
+
+
+class UpdateExpr:
+    """Base class of updating expressions.
+
+    Updating expressions are statements, not queries: they evaluate to
+    the empty sequence and instead contribute primitives to a pending
+    update list (:mod:`repro.updates.pul`).  ``target`` fields hold
+    ordinary XQ path queries evaluated against the *original* document
+    state; the updates themselves apply atomically afterwards.
+    """
+
+    __slots__ = ()
+
+
+class InsertPosition(enum.Enum):
+    """Where an inserted subtree lands relative to the target node."""
+
+    #: Last child of the target (``into`` and ``as last into``).
+    LAST_INTO = "as last into"
+    #: First child of the target.
+    FIRST_INTO = "as first into"
+    #: Immediately preceding sibling of the target.
+    BEFORE = "before"
+    #: Immediately following sibling of the target.
+    AFTER = "after"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class InsertNode(UpdateExpr):
+    """``insert node content [as first|as last] into|before|after target``.
+
+    ``content`` is a constructor, text literal or external variable
+    (evaluated without access to the document); ``target`` must select
+    exactly one node.
+    """
+
+    content: Query
+    position: InsertPosition
+    target: Query
+
+
+@dataclass(frozen=True)
+class DeleteNode(UpdateExpr):
+    """``delete node target`` / ``delete nodes target``.
+
+    Deletes the whole subtree under every selected node (zero nodes is a
+    no-op, matching XQUF).
+    """
+
+    target: Query
+
+
+@dataclass(frozen=True)
+class ReplaceValue(UpdateExpr):
+    """``replace value of node target with value``.
+
+    ``target`` must select exactly one text node, or an element whose
+    content is a single text node (or empty); ``value`` is a text
+    literal or an external variable.
+    """
+
+    target: Query
+    value: Query
+
+
+@dataclass(frozen=True)
+class RenameNode(UpdateExpr):
+    """``rename node target as name`` — target must be one element."""
+
+    target: Query
+    name: Query
+
+
+@dataclass(frozen=True)
+class UpdateList(UpdateExpr):
+    """A comma-separated list of updating expressions.
+
+    All member expressions' targets are evaluated against the original
+    document and their primitives merged into one pending update list,
+    which is validated and applied as a single atomic transaction
+    (XQUF's snapshot semantics).
+    """
+
+    updates: tuple[UpdateExpr, ...]
+
+
+def update_free_variables(expr: UpdateExpr) -> frozenset[str]:
+    """Free variables of an updating expression (targets and values)."""
+    if isinstance(expr, UpdateList):
+        out: frozenset[str] = frozenset()
+        for update in expr.updates:
+            out |= update_free_variables(update)
+        return out
+    if isinstance(expr, InsertNode):
+        return free_variables(expr.content) | free_variables(expr.target)
+    if isinstance(expr, DeleteNode):
+        return free_variables(expr.target)
+    if isinstance(expr, ReplaceValue):
+        return free_variables(expr.target) | free_variables(expr.value)
+    if isinstance(expr, RenameNode):
+        return free_variables(expr.target) | free_variables(expr.name)
+    raise TypeError(f"not an update expression: {expr!r}")
+
+
+# --------------------------------------------------------------------------
 # Programs: a query plus its external-variable prolog
 # --------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class Program:
-    """A full XQ program: external-variable declarations plus the query.
+    """A full XQ program: external-variable declarations plus the body.
 
     ``declare variable $x external;`` entries populate ``externals``;
-    ``body`` is the query proper.  Programs are frozen (hence hashable),
-    so a program can serve directly as a plan-cache key: two textually
+    ``body`` is the query proper — or, for updating programs, an
+    :class:`UpdateExpr`.  Programs are frozen (hence hashable), so a
+    program can serve directly as a plan-cache key: two textually
     different query strings that desugar to the same core AST share one
     cached plan.
     """
 
-    body: Query
+    body: Query | UpdateExpr
     externals: tuple[str, ...] = ()
+
+    @property
+    def is_updating(self) -> bool:
+        """True when the body is an updating expression."""
+        return isinstance(self.body, UpdateExpr)
 
     def required_variables(self) -> frozenset[str]:
         """Variables an execution must supply bindings for.
@@ -238,8 +355,11 @@ class Program:
         declaration are *implicit* externals, bindable through the
         ``bindings={...}`` dict alone.
         """
-        return (frozenset(self.externals)
-                | (free_variables(self.body) - {ROOT_VAR}))
+        if isinstance(self.body, UpdateExpr):
+            free = update_free_variables(self.body)
+        else:
+            free = free_variables(self.body)
+        return frozenset(self.externals) | (free - {ROOT_VAR})
 
 
 # --------------------------------------------------------------------------

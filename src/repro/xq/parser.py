@@ -29,15 +29,20 @@ from repro.xq.ast import (
     Axis,
     Condition,
     Constr,
+    DeleteNode,
     Empty,
     For,
     If,
+    InsertNode,
+    InsertPosition,
     LabelTest,
     NodeTest,
     Not,
     Or,
     Program,
     Query,
+    RenameNode,
+    ReplaceValue,
     ROOT_VAR,
     Sequence,
     Some,
@@ -45,6 +50,8 @@ from repro.xq.ast import (
     TextLiteral,
     TextTest,
     TrueCond,
+    UpdateExpr,
+    UpdateList,
     Var,
     VarEqConst,
     VarEqVar,
@@ -53,6 +60,11 @@ from repro.xq.ast import (
 
 _KEYWORDS = {"for", "in", "return", "if", "then", "else", "some",
              "satisfies", "and", "or", "not", "true"}
+
+#: Keywords opening an updating expression.  Contextual: they are only
+#: recognised at the start of a program body (and after the commas of an
+#: update list), so element labels and variables may still use them.
+_UPDATE_STARTERS = ("insert", "delete", "replace", "rename")
 
 _NAME_START_EXTRA = set("_")
 _NAME_EXTRA = set("_-.")
@@ -228,15 +240,138 @@ class _Parser:
     # -- entry point --------------------------------------------------------
 
     def parse(self) -> Query:
-        return self.parse_program().body
+        body = self.parse_program().body
+        if isinstance(body, UpdateExpr):
+            raise XQSyntaxError("updating expression where a query was "
+                                "expected; use parse_program / "
+                                "Session.execute for updates")
+        return body
 
     def parse_program(self) -> Program:
         externals = self.parse_prolog()
-        query = self.parse_sequence()
+        if any(self.scanner.looking_at_keyword(word)
+               for word in _UPDATE_STARTERS):
+            body: Query | UpdateExpr = self.parse_update_list()
+        else:
+            body = self.parse_sequence()
         if not self.scanner.at_end():
             raise self.scanner.error(
                 f"unexpected trailing input {self.scanner.peek()!r}")
-        return Program(body=query, externals=externals)
+        return Program(body=body, externals=externals)
+
+    # -- updating expressions ------------------------------------------------
+
+    def parse_update_list(self) -> UpdateExpr:
+        """One or more comma-separated updating expressions."""
+        updates = [self.parse_update()]
+        while self.scanner.try_literal(","):
+            updates.append(self.parse_update())
+        if len(updates) == 1:
+            return updates[0]
+        return UpdateList(tuple(updates))
+
+    def parse_update(self) -> UpdateExpr:
+        scanner = self.scanner
+        if scanner.try_keyword("insert"):
+            return self.parse_insert()
+        if scanner.try_keyword("delete"):
+            if not scanner.try_keyword("nodes"):
+                scanner.expect_keyword("node")
+            return DeleteNode(target=self.parse_update_target())
+        if scanner.try_keyword("replace"):
+            scanner.expect_keyword("value")
+            scanner.expect_keyword("of")
+            scanner.expect_keyword("node")
+            target = self.parse_update_target()
+            scanner.expect_keyword("with")
+            return ReplaceValue(target=target,
+                                value=self.parse_update_string("with"))
+        if scanner.try_keyword("rename"):
+            scanner.expect_keyword("node")
+            target = self.parse_update_target()
+            scanner.expect_keyword("as")
+            return RenameNode(target=target, name=self.parse_update_name())
+        raise scanner.error("expected an updating expression (insert, "
+                            "delete, replace, rename)")
+
+    def parse_insert(self) -> InsertNode:
+        scanner = self.scanner
+        scanner.expect_keyword("node")
+        content = self.parse_insert_content()
+        if scanner.try_keyword("as"):
+            if scanner.try_keyword("first"):
+                position = InsertPosition.FIRST_INTO
+            else:
+                scanner.expect_keyword("last")
+                position = InsertPosition.LAST_INTO
+            scanner.expect_keyword("into")
+        elif scanner.try_keyword("into"):
+            # Plain ``into`` leaves the position to the implementation
+            # (XQUF 3.1.1); this one appends, like ``as last into``.
+            position = InsertPosition.LAST_INTO
+        elif scanner.try_keyword("before"):
+            position = InsertPosition.BEFORE
+        elif scanner.try_keyword("after"):
+            position = InsertPosition.AFTER
+        else:
+            raise scanner.error("expected 'into', 'as first into', "
+                                "'as last into', 'before' or 'after'")
+        return InsertNode(content=content, position=position,
+                          target=self.parse_update_target())
+
+    def parse_insert_content(self) -> Query:
+        """Content of an insert: constructor, string, or external var.
+
+        Content is evaluated without access to the stored document
+        (copied-in new nodes only), so paths are not accepted here.
+        """
+        if self.scanner.looking_at("<"):
+            return self.parse_constructor()
+        operand = self._try_string_or_var()
+        if operand is None:
+            raise self.scanner.error(
+                "insert content must be an element constructor, a "
+                "string literal or a variable")
+        return operand
+
+    def parse_update_target(self) -> Query:
+        """Target of an update: a path expression over the document.
+
+        ``for``-shaped targets are also accepted — multi-step paths
+        desugar to nested fors, and their unparsed form must re-parse.
+        """
+        scanner = self.scanner
+        if scanner.looking_at_keyword("for"):
+            return self.parse_for()
+        scanner.skip_ws()
+        if scanner.peek() not in ("$", "/"):
+            raise scanner.error("update target must be a path expression "
+                                "(starting with '$' or '/')")
+        return self.parse_path_query()
+
+    def _try_string_or_var(self) -> Query | None:
+        """A string-literal or ``$var`` operand, or None — the shared
+        scalar-operand scan of the updating grammar."""
+        scanner = self.scanner
+        scanner.skip_ws()
+        if scanner.peek() in ("'", '"'):
+            return TextLiteral(scanner.read_string())
+        if scanner.peek() == "$":
+            return Var(scanner.read_variable())
+        return None
+
+    def parse_update_string(self, after: str) -> Query:
+        operand = self._try_string_or_var()
+        if operand is None:
+            raise self.scanner.error(f"expected a string literal or a "
+                                     f"variable after '{after}'")
+        return operand
+
+    def parse_update_name(self) -> Query:
+        operand = self._try_string_or_var()
+        if operand is not None:
+            return operand
+        return TextLiteral(self.scanner.read_name())
 
     # -- prolog -------------------------------------------------------------
 

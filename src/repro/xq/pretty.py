@@ -11,29 +11,65 @@ from repro.xq.ast import (
     And,
     Condition,
     Constr,
+    DeleteNode,
     Empty,
     For,
     If,
+    InsertNode,
     Not,
     Or,
     Query,
+    RenameNode,
+    ReplaceValue,
     ROOT_VAR,
     Sequence,
     Some,
     Step,
     TextLiteral,
     TrueCond,
+    UpdateExpr,
+    UpdateList,
     Var,
     VarEqConst,
     VarEqVar,
 )
 
 
-def unparse(expr: Query | Condition) -> str:
-    """Render an XQ query or condition as text."""
+def unparse(expr: Query | Condition | UpdateExpr) -> str:
+    """Render an XQ query, condition or updating expression as text."""
+    if isinstance(expr, UpdateExpr):
+        return _update(expr)
     if isinstance(expr, Query):
         return _query(expr)
     return _condition(expr)
+
+
+def _string(text: str) -> str:
+    return '"' + text.replace('"', '""') + '"'
+
+
+def _update(expr: UpdateExpr) -> str:
+    if isinstance(expr, UpdateList):
+        return ", ".join(_update(update) for update in expr.updates)
+    if isinstance(expr, InsertNode):
+        content = (_string(expr.content.text)
+                   if isinstance(expr.content, TextLiteral)
+                   else _query(expr.content))
+        return (f"insert node {content} {expr.position.value} "
+                f"{_query(expr.target)}")
+    if isinstance(expr, DeleteNode):
+        return f"delete node {_query(expr.target)}"
+    if isinstance(expr, ReplaceValue):
+        value = (_string(expr.value.text)
+                 if isinstance(expr.value, TextLiteral)
+                 else _query(expr.value))
+        return f"replace value of node {_query(expr.target)} with {value}"
+    if isinstance(expr, RenameNode):
+        name = (_string(expr.name.text)
+                if isinstance(expr.name, TextLiteral)
+                else _query(expr.name))
+        return f"rename node {_query(expr.target)} as {name}"
+    raise TypeError(f"not an update expression: {expr!r}")
 
 
 def _var(name: str) -> str:

@@ -1,0 +1,95 @@
+"""Subprocess writer for the kill -9 crash-recovery harness.
+
+Not a test module — ``tests/test_crash_recovery.py`` runs this script in
+a child process and kills it (or lets it kill itself at an injected
+fault point), then asserts the database recovers to a committed-prefix
+state.
+
+Usage::
+
+    python tests/crash_writer.py <db-path> <total-updates>
+
+Protocol on stdout (line-buffered):
+
+* ``READY`` once the base document is loaded;
+* ``ACK <i>`` after update ``i`` has committed (the durability
+  acknowledgement the harness holds the system to).
+
+Fault injection via environment variables:
+
+* ``REPRO_CRASH_AT_COMMIT=<k>`` with ``REPRO_CRASH_POINT=...``:
+
+  - ``before_commit`` — SIGKILL self just before the k-th commit writes
+    anything: the k-th update must be entirely absent after recovery;
+  - ``after_sync``    — SIGKILL self right after the k-th commit's
+    fsync returns, before the pages reach the database file and before
+    the ACK: the update is durable and recovery must surface it;
+  - ``torn_tail``     — append the k-th transaction's page records but
+    neither the COMMIT nor a sync, then SIGKILL: recovery must discard
+    the torn tail.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+
+BASE_XML = "<log><meta>start</meta></log>"
+
+
+def _die() -> None:
+    sys.stdout.flush()
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _install_fault(crash_at: int, point: str) -> None:
+    from repro.storage import wal as walmod
+
+    original = walmod.WriteAheadLog.log_commit
+    state = {"commit": 0}
+
+    def patched(self, images):
+        commit = state["commit"]
+        state["commit"] += 1
+        if commit == crash_at:
+            if point == "before_commit":
+                _die()
+            if point == "torn_tail":
+                for page_id, image in sorted(images.items()):
+                    self._append(walmod._PAGE, page_id, image)
+                self._file.flush()
+                _die()
+        lsn = original(self, images)
+        if commit == crash_at and point == "after_sync":
+            _die()
+        return lsn
+
+    walmod.WriteAheadLog.log_commit = patched
+
+
+def main() -> int:
+    db_path = sys.argv[1]
+    total = int(sys.argv[2])
+    crash_at = int(os.environ.get("REPRO_CRASH_AT_COMMIT", "-1"))
+    point = os.environ.get("REPRO_CRASH_POINT", "")
+    if point:
+        _install_fault(crash_at, point)
+
+    from repro.core.dbms import XmlDbms
+
+    dbms = XmlDbms(db_path)
+    if "log" not in dbms.documents():
+        dbms.load("log", xml=BASE_XML)
+    print("READY", flush=True)
+    for i in range(total):
+        dbms.update("log",
+                    f"insert node <e{i}>v{i}</e{i}> as last into /log")
+        print(f"ACK {i}", flush=True)
+    dbms.close()
+    print("DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
