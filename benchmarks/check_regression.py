@@ -12,7 +12,11 @@ suite emits (all higher-is-better ratios — speedups — so the gate is
 robust to the absolute speed of the CI runner).  A metric regresses when
 its current value falls more than ``tolerance`` (default 20%) below the
 committed floor; a metric missing from the bench output also fails, so a
-benchmark silently not running cannot pass the gate.
+benchmark silently not running cannot pass the gate.  Two further
+integrity checks: the same metric name appearing in two BENCH files is
+an error (a later file silently overwriting an earlier one could mask a
+regression), and a benched metric with no committed floor is warned
+about, so new benchmarks don't ride along ungated forever.
 """
 
 from __future__ import annotations
@@ -22,12 +26,29 @@ import json
 import sys
 
 
+class DuplicateMetricError(ValueError):
+    """The same metric name appeared in more than one BENCH file."""
+
+
 def load_metrics(paths: list[str]) -> dict[str, float]:
+    """Merge the ``metrics`` maps of all BENCH files.
+
+    Raises :class:`DuplicateMetricError` if a name occurs twice — each
+    benchmark must own its metric names, otherwise whichever file is
+    listed last would silently win and could hide a regression.
+    """
     metrics: dict[str, float] = {}
+    owner: dict[str, str] = {}
     for path in paths:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
-        metrics.update(data.get("metrics", {}))
+        for name, value in data.get("metrics", {}).items():
+            if name in owner:
+                raise DuplicateMetricError(
+                    f"metric {name!r} appears in both {owner[name]} "
+                    f"and {path}")
+            owner[name] = path
+            metrics[name] = value
     return metrics
 
 
@@ -46,7 +67,16 @@ def main(argv: list[str] | None = None) -> int:
         baseline = json.load(handle)
     tolerance = (args.tolerance if args.tolerance is not None
                  else baseline.get("tolerance", 0.20))
-    current = load_metrics(args.bench_files)
+    try:
+        current = load_metrics(args.bench_files)
+    except DuplicateMetricError as error:
+        print(f"FAIL {error}", file=sys.stderr)
+        return 1
+
+    unbaselined = sorted(set(current) - set(baseline["metrics"]))
+    for name in unbaselined:
+        print(f"WARN {name}: {current[name]} has no committed floor in "
+              f"{args.baseline} (add one to gate it)")
 
     failures = []
     for name, floor in sorted(baseline["metrics"].items()):

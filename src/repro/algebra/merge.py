@@ -31,6 +31,8 @@ from repro.algebra.ra import (
     Compare,
     Const,
     EQ,
+    GT,
+    LT,
     PSX,
     Residual,
     VarField,
@@ -271,7 +273,7 @@ def promote_residuals(expr: TpmExpr) -> TpmExpr:
 
 def promote_in_psx(psx: PSX) -> PSX:
     from repro.xasr.schema import TEXT
-    from repro.xq.ast import VarEqConst, VarEqVar
+    from repro.xq.ast import VarCmpConst, VarEqConst, VarEqVar
 
     text_aliases = {
         condition.left.alias
@@ -302,6 +304,14 @@ def promote_in_psx(psx: PSX) -> PSX:
             if (var is not None and var[0] == "alias"
                     and var[1] in text_aliases):
                 conditions.append(Compare(Attr(var[1], "value"), EQ,
+                                          Const(cond.literal)))
+                continue
+        if isinstance(cond, VarCmpConst):
+            var = bound.get(cond.var)
+            if (var is not None and var[0] == "alias"
+                    and var[1] in text_aliases):
+                op = LT if cond.op == "<" else GT
+                conditions.append(Compare(Attr(var[1], "value"), op,
                                           Const(cond.literal)))
                 continue
         residuals.append(residual)

@@ -36,6 +36,7 @@ from repro.algebra.ra import (
     Compare,
     Const,
     EQ,
+    GT,
     LT,
     PSX,
     Residual,
@@ -74,6 +75,7 @@ from repro.xq.ast import (
     TextTest,
     TrueCond,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
     WildcardTest,
@@ -272,6 +274,14 @@ def _translate_condition(cond: Condition, context: _Context
             alias = bound[0]
             return [Compare(Attr(alias, "value"), EQ, Const(cond.literal))], \
                 [], []
+        return [], [], [_residual(cond, context)]
+    if isinstance(cond, VarCmpConst):
+        bound = context.scope.get(cond.var)
+        if bound is not None and bound[1]:
+            alias = bound[0]
+            op = LT if cond.op == "<" else GT
+            return [Compare(Attr(alias, "value"), op,
+                            Const(cond.literal))], [], []
         return [], [], [_residual(cond, context)]
     if isinstance(cond, VarEqVar):
         left = context.scope.get(cond.left)

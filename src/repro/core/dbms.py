@@ -47,7 +47,11 @@ from repro.storage.pager import PAGE_SIZE
 from repro.updates import UpdateResult, apply_pul, collect_pul
 from repro.xasr import schema
 from repro.xasr.document import StoredDocument
-from repro.xasr.loader import DocumentStatistics, load_document
+from repro.xasr.loader import (
+    DocumentStatistics,
+    build_value_index,
+    load_document,
+)
 from repro.xmlkit.dom import Node
 from repro.xmlkit.tokenizer import iterparse, iterparse_file
 from repro.xq.ast import Program, Query, UpdateExpr
@@ -164,15 +168,23 @@ class XmlDbms:
         return names
 
     def drop(self, name: str) -> None:
-        """Remove a document from the catalog."""
+        """Remove a document (and its value indexes) from the catalog."""
         with self._lock:
             if not self.db.exists(schema.table_name(name)):
                 raise CatalogError(f"document {name!r} is not loaded")
             self.db.checkpoint()
-            for object_name in (schema.table_name(name),
-                                schema.index_label_name(name),
-                                schema.index_parent_name(name),
-                                schema.stats_name(name)):
+            object_names = [schema.table_name(name),
+                            schema.index_label_name(name),
+                            schema.index_parent_name(name),
+                            schema.stats_name(name)]
+            catalog = self.db.get_meta(
+                schema.value_index_catalog_name(name))
+            if catalog is not None:
+                object_names.append(schema.value_index_catalog_name(name))
+                object_names.extend(
+                    schema.value_index_name(name, label)
+                    for label in catalog.get("labels", []))
+            for object_name in object_names:
                 if self.db.exists(object_name):
                     self.db.drop(object_name)
             self.db.checkpoint()
@@ -280,6 +292,82 @@ class XmlDbms:
             names = ", ".join(f"${name}" for name in sorted(extra))
             raise UpdateError(f"unexpected binding(s) {names}: not used "
                               f"by the update statement")
+
+    # -- secondary value indexes ----------------------------------------------
+
+    def create_index(self, document: str, label: str) -> None:
+        """Create a secondary value index on ``label`` for ``document``.
+
+        The index is a B+-tree mapping the text content of ``label``
+        elements (one entry per child text node, keyed ``(value,
+        element in, text in)``) to the element's in-interval; the
+        planner uses it to answer equality and range predicates over
+        those values with an index scan
+        (:class:`~repro.physical.operators.ValueIndexScan`), and the
+        update path maintains it incrementally inside the same WAL
+        transaction as the document rewrite.
+
+        The build is a bulk-load pass bracketed by checkpoints (like
+        :meth:`load`); the index becomes visible atomically when its
+        catalog registration is written *after* the build, so a crash
+        mid-build leaves the document untouched and the index simply
+        absent.  The document latch is held exclusively: served readers
+        finish first, and queries prepared before the build pick up the
+        index through the catalog-version bump.
+        """
+        with self.document_latch(document).exclusive():
+            with self._lock:
+                if not self.db.exists(schema.table_name(document)):
+                    raise CatalogError(
+                        f"document {document!r} is not loaded")
+                catalog_name = schema.value_index_catalog_name(document)
+                catalog = self.db.get_meta(catalog_name) or {"labels": []}
+                if label in catalog["labels"]:
+                    raise CatalogError(
+                        f"document {document!r} already has a value "
+                        f"index on label {label!r}")
+                # Bulk builds bypass the WAL; checkpointing first means
+                # no stale record can replay over the raw writes, and
+                # the closing checkpoint makes the build durable.
+                self.db.checkpoint()
+                build_value_index(self.db, document, label)
+                self.db.put_meta(catalog_name, {
+                    "labels": sorted([*catalog["labels"], label])})
+                self.db.checkpoint()
+                self._invalidate(document)
+
+    def drop_index(self, document: str, label: str) -> None:
+        """Drop a value index; its pages return to the free list.
+
+        Runs as one WAL transaction (deregistration and page frees
+        commit atomically) under the document's exclusive latch, so no
+        served reader can be mid-scan over the freed pages.
+        """
+        with self.document_latch(document).exclusive():
+            with self._lock:
+                catalog_name = schema.value_index_catalog_name(document)
+                catalog = self.db.get_meta(catalog_name)
+                if catalog is None or label not in catalog["labels"]:
+                    raise CatalogError(
+                        f"document {document!r} has no value index on "
+                        f"label {label!r}")
+                with self.db.transaction():
+                    self.db.drop_btree(
+                        schema.value_index_name(document, label))
+                    self.db.put_meta(catalog_name, {
+                        "labels": [entry for entry in catalog["labels"]
+                                   if entry != label]})
+                self._invalidate(document)
+
+    def indexes(self, document: str) -> list[str]:
+        """Labels of ``document`` carrying a value index, sorted."""
+        if not self.db.exists(schema.table_name(document)):
+            raise CatalogError(f"document {document!r} is not loaded")
+        catalog = self.db.get_meta(
+            schema.value_index_catalog_name(document))
+        if catalog is None:
+            return []
+        return sorted(catalog.get("labels", []))
 
     def statistics(self, name: str) -> DocumentStatistics:
         """The statistics gathered when ``name`` was loaded."""

@@ -330,6 +330,25 @@ class Session:
         return self.dbms.update(document, self._parse(statement),
                                 bindings=bindings)
 
+    # -- secondary value indexes ----------------------------------------------
+
+    def create_index(self, document: str, label: str) -> None:
+        """Create a value index (see :meth:`XmlDbms.create_index`).
+
+        Plans cached by this (and every other) session for the document
+        are invalidated through the catalog-version bump, so the next
+        execution replans against the new access path.
+        """
+        self.dbms.create_index(document, label)
+
+    def drop_index(self, document: str, label: str) -> None:
+        """Drop a value index (see :meth:`XmlDbms.drop_index`)."""
+        self.dbms.drop_index(document, label)
+
+    def indexes(self, document: str) -> list[str]:
+        """Labels of ``document`` carrying a value index."""
+        return self.dbms.indexes(document)
+
     def query(self, document: str, query: str | Query | Program,
               bindings: dict[str, object] | None = None,
               profile: EngineProfile | str | None = None,

@@ -74,7 +74,8 @@ class AlgebraicEvaluator:
         self.merge = merge
         self.eliminate_redundant = eliminate_redundant
         self.carry_out_values = carry_out_values
-        self.planner = Planner(document.statistics, self.config)
+        self.planner = Planner(document.statistics, self.config,
+                               value_indexes=document.value_index_labels)
         self.last_tpm: TpmExpr | None = None
         # Guards lazy plan population: a shared PlanSet (one per
         # CompiledQuery) may be filled from several executing threads.

@@ -43,6 +43,7 @@ from repro.xq.ast import (
     TextTest,
     TrueCond,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
     WildcardTest,
@@ -168,6 +169,10 @@ class NavigationalEvaluator:
                     == self._text_value(env, cond.right))
         if isinstance(cond, VarEqConst):
             return self._text_value(env, cond.var) == cond.literal
+        if isinstance(cond, VarCmpConst):
+            value = self._text_value(env, cond.var)
+            return value < cond.literal if cond.op == "<" \
+                else value > cond.literal
         if isinstance(cond, Some):
             for node in self.step(cond.source, env):
                 inner = dict(env)

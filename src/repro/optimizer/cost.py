@@ -17,6 +17,7 @@ LabelIndexScan         h_idx + k/entries-per-index-page + k·h   (record fetch)
 PrimaryLookup          h
 PrimaryRangeScan       h + (subtree nodes)/nodes-per-page
 ChildLookup            h_idx + fanout·h
+ValueIndexScan         h_idx + k/entries-per-index-page + k·h   (record fetch)
 NestedLoopsJoin        cost(outer) + rows(outer)·pages(inner materialised)
 IndexNestedLoopsJoin   cost(outer) + rows(outer)·cost(probe)
 SemiJoin               cost(outer) + rows(outer)·cost(probe)/2  (early out)
@@ -92,6 +93,15 @@ class CostModel:
     def child_lookup(self, fanout: float, output_rows: float) -> Costed:
         fetches = fanout * self.tree_height
         return Costed(self.tree_height + fetches + fanout * CPU_FACTOR,
+                      output_rows)
+
+    def value_index_scan(self, matches: float,
+                         output_rows: float) -> Costed:
+        """Per-label value index: descend + contiguous entries + one
+        record fetch per match (plus the in-list sort, a CPU term)."""
+        index_pages = self.tree_height + matches / ENTRIES_PER_INDEX_PAGE
+        fetches = matches * self.tree_height
+        return Costed(index_pages + fetches + matches * CPU_FACTOR,
                       output_rows)
 
     # -- joins ------------------------------------------------------------------------

@@ -60,6 +60,7 @@ from repro.physical.operators import (
     ResidualFilter,
     SemiJoin,
     ValueIndexProbe,
+    ValueIndexScan,
 )
 from repro.physical.sort import ExternalSort
 from repro.xasr.loader import DocumentStatistics
@@ -75,6 +76,9 @@ class PlannerConfig:
     use_primary_range: bool = True
     use_inl_join: bool = True
     use_semijoin: bool = True
+    #: Consider secondary value indexes (``XmlDbms.create_index``) for
+    #: text-value equality and range predicates.
+    use_value_index: bool = True
     push_selections: bool = True
     create_joins: bool = True
     join_reorder: str = "cost"        # "syntactic" | "cost"
@@ -111,14 +115,22 @@ class _Access:
 
 
 class Planner:
-    """Builds a physical plan for each PSX block of a TPM tree."""
+    """Builds a physical plan for each PSX block of a TPM tree.
+
+    ``value_indexes`` names the document labels that carry a secondary
+    value index (``XmlDbms.create_index``); plan caches key on the
+    document's catalog version, which index creation bumps, so a planner
+    never holds a stale view of the available indexes.
+    """
 
     def __init__(self, statistics: DocumentStatistics,
-                 config: PlannerConfig | None = None):
+                 config: PlannerConfig | None = None,
+                 value_indexes: frozenset[str] = frozenset()):
         self.config = config or PlannerConfig()
         self.estimator = CardinalityEstimator(
             statistics, calibration=self.config.calibration)
         self.cost_model = CostModel(self.estimator)
+        self.value_indexes = frozenset(value_indexes)
 
     # ------------------------------------------------------------------
     # entry point
@@ -134,9 +146,12 @@ class Planner:
             root.batch_size = self.config.batch_size
             return root
 
+        value_preds = (_find_value_predicates(psx, self.value_indexes)
+                       if self.config.use_value_index else {})
         candidates: list[tuple[float, PhysicalOp]] = []
-        for leaf_order, strategy in self._leaf_orders(psx):
-            plan, costed = self._build(psx, leaf_order, strategy)
+        for leaf_order, strategy in self._leaf_orders(psx, value_preds):
+            plan, costed = self._build(psx, leaf_order, strategy,
+                                       value_preds)
             candidates.append((costed.cost, plan))
         if self.config.cost_based:
             candidates.sort(key=lambda item: item[0])
@@ -148,7 +163,9 @@ class Planner:
     # join-order candidates
     # ------------------------------------------------------------------
 
-    def _leaf_orders(self, psx: PSX) -> list[tuple[list[str], str]]:
+    def _leaf_orders(self, psx: PSX,
+                     value_preds: dict[str, "_ValuePred"] | None = None
+                     ) -> list[tuple[list[str], str]]:
         """Candidate (leaf order, order strategy) pairs.
 
         Strategy "preserve": the vartuple aliases lead, in vartuple order;
@@ -172,16 +189,19 @@ class Planner:
 
         if config.order_strategy in ("preserve", "auto"):
             orders.append((binding + self._greedy_tail(psx, binding,
-                                                       nonbinding),
+                                                       nonbinding,
+                                                       value_preds),
                            "preserve"))
         if config.order_strategy in ("sort", "auto"):
-            orders.append((self._greedy_order(psx), "sort"))
+            orders.append((self._greedy_order(psx, value_preds), "sort"))
         if not orders:
             orders.append((list(psx.relations), "sort"))
         return orders
 
     def _greedy_tail(self, psx: PSX, placed: list[str],
-                     remaining: list[str]) -> list[str]:
+                     remaining: list[str],
+                     value_preds: dict[str, "_ValuePred"] | None = None
+                     ) -> list[str]:
         """Order the non-binding aliases: connected-first, cheapest-first."""
         tail: list[str] = []
         current = list(placed)
@@ -189,13 +209,15 @@ class Planner:
         while pending:
             best = min(pending,
                        key=lambda alias: (*self._attach_estimate(
-                           psx, current, alias), alias))
+                           psx, current, alias, value_preds), alias))
             tail.append(best)
             current.append(best)
             pending.remove(best)
         return tail
 
-    def _greedy_order(self, psx: PSX) -> list[str]:
+    def _greedy_order(self, psx: PSX,
+                      value_preds: dict[str, "_ValuePred"] | None = None
+                      ) -> list[str]:
         """Full greedy join order: cheapest base, then cheapest attach."""
         aliases = list(psx.relations)
         if not self.config.cost_based:
@@ -206,33 +228,61 @@ class Planner:
         # tie-break — not the data — picks the join order.  This is the
         # reproduction of Figure 7's Engine-2 "unlucky estimates" failure.
         start = min(aliases,
-                    key=lambda alias: (self._base_estimate(psx, alias),
-                                       alias))
+                    key=lambda alias: (self._base_estimate(
+                        psx, alias, value_preds), alias))
         order = [start]
         pending = [alias for alias in aliases if alias != start]
         while pending:
             best = min(pending,
                        key=lambda alias: (*self._attach_estimate(
-                           psx, order, alias), alias))
+                           psx, order, alias, value_preds), alias))
             order.append(best)
             pending.remove(best)
         return order
 
-    def _base_estimate(self, psx: PSX, alias: str) -> float:
+    def _base_estimate(self, psx: PSX, alias: str,
+                       value_preds: dict[str, "_ValuePred"] | None = None
+                       ) -> float:
         rows = self.estimator.base_cardinality(
             psx.local_conditions(alias), alias)
+        # A text alias answerable from a per-label value index is
+        # estimated with the label-scoped histogram: the document-wide
+        # estimate can be orders of magnitude off for values shared with
+        # other labels, which would hide the index-first join order.
+        pred = (value_preds or {}).get(alias)
+        if pred is not None:
+            indexed = self._value_pred_estimate(pred)
+            if indexed is not None:
+                rows = min(rows, indexed)
         return rows
 
-    def _attach_estimate(self, psx: PSX, placed: list[str],
-                         alias: str) -> tuple[int, float]:
+    def _value_pred_estimate(self, pred: "_ValuePred") -> float | None:
+        """Per-label estimate of a value predicate with static bounds."""
+        estimator = self.estimator
+        if pred.eq is not None:
+            if isinstance(pred.eq[1], Const):
+                return estimator.label_text_cardinality(
+                    pred.label, value=str(pred.eq[1].value))
+            return estimator.label_text_probe_cardinality(pred.label)
+        low = (str(pred.low[1].value) if pred.low is not None
+               and isinstance(pred.low[1], Const) else None)
+        high = (str(pred.high[1].value) if pred.high is not None
+                and isinstance(pred.high[1], Const) else None)
+        if low is None and high is None:
+            return None
+        return estimator.label_text_cardinality(pred.label, low=low,
+                                                high=high)
+
+    def _attach_estimate(self, psx: PSX, placed: list[str], alias: str,
+                         value_preds: dict[str, "_ValuePred"] | None = None
+                         ) -> tuple[int, float]:
         """Sort key for greedy attachment: connected beats disconnected,
         then estimated result growth."""
         connecting = [condition for condition in psx.conditions
                       if condition.is_join_condition()
                       and alias in condition.aliases()
                       and (condition.aliases() - {alias}) <= set(placed)]
-        rows = self.estimator.base_cardinality(
-            psx.local_conditions(alias), alias)
+        rows = self._base_estimate(psx, alias, value_preds)
         selectivity = self.estimator.join_selectivity(connecting)
         return (0 if connecting else 1, rows * selectivity)
 
@@ -240,7 +290,8 @@ class Planner:
     # plan construction
     # ------------------------------------------------------------------
 
-    def _build(self, psx: PSX, leaf_order: list[str], strategy: str
+    def _build(self, psx: PSX, leaf_order: list[str], strategy: str,
+               value_preds: dict[str, "_ValuePred"] | None = None
                ) -> tuple[PhysicalOp, Costed]:
         config = self.config
         binding = list(dict.fromkeys(psx.projected_aliases))
@@ -273,8 +324,9 @@ class Planner:
                                  correlated=False, leftover=conditions)
             else:
                 correlated_allowed = bool(placed) and config.use_inl_join
-                access = self._choose_access(alias, conditions,
-                                             correlated_allowed)
+                access = self._choose_access(
+                    alias, conditions, correlated_allowed,
+                    (value_preds or {}).get(alias))
             for condition in conditions:
                 if condition not in access.leftover:
                     consumed.add(id(condition))
@@ -367,7 +419,8 @@ class Planner:
     # ------------------------------------------------------------------
 
     def _choose_access(self, alias: str, conditions: list[Compare],
-                       correlated_allowed: bool) -> _Access:
+                       correlated_allowed: bool,
+                       value_pred: "_ValuePred | None" = None) -> _Access:
         """Pick the cheapest feasible access path for one alias.
 
         ``conditions`` are all enforceable conditions (local ones plus join
@@ -445,6 +498,14 @@ class Planner:
                 costed = model.primary_range_scan(candidates, rows)
                 add(op, costed, corr, leftover, rank=2)
 
+        if value_pred is not None and config.use_value_index:
+            option = self._value_index_option(alias, value_pred,
+                                              conditions, rest_for,
+                                              correlated_allowed)
+            if option is not None:
+                op, costed, key_correlated, leftover = option
+                add(op, costed, key_correlated, leftover, rank=3)
+
         if shapes.label is not None and config.use_label_index:
             node_type, value_cond, type_cond = shapes.label
             inside, leftover = rest_for([value_cond, type_cond])
@@ -454,8 +515,7 @@ class Planner:
             if node_type == ELEMENT:
                 matches = estimator.label_cardinality(value)
             else:
-                matches = (estimator.type_cardinality(TEXT)
-                           * estimator.text_value_selectivity())
+                matches = estimator.text_eq_cardinality(value)
             op = LabelIndexScan(alias, node_type, value, inside)
             costed = model.label_index_scan(max(matches, 0.01))
             add(op, costed, False, leftover, rank=3)
@@ -490,10 +550,158 @@ class Planner:
             options.sort(key=lambda item: item[1])
         return options[0][2]
 
+    def _value_index_option(self, alias: str, value_pred: "_ValuePred",
+                            conditions: list[Compare], rest_for,
+                            correlated_allowed: bool):
+        """Build the :class:`ValueIndexScan` access option for a text
+        alias whose parent element carries an indexed label.
+
+        Only value bounds that are enforceable *now* (their conditions
+        are in ``conditions``) are folded into the scan; the parent-join
+        condition is never absorbed — the index guarantees an
+        L-labelled parent, not the specific joined row — and surfaces
+        through the usual inside/leftover split.
+        """
+        enforceable = set(map(id, conditions))
+        eq = low = high = None
+        if value_pred.eq is not None \
+                and id(value_pred.eq[0]) in enforceable:
+            eq = value_pred.eq
+        else:
+            if value_pred.low is not None \
+                    and id(value_pred.low[0]) in enforceable:
+                low = value_pred.low
+            if value_pred.high is not None \
+                    and id(value_pred.high[0]) in enforceable:
+                high = value_pred.high
+        if eq is None and low is None and high is None:
+            return None
+        absorbed = [bound[0] for bound in (eq, low, high)
+                    if bound is not None]
+        if value_pred.type_cond is not None \
+                and id(value_pred.type_cond) in enforceable:
+            absorbed.append(value_pred.type_cond)
+        operands = [bound[1] for bound in (eq, low, high)
+                    if bound is not None]
+        key_correlated = any(isinstance(operand, Attr)
+                             for operand in operands)
+        if key_correlated and not correlated_allowed:
+            return None
+        inside, leftover = rest_for(absorbed)
+        label = value_pred.label
+        estimator = self.estimator
+        if eq is not None:
+            low_operand = high_operand = eq[1]
+            low_inclusive = high_inclusive = True
+            if isinstance(eq[1], Const):
+                matches = estimator.label_text_cardinality(
+                    label, value=str(eq[1].value))
+            else:
+                matches = estimator.label_text_probe_cardinality(label)
+        else:
+            low_operand = low[1] if low is not None else None
+            high_operand = high[1] if high is not None else None
+            low_inclusive = high_inclusive = False
+            low_value = (str(low[1].value) if low is not None
+                         and isinstance(low[1], Const) else None)
+            high_value = (str(high[1].value) if high is not None
+                          and isinstance(high[1], Const) else None)
+            matches = estimator.label_text_cardinality(
+                label, low=low_value, high=high_value)
+        op = ValueIndexScan(alias, label, low_operand, high_operand,
+                            low_inclusive, high_inclusive, inside)
+        costed = self.cost_model.value_index_scan(max(matches, 0.01),
+                                                  max(matches, 0.01))
+        return op, costed, key_correlated, leftover
+
 
 # --------------------------------------------------------------------------
 # condition shape analysis
 # --------------------------------------------------------------------------
+
+
+@dataclass
+class _ValuePred:
+    """A value predicate answerable from a secondary value index.
+
+    Attached to the *text* alias ``T`` of the pattern ``T.parent_in =
+    A.in ∧ A.type = elem ∧ A.value = label ∧ T.type = text ∧ T.value ⊛
+    bound`` when ``label`` carries a value index.  ``eq``/``low``/
+    ``high`` pair each bound's :class:`Compare` with its non-``T``
+    operand (Const for static predicates, Attr/VarField for probes).
+    """
+
+    label: str
+    type_cond: Compare | None
+    eq: tuple[Compare, object] | None = None
+    low: tuple[Compare, object] | None = None
+    high: tuple[Compare, object] | None = None
+
+
+def _find_value_predicates(psx: PSX, value_indexes: frozenset[str]
+                           ) -> dict[str, _ValuePred]:
+    """Map text aliases to value-index predicates available in ``psx``.
+
+    The detection is cross-alias — the label constraining the text
+    node's *parent* element lives on another alias — which is why it
+    runs over the whole PSX block rather than inside per-alias shape
+    classification.
+    """
+    if not value_indexes:
+        return {}
+    types: dict[str, int] = {}
+    type_conds: dict[str, Compare] = {}
+    labels: dict[str, str] = {}
+    for condition in psx.conditions:
+        left, op, right = condition.left, condition.op, condition.right
+        if isinstance(right, Attr) and not isinstance(left, Attr):
+            left, right = right, left
+        if not isinstance(left, Attr) or op != EQ \
+                or not isinstance(right, Const):
+            continue
+        if left.column == "type":
+            types[left.alias] = int(right.value)
+            type_conds[left.alias] = condition
+        elif left.column == "value" and isinstance(right.value, str):
+            labels.setdefault(left.alias, right.value)
+    # Labels only count for element aliases.
+    labels = {alias: label for alias, label in labels.items()
+              if types.get(alias) == ELEMENT and label in value_indexes}
+
+    parent_of: dict[str, str] = {}  # text alias → indexed parent label
+    for condition in psx.conditions:
+        if condition.op != EQ:
+            continue
+        left, right = condition.left, condition.right
+        if not (isinstance(left, Attr) and isinstance(right, Attr)):
+            continue
+        if left.column == "in" and right.column == "parent_in":
+            left, right = right, left
+        if not (left.column == "parent_in" and right.column == "in"):
+            continue
+        if types.get(left.alias) == TEXT and right.alias in labels:
+            parent_of.setdefault(left.alias, labels[right.alias])
+
+    found: dict[str, _ValuePred] = {}
+    for text_alias, label in parent_of.items():
+        pred = _ValuePred(label=label,
+                          type_cond=type_conds.get(text_alias))
+        for condition in psx.conditions:
+            normalized = _orient(condition, text_alias)
+            if normalized is None:
+                continue
+            attr, op, other, __ = normalized
+            if attr.column != "value":
+                continue
+            if op == EQ and pred.eq is None:
+                pred.eq = (condition, other)
+            elif op == GT and pred.low is None:
+                pred.low = (condition, other)
+            elif op == LT and pred.high is None:
+                pred.high = (condition, other)
+        if pred.eq or pred.low or pred.high:
+            found[text_alias] = pred
+    return found
 
 
 @dataclass

@@ -26,13 +26,17 @@ quantities the cost model needs:
 from __future__ import annotations
 
 from repro.algebra.ra import Attr, Compare, Const, EQ, GT, LT, VarField
-from repro.xasr.loader import DocumentStatistics
+from repro.xasr.loader import GLOBAL_HISTOGRAM, DocumentStatistics
 from repro.xasr.schema import ELEMENT, TEXT
 from repro.xq.ast import ROOT_VAR
 
 #: Default guess for the selectivity of ``text-value = constant`` among
 #: text nodes, when no per-value statistics exist.
 TEXT_VALUE_SELECTIVITY = 0.01
+
+#: Default guess for the selectivity of a ``low < text-value < high``
+#: range among text nodes, when no histogram exists.
+TEXT_RANGE_SELECTIVITY = 0.1
 
 CALIBRATIONS = ("calibrated", "uniform-labels", "pessimistic-text")
 
@@ -71,18 +75,93 @@ class CardinalityEstimator:
         return 1.0  # the root
 
     def child_fanout(self) -> float:
-        """Average number of children per node (every non-root node has
-        exactly one parent)."""
-        return (self.relation_size - 1) / self.relation_size + 1.0
+        """Average number of children per node.
+
+        Every non-root node has exactly one parent, so ``n`` nodes share
+        ``n - 1`` child edges: the average is ``(n-1)/n`` ≈ 1.  (An
+        earlier version added a spurious ``+ 1.0``, doubling every
+        parent-join estimate; ``tests/test_planner.py`` pins the correct
+        value.)
+        """
+        return (self.relation_size - 1) / self.relation_size
 
     def descendant_count(self) -> float:
         """Expected number of proper descendants of a random node."""
         return max(1.0, self.statistics.average_depth)
 
     def text_value_selectivity(self) -> float:
+        """Flat fallback selectivity of ``text-value = constant``."""
         if self.calibration == "pessimistic-text":
             return 1.0
         return TEXT_VALUE_SELECTIVITY
+
+    def _histogram(self, label: str):
+        """The histogram for ``label`` under the active calibration.
+
+        Histograms refine estimates only in ``"calibrated"`` mode; the
+        degraded calibrations keep their deliberately flat guesses so
+        the Figure-7 failure modes stay reproducible.
+        """
+        if self.calibration != "calibrated":
+            return None
+        histogram = self.statistics.value_histograms.get(label)
+        if histogram is None or histogram.total == 0:
+            return None
+        return histogram
+
+    def text_eq_cardinality(self, value: str) -> float:
+        """Estimated text nodes whose value equals ``value``.
+
+        Uses the document-wide value histogram when one exists (i.e. the
+        flat :data:`TEXT_VALUE_SELECTIVITY` guess is only the fallback).
+        """
+        histogram = self._histogram(GLOBAL_HISTOGRAM)
+        if histogram is not None:
+            return max(histogram.estimate_eq(value), 0.01)
+        return self.type_cardinality(TEXT) * self.text_value_selectivity()
+
+    def text_range_cardinality(self, low: str | None,
+                               high: str | None) -> float:
+        """Estimated text nodes with ``low < value < high``."""
+        histogram = self._histogram(GLOBAL_HISTOGRAM)
+        if histogram is not None:
+            return max(histogram.estimate_range(low, high), 0.01)
+        if self.calibration == "pessimistic-text":
+            return self.type_cardinality(TEXT)
+        return self.type_cardinality(TEXT) * TEXT_RANGE_SELECTIVITY
+
+    def label_text_cardinality(self, label: str, value: str | None = None,
+                               low: str | None = None,
+                               high: str | None = None) -> float:
+        """Estimated child-text nodes of ``label`` elements matching a
+        value predicate (equality when ``value`` is given, else the
+        ``low``/``high`` range).
+
+        This is the output estimate of a
+        :class:`~repro.physical.operators.ValueIndexScan`; the per-label
+        histogram makes it independent of how common the value is under
+        *other* labels.
+        """
+        histogram = self._histogram(label)
+        if histogram is not None:
+            if value is not None:
+                return max(histogram.estimate_eq(value), 0.01)
+            return max(histogram.estimate_range(low, high), 0.01)
+        matches = float(self.statistics.label_counts.get(label, 0))
+        if value is not None:
+            return max(matches * self.text_value_selectivity(), 0.01)
+        return max(matches * TEXT_RANGE_SELECTIVITY, 0.01)
+
+    def label_text_probe_cardinality(self, label: str) -> float:
+        """Expected matches of one *dynamic* equality probe against a
+        label's value index (the value is only known per execution):
+        occurrences per distinct value, from the per-label histogram."""
+        histogram = self._histogram(label)
+        if histogram is not None:
+            distinct = sum(histogram.distincts)
+            return max(histogram.total / max(1, distinct), 0.01)
+        matches = float(self.statistics.label_counts.get(label, 0))
+        return max(matches * self.text_value_selectivity(), 0.01)
 
     # -- selections -----------------------------------------------------------------
 
@@ -97,6 +176,8 @@ class CardinalityEstimator:
         node_type = None
         label = None
         text_value = None
+        text_low = None
+        text_high = None
         extra = 1.0
         for condition in conditions:
             left, op, right = condition.left, condition.op, condition.right
@@ -114,6 +195,14 @@ class CardinalityEstimator:
                     text_value = right.value
                 else:
                     label = right.value
+            elif left.column == "value" and op in (LT, GT) \
+                    and isinstance(right, Const):
+                # A text-value range bound; the pair (or a single open
+                # bound) is estimated from the value histogram below.
+                if op == GT:
+                    text_low = right.value
+                else:
+                    text_high = right.value
             elif left.column == "parent_in" and op == EQ:
                 extra *= self.child_fanout() / self.relation_size
             elif left.column in ("in", "out") and op in (LT, GT):
@@ -131,8 +220,9 @@ class CardinalityEstimator:
         if label is not None:
             cardinality = self.label_cardinality(label)
         elif text_value is not None:
-            cardinality = (self.type_cardinality(TEXT)
-                           * self.text_value_selectivity())
+            cardinality = self.text_eq_cardinality(text_value)
+        elif text_low is not None or text_high is not None:
+            cardinality = self.text_range_cardinality(text_low, text_high)
         elif node_type is not None:
             cardinality = self.type_cardinality(int(node_type))
         return max(cardinality * extra, 0.01)

@@ -8,7 +8,10 @@ Access paths (leaves):
 * :class:`PrimaryLookup` — point fetch ``in = operand``;
 * :class:`PrimaryRangeScan` — clustered range ``low < in < high``; with
   bounds taken from an ancestor's (in, out) this *is* the descendant axis;
-* :class:`ChildLookup` — ``(parent_in, in)`` index access.
+* :class:`ChildLookup` — ``(parent_in, in)`` index access;
+* :class:`ValueIndexScan` — per-label secondary value-index access
+  (``XmlDbms.create_index``): equality and range predicates over the
+  text content of one label's elements.
 
 Joins:
 
@@ -325,6 +328,69 @@ class ValueIndexProbe(PhysicalOp):
         conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
         return (f"{pad}ValueIndexProbe[{self.alias}] "
                 f"({kind}, value={self.value_operand}) σ({conds})"
+                f"{self._annotate()}")
+
+
+class ValueIndexScan(PhysicalOp):
+    """Secondary value-index access: child text nodes of ``label``
+    elements whose value satisfies an equality or range predicate.
+
+    Backed by the per-label ``(value, elem_in, text_in)`` B+-tree
+    created with ``XmlDbms.create_index``.  ``low_operand`` /
+    ``high_operand`` are Const for static predicates or Attr/VarField
+    for probes (resolved per execution through the bindings); equality
+    is both operands equal and inclusive.  The scan collects the
+    matching text in-values from the value-ordered index and re-sorts
+    them, so rows leave in document order like every other access path
+    (the in-list is charged to the memory meter while held).
+    """
+
+    def __init__(self, alias: str, label: str, low_operand, high_operand,
+                 low_inclusive: bool, high_inclusive: bool,
+                 conditions: list[Compare]):
+        self.schema = (alias,)
+        self.alias = alias
+        self.label = label
+        self.low_operand = low_operand
+        self.high_operand = high_operand
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.conditions = list(conditions)
+        self._predicate = compile_single_alias_predicate(conditions, alias)
+
+    def batches(self, ctx: ExecutionContext,
+                bindings: Bindings) -> Iterator[Batch]:
+        low = (bindings.resolve(self.low_operand)
+               if self.low_operand is not None else None)
+        high = (bindings.resolve(self.high_operand)
+                if self.high_operand is not None else None)
+        matches = ctx.document.value_index_matches(
+            self.label, low, high, self.low_inclusive, self.high_inclusive)
+        charged = 8 * len(matches)
+        ctx.meter.charge(charged)
+        try:
+            nodes = (ctx.document.node(text_in) for text_in in matches)
+            yield from _node_batches(ctx, bindings, nodes, self._predicate,
+                                     bool(self.conditions))
+        finally:
+            ctx.meter.release(charged)
+
+    def _bounds(self) -> str:
+        if (self.low_operand is not None
+                and self.low_operand == self.high_operand
+                and self.low_inclusive and self.high_inclusive):
+            return f"value = {self.low_operand}"
+        low = "" if self.low_operand is None else \
+            f"{self.low_operand} {'≤' if self.low_inclusive else '<'} "
+        high = "" if self.high_operand is None else \
+            f" {'≤' if self.high_inclusive else '<'} {self.high_operand}"
+        return f"{low}value{high}"
+
+    def explain(self, indent: int = 0) -> str:
+        pad = " " * indent
+        conds = " ∧ ".join(str(c) for c in self.conditions) or "true"
+        return (f"{pad}ValueIndexScan[{self.alias}] "
+                f"(label={self.label!r}, {self._bounds()}) σ({conds})"
                 f"{self._annotate()}")
 
 

@@ -439,6 +439,42 @@ class BTree:
             self._save_meta()
             return True
 
+    # -- dropping ---------------------------------------------------------------
+
+    def drop(self) -> None:
+        """Free every page of the tree (nodes, chained-but-unreachable
+        leaves, and the meta page) back to the pager free list.
+
+        The instance is unusable afterwards.  Callers must guarantee no
+        concurrent reader holds a scan over the tree — the exclusive
+        latch taken here excludes in-flight generators, but nothing
+        stops a *later* reader from re-opening the tree by its (now
+        stale) meta page id, so dropping is only safe once the tree's
+        name is unreachable (e.g. under the document's exclusive latch).
+        """
+        with self._latch.exclusive():
+            pages: list[int] = []
+            stack = [self.root_page_id]
+            seen = set()
+            while stack:
+                page_id = stack.pop()
+                if page_id in seen:
+                    continue  # pragma: no cover - defensive
+                seen.add(page_id)
+                node = self._read_node(page_id)
+                pages.append(page_id)
+                if node.is_leaf:
+                    # Delete-without-rebalance can leave empty leaves
+                    # reachable only through the chain; walk it too.
+                    if node.next_leaf and node.next_leaf not in seen:
+                        stack.append(node.next_leaf)
+                else:
+                    stack.extend(node.children)
+            pages.append(self.meta_page_id)
+            for page_id in pages:
+                self._cache.pop(page_id, None)
+                self.buffer_pool.free_page(page_id)
+
     # -- bulk loading -------------------------------------------------------------
 
     def bulk_load(self, items: Iterable[tuple[bytes, bytes]],

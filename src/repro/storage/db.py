@@ -36,6 +36,12 @@ _KIND_BTREE = "btree"
 _KIND_HEAP = "heap"
 _KIND_META = "meta"
 
+#: Metadata payloads above this size are spilled to the overflow store;
+#: the catalog entry then holds only the pointer.  Catalog entries live
+#: in B+-tree leaves, so an inline payload must stay well under the page
+#: size (statistics payloads with value histograms can exceed it).
+_META_INLINE_MAX = 1024
+
 
 class Database:
     """A single-file XML database.
@@ -301,23 +307,52 @@ class Database:
             return HeapFile(self.buffer_pool, entry["head_page"])
 
     def drop(self, name: str) -> None:
-        """Remove an object from the catalog (heap pages are freed)."""
+        """Remove an object from the catalog (heap pages and metadata
+        spill chains are freed; B+-tree pages are not — see
+        :meth:`drop_btree`)."""
         with self._lock:
             entry = self._catalog_get(name)
             if entry is None:
                 raise CatalogError(f"no object named {name!r}")
             if entry.get("kind") == _KIND_HEAP:
                 HeapFile(self.buffer_pool, entry["head_page"]).drop()
+            self._free_meta_overflow(entry)
+            self._catalog_delete(name)
+
+    def drop_btree(self, name: str) -> None:
+        """Remove a B+-tree from the catalog *and free all its pages*.
+
+        Only safe when no reader can still be traversing the tree (the
+        caller holds whatever latch excludes them); the plain
+        :meth:`drop` leaves pages alone precisely so that replaced
+        documents stay readable by executions already running.
+        """
+        with self._lock:
+            entry = self._catalog_get(name)
+            if entry is None or entry.get("kind") != _KIND_BTREE:
+                raise CatalogError(f"no B+-tree named {name!r}")
+            BTree(self.buffer_pool, entry["meta_page"]).drop()
             self._catalog_delete(name)
 
     # -- metadata -----------------------------------------------------------------
 
     def put_meta(self, name: str, payload: dict[str, Any]) -> None:
-        """Store a JSON metadata document under ``name`` (upsert)."""
+        """Store a JSON metadata document under ``name`` (upsert).
+
+        Large payloads are transparently spilled to the overflow store
+        (and the spill chain of a replaced large payload is freed).
+        """
         with self._lock:
-            self._catalog_put(name, {"kind": _KIND_META,
-                                     "payload": payload},
-                              replace=True)
+            old = self._catalog_get(name)
+            raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+            if len(raw) > _META_INLINE_MAX:
+                head_page, length = self.overflow.store(raw)
+                entry = {"kind": _KIND_META,
+                         "overflow": [head_page, length]}
+            else:
+                entry = {"kind": _KIND_META, "payload": payload}
+            self._catalog_put(name, entry, replace=True)
+            self._free_meta_overflow(old)
 
     def get_meta(self, name: str) -> dict[str, Any] | None:
         with self._lock:
@@ -326,7 +361,20 @@ class Database:
                 return None
             if entry.get("kind") != _KIND_META:
                 raise CatalogError(f"object {name!r} is not metadata")
+            spilled = entry.get("overflow")
+            if spilled is not None:
+                head_page, length = spilled
+                raw = self.overflow.load(head_page, length)
+                return json.loads(raw.decode("utf-8"))
             return entry["payload"]
+
+    def _free_meta_overflow(self, entry: dict[str, Any] | None) -> None:
+        """Free the spill chain of a replaced/dropped metadata entry."""
+        if entry is None or entry.get("kind") != _KIND_META:
+            return
+        spilled = entry.get("overflow")
+        if spilled is not None:
+            self.overflow.free(spilled[0])
 
     # -- accounting -----------------------------------------------------------------
 

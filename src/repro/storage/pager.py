@@ -241,6 +241,17 @@ class Pager:
             self.free_head = page_id
             self._write_header()
 
+    def free_page_count(self) -> int:
+        """Length of the free list (walks it; for tests/diagnostics)."""
+        with self._lock:
+            count = 0
+            current = self.free_head
+            while current != NO_PAGE:
+                count += 1
+                page = self.read_page(current)
+                (current,) = struct.unpack_from(">I", page, 0)
+            return count
+
     # -- lifecycle -------------------------------------------------------------
 
     def sync(self) -> None:

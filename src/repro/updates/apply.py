@@ -20,17 +20,25 @@ pivots deletes go first and inserts run in reverse statement order,
 which makes several inserts at one boundary land in statement order.
 
 Statistics are maintained incrementally alongside (label counts, node
-counts, depth sums); ``max_depth`` only ratchets up — a delete may
-leave it an over-estimate, which the cost model tolerates (it is "a
-gross measure" by the paper's own framing).  The caller persists the
-updated statistics payload and runs the whole thing inside a
-:meth:`~repro.storage.db.Database.transaction`.
+counts, depth sums, value histograms); ``max_depth`` only ratchets up —
+a delete may leave it an over-estimate, which the cost model tolerates
+(it is "a gross measure" by the paper's own framing).  Histogram bucket
+boundaries likewise stay fixed while counts shift.  Secondary **value
+indexes** (``XmlDbms.create_index``) are maintained *exactly*: point
+edits swap one entry, and structural renumbering moves every affected
+``(value, elem_in, text_in)`` entry — parent labels resolve from the
+pre-edit snapshot, since the parent element may itself already have
+been rekeyed.  The caller persists the updated statistics payload and
+runs the whole thing inside a
+:meth:`~repro.storage.db.Database.transaction`, so index maintenance is
+covered by the same WAL commit as the document rewrite.
 """
 
 from __future__ import annotations
 
 from repro.errors import UpdateError
 from repro.storage.db import Database
+from repro.storage.record import decode_key
 from repro.updates.pul import (
     DeleteSubtree,
     InsertSubtree,
@@ -94,6 +102,14 @@ class _Applier:
         self.label_index = document.label_index
         self.parent_index = document.parent_index
         self.stats = document.statistics
+        #: Per-label secondary value indexes (label → B+-tree); entries
+        #: are maintained in the same transaction as the primary tree.
+        self.value_indexes = document.value_indexes
+        #: Original-numbering element labels of the current structural
+        #: edit's materialised region, consulted by :meth:`_rekey` — a
+        #: rekeyed record's parent may itself already have moved, so its
+        #: label must come from the pre-edit snapshot, not the tree.
+        self._elem_labels: dict[int, str] = {}
 
     # -- record plumbing -----------------------------------------------------
 
@@ -149,6 +165,52 @@ class _Applier:
         self.primary.insert(schema.primary_key(rec[0]), encoded,
                             replace=replace)
 
+    # -- value-index plumbing ------------------------------------------------
+
+    def _rec_label(self, rec: _Raw) -> str:
+        """An element record's label (resolving overflow spills)."""
+        return rec[5] if rec[4] == 0 else self._actual_value(rec)
+
+    def _parent_label(self, parent_in: int,
+                      boundary: int | None = None) -> str | None:
+        """Label of the element with in-value ``parent_in``; None for the
+        virtual root.
+
+        During a structural edit, parents beyond ``boundary`` may have
+        been rekeyed already and must resolve from the materialised
+        snapshot (:attr:`_elem_labels`); parents at or below the
+        boundary never move and read from the tree.
+        """
+        if parent_in == 0:
+            return None
+        if boundary is not None and parent_in > boundary:
+            return self._elem_labels.get(parent_in)
+        cached = self._elem_labels.get(parent_in)
+        if cached is not None:
+            return cached
+        rec = self._record(parent_in)
+        if rec[3] != schema.ELEMENT:
+            return None
+        label = self._rec_label(rec)
+        self._elem_labels[parent_in] = label
+        return label
+
+    def _value_entry(self, label: str | None, value: str, elem_in: int,
+                     text_in: int, sign: int) -> None:
+        """Add (+1) or remove (-1) one value-index entry, if ``label``
+        carries an index.  ``value`` is the already-truncated indexed
+        value."""
+        if label is None:
+            return
+        tree = self.value_indexes.get(label)
+        if tree is None:
+            return
+        key = schema.value_key(value, elem_in, text_in)
+        if sign > 0:
+            tree.insert(key, b"")
+        else:
+            tree.delete(key)
+
     # -- point edits ---------------------------------------------------------
 
     def set_value(self, edit: SetValue) -> None:
@@ -156,12 +218,19 @@ class _Applier:
         if rec[3] != schema.TEXT:  # pragma: no cover - collect checks
             raise UpdateError(f"set_value target in={edit.in_} is not a "
                               f"text node")
+        parent_label = self._parent_label(rec[2])
+        old_indexed = self._indexed_value(rec)
         self.label_index.delete(self._label_key(rec))
         self._free_overflow(rec)
         val_kind, stored = self._encode_value(edit.value)
         new_rec: _Raw = (rec[0], rec[1], rec[2], rec[3], val_kind, stored)
         self._put_record(new_rec, replace=True)
         self.label_index.insert(self._label_key(new_rec), b"")
+        new_indexed = schema.index_value(edit.value)
+        self._value_entry(parent_label, old_indexed, rec[2], rec[0], -1)
+        self._value_entry(parent_label, new_indexed, rec[2], rec[0], +1)
+        self.stats.histogram_remove(parent_label or "", old_indexed)
+        self.stats.histogram_add(parent_label or "", new_indexed)
 
     def rename(self, edit: Rename) -> None:
         rec = self._record(edit.in_)
@@ -180,6 +249,33 @@ class _Applier:
         self.label_index.insert(self._label_key(new_rec), b"")
         self._count_label(old_label, -1)
         self._count_label(edit.name, +1)
+        self._elem_labels.pop(rec[0], None)
+        self._rename_text_children(rec[0], old_label, edit.name)
+
+    def _rename_text_children(self, elem_in: int, old_label: str,
+                              new_label: str) -> None:
+        """Move a renamed element's child-text statistics and value-index
+        entries from the old label to the new one."""
+        old_tree = self.value_indexes.get(old_label)
+        new_tree = self.value_indexes.get(new_label)
+        old_histogram = self.stats.value_histograms.get(old_label)
+        new_histogram = self.stats.value_histograms.get(new_label)
+        if (old_tree is None and new_tree is None
+                and old_histogram is None and new_histogram is None):
+            return
+        for key, __ in list(self.parent_index.prefix_scan(
+                schema.parent_prefix(elem_in))):
+            __, child_in = decode_key(key, ("u32", "u32"))
+            child = self._record(child_in)
+            if child[3] != schema.TEXT:
+                continue
+            value = self._indexed_value(child)
+            self._value_entry(old_label, value, elem_in, child_in, -1)
+            self._value_entry(new_label, value, elem_in, child_in, +1)
+            if old_histogram is not None:
+                old_histogram.remove(value)
+            if new_histogram is not None:
+                new_histogram.add(value)
 
     # -- structural edits ----------------------------------------------------
 
@@ -190,18 +286,35 @@ class _Applier:
         delta = -(edit.out - edit.in_ + 1)
         ancestors = self._ancestor_chain(subtree[0][2])
 
+        # Element labels at original numbering, for value-index and
+        # histogram maintenance of text nodes inside the subtree and of
+        # rekeyed suffix records (whose parents may already have moved
+        # by the time they are processed).
+        self._elem_labels = {rec[0]: self._rec_label(rec)
+                             for rec in subtree
+                             if rec[3] == schema.ELEMENT}
+
         depths = self._subtree_depths(subtree)
         for rec in subtree:
             self.primary.delete(schema.primary_key(rec[0]))
             self.label_index.delete(self._label_key(rec))
             self.parent_index.delete(schema.parent_key(rec[2], rec[0]))
+            if rec[3] == schema.TEXT:
+                parent_label = self._parent_label(rec[2])
+                value = self._indexed_value(rec)
+                self._value_entry(parent_label, value, rec[2], rec[0], -1)
+                self.stats.histogram_remove(parent_label or "", value)
             self._count_node(rec, depths[rec[0]], -1)
             self._free_overflow(rec)  # after the last value resolution
 
         suffix = self._materialize(edit.out, None, include_low=False)
+        self._elem_labels.update(
+            {rec[0]: self._rec_label(rec) for rec in suffix
+             if rec[3] == schema.ELEMENT})
         for rec in suffix:  # ascending: shifted keys land in freed space
             self._rekey(rec, delta, boundary=edit.out)
         self._bump_ancestors(ancestors, delta)
+        self._elem_labels = {}
 
     def insert_subtree(self, edit: InsertSubtree) -> None:
         delta = edit.number_span
@@ -209,17 +322,26 @@ class _Applier:
         parent = self._record(edit.parent_in)
         ancestors = self._ancestor_chain(edit.parent_in, inclusive=True)
         parent_depth = self._depth_of(parent)
+        anchor_label = (self._rec_label(parent)
+                        if parent[3] == schema.ELEMENT else None)
 
         suffix = self._materialize(pivot, None, include_low=True)
+        self._elem_labels = {rec[0]: self._rec_label(rec)
+                             for rec in suffix
+                             if rec[3] == schema.ELEMENT}
         for rec in reversed(suffix):  # descending: no key collisions
             self._rekey(rec, delta, boundary=pivot - 1)
         self._bump_ancestors(ancestors, delta, boundary=pivot)
+        self._elem_labels = {}
 
         rel_depths: dict[int, int] = {}
+        rel_labels: dict[int, str | None] = {}
         for rel_in, rel_out, rel_parent, node_type, value in edit.tuples:
             depth = (parent_depth + 1 if rel_parent < 0
                      else rel_depths[rel_parent] + 1)
             rel_depths[rel_in] = depth
+            if node_type == schema.ELEMENT:
+                rel_labels[rel_in] = value
             in_ = pivot + rel_in
             out = pivot + rel_out
             parent_in = (edit.parent_in if rel_parent < 0
@@ -230,6 +352,13 @@ class _Applier:
             self.label_index.insert(self._label_key(rec), b"")
             self.parent_index.insert(schema.parent_key(parent_in, in_),
                                      b"")
+            if node_type == schema.TEXT:
+                parent_label = (anchor_label if rel_parent < 0
+                                else rel_labels.get(rel_parent))
+                indexed = schema.index_value(value)
+                self._value_entry(parent_label, indexed, parent_in, in_,
+                                  +1)
+                self.stats.histogram_add(parent_label or "", indexed)
             self._count_node(rec, depth, +1)
             self.stats.max_depth = max(self.stats.max_depth, depth)
 
@@ -247,8 +376,9 @@ class _Applier:
 
     def _rekey(self, rec: _Raw, delta: int, boundary: int) -> None:
         """Shift one suffix record by ``delta``: all of its numbers that
-        are strictly beyond ``boundary`` move, and all three trees swap
-        the record's keys."""
+        are strictly beyond ``boundary`` move, and all the trees —
+        primary, label, parent and any value index covering the record —
+        swap the record's keys."""
         in_, out, parent_in, node_type, val_kind, value = rec
         new_parent = parent_in + delta if parent_in > boundary \
             else parent_in
@@ -263,6 +393,14 @@ class _Applier:
         self.label_index.delete(schema.label_key(node_type, indexed, in_))
         self.label_index.insert(
             schema.label_key(node_type, indexed, in_ + delta), b"")
+        if node_type == schema.TEXT and self.value_indexes:
+            # The entry embeds both the element's and the text node's
+            # in-values; the parent label resolves from the pre-edit
+            # snapshot (the parent itself may have been rekeyed already).
+            parent_label = self._parent_label(parent_in, boundary)
+            self._value_entry(parent_label, indexed, parent_in, in_, -1)
+            self._value_entry(parent_label, indexed, new_parent,
+                              in_ + delta, +1)
 
     def _ancestor_chain(self, parent_in: int,
                         inclusive: bool = True) -> list[_Raw]:

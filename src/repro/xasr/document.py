@@ -45,6 +45,14 @@ class StoredDocument:
         if payload is None:
             raise CatalogError(f"document {name!r} has no statistics")
         self.statistics = DocumentStatistics.from_payload(payload)
+        #: Per-label secondary value indexes (label → B+-tree), from the
+        #: document's value-index catalog entry.
+        self.value_indexes: dict[str, object] = {}
+        catalog = db.get_meta(schema.value_index_catalog_name(name))
+        if catalog:
+            for label in catalog.get("labels", []):
+                self.value_indexes[label] = db.open_btree(
+                    schema.value_index_name(name, label))
 
     # -- record decoding -----------------------------------------------------
 
@@ -164,6 +172,76 @@ class StoredDocument:
     def label_count(self, label: str) -> int:
         """Occurrences of an element label, from statistics (O(1))."""
         return self.statistics.label_counts.get(label, 0)
+
+    # -- secondary value indexes -------------------------------------------------
+
+    @property
+    def value_index_labels(self) -> frozenset[str]:
+        """Labels carrying a secondary value index."""
+        return frozenset(self.value_indexes)
+
+    def value_index_matches(self, label: str, low: str | None = None,
+                            high: str | None = None,
+                            low_inclusive: bool = False,
+                            high_inclusive: bool = False) -> list[int]:
+        """In-values of ``label``'s child text nodes with values in range.
+
+        ``low``/``high`` bound the text value (``None`` = open;
+        inclusivity per flag); equality is ``low == high`` with both
+        bounds inclusive.  Returns the text-node in-values sorted into
+        document order — the scan positions on the value-ordered index
+        and collects matches (entries for one value arrive ordered by
+        element, and distinct values interleave arbitrarily in document
+        order, so a sort is unavoidable; point lookups sort a handful
+        of ins).
+
+        Exactness: index keys hold values truncated to
+        :data:`~repro.xasr.schema.VALUE_INDEX_PREFIX`; a lossy entry is
+        verified against the text node's full value.
+        """
+        tree = self.value_indexes.get(label)
+        if tree is None:
+            raise CatalogError(f"document {self.name!r} has no value "
+                               f"index on label {label!r}")
+        start = (schema.value_prefix(low) if low is not None else None)
+        trunc_high = schema.index_value(high) if high is not None else None
+        prefix_len = schema.VALUE_INDEX_PREFIX
+        matches: list[int] = []
+        scan = tree.range_scan(low=start, include_low=True)
+        try:
+            for key, __ in scan:
+                value, __, text_in = schema.decode_value_key(key)
+                if trunc_high is not None and value > trunc_high:
+                    break
+                # A non-truncated entry *is* the full value; a lossy one
+                # must be resolved from the record before comparing.
+                if len(value) < prefix_len:
+                    full = value
+                else:
+                    full = self.node(text_in).value
+                if low is not None and (full < low or
+                                        (not low_inclusive and full == low)):
+                    continue
+                if high is not None and (full > high or
+                                         (not high_inclusive
+                                          and full == high)):
+                    continue
+                matches.append(text_in)
+        finally:
+            scan.close()
+        matches.sort()
+        return matches
+
+    def value_index_scan(self, label: str, low: str | None = None,
+                         high: str | None = None,
+                         low_inclusive: bool = False,
+                         high_inclusive: bool = False
+                         ) -> Iterator[schema.XasrNode]:
+        """Matching text nodes (see :meth:`value_index_matches`), in
+        document order."""
+        for text_in in self.value_index_matches(
+                label, low, high, low_inclusive, high_inclusive):
+            yield self.node(text_in)
 
     # -- reconstruction ---------------------------------------------------------------
 

@@ -15,6 +15,14 @@ Key layouts (order-preserving, :func:`~repro.storage.record.encode_key`)::
     primary:       (in)
     label index:   (type, value, in)     value truncated for overflow texts
     parent index:  (parent_in, in)
+    value index:   (value, elem_in, text_in)   one B+-tree per indexed label
+
+A secondary **value index** (created with ``XmlDbms.create_index``) maps
+the text content of elements carrying one label to the element's
+in-interval: one entry per child text node, keyed by the (truncated)
+text value, then the parent element's ``in`` (so equality scans stream
+elements in document order), then the text node's ``in`` (the unique
+tie-breaker that makes maintenance under updates exact).
 """
 
 from __future__ import annotations
@@ -69,6 +77,7 @@ def decode_record(raw: bytes | memoryview
 _KEY_U32 = ("u32",)
 _KEY_LABEL = ("u32", "str", "u32")
 _KEY_PARENT = ("u32", "u32")
+_KEY_VALUE = ("str", "u32", "u32")
 
 
 class XasrNode(NamedTuple):
@@ -131,6 +140,23 @@ def stats_name(document: str) -> str:
     return f"stats:{document}"
 
 
+def value_index_name(document: str, label: str) -> str:
+    """Catalog name of the per-label ``(value, elem_in, text_in)``
+    secondary value index."""
+    return f"xasr:{document}:vindex:{label}"
+
+
+def value_index_catalog_name(document: str) -> str:
+    """Catalog name of the metadata entry listing a document's value
+    indexes (payload ``{"labels": [...]}``).
+
+    Written only after an index build completes, so it doubles as the
+    build's completeness marker: a crash mid-build leaves orphan pages
+    but never a half-visible index.
+    """
+    return f"vindex:{document}"
+
+
 # -- key encoders ----------------------------------------------------------------
 
 
@@ -157,6 +183,28 @@ def parent_key(parent_in: int, in_: int) -> bytes:
 
 def parent_prefix(parent_in: int) -> bytes:
     return encode_key((parent_in,), _KEY_U32)
+
+
+def value_key(value: str, elem_in: int, text_in: int) -> bytes:
+    """Value-index key; ``value`` is truncated like label-index keys."""
+    return encode_key((index_value(value), elem_in, text_in), _KEY_VALUE)
+
+
+def value_prefix(value: str) -> bytes:
+    """Prefix of value-index keys for one (truncated) value.
+
+    The string component is terminator-delimited, so this is a clean
+    prefix of exactly the ``(value, *, *)`` keys.
+    """
+    return encode_key((index_value(value),), ("str",))
+
+
+def decode_value_key(key: bytes) -> tuple[str, int, int]:
+    """Decode a value-index key into (truncated value, elem_in, text_in)."""
+    from repro.storage.record import decode_key
+
+    value, elem_in, text_in = decode_key(key, _KEY_VALUE)
+    return value, elem_in, text_in
 
 
 def index_value(value: str) -> str:

@@ -4,8 +4,15 @@ from __future__ import annotations
 
 from repro.xmlkit.dom import Document, Element, Node, Text
 
-_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+#: ``&`` must be escaped first; a literal ``\r`` must leave as a
+#: character reference because XML parsers normalize bare carriage
+#: returns to ``\n`` on input — emitting it raw would corrupt the value
+#: on the next reparse (the update-path round-trip guarantee).
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", "\r": "&#13;"}
+#: Attribute values additionally protect the quote and the whitespace
+#: characters that attribute-value normalization would fold into spaces.
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;", "\t": "&#9;",
+                 "\n": "&#10;"}
 
 
 def escape_text(text: str) -> str:

@@ -113,6 +113,16 @@ def _read_until(cur: _Cursor, terminator: str, what: str) -> str:
     return content
 
 
+def _normalize_line_endings(text: str) -> str:
+    """XML end-of-line handling: literal ``\\r\\n`` and bare ``\\r``
+    become ``\\n`` on input.  Only *literal* characters normalize —
+    ``&#13;`` survives, which is how the serializer round-trips stored
+    carriage returns byte-identically."""
+    if "\r" not in text:
+        return text
+    return text.replace("\r\n", "\n").replace("\r", "\n")
+
+
 def _resolve_entity(cur: _Cursor, body: str) -> str:
     """Resolve the body of ``&body;`` into its character."""
     if body.startswith("#x") or body.startswith("#X"):
@@ -149,7 +159,17 @@ def _read_attribute_value(cur: _Cursor) -> str:
         if ch == "&":
             cur.advance()
             body = _read_until(cur, ";", "entity reference")
+            # Characters from references are exempt from normalization.
             parts.append(_resolve_entity(cur, body))
+        elif ch in "\t\n\r":
+            # Attribute-value normalization: literal whitespace becomes
+            # a space (an \r\n pair one space, after line-ending
+            # normalization).  The serializer writes these characters as
+            # references, which survive.
+            cur.advance()
+            if ch == "\r" and cur.peek() == "\n":
+                cur.advance()
+            parts.append(" ")
         else:
             parts.append(cur.advance())
 
@@ -226,7 +246,8 @@ def iterparse(text: str) -> Iterator[XmlEvent]:
                 if pending_pos is None:
                     pending_pos = (cur.line, cur.column)
                 cur.advance(9)
-                pending_text.append(_read_until(cur, "]]>", "CDATA section"))
+                cdata = _read_until(cur, "]]>", "CDATA section")
+                pending_text.append(_normalize_line_endings(cdata))
                 continue
             if cur.startswith("<!DOCTYPE"):
                 yield from flush_text()
@@ -294,7 +315,7 @@ def iterparse(text: str) -> Iterator[XmlEvent]:
             while (not cur.at_end()
                    and cur.peek() != "<" and cur.peek() != "&"):
                 cur.advance()
-            chunk = cur.text[start:cur.pos]
+            chunk = _normalize_line_endings(cur.text[start:cur.pos])
             pending_text.append(chunk)
             if open_tags:
                 pass

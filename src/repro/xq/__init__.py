@@ -48,6 +48,7 @@ from repro.xq.ast import (
     UpdateExpr,
     UpdateList,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
     WildcardTest,
@@ -75,6 +76,7 @@ __all__ = [
     "TrueCond",
     "VarEqVar",
     "VarEqConst",
+    "VarCmpConst",
     "Some",
     "And",
     "Or",

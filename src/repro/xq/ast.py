@@ -7,8 +7,13 @@
             | for var in var/axis::nu return query
             | if cond then query
     cond  ::= var = var | var = string | true()
+            | var < string | var > string
             | some var in var/axis::nu satisfies cond
             | cond and cond | cond or cond | not(cond)
+
+The ``<``/``>`` string comparisons extend Figure 1 (which has equality
+only); they make range predicates over text values expressible, which
+the secondary value indexes answer with B+-tree range scans.
     axis  ::= child | descendant
     nu    ::= a | * | text()
 
@@ -183,6 +188,26 @@ class VarEqConst(Condition):
 
     var: str
     literal: str
+
+
+@dataclass(frozen=True)
+class VarCmpConst(Condition):
+    """``$var < "literal"`` / ``$var > "literal"`` — lexicographic
+    comparison of a text-bound variable's value against a string.
+
+    The ordering is plain code-point (Python string) comparison, the
+    same order the value indexes and histograms sort by, so range
+    predicates are answerable from a B+-tree range scan.
+    """
+
+    var: str
+    op: str  # "<" | ">"
+    literal: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<", ">"):
+            raise ValueError(f"VarCmpConst op must be < or >, got "
+                             f"{self.op!r}")
 
 
 @dataclass(frozen=True)
@@ -390,7 +415,7 @@ def free_variables(expr: Query | Condition) -> frozenset[str]:
         return free_variables(expr.cond) | free_variables(expr.body)
     if isinstance(expr, VarEqVar):
         return frozenset({expr.left, expr.right})
-    if isinstance(expr, VarEqConst):
+    if isinstance(expr, (VarEqConst, VarCmpConst)):
         return frozenset({expr.var})
     if isinstance(expr, Some):
         return (free_variables(expr.source)
@@ -425,7 +450,7 @@ def contains_constructor(expr: Query) -> bool:
 def query_size(expr: Query | Condition) -> int:
     """Number of AST nodes — a convenient complexity measure for tests."""
     if isinstance(expr, (Empty, TextLiteral, Var, Step, TrueCond, VarEqVar,
-                         VarEqConst)):
+                         VarEqConst, VarCmpConst)):
         return 1
     if isinstance(expr, Constr):
         return 1 + query_size(expr.body)

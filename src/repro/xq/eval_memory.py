@@ -46,6 +46,7 @@ from repro.xq.ast import (
     TextTest,
     TrueCond,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
     WildcardTest,
@@ -181,6 +182,10 @@ def _cond(cond: Condition, env: Environment, tick) -> bool:
         return left == right
     if isinstance(cond, VarEqConst):
         return _text_value(env, cond.var) == cond.literal
+    if isinstance(cond, VarCmpConst):
+        value = _text_value(env, cond.var)
+        return value < cond.literal if cond.op == "<" \
+            else value > cond.literal
     if isinstance(cond, Some):
         for node in _step(cond.source, env, tick):
             inner = dict(env)

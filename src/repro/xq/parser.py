@@ -53,6 +53,7 @@ from repro.xq.ast import (
     UpdateExpr,
     UpdateList,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
     WildcardTest,
@@ -637,6 +638,10 @@ class _Parser:
             return cond
         if scanner.looking_at("$"):
             left = scanner.read_variable()
+            scanner.skip_ws()
+            if scanner.peek() in ("<", ">"):
+                op = scanner.advance()
+                return VarCmpConst(left, op, scanner.read_string())
             scanner.expect("=")
             scanner.skip_ws()
             if scanner.peek() in ("'", '"'):

@@ -30,6 +30,7 @@ from repro.xq.ast import (
     UpdateExpr,
     UpdateList,
     Var,
+    VarCmpConst,
     VarEqConst,
     VarEqVar,
 )
@@ -143,6 +144,9 @@ def _condition(cond: Condition) -> str:
     if isinstance(cond, VarEqConst):
         escaped = cond.literal.replace('"', '""')
         return f'{_var(cond.var)} = "{escaped}"'
+    if isinstance(cond, VarCmpConst):
+        escaped = cond.literal.replace('"', '""')
+        return f'{_var(cond.var)} {cond.op} "{escaped}"'
     if isinstance(cond, Some):
         return (f"some {_var(cond.var)} in {_step(cond.source)} "
                 f"satisfies {_condition(cond.cond)}")

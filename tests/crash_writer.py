@@ -68,9 +68,32 @@ def _install_fault(crash_at: int, point: str) -> None:
     walmod.WriteAheadLog.log_commit = patched
 
 
+def _index_build_main(db_path: str, entries: int) -> int:
+    """Index-build victim: load a document with ``entries`` text-bearing
+    <entry> children, announce READY, then build a value index on
+    <entry> (the parent SIGKILLs us somewhere inside the build)."""
+    from repro.core.dbms import XmlDbms
+
+    dbms = XmlDbms(db_path)
+    if "log" not in dbms.documents():
+        xml = ("<log><meta>start</meta>"
+               + "".join(f"<entry>value-{i % 7}</entry>"
+                         for i in range(entries))
+               + "</log>")
+        dbms.load("log", xml=xml)
+    print("READY", flush=True)
+    dbms.create_index("log", "entry")
+    print("BUILT", flush=True)
+    dbms.close()
+    print("DONE", flush=True)
+    return 0
+
+
 def main() -> int:
     db_path = sys.argv[1]
     total = int(sys.argv[2])
+    if os.environ.get("REPRO_CRASH_MODE") == "index-build":
+        return _index_build_main(db_path, total)
     crash_at = int(os.environ.get("REPRO_CRASH_AT_COMMIT", "-1"))
     point = os.environ.get("REPRO_CRASH_POINT", "")
     if point:

@@ -170,3 +170,61 @@ class TestRandomizedKills:
         # Committed-prefix: at most one unacknowledged commit (the one
         # in flight when the signal landed) may surface.
         assert recovered <= len(acked) + 1
+
+
+class TestIndexBuildKills:
+    """SIGKILL during a ``create_index`` bulk build.
+
+    The registration entry is written only after the build completes,
+    so recovery must find either no index at all (orphan pages, intact
+    document) or a complete, rescan-consistent one — never a
+    half-visible index."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_kill_during_index_build(self, tmp_path, seed):
+        from repro.xasr import schema as xasr_schema
+
+        db = str(tmp_path / f"ib{seed}.db")
+        rng = random.Random(seed)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CRASH_MODE"] = "index-build"
+        process = subprocess.Popen(
+            [sys.executable, str(WRITER), db, "4000"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            assert process.stdout is not None
+            first = process.stdout.readline()
+            assert first.strip() == "READY", first
+            time.sleep(rng.uniform(0.0, 0.4))
+            process.send_signal(signal.SIGKILL)
+            process.communicate(timeout=60)
+        except subprocess.TimeoutExpired:  # pragma: no cover - CI guard
+            process.kill()
+            raise
+        with XmlDbms(db) as dbms:
+            stored = StoredDocument(dbms.db, "log")
+            entries = sum(1 for node in stored.scan()
+                          if node.is_element and node.value == "entry")
+            assert entries == 4000  # the document survived untouched
+            indexes = dbms.indexes("log")
+            assert indexes in ([], ["entry"])
+            if indexes:  # the build completed before the signal landed
+                from tests.test_value_index import assert_index_consistent
+
+                assert_index_consistent(dbms, "log")
+            else:
+                assert "entry" not in \
+                    StoredDocument(dbms.db, "log").value_index_labels
+            # Either way the document stays fully usable: query and
+            # build (or rebuild) the index on the recovered file.
+            if not indexes:
+                dbms.create_index("log", "entry")
+            hits = dbms.execute(
+                "log", 'for $e in //entry return '
+                       'if (some $t in $e/text() satisfies '
+                       '$t = "value-3") then $e else ()')
+            assert len(hits) == 4000 // 7
+            assert dbms.db.exists(
+                xasr_schema.value_index_name("log", "entry"))

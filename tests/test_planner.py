@@ -215,6 +215,31 @@ class TestEstimator:
         estimator = CardinalityEstimator(stats)
         assert estimator.descendant_count() == 5.0
 
+    def test_child_fanout_is_average_children_per_node(self, stats):
+        """Regression: ``child_fanout`` once returned ``(n-1)/n + 1.0``
+        ≈ 2 — double the true average (n nodes share n-1 child edges),
+        inflating every parent-join estimate by 2x."""
+        estimator = CardinalityEstimator(stats)
+        assert estimator.child_fanout() == pytest.approx(9999 / 10000)
+        assert estimator.child_fanout() < 1.0
+
+    def test_child_fanout_pinned_on_known_tree(self, database):
+        """The estimate on a concrete stored tree: 9 nodes (root, r,
+        3×a, 4 texts) share 8 child edges — fanout 8/9, and a
+        parent-join estimate of |XASR| · fanout/|XASR| ≈ 1 child per
+        outer row, not 2."""
+        from repro.algebra.ra import Attr, Compare, EQ, VarField
+
+        load_document(database, "t",
+                      xml="<r><a>x</a><a>y</a><a>z</a>w</r>")
+        doc = StoredDocument(database, "t")
+        estimator = CardinalityEstimator(doc.statistics)
+        assert doc.statistics.total_nodes == 9
+        assert estimator.child_fanout() == pytest.approx(8 / 9)
+        join = Compare(Attr("C", "parent_in"), EQ, VarField("x", "in"))
+        rows = estimator.base_cardinality([join], "C")
+        assert rows == pytest.approx(8 / 9)
+
     def test_pessimistic_text_selectivity(self, stats):
         assert CardinalityEstimator(stats, "pessimistic-text") \
             .text_value_selectivity() == 1.0

@@ -313,3 +313,79 @@ class TestEngineEquivalenceProperty:
             for profile in ("m2", "m3", "m4", "engine-2", "engine-5"):
                 assert dbms.query("d", query, profile=profile) == \
                     reference, (profile, query, document)
+
+
+# ---------------------------------------------------------------------------
+# value indexes under random update sequences
+# ---------------------------------------------------------------------------
+
+_VI_VALUES = ["a", "bee", "a", "zz", "m&m", "<x>", "same", "q" * 70]
+
+_VI_BASE = ("<r><meta>seed</meta><flip>pivot</flip>"
+            "<basket><item><name>a</name></item>"
+            "<item><name>bee</name></item></basket></r>")
+
+#: Every label that ever exists in the document gets a value index, so
+#: the property exercises maintenance on indexed and re-labelled nodes.
+_VI_LABELS = ("meta", "flip", "flop", "basket", "item", "name", "r")
+
+
+@st.composite
+def update_ops(draw):
+    kind = draw(st.sampled_from(
+        ["set_meta", "insert_first", "insert_last", "insert_text",
+         "delete_items", "rename_flip"]))
+    value = draw(st.sampled_from(_VI_VALUES))
+    return kind, value
+
+
+class TestValueIndexUpdateProperty:
+    """After any random update sequence, every value index agrees
+    exactly with a full rescan of its document — and ``drop_index``
+    returns the tree's pages to the free list."""
+
+    @staticmethod
+    def _statement(kind: str, value: str, flip_label: str) -> str:
+        escaped = value.replace("&", "&amp;").replace("<", "&lt;")
+        quoted = value.replace('"', '""')
+        if kind == "set_meta":
+            return ('replace value of node /r/meta/text() '
+                    f'with "{quoted}"')
+        if kind == "insert_first":
+            return (f'insert node <item><name>{escaped}</name></item> '
+                    'as first into /r/basket')
+        if kind == "insert_last":
+            return (f'insert node <item><name>{escaped}</name></item> '
+                    'as last into /r/basket')
+        if kind == "insert_text":
+            return f'insert node "{quoted}" as last into /r/basket'
+        if kind == "delete_items":
+            return 'delete nodes /r/basket/item'
+        assert kind == "rename_flip"
+        target = "flop" if flip_label == "flip" else "flip"
+        return f'rename node /r/{flip_label} as {target}'
+
+    @given(ops=st.lists(update_ops(), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_indexes_match_rescan_after_updates(self, ops,
+                                                tmp_path_factory):
+        from repro.core.dbms import XmlDbms
+        from tests.test_value_index import assert_index_consistent
+
+        path = str(tmp_path_factory.mktemp("vi") / "vi.db")
+        with XmlDbms(path, buffer_capacity=512) as dbms:
+            dbms.load("d", xml=_VI_BASE)
+            for label in _VI_LABELS:
+                dbms.create_index("d", label)
+            flip_label = "flip"
+            for kind, value in ops:
+                dbms.update("d", self._statement(kind, value, flip_label))
+                if kind == "rename_flip":
+                    flip_label = ("flop" if flip_label == "flip"
+                                  else "flip")
+                assert_index_consistent(dbms, "d")
+            free_before = dbms.db.pager.free_page_count()
+            dbms.drop_index("d", "name")
+            assert dbms.db.pager.free_page_count() > free_before

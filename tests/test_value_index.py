@@ -1,0 +1,451 @@
+"""Secondary value indexes: API, planner integration, maintenance.
+
+Covers the ``XmlDbms.create_index``/``drop_index`` lifecycle, the
+``(value, elem_in, text_in)`` index structure, ``ValueIndexScan`` plan
+selection and execution (equality, range, correlated probe), exact
+incremental maintenance under every update kind, histogram estimates,
+and page reclamation on ``drop_index``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dbms import XmlDbms
+from repro.errors import CatalogError
+from repro.optimizer.planner import PlannerConfig
+from repro.optimizer.stats import CardinalityEstimator
+from repro.physical.context import Bindings, ExecutionContext
+from repro.physical.operators import ValueIndexScan
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.xasr import schema
+from repro.xasr.document import StoredDocument
+from repro.xasr.loader import EquiDepthHistogram
+
+SMALL_XML = ("<r>"
+             "<item><name>ada</name><tag>t1</tag></item>"
+             "<item><name>bob</name></item>"
+             "<item><name>ada</name><name>cyd</name></item>"
+             "<other><name>ada</name></other>"
+             "<note>ada</note>"
+             "</r>")
+
+#: A DBLP sizing where value-index plans clearly win on cost: a shared
+#: name pool makes editor names common document-wide but rare under
+#: <editor>.
+CONTRAST_DBLP = DblpConfig(articles=120, inproceedings=40, name_pool=8,
+                           editors=20)
+
+
+def rescan_entries(doc: StoredDocument, label: str):
+    """Ground truth: every (truncated value, elem_in, text_in) triple a
+    full rescan of the document finds for ``label``."""
+    found = []
+    for node in doc.scan():
+        if node.is_element and node.value == label:
+            for child in doc.children(node.in_):
+                if child.is_text:
+                    found.append((schema.index_value(child.value),
+                                  node.in_, child.in_))
+    return sorted(found)
+
+
+def index_entries(doc: StoredDocument, label: str):
+    tree = doc.value_indexes[label]
+    return sorted(schema.decode_value_key(key) for key, __ in tree.items())
+
+
+def assert_index_consistent(dbms: XmlDbms, document: str):
+    doc = StoredDocument(dbms.db, document)
+    for label in doc.value_index_labels:
+        assert index_entries(doc, label) == rescan_entries(doc, label), \
+            f"value index on {label!r} diverged from rescan"
+
+
+class TestIndexLifecycle:
+    def test_create_list_drop(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        assert dbms.indexes("d") == []
+        dbms.create_index("d", "item")
+        dbms.create_index("d", "other")
+        assert dbms.indexes("d") == ["item", "other"]
+        dbms.drop_index("d", "item")
+        assert dbms.indexes("d") == ["other"]
+
+    def test_session_surface(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        session = dbms.session()
+        session.create_index("d", "item")
+        assert session.indexes("d") == ["item"]
+        session.drop_index("d", "item")
+        assert session.indexes("d") == []
+
+    def test_create_on_missing_document(self, dbms):
+        with pytest.raises(CatalogError):
+            dbms.create_index("nope", "item")
+
+    def test_duplicate_create_rejected(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "item")
+        with pytest.raises(CatalogError):
+            dbms.create_index("d", "item")
+
+    def test_drop_missing_index_rejected(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        with pytest.raises(CatalogError):
+            dbms.drop_index("d", "item")
+
+    def test_index_on_absent_label_is_empty(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "phantom")
+        doc = StoredDocument(dbms.db, "d")
+        assert index_entries(doc, "phantom") == []
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "v.db")
+        with XmlDbms(path) as dbms:
+            dbms.load("d", xml=SMALL_XML)
+            dbms.create_index("d", "item")
+        with XmlDbms(path) as dbms:
+            assert dbms.indexes("d") == ["item"]
+            assert_index_consistent(dbms, "d")
+
+    def test_reload_drops_indexes(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "item")
+        dbms.load("d", xml="<r><item><name>zz</name></item></r>")
+        assert dbms.indexes("d") == []
+
+    def test_drop_document_removes_index_objects(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "item")
+        dbms.drop("d")
+        assert not dbms.db.exists(schema.value_index_name("d", "item"))
+        assert dbms.db.get_meta(
+            schema.value_index_catalog_name("d")) is None
+
+    def test_drop_index_frees_pages(self, dbms):
+        dbms.load("d", xml=generate_dblp(DblpConfig(
+            articles=40, inproceedings=10)))
+        dbms.create_index("d", "author")
+        pages_after_build = dbms.db.pager.num_pages
+        free_before = dbms.db.pager.free_page_count()
+        dbms.drop_index("d", "author")
+        # The tree's pages are all on the free list now...
+        assert dbms.db.pager.free_page_count() > free_before
+        # ...and a rebuild reuses them instead of growing the file
+        # (small slack for catalog-page churn).
+        dbms.create_index("d", "author")
+        assert dbms.db.pager.num_pages <= pages_after_build + 4
+
+    def test_build_matches_rescan(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "name")
+        assert_index_consistent(dbms, "d")
+        doc = StoredDocument(dbms.db, "d")
+        # One entry per child text node of a <name> element — including
+        # <other>'s name, but not the <tag> or <note> texts (different
+        # labels) and nothing for <item> (no direct text children).
+        values = [value for value, __, __ in index_entries(doc, "name")]
+        assert values == ["ada", "ada", "ada", "bob", "cyd"]
+        dbms.create_index("d", "item")
+        assert index_entries(StoredDocument(dbms.db, "d"), "item") == []
+
+
+class TestValueIndexScanOperator:
+    @pytest.fixture
+    def doc(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "name")
+        return StoredDocument(dbms.db, "d")
+
+    def run(self, doc, op):
+        ctx = ExecutionContext(doc)
+        return [row[0].value for row in op.execute(
+            ctx, Bindings({"#root": doc.root()}))]
+
+    def test_equality(self, doc):
+        from repro.algebra.ra import Const
+
+        op = ValueIndexScan("T", "name", Const("ada"), Const("ada"),
+                            True, True, [])
+        assert self.run(doc, op) == ["ada", "ada", "ada"]
+
+    def test_range(self, doc):
+        from repro.algebra.ra import Const
+
+        op = ValueIndexScan("T", "name", Const("ada"), Const("cyd"),
+                            False, False, [])
+        assert self.run(doc, op) == ["bob"]
+
+    def test_open_bounds(self, doc):
+        from repro.algebra.ra import Const
+
+        low = ValueIndexScan("T", "name", Const("b"), None, False, False,
+                             [])
+        assert self.run(doc, low) == ["bob", "cyd"]
+        high = ValueIndexScan("T", "name", None, Const("b"), False, False,
+                              [])
+        assert self.run(doc, high) == ["ada", "ada", "ada"]
+
+    def test_document_order(self, doc):
+        from repro.algebra.ra import Const
+
+        op = ValueIndexScan("T", "name", None, None, False, False, [])
+        ctx = ExecutionContext(doc)
+        ins = [row[0].in_ for row in op.execute(
+            ctx, Bindings({"#root": doc.root()}))]
+        assert ins == sorted(ins)
+
+    def test_explain_mentions_label_and_bounds(self, doc):
+        from repro.algebra.ra import Const
+
+        op = ValueIndexScan("T", "name", Const("a"), Const("b"),
+                            False, False, [])
+        text = op.explain()
+        assert "ValueIndexScan" in text and "'name'" in text
+        assert "'a'" in text and "'b'" in text
+
+    def test_truncated_values_verified_exactly(self, dbms):
+        prefix = "p" * schema.VALUE_INDEX_PREFIX
+        xml = (f"<r><item><name>{prefix}aa</name></item>"
+               f"<item><name>{prefix}zz</name></item></r>")
+        dbms.load("d", xml=xml)
+        dbms.create_index("d", "name")
+        doc = StoredDocument(dbms.db, "d")
+        hits = doc.value_index_matches("name", low=prefix + "aa",
+                                       high=prefix + "aa",
+                                       low_inclusive=True,
+                                       high_inclusive=True)
+        assert len(hits) == 1
+        assert doc.node(hits[0]).value == prefix + "aa"
+
+    def test_overflow_values_indexed_by_prefix(self, dbms):
+        big = "v" * (schema.VALUE_INLINE_MAX + 100)
+        dbms.load("d", xml=f"<r><item><name>{big}</name></item></r>")
+        dbms.create_index("d", "name")
+        doc = StoredDocument(dbms.db, "d")
+        hits = doc.value_index_matches("name", low=big, high=big,
+                                       low_inclusive=True,
+                                       high_inclusive=True)
+        assert len(hits) == 1
+        assert doc.node(hits[0]).value == big
+
+
+class TestPlannerPicksValueIndex:
+    @pytest.fixture
+    def contrast(self, tmp_path):
+        with XmlDbms(str(tmp_path / "c.db"), buffer_capacity=2048) as dbms:
+            dbms.load("dblp", xml=generate_dblp(CONTRAST_DBLP))
+            yield dbms
+
+    @staticmethod
+    def eq_query(name):
+        return (f'for $e in //editor return '
+                f'if (some $t in $e/text() satisfies $t = "{name}") '
+                f'then $e else ()')
+
+    @staticmethod
+    def range_query(low, high):
+        return (f'for $e in //editor return '
+                f'if (some $t in $e/text() satisfies '
+                f'($t > "{low}" and $t < "{high}")) then $e else ()')
+
+    def test_equality_plan_uses_value_index(self, contrast):
+        name = contrast.execute("dblp", "//editor/text()")[0].text
+        query = self.eq_query(name)
+        assert "ValueIndexScan" not in contrast.explain("dblp", query)
+        contrast.create_index("dblp", "editor")
+        assert "ValueIndexScan" in contrast.explain("dblp", query)
+
+    def test_range_plan_uses_value_index(self, contrast):
+        name = contrast.execute("dblp", "//editor/text()")[0].text
+        query = self.range_query(name[0], name[0] + "￿")
+        assert "ValueIndexScan" not in contrast.explain("dblp", query)
+        contrast.create_index("dblp", "editor")
+        assert "ValueIndexScan" in contrast.explain("dblp", query)
+
+    def test_results_identical_with_index(self, contrast):
+        name = contrast.execute("dblp", "//editor/text()")[0].text
+        queries = [self.eq_query(name),
+                   self.range_query(name[0], name[0] + "￿")]
+        before = [contrast.query("dblp", q) for q in queries]
+        contrast.create_index("dblp", "editor")
+        for query, expected in zip(queries, before):
+            assert contrast.query("dblp", query) == expected
+            assert contrast.query("dblp", query, profile="m1") == expected
+
+    def test_disabled_by_config(self, contrast):
+        from repro.engine.algebraic import AlgebraicEvaluator
+        from repro.xq.parser import parse_query
+
+        contrast.create_index("dblp", "editor")
+        name = contrast.execute("dblp", "//editor/text()")[0].text
+        doc = StoredDocument(contrast.db, "dblp")
+        off = AlgebraicEvaluator(doc,
+                                 config=PlannerConfig(use_value_index=False))
+        text = off.explain(parse_query(self.eq_query(name)))
+        assert "ValueIndexScan" not in text
+
+    def test_drop_index_replans(self, contrast):
+        name = contrast.execute("dblp", "//editor/text()")[0].text
+        query = self.eq_query(name)
+        contrast.create_index("dblp", "editor")
+        expected = contrast.query("dblp", query)
+        assert "ValueIndexScan" in contrast.explain("dblp", query)
+        contrast.drop_index("dblp", "editor")
+        assert "ValueIndexScan" not in contrast.explain("dblp", query)
+        assert contrast.query("dblp", query) == expected
+
+    def test_value_join_probe_still_correct(self, contrast):
+        """A value join against the indexed label (dynamic probe)."""
+        query = ('for $t1 in //editor/text() return '
+                 'for $t2 in //author/text() return '
+                 'if ($t1 = $t2) then <m/> else ()')
+        before = contrast.query("dblp", query)
+        contrast.create_index("dblp", "editor")
+        assert contrast.query("dblp", query) == before
+
+
+class TestMaintenanceUnderUpdates:
+    @pytest.fixture
+    def indexed(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.create_index("d", "item")
+        dbms.create_index("d", "name")
+        dbms.create_index("d", "other")
+        return dbms
+
+    def test_replace_value(self, indexed):
+        indexed.update(
+            "d", 'replace value of node /r/other/name/text() with "zed"')
+        assert_index_consistent(indexed, "d")
+        doc = StoredDocument(indexed.db, "d")
+        assert [v for v, __, __ in index_entries(doc, "name")] \
+            == sorted(["ada", "bob", "ada", "cyd", "zed"])
+
+    def test_insert_subtree(self, indexed):
+        indexed.update(
+            "d", 'insert node <item><name>aaa</name></item> '
+                 'as first into /r')
+        assert_index_consistent(indexed, "d")
+
+    def test_insert_before_shifts_entries(self, indexed):
+        indexed.update(
+            "d", 'insert node <item><name>mid</name></item> '
+                 'before /r/other')
+        assert_index_consistent(indexed, "d")
+
+    def test_delete_subtree(self, indexed):
+        indexed.update("d", 'delete nodes /r/item')
+        assert_index_consistent(indexed, "d")
+        doc = StoredDocument(indexed.db, "d")
+        assert index_entries(doc, "item") == []
+        assert [v for v, __, __ in index_entries(doc, "name")] == ["ada"]
+
+    def test_rename_moves_entries_between_indexes(self, indexed):
+        indexed.update("d", 'rename node /r/other as item')
+        assert_index_consistent(indexed, "d")
+
+    def test_mixed_statement(self, indexed):
+        indexed.update(
+            "d",
+            'insert node <item><name>new</name></item> as last into /r, '
+            'delete node /r/item/tag')
+        assert_index_consistent(indexed, "d")
+
+    def test_update_then_query_uses_fresh_index(self, indexed):
+        indexed.update(
+            "d", 'replace value of node /r/other/name/text() with "qqq"')
+        hits = indexed.execute(
+            "d", 'for $o in //other return '
+                 'if (some $t in $o/name/text() satisfies $t = "qqq") '
+                 'then $o else ()')
+        assert len(hits) == 1
+
+    def test_survives_reopen_after_updates(self, tmp_path):
+        path = str(tmp_path / "m.db")
+        with XmlDbms(path) as dbms:
+            dbms.load("d", xml=SMALL_XML)
+            dbms.create_index("d", "item")
+            dbms.update("d", 'insert node <item><name>pp</name></item> '
+                             'as last into /r')
+        with XmlDbms(path) as dbms:
+            assert_index_consistent(dbms, "d")
+
+
+class TestHistograms:
+    def test_build_eq_estimates(self):
+        histogram = EquiDepthHistogram.build(
+            ["a"] * 10 + ["b"] * 5 + ["c"] * 1, buckets=4)
+        assert histogram.total == 16
+        assert histogram.estimate_eq("a") == pytest.approx(10.0)
+        assert histogram.estimate_eq("zz") == 0.0
+
+    def test_range_estimate_bounded_by_total(self):
+        histogram = EquiDepthHistogram.build(
+            [f"v{i:03d}" for i in range(100)], buckets=8)
+        assert histogram.estimate_range(None, None) \
+            == pytest.approx(100.0)
+        narrow = histogram.estimate_range("v010", "v020")
+        assert 0.0 < narrow < 40.0
+
+    def test_add_remove_shift_counts(self):
+        histogram = EquiDepthHistogram.build(["a", "b", "c"], buckets=2)
+        histogram.add("b")
+        assert histogram.total == 4
+        histogram.remove("b")
+        histogram.remove("b")
+        assert histogram.total == 2
+
+    def test_payload_round_trip(self):
+        histogram = EquiDepthHistogram.build(["x", "y", "y"], buckets=2)
+        clone = EquiDepthHistogram.from_payload(histogram.to_payload())
+        assert clone == histogram
+
+    def test_mcv_exact_for_hot_value_among_singletons(self):
+        """A frequent value sharing its bucket with many unique strings
+        must not be averaged away — the most-common-values list answers
+        it exactly (the underestimate once flipped plans away from the
+        value index)."""
+        values = ["hot name"] * 50 + [f"unique title {i:04d}"
+                                      for i in range(500)]
+        histogram = EquiDepthHistogram.build(values, buckets=4)
+        assert histogram.estimate_eq("hot name") == pytest.approx(50.0)
+        histogram.remove("hot name")
+        histogram.add("hot name")
+        histogram.add("hot name")
+        assert histogram.estimate_eq("hot name") == pytest.approx(51.0)
+
+    def test_statistics_carry_histograms(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        stats = dbms.statistics("d")
+        assert "" in stats.value_histograms        # document-wide
+        assert "name" in stats.value_histograms    # per label
+        assert stats.value_histograms["name"].total == 5
+        assert stats.value_histograms[""].total == stats.text_count
+
+    def test_estimator_uses_global_histogram(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        estimator = CardinalityEstimator(dbms.statistics("d"))
+        assert estimator.text_eq_cardinality("ada") == pytest.approx(4.0)
+
+    def test_estimator_uses_label_histogram(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        estimator = CardinalityEstimator(dbms.statistics("d"))
+        # "ada" appears four times document-wide but thrice under name.
+        assert estimator.label_text_cardinality("name", value="ada") \
+            == pytest.approx(3.0)
+
+    def test_histograms_maintained_by_updates(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        dbms.update("d", 'delete nodes /r/item')
+        stats = dbms.statistics("d")
+        assert stats.value_histograms[""].total == stats.text_count
+
+    def test_degraded_calibrations_ignore_histograms(self, dbms):
+        dbms.load("d", xml=SMALL_XML)
+        stats = dbms.statistics("d")
+        pessimistic = CardinalityEstimator(stats, "pessimistic-text")
+        assert pessimistic.text_eq_cardinality("ada") \
+            == pytest.approx(stats.text_count)
