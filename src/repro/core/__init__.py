@@ -11,7 +11,13 @@
 """
 
 from repro.core.dbms import XmlDbms
-from repro.core.server import QueryServer, ServerStats
+from repro.core.server import (
+    LatencyHistogram,
+    LatencySnapshot,
+    QueryServer,
+    QueryStream,
+    ServerStats,
+)
 from repro.core.session import (
     CacheInfo,
     Cursor,
@@ -32,5 +38,8 @@ __all__ = [
     "PlanExplain",
     "CacheInfo",
     "QueryServer",
+    "QueryStream",
     "ServerStats",
+    "LatencyHistogram",
+    "LatencySnapshot",
 ]

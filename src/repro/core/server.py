@@ -48,6 +48,7 @@ the usual catalog-version invalidation.
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 import time
@@ -58,11 +59,13 @@ from repro.core.session import ExecutionOptions, Session
 from repro.engine.profiles import EngineProfile
 from repro.errors import (
     AdmissionError,
+    CursorClosedError,
     ResourceLimitExceeded,
     ServerClosedError,
     UpdateError,
 )
 from repro.physical.context import DEFAULT_BATCH_SIZE
+from repro.xmlkit.serializer import serialize as _serialize_node
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` in
 #: per-submission overrides (mirrors the session layer's convention).
@@ -70,6 +73,87 @@ _UNSET = object()
 
 #: Queue sentinel telling a worker to exit.
 _SHUTDOWN = object()
+
+#: Rows per page a streaming submission hands to its consumer.
+DEFAULT_PAGE_SIZE = 64
+
+#: Pages a stream buffers ahead of its consumer before the producing
+#: worker blocks (the server-side backpressure bound).
+DEFAULT_MAX_BUFFERED_PAGES = 4
+
+
+@dataclass(frozen=True)
+class LatencySnapshot:
+    """Percentile summary of a :class:`LatencyHistogram`.
+
+    Percentiles are bucket upper bounds (the histogram is fixed-bucket,
+    power-of-two resolution), so they over-report by at most 2x at any
+    scale; ``mean_ms`` and ``max_ms`` are exact.  An empty histogram
+    snapshots to all zeros.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "mean_ms": self.mean_ms,
+                "p50_ms": self.p50_ms, "p90_ms": self.p90_ms,
+                "p99_ms": self.p99_ms, "max_ms": self.max_ms}
+
+
+class LatencyHistogram:
+    """A fixed-bucket log-scale latency histogram.
+
+    Bucket ``i`` covers durations in ``[2**i, 2**(i+1))`` microseconds —
+    64 buckets span sub-microsecond to far beyond any deadline, so
+    recording never clips in practice and takes O(1) with no allocation
+    (``int.bit_length`` is the log).  Not thread-safe by itself; the
+    owner serializes access (the server records under its stats lock).
+    """
+
+    BUCKETS = 64
+
+    def __init__(self) -> None:
+        self._counts = [0] * self.BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        micros = max(1, int(seconds * 1e6))
+        index = min(micros.bit_length() - 1, self.BUCKETS - 1)
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def percentile(self, fraction: float) -> float:
+        """The bucket upper bound (seconds) at ``fraction`` of records."""
+        if self._count == 0:
+            return 0.0
+        rank = math.ceil(fraction * self._count)
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                return min((1 << (index + 1)) / 1e6, self._max)
+        return self._max
+
+    def snapshot(self) -> LatencySnapshot:
+        if self._count == 0:
+            return LatencySnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySnapshot(
+            count=self._count,
+            mean_ms=round(self._sum / self._count * 1e3, 3),
+            p50_ms=round(self.percentile(0.50) * 1e3, 3),
+            p90_ms=round(self.percentile(0.90) * 1e3, 3),
+            p99_ms=round(self.percentile(0.99) * 1e3, 3),
+            max_ms=round(self._max * 1e3, 3))
 
 
 @dataclass(frozen=True)
@@ -80,7 +164,11 @@ class ServerStats:
     watermark; at rest ``submitted = completed + failed + cancelled +
     pending`` (while queries are in flight, ``submitted`` also covers
     the running ones).  Rejected submissions never enter the queue and
-    are counted separately.
+    are counted separately.  ``queue_wait`` and ``execution`` summarize
+    per-query latency histograms: time spent queued before a worker
+    picked the task up, and time the worker spent running it (for a
+    stream, until the last page was handed over — consumer pacing
+    included, which is exactly the backpressure a caller should see).
     """
 
     workers: int
@@ -92,6 +180,8 @@ class ServerStats:
     rejected: int
     pending: int
     peak_pending: int
+    queue_wait: LatencySnapshot
+    execution: LatencySnapshot
 
 
 @dataclass
@@ -107,6 +197,145 @@ class _Task:
     batch_size: int
     serialize: bool
     indent: int | None
+    enqueued_at: float = 0.0
+    #: Set on streaming submissions: the bounded page buffer shared with
+    #: the consumer.  ``None`` means the classic full-result path.
+    sink: "QueryStream | None" = None
+    page_size: int = DEFAULT_PAGE_SIZE
+
+
+class _StreamAborted(Exception):
+    """Internal: the stream's consumer closed it mid-production."""
+
+
+class QueryStream:
+    """Consumer handle of a streaming submission.
+
+    The producing worker pushes pages (lists of result nodes, or
+    serialized strings with ``serialize=True``) into a bounded buffer;
+    once ``max_buffered_pages`` pages wait unconsumed the worker blocks —
+    that bound is the server-side backpressure, and the submission
+    deadline keeps ticking while blocked, so a consumer that stops
+    fetching sheds its own query instead of pinning a worker forever.
+
+    One consumer thread at a time: call :meth:`next_page` until it
+    returns ``None`` (end of results), or :meth:`close` to abandon the
+    stream early (the producer notices at its next page boundary and
+    releases the worker).  Execution errors — including a missed
+    deadline — re-raise out of :meth:`next_page`.
+    """
+
+    def __init__(self, future: Future, page_size: int,
+                 max_buffered_pages: int):
+        self.future = future
+        self.page_size = page_size
+        self._pages: queue.Queue = queue.Queue(maxsize=max_buffered_pages)
+        self._closed = threading.Event()
+        self._close_reason: BaseException | None = None
+        #: Terminal error parked outside the bounded buffer, so delivery
+        #: can never block the producer behind a full buffer.
+        self._error: BaseException | None = None
+        #: Set by the worker after prepare: whether the plan came from
+        #: the worker session's plan cache.
+        self.plan_cache_hit: bool | None = None
+        #: Rows pushed so far (maintained by the producer).
+        self.rows_produced = 0
+
+    # -- consumer side ------------------------------------------------------
+
+    def next_page(self, timeout: float | None = None):
+        """The next page of results; ``None`` when the stream is done.
+
+        Blocks until the producer delivers a page (or ``timeout``
+        seconds elapse — then raises ``queue.Empty``).  Raises the
+        execution error if the stream failed, and
+        :class:`~repro.errors.CursorClosedError` after :meth:`close`.
+        """
+        end = (time.monotonic() + timeout if timeout is not None
+               else None)
+        while True:
+            if self._closed.is_set():
+                if self._close_reason is not None:
+                    raise self._close_reason
+                raise CursorClosedError("stream is closed")
+            # Short get timeouts make the wait interruptible: a put
+            # wakes the condition variable immediately, so the 50 ms
+            # tick costs nothing on the data path — it only bounds how
+            # long a close() or parked error goes unnoticed.
+            try:
+                kind, payload = self._pages.get(timeout=0.05)
+            except queue.Empty:
+                if self._error is not None:
+                    error = self._error
+                    self.close()
+                    raise error
+                if end is not None and time.monotonic() >= end:
+                    raise
+                continue
+            if kind == "page":
+                return payload
+            if kind == "error":
+                self.close()
+                raise payload
+            self.close()                 # kind == "end"
+            return None
+
+    def pages(self):
+        """Iterate pages until the stream ends."""
+        while True:
+            page = self.next_page()
+            if page is None:
+                return
+            yield page
+
+    def close(self, reason: BaseException | None = None) -> None:
+        """Abandon the stream; the producer unblocks and aborts.
+
+        Idempotent.  ``reason`` (server-internal) makes a later
+        ``next_page`` raise it instead of ``CursorClosedError``.
+        """
+        if self._closed.is_set():
+            return
+        self._close_reason = reason
+        self._closed.set()
+        # Drain whatever is buffered so a producer blocked on a full
+        # buffer wakes up and sees the closed flag.
+        while True:
+            try:
+                self._pages.get_nowait()
+            except queue.Empty:
+                return
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- producer side (worker thread) --------------------------------------
+
+    def _offer(self, item: tuple, deadline_check) -> None:
+        """Blocking put honouring close and the submission deadline."""
+        while True:
+            if self._closed.is_set():
+                raise _StreamAborted()
+            deadline_check()
+            try:
+                self._pages.put(item, timeout=0.05)
+                return
+            except queue.Full:
+                continue
+
+    def _deliver_error(self, error: BaseException) -> None:
+        """Terminal error delivery that can never block the producer.
+
+        Parks the error beside the buffer first (a consumer draining the
+        queue finds it once the buffered pages run out), then opportunistically
+        enqueues it in order behind those pages if there is room.
+        """
+        self._error = error
+        try:
+            self._pages.put_nowait(("error", error))
+        except queue.Full:
+            pass
 
 
 class QueryServer:
@@ -149,6 +378,11 @@ class QueryServer:
         self._cancelled = 0
         self._rejected = 0
         self._peak_pending = 0
+        self._queue_wait_hist = LatencyHistogram()
+        self._execution_hist = LatencyHistogram()
+        #: Streams whose producer is (or will be) running; close()
+        #: aborts them so shutdown never waits on an absent consumer.
+        self._streams: set[QueryStream] = set()
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"query-server-worker-{index}",
@@ -194,6 +428,77 @@ class QueryServer:
                      deadline=deadline, time_limit=time_limit,
                      memory_budget=memory_budget, batch_size=batch_size,
                      serialize=serialize, indent=indent)
+        self._admit(task)
+        return task.future
+
+    def submit_stream(self, document: str, query,
+                      bindings: dict | None = None,
+                      profile: EngineProfile | str | None = None,
+                      time_limit: float | None = _UNSET,
+                      memory_budget: int | None = _UNSET,
+                      batch_size: int = _UNSET,
+                      serialize: bool = False,
+                      indent: int | None = None,
+                      page_size: int = DEFAULT_PAGE_SIZE,
+                      max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES
+                      ) -> QueryStream:
+        """Enqueue a query whose results stream back page by page.
+
+        Admission control, deadlines and worker scheduling are exactly
+        :meth:`submit`'s; the difference is the result path — a
+        :class:`QueryStream` whose pages the worker produces on demand
+        under a bounded buffer (``max_buffered_pages``), holding the
+        document's shared latch for the stream's lifetime so every page
+        comes from one consistent snapshot.  The submission deadline
+        covers the whole stream, including time spent blocked on a slow
+        consumer: a stalled client turns into a
+        :class:`~repro.errors.ResourceLimitExceeded` on its own stream,
+        never an idle worker held forever.  The stream's ``future``
+        resolves to the total row count when production finishes.
+        """
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        if max_buffered_pages < 1:
+            raise ValueError(f"max_buffered_pages must be >= 1, got "
+                             f"{max_buffered_pages}")
+        if self._closed:
+            raise ServerClosedError("submit_stream() on a closed "
+                                    "QueryServer")
+        time_limit = (self.options.time_limit if time_limit is _UNSET
+                      else time_limit)
+        memory_budget = (self.options.memory_budget
+                         if memory_budget is _UNSET else memory_budget)
+        if batch_size is _UNSET:
+            batch_size = self.options.batch_size
+        deadline = (time.monotonic() + time_limit
+                    if time_limit is not None else None)
+        future: Future = Future()
+        stream = QueryStream(future, page_size=page_size,
+                             max_buffered_pages=max_buffered_pages)
+        task = _Task(future=future, document=document, query=query,
+                     bindings=bindings,
+                     profile=(self.options.profile if profile is None
+                              else profile),
+                     deadline=deadline, time_limit=time_limit,
+                     memory_budget=memory_budget, batch_size=batch_size,
+                     serialize=serialize, indent=indent,
+                     sink=stream, page_size=page_size)
+        # Registered before the task becomes visible: a worker finishing
+        # the stream discards it from the set, which must never race
+        # ahead of the add.
+        with self._stats_lock:
+            self._streams.add(stream)
+        try:
+            self._admit(task)
+        except BaseException:
+            with self._stats_lock:
+                self._streams.discard(stream)
+            raise
+        return stream
+
+    def _admit(self, task: _Task) -> None:
+        """Enqueue under admission control (shared by both submit paths)."""
+        task.enqueued_at = time.monotonic()
         with self._lifecycle_lock:
             # Re-checked under the lock: close() flips the flag under it
             # too, so a task admitted here is enqueued before the
@@ -218,7 +523,6 @@ class QueryServer:
         with self._stats_lock:
             self._peak_pending = max(self._peak_pending,
                                      self._queue.qsize())
-        return task.future
 
     def execute(self, document: str, query,
                 bindings: dict | None = None, **overrides):
@@ -244,9 +548,15 @@ class QueryServer:
             task = self._queue.get()
             if task is _SHUTDOWN:
                 return
+            started = time.monotonic()
+            with self._stats_lock:
+                self._queue_wait_hist.record(started - task.enqueued_at)
             if not task.future.set_running_or_notify_cancel():
                 with self._stats_lock:
                     self._cancelled += 1
+                continue
+            if task.sink is not None:
+                self._serve_stream(session, task, started)
                 continue
             try:
                 result = self._run(session, task)
@@ -256,11 +566,79 @@ class QueryServer:
                 # reads stats() must see this query accounted for.
                 with self._stats_lock:
                     self._failed += 1
+                    self._execution_hist.record(time.monotonic() - started)
                 task.future.set_exception(exc)
             else:
                 with self._stats_lock:
                     self._completed += 1
+                    self._execution_hist.record(time.monotonic() - started)
                 task.future.set_result(result)
+
+    def _serve_stream(self, session: Session, task: _Task,
+                      started: float) -> None:
+        """Produce a streaming task's pages; settle counters and future."""
+        sink = task.sink
+        try:
+            rows = self._run_stream(session, task)
+        except _StreamAborted:
+            with self._stats_lock:
+                self._cancelled += 1
+                self._execution_hist.record(time.monotonic() - started)
+                self._streams.discard(sink)
+            task.future.set_result(None)
+        except BaseException as exc:
+            with self._stats_lock:
+                self._failed += 1
+                self._execution_hist.record(time.monotonic() - started)
+                self._streams.discard(sink)
+            # Deliver the error on both paths: next_page() raises it for
+            # a consumer mid-fetch, the future for anyone awaiting the
+            # outcome.
+            sink._deliver_error(exc)
+            task.future.set_exception(exc)
+        else:
+            with self._stats_lock:
+                self._completed += 1
+                self._execution_hist.record(time.monotonic() - started)
+                self._streams.discard(sink)
+            task.future.set_result(rows)
+
+    def _run_stream(self, session: Session, task: _Task) -> int:
+        """Execute a streaming task, pushing pages into its sink.
+
+        The document's shared latch is held across the whole stream —
+        every page comes from the same snapshot, and updates to the
+        document wait for the stream to finish (or for its deadline to
+        shed it).
+        """
+        sink = task.sink
+        deadline_check = lambda: self._check_deadline(task)  # noqa: E731
+        self._check_deadline(task)
+        program = session._parse(task.query)
+        if program.is_updating:
+            raise UpdateError("updating statements do not stream; "
+                              "submit them with submit()")
+        with self.dbms.document_latch(task.document).shared():
+            prepared = session.prepare(task.document, program,
+                                       profile=task.profile)
+            sink.plan_cache_hit = prepared.from_cache
+            remaining = self._check_deadline(task)
+            with prepared.execute(bindings=task.bindings,
+                                  time_limit=remaining,
+                                  memory_budget=task.memory_budget,
+                                  batch_size=task.batch_size) as cursor:
+                while True:
+                    nodes = cursor.fetch(task.page_size)
+                    if nodes:
+                        page = ([_serialize_node(node, indent=task.indent)
+                                 for node in nodes]
+                                if task.serialize else nodes)
+                        sink._offer(("page", page), deadline_check)
+                        sink.rows_produced += len(nodes)
+                    if len(nodes) < task.page_size:
+                        break
+        sink._offer(("end", None), deadline_check)
+        return sink.rows_produced
 
     def _run(self, session: Session, task: _Task):
         self._check_deadline(task)    # fail fast on queue-expired work
@@ -317,34 +695,57 @@ class QueryServer:
                                cancelled=self._cancelled,
                                rejected=self._rejected,
                                pending=self._queue.qsize(),
-                               peak_pending=self._peak_pending)
+                               peak_pending=self._peak_pending,
+                               queue_wait=self._queue_wait_hist.snapshot(),
+                               execution=self._execution_hist.snapshot())
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting work and shut the pool down.  Idempotent.
+        """Stop accepting work and shut the pool down.
+
+        Idempotent and safe to call from any number of threads at once:
+        exactly one caller performs the shutdown, every caller returns
+        only after the workers have exited, and racing ``submit``s
+        either land before the shutdown sentinels (their futures
+        resolve) or raise :class:`~repro.errors.ServerClosedError` —
+        never a deadlock either way.
 
         ``wait=True`` (default) drains the queue: everything already
         admitted runs to completion before the workers exit.
         ``wait=False`` cancels still-queued tasks (their futures report
         ``cancelled()``); the queries currently executing still finish,
-        and their futures resolve normally.
+        and their futures resolve normally.  Open streams are aborted in
+        both modes — a stream's completion depends on its consumer, and
+        shutdown must not wait on one that stopped fetching; their
+        consumers see :class:`~repro.errors.ServerClosedError`.
         """
         with self._lifecycle_lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        if not wait:
-            while True:
-                try:
-                    task = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if task is not _SHUTDOWN and task.future.cancel():
-                    with self._stats_lock:
-                        self._cancelled += 1
-        for __ in self._workers:
-            self._queue.put(_SHUTDOWN)
+        if first:
+            # Streams first: a producer blocked on a full page buffer
+            # must wake and release its worker before the join below.
+            with self._stats_lock:
+                streams = list(self._streams)
+            for stream in streams:
+                stream.close(ServerClosedError(
+                    "QueryServer closed while the stream was open"))
+            if not wait:
+                while True:
+                    try:
+                        task = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if task is not _SHUTDOWN and task.future.cancel():
+                        with self._stats_lock:
+                            self._cancelled += 1
+                            if task.sink is not None:
+                                self._streams.discard(task.sink)
+            for __ in self._workers:
+                self._queue.put(_SHUTDOWN)
+        # Every caller (first or not) waits for the pool to exit, so a
+        # second close() returning is as strong a guarantee as the first.
         for worker in self._workers:
             worker.join()
 

@@ -99,6 +99,18 @@ class ServerClosedError(ServerError):
     close()."""
 
 
+class ProtocolError(ServerError):
+    """Malformed traffic on the network wire protocol.
+
+    Raised by the frame codec (:mod:`repro.net.protocol`) on an
+    oversized length prefix, an unknown message type, or an undecodable
+    payload — and by either endpoint when the other side violates the
+    request/response protocol.  The server answers a protocol violation
+    by dropping the connection; application-level errors (the rest of
+    this taxonomy) travel as typed error frames and keep it open.
+    """
+
+
 # --------------------------------------------------------------------------
 # Storage layer
 # --------------------------------------------------------------------------

@@ -1,0 +1,43 @@
+"""The network front door: wire protocol, asyncio server, client.
+
+This package puts the in-process serving layer
+(:class:`~repro.core.server.QueryServer`) behind a TCP socket:
+
+* :mod:`repro.net.protocol` — the length-prefixed binary frame codec
+  and the typed message vocabulary (HELLO, PREPARE, EXECUTE, FETCH,
+  UPDATE, CLOSE, STATS, ERROR), including the mapping that carries the
+  library's exception taxonomy across the wire;
+* :mod:`repro.net.server` — an asyncio front end owning connection
+  lifecycle and per-connection statement/cursor tables, bridging the
+  event loop to the threaded worker pool;
+* :mod:`repro.net.client` — a blocking client library used by the
+  tests, examples and benchmarks.
+
+Start a server from the command line with ``python -m repro.serve``.
+"""
+
+from repro.net.client import NetClient, RemoteCursor, RemoteStatement
+from repro.net.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    MsgKind,
+    decode_error,
+    encode_error,
+    encode_frame,
+)
+from repro.net.server import NetworkServer
+
+__all__ = [
+    "NetworkServer",
+    "NetClient",
+    "RemoteStatement",
+    "RemoteCursor",
+    "MsgKind",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_error",
+    "decode_error",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+]

@@ -497,3 +497,148 @@ class TestQueryServer:
                         old_text, new_text)
                 late = server.submit("doc", "//item", serialize=True)
                 assert late.result(timeout=JOIN_TIMEOUT) == new_text
+
+
+# ---------------------------------------------------------------------------
+# latency histograms and lifecycle hardening (the network-PR satellites)
+# ---------------------------------------------------------------------------
+
+
+class TestServerObservability:
+    def test_stats_expose_latency_percentiles(self, shared_dbms):
+        """Every served query lands in both fixed-bucket histograms,
+        and the snapshots expose ordered, finite percentiles."""
+        with QueryServer(shared_dbms, workers=2,
+                         max_pending=64) as server:
+            futures = [server.submit("dblp", query)
+                       for __ in range(4)
+                       for query in STRESS_QUERIES]
+            for future in futures:
+                future.result(timeout=JOIN_TIMEOUT)
+            stats = server.stats()
+        for snapshot in (stats.queue_wait, stats.execution):
+            assert snapshot.count == len(futures)
+            assert 0.0 <= snapshot.p50_ms <= snapshot.p90_ms \
+                <= snapshot.p99_ms
+            assert snapshot.p99_ms <= snapshot.max_ms * 2 + 1e-9
+            assert snapshot.mean_ms >= 0.0
+        # Real work happened, so execution time is measurably nonzero.
+        assert stats.execution.max_ms > 0.0
+        assert stats.execution.as_dict()["p99_ms"] \
+            == stats.execution.p99_ms
+
+    def test_failed_queries_still_count_into_histograms(self, shared_dbms):
+        with QueryServer(shared_dbms, workers=1) as server:
+            good = server.submit("dblp", STRESS_QUERIES[0])
+            bad = server.submit("dblp", "for $x in")
+            good.result(timeout=JOIN_TIMEOUT)
+            with pytest.raises(Exception):
+                bad.result(timeout=JOIN_TIMEOUT)
+            stats = server.stats()
+        assert stats.execution.count == 2
+        assert stats.queue_wait.count == 2
+
+
+class TestStreaming:
+    def test_stream_pages_reassemble_the_serial_result(self, shared_dbms):
+        expected = shared_dbms.session().query(
+            "dblp", STRESS_QUERIES[0])
+        with QueryServer(shared_dbms, workers=2) as server:
+            stream = server.submit_stream("dblp", STRESS_QUERIES[0],
+                                          serialize=True, page_size=3)
+            pages = list(stream.pages())
+            assert all(len(page) <= 3 for page in pages)
+            text = "".join(row for page in pages for row in page)
+            assert text == expected
+            assert stream.future.result(timeout=JOIN_TIMEOUT) \
+                == stream.rows_produced
+
+    def test_backpressure_bounds_producer_readahead(self, shared_dbms):
+        """With the consumer stalled, the producer parks after filling
+        the page buffer instead of materializing the result."""
+        with QueryServer(shared_dbms, workers=1) as server:
+            stream = server.submit_stream("dblp", STRESS_QUERIES[0],
+                                          page_size=1,
+                                          max_buffered_pages=2)
+            deadline = time.monotonic() + JOIN_TIMEOUT
+            while stream.rows_produced < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            time.sleep(0.1)              # producer gets no further
+            assert stream.rows_produced <= 2 + 2
+            assert not stream.future.done()
+            total = sum(len(page) for page in stream.pages())
+            assert stream.future.result(timeout=JOIN_TIMEOUT) == total
+
+    def test_closing_a_stream_frees_its_worker(self, shared_dbms):
+        with QueryServer(shared_dbms, workers=1) as server:
+            stream = server.submit_stream("dblp", STRESS_QUERIES[0],
+                                          page_size=1,
+                                          max_buffered_pages=1)
+            assert stream.next_page(timeout=JOIN_TIMEOUT)
+            stream.close()
+            # The single worker must come back to serve this.
+            after = server.submit("dblp", STRESS_QUERIES[0],
+                                  serialize=True)
+            assert after.result(timeout=JOIN_TIMEOUT) == \
+                shared_dbms.session().query("dblp", STRESS_QUERIES[0])
+            assert stream.future.result(timeout=JOIN_TIMEOUT) is None
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self, shared_dbms):
+        server = QueryServer(shared_dbms, workers=1)
+        server.submit("dblp", STRESS_QUERIES[0])
+        server.close()
+        server.close()                   # second close: quiet no-op
+        with pytest.raises(ServerClosedError):
+            server.submit("dblp", STRESS_QUERIES[0])
+        with pytest.raises(ServerClosedError):
+            server.submit_stream("dblp", STRESS_QUERIES[0])
+
+    def test_concurrent_closers_race_submitters_without_deadlock(
+            self, shared_dbms):
+        """8 closers and 4 submitters hammer one server; every closer
+        returns (no deadlock, enforced by run_threads' join timeout),
+        every accepted future settles, and post-close submissions fail
+        with ServerClosedError."""
+        server = QueryServer(shared_dbms, workers=2, max_pending=128)
+        start = threading.Barrier(12, timeout=JOIN_TIMEOUT)
+        accepted = []
+        accepted_lock = threading.Lock()
+
+        def closer():
+            start.wait()
+            server.close()
+
+        def submitter():
+            start.wait()
+            for __ in range(40):
+                try:
+                    future = server.submit("dblp", STRESS_QUERIES[0])
+                except (ServerClosedError, AdmissionError):
+                    pass
+                else:
+                    with accepted_lock:
+                        accepted.append(future)
+
+        run_threads([closer] * 8 + [submitter] * 4)
+        # close(wait=True) returned everywhere: all workers are gone
+        # and every accepted future has settled one way or the other.
+        for future in accepted:
+            assert future.done()
+        with pytest.raises(ServerClosedError):
+            server.submit("dblp", STRESS_QUERIES[0])
+
+    def test_close_shuts_open_streams_with_a_typed_reason(
+            self, shared_dbms):
+        server = QueryServer(shared_dbms, workers=1)
+        stream = server.submit_stream("dblp", STRESS_QUERIES[0],
+                                      page_size=1,
+                                      max_buffered_pages=1)
+        assert stream.next_page(timeout=JOIN_TIMEOUT)
+        server.close()
+        with pytest.raises(ServerClosedError):
+            while True:
+                if stream.next_page(timeout=JOIN_TIMEOUT) is None:
+                    break
