@@ -1,0 +1,180 @@
+"""Sharded serving vs. one process: breaking the GIL ceiling.
+
+One ``repro.serve`` process tops out at roughly one core of query work
+no matter how many worker threads it runs — that is the ceiling
+``bench_concurrency`` measures from inside a single process.  This
+benchmark runs the *same* closed-loop workload against a real
+:class:`~repro.shard.process.ShardCluster` twice — 4 member processes,
+then 1 — with documents spread across the members and every client
+routing through its own :class:`~repro.shard.mediator.ShardedServer`
+(the mediator is a client-side library here: each client process
+routes directly to the owning shard, so nothing central caps the
+fan-out).
+
+The regression-gated metric:
+
+* ``shard.scaling_4`` — aggregate throughput with 4 shard processes
+  over throughput with 1 shard process, same documents, same total
+  work.  Four GILs over four documents must beat one GIL by at least
+  2x; the committed baseline carries the floor.
+
+A second, ungated test kills one member mid-run and checks the failure
+contract: queries for the dead shard's documents fail with a typed
+``ShardUnavailableError`` while the surviving shard keeps answering.
+
+Needs >= 4 usable cores (the CI runners have them); below that the
+scaling claim is physically meaningless and the module skips.
+Results land in ``BENCH_shard.json``.
+"""
+
+import multiprocessing
+import os
+import statistics
+import tempfile
+import time
+
+import pytest
+
+from repro.errors import ShardUnavailableError
+from repro.shard import ShardCluster, ShardedServer
+from repro.workloads.dblp import DblpConfig, generate_dblp
+from repro.workloads.queries import EFFICIENCY_QUERIES
+
+#: The contested shard count (and the metric's name).
+SHARDS = 4
+#: Client *processes* driving the cluster closed-loop.
+CLIENTS = 8
+#: Workload suites in total, split evenly across clients; one suite is
+#: every query against every document.
+TOTAL_SUITES = 16
+#: One document per shard slot; the 1-shard run holds all four.
+DOCUMENTS = [f"dblp{index}" for index in range(SHARDS)]
+PAGE_SIZE = 256
+#: In-bench floor (lenient; ``benchmarks/baseline.json`` carries the
+#: real >= 2.0 gate).
+MIN_SCALING = 1.5
+
+ARTICLES = int(os.environ.get("REPRO_BENCH_ARTICLES", "500"))
+QUERIES = [test.xq for test in EFFICIENCY_QUERIES]
+JOIN_TIMEOUT = 300.0
+
+usable_cores = len(os.sched_getaffinity(0))
+needs_cores = pytest.mark.skipif(
+    usable_cores < SHARDS
+    and not os.environ.get("REPRO_BENCH_FORCE_SHARD"),
+    reason=f"shard scaling needs >= {SHARDS} usable cores, have "
+           f"{usable_cores} (set REPRO_BENCH_FORCE_SHARD=1 to force)")
+
+
+def _client_process(endpoints, placements, suites, barrier, results):
+    """One closed-loop client with its own mediator-as-library."""
+    latencies = []
+    with ShardedServer(endpoints, timeout=JOIN_TIMEOUT) as mediator:
+        for name, shards in placements.items():
+            mediator.attach(name, shards)
+        for document in DOCUMENTS:       # warm this client's pools
+            mediator.execute(document, QUERIES[0])
+        barrier.wait(timeout=JOIN_TIMEOUT)
+        for __ in range(suites):
+            for document in DOCUMENTS:
+                for query in QUERIES:
+                    started = time.perf_counter()
+                    mediator.execute(document, query)
+                    latencies.append(time.perf_counter() - started)
+    results.put(latencies)
+
+
+def _run_cluster(shard_count, dblp_xml):
+    """Spawn a cluster, place the documents, drive it; returns summary."""
+    data_dir = tempfile.mkdtemp(prefix=f"repro-bench-shard{shard_count}-")
+    with ShardCluster.spawn(shard_count, data_dir, workers=4,
+                            max_pending=256,
+                            time_limit=None) as cluster:
+        with ShardedServer(cluster.endpoints,
+                           timeout=JOIN_TIMEOUT) as loader:
+            for document in DOCUMENTS:
+                loader.load(document, xml=dblp_xml)
+            placements = loader.documents()
+
+        suites_per_client = TOTAL_SUITES // CLIENTS
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(CLIENTS + 1)
+        results = context.Queue()
+        clients = [context.Process(
+            target=_client_process,
+            args=(cluster.endpoints, placements, suites_per_client,
+                  barrier, results))
+            for __ in range(CLIENTS)]
+        for client in clients:
+            client.start()
+        barrier.wait(timeout=JOIN_TIMEOUT)
+        started = time.perf_counter()
+        latencies = []
+        for __ in clients:
+            latencies.extend(results.get(timeout=JOIN_TIMEOUT))
+        wall = time.perf_counter() - started
+        for client in clients:
+            client.join(timeout=JOIN_TIMEOUT)
+            assert client.exitcode == 0, (
+                f"client process failed with exit code "
+                f"{client.exitcode}")
+    executed = len(latencies)
+    assert executed == (CLIENTS * suites_per_client * len(DOCUMENTS)
+                        * len(QUERIES))
+    ordered = sorted(latencies)
+    return {
+        "shards": shard_count,
+        "queries": executed,
+        "wall_seconds": round(wall, 4),
+        "qps": executed / wall,
+        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
+        "p99_ms": round(ordered[min(executed - 1,
+                                    int(executed * 0.99))] * 1e3, 3),
+    }
+
+
+@needs_cores
+def test_shard_scaling(bench_record):
+    dblp_xml = generate_dblp(DblpConfig(
+        articles=ARTICLES,
+        inproceedings=max(1, ARTICLES * 3 // 10), name_pool=40))
+    sharded = _run_cluster(SHARDS, dblp_xml)
+    single = _run_cluster(1, dblp_xml)
+    scaling = sharded["qps"] / single["qps"]
+
+    print(f"\n1 shard : {single['qps']:8.1f} q/s   "
+          f"p50 {single['p50_ms']:7.2f} ms   "
+          f"p99 {single['p99_ms']:7.2f} ms")
+    print(f"{SHARDS} shards: {sharded['qps']:8.1f} q/s   "
+          f"p50 {sharded['p50_ms']:7.2f} ms   "
+          f"p99 {sharded['p99_ms']:7.2f} ms")
+    print(f"scaling  : {scaling:.2f}x with {usable_cores} usable cores")
+
+    bench_record(
+        "shard",
+        metrics={f"shard.scaling_{SHARDS}": round(scaling, 3)},
+        details={"sharded": sharded, "single": single,
+                 "usable_cores": usable_cores})
+    assert scaling >= MIN_SCALING, (
+        f"{SHARDS} shard processes only reached {scaling:.2f}x the "
+        f"single-process throughput (floor {MIN_SCALING}x)")
+
+
+def test_one_dead_shard_fails_typed_and_scoped():
+    """Kill a member mid-run: its documents fail typed, others serve."""
+    data_dir = tempfile.mkdtemp(prefix="repro-bench-shardkill-")
+    dblp_xml = generate_dblp(DblpConfig(articles=20, inproceedings=6,
+                                        name_pool=10))
+    with ShardCluster.spawn(2, data_dir, workers=2,
+                            time_limit=None) as cluster:
+        with ShardedServer(cluster.endpoints) as mediator:
+            mediator.load("alive", xml=dblp_xml)     # -> shard 0
+            mediator.load("doomed", xml=dblp_xml)    # -> shard 1
+            assert mediator.documents() == {"alive": (0,),
+                                            "doomed": (1,)}
+            assert mediator.execute("doomed", QUERIES[0])
+            cluster.shards[1].kill()
+            with pytest.raises(ShardUnavailableError) as info:
+                mediator.execute("doomed", QUERIES[0])
+            assert info.value.shard == 1
+            assert mediator.execute("alive", QUERIES[0])

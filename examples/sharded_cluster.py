@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Sharded serving: a mediator over real shard server processes.
+
+Spawns a 3-member cluster (each member a ``python -m repro.serve``
+subprocess with its own database), then walks the mediator surface:
+whole-document placement and routing, a document partitioned across
+every shard with order-preserving merged streaming, updates, cluster
+observability — and the failure model, by killing a member mid-run.
+
+Run with::
+
+    python examples/sharded_cluster.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC)
+
+from repro.errors import ShardUnavailableError, UpdateError  # noqa: E402
+from repro.shard import ShardCluster, ShardedServer          # noqa: E402
+from repro.workloads.dblp import DblpConfig, generate_dblp   # noqa: E402
+
+SHARDS = 3
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+    with ShardCluster.spawn(SHARDS, data_dir, workers=2) as cluster:
+        cluster.health_check()
+        print(f"{SHARDS} shard processes up:",
+              [f"{h}:{p}" for h, p in cluster.endpoints])
+
+        with ShardedServer(cluster.endpoints) as mediator:
+            # 1. Whole documents go to the least-loaded shard; queries
+            #    against them are routed to that one process.
+            for name in ("alpha", "beta", "gamma"):
+                mediator.load(name, xml=f"<lib><t>{name}</t></lib>")
+            placements = mediator.documents()
+            print("placements:", placements)
+            print("routed query:", mediator.query("alpha", "//t"))
+
+            # 2. A big document partitioned across every shard: each
+            #    member holds a contiguous chunk under the same name,
+            #    and fan-out queries merge the streams back into
+            #    document order.
+            xml = generate_dblp(DblpConfig(articles=90))
+            mediator.load("dblp", xml=xml, parts=SHARDS)
+            titles = mediator.execute("dblp", "//article/title")
+            print(f"\npartitioned fan-out: {len(titles)} titles, "
+                  f"first = {titles[0][:50]}...")
+
+            # 3. "*" queries every document, parts in name order.
+            everything = mediator.execute("*", "//t")
+            print("'*' fan-out over whole docs:", everything)
+
+            # 4. Updates route to the owning shard; partitioned
+            #    documents refuse them (no cross-process atomicity).
+            result = mediator.update(
+                "alpha", "insert node <t>added</t> into /lib")
+            print(f"\nupdate: inserted {result.nodes_inserted} node(s)")
+            try:
+                mediator.update("dblp", "delete nodes //article")
+            except UpdateError as error:
+                print(f"partitioned update refused: {error}")
+
+            # 5. Observability: the mediator's own counters plus every
+            #    member's STATS payload, aggregated.
+            stats = mediator.stats()
+            print(f"\nmediator stats: {stats.queries} routed, "
+                  f"{stats.fanouts} fanned out, {stats.updates} "
+                  f"updates, {stats.rows_streamed} rows streamed")
+            cluster_stats = mediator.cluster_stats()
+            print("cluster aggregate submitted:",
+                  cluster_stats["aggregate"]["server"]["submitted"])
+
+            # 6. The failure model: kill one member.  Documents on it
+            #    fail with a typed, scoped error; everything else keeps
+            #    answering.
+            victim = placements["beta"][0]
+            print(f"\nkilling shard {victim} (owns 'beta')...")
+            cluster.shards[victim].kill()
+            try:
+                mediator.query("beta", "//t")
+            except ShardUnavailableError as error:
+                print(f"typed failure: shard={error.shard}: {error}")
+            survivor = next(name for name, (shard,) in placements.items()
+                            if shard != victim)
+            print(f"survivor still serving: "
+                  f"{mediator.query(survivor, '//t')}")
+
+    print("\ncluster stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -157,6 +157,56 @@ class LatencyHistogram:
 
 
 @dataclass(frozen=True)
+class PageEnvelope:
+    """One result page plus the metadata that must survive the wire.
+
+    The streaming path hands consumers more than raw rows: a merge
+    consumer (the shard mediator) needs to know *which document* a page
+    belongs to and *where in the result* it starts, so it can key every
+    row for an order-preserving k-way merge without keeping per-stream
+    counters of its own.  ``base`` is the index of the page's first row
+    within the full result (row ``i`` of the page is result row
+    ``base + i``); the final page has ``eof=True``, no rows, and carries
+    the stream totals.
+
+    The payload mapping (:meth:`as_payload` / :meth:`from_payload`) is
+    the normative wire shape of a PAGE frame's envelope fields — see
+    ``docs/wire-protocol.md``.
+    """
+
+    document: str
+    base: int
+    rows: list
+    eof: bool
+    total_rows: int | None = None
+    plan_cache_hit: bool | None = None
+
+    def as_payload(self) -> dict:
+        """The JSON-serializable PAGE-frame fields for this page."""
+        payload = {"doc": self.document, "base": self.base,
+                   "rows": self.rows, "eof": self.eof}
+        if self.eof:
+            payload["total_rows"] = self.total_rows
+            payload["plan_cache_hit"] = self.plan_cache_hit
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PageEnvelope":
+        """Rebuild an envelope from a PAGE frame's payload.
+
+        Tolerates pre-metadata peers: a payload without ``doc``/``base``
+        decodes with an empty document name and a ``-1`` base, which
+        downstream merge logic treats as "no merge key available".
+        """
+        return cls(document=payload.get("doc", ""),
+                   base=payload.get("base", -1),
+                   rows=payload.get("rows", []),
+                   eof=bool(payload.get("eof")),
+                   total_rows=payload.get("total_rows"),
+                   plan_cache_hit=payload.get("plan_cache_hit"))
+
+
+@dataclass(frozen=True)
 class ServerStats:
     """A consistent snapshot of the server's counters.
 
@@ -226,9 +276,12 @@ class QueryStream:
     """
 
     def __init__(self, future: Future, page_size: int,
-                 max_buffered_pages: int):
+                 max_buffered_pages: int, document: str = ""):
         self.future = future
         self.page_size = page_size
+        #: The document the stream reads — page envelopes carry it so
+        #: merge keys survive serialization (see :class:`PageEnvelope`).
+        self.document = document
         self._pages: queue.Queue = queue.Queue(maxsize=max_buffered_pages)
         self._closed = threading.Event()
         self._close_reason: BaseException | None = None
@@ -474,7 +527,8 @@ class QueryServer:
                     if time_limit is not None else None)
         future: Future = Future()
         stream = QueryStream(future, page_size=page_size,
-                             max_buffered_pages=max_buffered_pages)
+                             max_buffered_pages=max_buffered_pages,
+                             document=document)
         task = _Task(future=future, document=document, query=query,
                      bindings=bindings,
                      profile=(self.options.profile if profile is None
@@ -535,6 +589,22 @@ class QueryServer:
         """Submit, wait and serialize in one call."""
         return self.submit(document, query, bindings=bindings,
                            serialize=True, **overrides).result()
+
+    def load(self, document: str, xml: str | None = None,
+             path: str | None = None):
+        """Load (or replace) a document in the served database.
+
+        Runs on the caller's thread, not a worker — a load is a bulk
+        catalog operation, not a query, and must not occupy (or queue
+        behind) the bounded worker pool.  Safe against in-flight
+        queries: ``XmlDbms.load`` guarantees running executions finish
+        on the old snapshot.  This is what the wire protocol's LOAD
+        message calls, letting a shard mediator place documents on
+        member processes at runtime.
+        """
+        if self._closed:
+            raise ServerClosedError("load() on a closed QueryServer")
+        return self.dbms.load(document, xml=xml, path=path)
 
     # -- worker side ---------------------------------------------------------
 

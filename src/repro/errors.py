@@ -99,6 +99,33 @@ class ServerClosedError(ServerError):
     close()."""
 
 
+class ShardError(ServerError):
+    """Base class for sharded-serving (mediator) failures.
+
+    Raised by :mod:`repro.shard` for cluster-level problems that are not
+    attributable to one shard being down — an unknown logical document,
+    an operation the mediator cannot decompose (e.g. updating a
+    partitioned document), or a shard subprocess that failed to start.
+    """
+
+
+class ShardUnavailableError(ShardError):
+    """A shard process is unreachable (crashed, restarting, or gone).
+
+    The mediator raises this for queries and updates whose documents
+    live on the unreachable shard *after* exhausting its reconnect
+    retries; documents owned by other shards keep being served.
+    ``shard`` is the shard index, ``document`` the logical document the
+    failed operation addressed (either may be ``None`` when unknown).
+    """
+
+    def __init__(self, message: str, shard: int | None = None,
+                 document: str | None = None):
+        self.shard = shard
+        self.document = document
+        super().__init__(message)
+
+
 class ProtocolError(ServerError):
     """Malformed traffic on the network wire protocol.
 

@@ -11,12 +11,17 @@ This package puts the in-process serving layer
   lifecycle and per-connection statement/cursor tables, bridging the
   event loop to the threaded worker pool;
 * :mod:`repro.net.client` — a blocking client library used by the
-  tests, examples and benchmarks.
+  tests, examples and benchmarks;
+* :mod:`repro.net.pool` — a reconnecting connection pool, the building
+  block the shard mediator (:mod:`repro.shard`) uses to survive shard
+  restarts.
 
-Start a server from the command line with ``python -m repro.serve``.
+Start a server from the command line with ``python -m repro.serve``,
+or a sharded cluster with ``python -m repro.shard``.
 """
 
 from repro.net.client import NetClient, RemoteCursor, RemoteStatement
+from repro.net.pool import ConnectionPool
 from repro.net.protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
@@ -33,6 +38,7 @@ __all__ = [
     "NetClient",
     "RemoteStatement",
     "RemoteCursor",
+    "ConnectionPool",
     "MsgKind",
     "FrameDecoder",
     "encode_frame",

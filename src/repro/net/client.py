@@ -34,6 +34,7 @@ from __future__ import annotations
 import socket
 import threading
 
+from repro.core.server import PageEnvelope
 from repro.errors import ProtocolError
 from repro.net.protocol import (
     MAX_FRAME,
@@ -154,6 +155,16 @@ class NetClient:
             payload["bindings"] = dict(bindings)
         return self._request(MsgKind.UPDATE, payload, MsgKind.UPDATE_OK)
 
+    def load(self, document: str, xml: str) -> None:
+        """Load (or replace) ``document`` from an XML string.
+
+        The server parses and stores the document before answering, so
+        a successful return means the document is queryable (and, on a
+        durable database, logged to the WAL).
+        """
+        self._request(MsgKind.LOAD, {"document": document, "xml": xml},
+                      MsgKind.LOAD_OK)
+
     def stats(self, recent: int = 0) -> dict:
         """The server's STATS payload (pool + network observability)."""
         payload = {"recent": recent} if recent else {}
@@ -202,11 +213,13 @@ class RemoteStatement:
     def execute(self, bindings: dict[str, str] | None = None,
                 page_size: int | None = None,
                 time_limit: float | None = None) -> "RemoteCursor":
+        """Run the prepared statement; returns a streaming cursor."""
         return self.client._execute({"statement": self.handle},
                                     bindings, page_size, time_limit)
 
     def query(self, bindings: dict[str, str] | None = None,
               **overrides) -> str:
+        """Execute and concatenate the serialized result rows."""
         with self.execute(bindings=bindings, **overrides) as cursor:
             return "".join(cursor)
 
@@ -236,10 +249,21 @@ class RemoteCursor:
         self.total_rows: int | None = None
         self.plan_cache_hit: bool | None = None
 
-    def fetch_page(self) -> list[str]:
-        """The next server page (empty at end of results)."""
+    def fetch_envelope(self) -> PageEnvelope:
+        """The next page with its merge-key metadata.
+
+        Returns the full :class:`~repro.core.server.PageEnvelope` —
+        ``document``, ``base`` (index of the page's first row in the
+        whole result), ``rows`` and ``eof`` — which is what the shard
+        mediator's k-way merge consumes.  After the ``eof`` envelope
+        the cursor is exhausted and further calls return empty final
+        envelopes.
+        """
         if self._eof:
-            return []
+            return PageEnvelope(document="", base=self.total_rows or 0,
+                                rows=[], eof=True,
+                                total_rows=self.total_rows,
+                                plan_cache_hit=self.plan_cache_hit)
         try:
             response = self.client._fetch(self.handle)
         except BaseException:
@@ -248,12 +272,18 @@ class RemoteCursor:
             # exists.
             self._eof = True
             raise
-        if response.get("eof"):
+        envelope = PageEnvelope.from_payload(response)
+        if envelope.eof:
             self._eof = True
-            self.total_rows = response.get("total_rows")
-            self.plan_cache_hit = response.get("plan_cache_hit")
+            self.total_rows = envelope.total_rows
+            self.plan_cache_hit = envelope.plan_cache_hit
+        return envelope
+
+    def fetch_page(self) -> list[str]:
+        """The next server page (empty at end of results)."""
+        if self._eof:
             return []
-        return response["rows"]
+        return self.fetch_envelope().rows
 
     def __iter__(self):
         return self

@@ -1,0 +1,207 @@
+"""A small connection pool over :class:`~repro.net.client.NetClient`.
+
+The shard mediator talks to every shard over this pool.  Two things
+distinguish it from "a list of clients":
+
+* **Reconnect on demand.**  A pooled connection can go stale between
+  uses — the shard process restarted, the server recycled it, the OS
+  dropped it.  ``run`` detects the failure (``ProtocolError``,
+  ``ServerClosedError``, or a raw ``ConnectionError``/``OSError``),
+  discards the dead connection, dials a fresh one, and retries the
+  operation once.  That single retry is exactly what makes a shard
+  *restart* invisible to mediator clients: the first request after the
+  restart hits the stale socket, the retry hits the new process.
+
+* **Typed unavailability.**  When the dial itself fails — nothing is
+  listening — the pool raises
+  :class:`~repro.errors.ShardUnavailableError` instead of a raw socket
+  error, so callers up the stack can distinguish "this shard is down"
+  from "this query is wrong".
+
+The retry is applied only to operations the caller marks retryable.
+Queries are read-only and idempotent; updates are not — an UPDATE whose
+connection died *after* the server applied it must surface the failure
+rather than silently apply twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    ProtocolError,
+    ServerClosedError,
+    ShardUnavailableError,
+)
+from repro.net.client import DEFAULT_TIMEOUT, NetClient
+
+T = TypeVar("T")
+
+#: Failures that mean "the connection is unusable", as opposed to an
+#: application-level error travelling over a healthy connection.
+_CONNECTION_FAILURES = (ProtocolError, ServerClosedError,
+                        ConnectionError, OSError, TimeoutError)
+
+
+class ConnectionPool:
+    """A bounded pool of :class:`NetClient` connections to one address.
+
+    Connections are created lazily on :meth:`acquire`, reused after
+    :meth:`release`, and capped at ``capacity`` live connections; an
+    acquire beyond capacity blocks until a release.  The pool never
+    health-checks idle connections — staleness is detected (and healed)
+    at use time by :meth:`run`.
+    """
+
+    def __init__(self, host: str, port: int, capacity: int = 4,
+                 timeout: float | None = DEFAULT_TIMEOUT,
+                 shard: int | None = None):
+        """Remember the address; no connection is dialed yet.
+
+        ``shard`` is an optional shard index stamped onto the
+        :class:`~repro.errors.ShardUnavailableError` raised when the
+        address stops answering, purely for diagnostics.
+        """
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self.timeout = timeout
+        self.shard = shard
+        self._idle: list[NetClient] = []
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(capacity)
+        self._closed = False
+        # Observability counters, read by the mediator's stats().
+        self.connects = 0
+        self.reuses = 0
+        self.discards = 0
+        self.retries = 0
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _dial(self) -> NetClient:
+        try:
+            client = NetClient(self.host, self.port,
+                               timeout=self.timeout)
+        except _CONNECTION_FAILURES as error:
+            raise ShardUnavailableError(
+                f"shard at {self.host}:{self.port} is unreachable: "
+                f"{error}", shard=self.shard) from error
+        with self._lock:
+            self.connects += 1
+        return client
+
+    def acquire(self) -> NetClient:
+        """A ready connection: a pooled one if available, else fresh.
+
+        Blocks while ``capacity`` connections are checked out.  Raises
+        :class:`~repro.errors.ShardUnavailableError` when a fresh
+        connection is needed and the dial fails.
+        """
+        if self._closed:
+            raise ServerClosedError("acquire() on a closed pool")
+        self._slots.acquire()
+        with self._lock:
+            if self._idle:
+                self.reuses += 1
+                return self._idle.pop()
+        try:
+            return self._dial()
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def release(self, client: NetClient, discard: bool = False) -> None:
+        """Return a connection to the pool (or drop it for good)."""
+        if discard or self._closed:
+            with self._lock:
+                self.discards += 1
+            client.close()
+        else:
+            with self._lock:
+                self._idle.append(client)
+        self._slots.release()
+
+    # -- the retrying entry point --------------------------------------------
+
+    def run(self, operation: Callable[[NetClient], T],
+            retryable: bool = True) -> T:
+        """Run ``operation(client)`` on a pooled connection.
+
+        On a connection-level failure the dead connection is discarded
+        and — when ``retryable`` — the operation is retried exactly
+        once on a freshly dialed connection, which absorbs the stale
+        socket left behind by a shard restart.  If the redial fails,
+        :class:`~repro.errors.ShardUnavailableError` propagates.
+        Application-level errors (a typed ERROR frame over a healthy
+        connection) are never retried.
+        """
+        client = self.acquire()
+        try:
+            result = operation(client)
+        except _CONNECTION_FAILURES as error:
+            self.release(client, discard=True)
+            if not retryable:
+                raise
+            with self._lock:
+                self.retries += 1
+            fresh = self.acquire()       # ShardUnavailableError if dead
+            try:
+                result = operation(fresh)
+            except _CONNECTION_FAILURES as again:
+                self.release(fresh, discard=True)
+                raise ShardUnavailableError(
+                    f"shard at {self.host}:{self.port} failed "
+                    f"twice: {error}; retry: {again}",
+                    shard=self.shard) from again
+            except BaseException:
+                self.release(fresh)
+                raise
+            self.release(fresh)
+            return result
+        except BaseException:
+            self.release(client)
+            raise
+        self.release(client)
+        return result
+
+    def record_retry(self) -> None:
+        """Count a retry performed by a caller managing its own lease.
+
+        Streaming callers (the shard mediator's cursors) acquire and
+        release connections around a whole result stream, outside
+        :meth:`run`; this keeps their reconnect attempts visible in the
+        same ``retries`` counter.
+        """
+        with self._lock:
+            self.retries += 1
+
+    def stats(self) -> dict:
+        """Counters: dials, reuses, discards, retry attempts."""
+        with self._lock:
+            return {
+                "connects": self.connects,
+                "reuses": self.reuses,
+                "discards": self.discards,
+                "retries": self.retries,
+                "idle": len(self._idle),
+            }
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection; in-flight ones close on release."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -23,14 +23,20 @@ request        response                   payload highlights
 HELLO          HELLO_OK                   ``version`` (must match)
 PREPARE        PREPARE_OK                 ``statement`` id, ``externals``
 EXECUTE        EXECUTE_OK                 ``cursor`` id
-FETCH          PAGE                       ``rows``, ``eof``, final page
-                                          carries ``total_rows`` and
+FETCH          PAGE                       ``rows``, ``doc``, ``base``,
+                                          ``eof``; the final page carries
+                                          ``total_rows`` and
                                           ``plan_cache_hit``
 UPDATE         UPDATE_OK                  per-kind node counts
+LOAD           LOAD_OK                    load/replace a document
 CLOSE          CLOSE_OK                   ``statement`` or ``cursor`` id
 STATS          STATS_OK                   server + network observability
 (any)          ERROR                      typed error, see below
 =============  =========================  ==============================
+
+The authoritative frame-by-frame specification — payload schemas,
+version-negotiation rules, the error taxonomy table — lives in
+``docs/wire-protocol.md``; this docstring is the summary.
 
 Application-level failures travel as ERROR frames carrying the
 library's exception taxonomy — ``error`` names the exception class
@@ -59,6 +65,8 @@ from repro.errors import (
     ResourceLimitExceeded,
     ServerClosedError,
     ServerError,
+    ShardError,
+    ShardUnavailableError,
     StorageError,
     UpdateError,
     WalError,
@@ -68,8 +76,11 @@ from repro.errors import (
     XQTypeError,
 )
 
-#: Protocol revision; HELLO frames must agree on it.
-PROTOCOL_VERSION = 1
+#: Protocol revision; HELLO frames must agree on it.  Version 2 added
+#: the LOAD/LOAD_OK pair, the ``doc``/``base`` merge-key metadata on
+#: PAGE frames, and the shard error classes — see
+#: ``docs/wire-protocol.md`` for the negotiation rules.
+PROTOCOL_VERSION = 2
 
 #: Default ceiling on a frame's body (kind byte + payload).  Large
 #: result pages split across FETCHes long before this; anything bigger
@@ -97,6 +108,8 @@ class MsgKind(IntEnum):
     STATS = 13
     STATS_OK = 14
     ERROR = 15
+    LOAD = 16
+    LOAD_OK = 17
 
 
 # --------------------------------------------------------------------------
@@ -145,6 +158,7 @@ class FrameDecoder:
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> None:
+        """Append raw received bytes to the decode buffer."""
         self._buffer.extend(data)
 
     @property
@@ -198,6 +212,8 @@ WIRE_ERRORS: dict[str, type[ReproError]] = {
         ResourceLimitExceeded,
         ServerClosedError,
         ServerError,
+        ShardError,
+        ShardUnavailableError,
         StorageError,
         UpdateError,
         WalError,
@@ -229,6 +245,8 @@ def encode_error(error: BaseException) -> dict:
     if isinstance(error, ResourceLimitExceeded):
         payload.update(kind=error.kind, limit=error.limit,
                        used=error.used)
+    if isinstance(error, ShardUnavailableError):
+        payload.update(shard=error.shard, document=error.document)
     return payload
 
 
@@ -243,4 +261,8 @@ def decode_error(payload: dict) -> ReproError:
                                          float(payload["used"]))
         except (KeyError, TypeError, ValueError):
             return ServerError(message)
+    if cls is ShardUnavailableError:
+        return ShardUnavailableError(message,
+                                     shard=payload.get("shard"),
+                                     document=payload.get("document"))
     return cls(message)

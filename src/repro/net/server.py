@@ -49,6 +49,7 @@ from repro.core.server import (
     DEFAULT_MAX_BUFFERED_PAGES,
     DEFAULT_PAGE_SIZE,
     LatencyHistogram,
+    PageEnvelope,
     QueryServer,
 )
 from repro.errors import ProtocolError, ReproError, ServerError, UpdateError
@@ -181,10 +182,13 @@ class _Connection:
         except (asyncio.IncompleteReadError, asyncio.TimeoutError,
                 ConnectionError):
             return
-        await self._send(MsgKind.HELLO_OK, {
+        hello_ok = {
             "server": "repro", "version": PROTOCOL_VERSION,
             "max_frame": self.server.max_frame,
-            "page_size": self.server.page_size})
+            "page_size": self.server.page_size}
+        if self.server.shard_id is not None:
+            hello_ok["shard_id"] = self.server.shard_id
+        await self._send(MsgKind.HELLO_OK, hello_ok)
 
         while True:
             try:
@@ -240,6 +244,8 @@ class _Connection:
             await self._on_fetch(payload)
         elif kind is MsgKind.UPDATE:
             await self._on_update(payload)
+        elif kind is MsgKind.LOAD:
+            await self._on_load(payload)
         elif kind is MsgKind.CLOSE:
             await self._on_close(payload)
         elif kind is MsgKind.STATS:
@@ -338,15 +344,19 @@ class _Connection:
         if page is None:
             self.cursors.pop(handle, None)
             self._finish_query(state, "ok", None)
-            await self._send(MsgKind.PAGE, {
-                "cursor": handle, "rows": [], "eof": True,
-                "total_rows": state["rows"],
-                "plan_cache_hit": stream.plan_cache_hit})
+            envelope = PageEnvelope(
+                document=state["document"], base=state["rows"],
+                rows=[], eof=True, total_rows=state["rows"],
+                plan_cache_hit=stream.plan_cache_hit)
+            await self._send(MsgKind.PAGE,
+                             {"cursor": handle, **envelope.as_payload()})
             return
+        envelope = PageEnvelope(document=state["document"],
+                                base=state["rows"], rows=page, eof=False)
         state["rows"] += len(page)
-        frame_payload = {"cursor": handle, "rows": page, "eof": False}
         state["bytes"] += sum(len(row) for row in page)
-        await self._send(MsgKind.PAGE, frame_payload)
+        await self._send(MsgKind.PAGE,
+                         {"cursor": handle, **envelope.as_payload()})
 
     def _finish_query(self, state: dict, status: str,
                       error: str | None) -> None:
@@ -371,6 +381,17 @@ class _Connection:
         result = await asyncio.wrap_future(future)
         self.server.metrics.count("updates")
         await self._send(MsgKind.UPDATE_OK, dataclasses.asdict(result))
+
+    async def _on_load(self, payload: dict) -> None:
+        document = self._field(payload, "document", str, "LOAD")
+        xml = self._field(payload, "xml", str, "LOAD")
+        loop = asyncio.get_running_loop()
+        # Parsing and storing a document is blocking work; hop off the
+        # loop so one big LOAD doesn't stall every other connection.
+        await loop.run_in_executor(
+            self.server.executor,
+            lambda: self.server.query_server.load(document, xml=xml))
+        await self._send(MsgKind.LOAD_OK, {"document": document})
 
     async def _on_close(self, payload: dict) -> None:
         if "cursor" in payload:
@@ -421,10 +442,12 @@ class NetworkServer:
                  max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES,
                  max_frame: int = MAX_FRAME,
                  log_interval: float = 30.0,
-                 query_server: QueryServer | None = None):
+                 query_server: QueryServer | None = None,
+                 shard_id: int | None = None):
         self.dbms = dbms
         self.host = host
         self.port = port
+        self.shard_id = shard_id
         self.page_size = page_size
         self.max_buffered_pages = max_buffered_pages
         self.max_frame = max_frame
@@ -528,7 +551,7 @@ class NetworkServer:
         loop = asyncio.new_event_loop()
         ready = threading.Event()
 
-        def run() -> None:
+        def _run() -> None:
             asyncio.set_event_loop(loop)
             try:
                 loop.run_until_complete(self.start_async())
@@ -544,7 +567,7 @@ class NetworkServer:
                 loop.run_until_complete(loop.shutdown_asyncgens())
                 loop.close()
 
-        self._thread = threading.Thread(target=run,
+        self._thread = threading.Thread(target=_run,
                                         name="repro-net-loop",
                                         daemon=True)
         self._thread.start()

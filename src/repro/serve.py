@@ -101,6 +101,10 @@ def main(argv: list[str] | None = None) -> int:
                              "lines (0 disables)")
     parser.add_argument("--buffer-capacity", type=int, default=1024,
                         help="buffer-pool frames for the database")
+    parser.add_argument("--shard-id", type=int, default=None,
+                        help="serve as member N of a sharded cluster; "
+                             "echoed in HELLO_OK so the mediator can "
+                             "verify it dialed the right process")
     args = parser.parse_args(argv)
 
     logging.basicConfig(
@@ -127,7 +131,8 @@ def main(argv: list[str] | None = None) -> int:
             time_limit=args.time_limit or None,
             memory_budget=args.memory_budget,
             page_size=args.page_size,
-            log_interval=args.log_interval)
+            log_interval=args.log_interval,
+            shard_id=args.shard_id)
         host, port = server.start()
         print(f"LISTENING {host} {port}", flush=True)
         try:

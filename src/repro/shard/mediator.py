@@ -1,0 +1,846 @@
+"""The shard mediator: one query surface over many shard processes.
+
+:class:`ShardedServer` fronts N independent ``python -m repro.serve``
+processes (or in-process :class:`~repro.net.server.NetworkServer`
+instances — the tests' fixture), each owning its own
+:class:`~repro.core.dbms.XmlDbms`, and presents them as a single
+server:
+
+* **Routing.**  A catalog maps every logical document to the shard (or
+  shards) holding it.  A query or update against one document travels
+  to its owner over a pooled, reconnecting
+  :class:`~repro.net.pool.ConnectionPool` connection and streams back
+  unchanged.
+
+* **Decomposition.**  A query against ``"*"`` (every document) or
+  against a *partitioned* document (loaded with ``parts > 1``, chunk
+  ``i`` on shard ``i``) fans out: one subquery per owning shard, all
+  running concurrently, their pages merged back into a single stream
+  in document order by a k-way merge keyed on ``(document rank, row
+  index)`` — the metadata :class:`~repro.core.server.PageEnvelope`
+  carries across the wire.
+
+* **The QueryServer duck type.**  ``submit_stream`` / ``submit`` /
+  ``load`` / ``stats`` / ``close`` mirror
+  :class:`~repro.core.server.QueryServer`, so a
+  :class:`~repro.net.server.NetworkServer` can serve a mediator
+  exactly as it serves a local worker pool — that is how
+  ``python -m repro.shard`` exposes a whole cluster through one
+  address speaking the ordinary wire protocol.
+
+Failure semantics: a dead shard makes queries touching *its* documents
+raise :class:`~repro.errors.ShardUnavailableError` (after the pool's
+one reconnect retry absorbs mere restarts), while documents on other
+shards keep being served.  A fan-out that needs a dead shard fails as
+a whole — partial results are never returned.  Updates are routed but
+never auto-retried: an update whose connection died mid-flight may or
+may not have been applied, and silently applying it twice is worse
+than surfacing the failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from operator import itemgetter
+from pathlib import Path
+
+from repro.core.server import DEFAULT_MAX_BUFFERED_PAGES, DEFAULT_PAGE_SIZE
+from repro.errors import (
+    CatalogError,
+    CursorClosedError,
+    ProtocolError,
+    ServerClosedError,
+    ShardError,
+    ShardUnavailableError,
+    UpdateError,
+)
+from repro.net.client import DEFAULT_TIMEOUT, NetClient, RemoteCursor
+from repro.net.pool import ConnectionPool
+from repro.shard.partition import split_document
+from repro.updates.pul import UpdateResult
+from repro.xq.pretty import unparse
+
+#: Failures meaning "the shard connection is gone", mirrored from the
+#: pool so leased-cursor paths classify errors the same way ``run`` does.
+_CONNECTION_FAILURES = (ProtocolError, ServerClosedError,
+                        ConnectionError, OSError, TimeoutError)
+
+#: The fan-out pseudo-document: query every logical document, results
+#: merged in sorted document-name order.
+ALL_DOCUMENTS = "*"
+
+
+def statement_text(statement) -> str:
+    """The query text to put on the wire for ``statement``.
+
+    Accepts what :class:`~repro.core.server.QueryServer` accepts — a
+    string, a parsed ``Program``, or a bare query/update expression —
+    and renders it back to XQ text, re-prepending ``declare variable
+    $x external;`` for a program's declared externals (the body's
+    unparse alone would drop them, and the shard's parser must see the
+    same external surface the mediator validated against).
+    """
+    if isinstance(statement, str):
+        return statement
+    body = getattr(statement, "body", statement)
+    text = unparse(body)
+    externals = getattr(statement, "externals", ()) or ()
+    declarations = "".join(f"declare variable ${name} external; "
+                           for name in externals)
+    return declarations + text
+
+
+@dataclasses.dataclass(frozen=True)
+class MediatorStats:
+    """Mediator-local counters (no network round trips to collect).
+
+    ``queries`` counts routed single-shard streams, ``fanouts``
+    decomposed multi-shard streams; ``rows_streamed`` is rows handed to
+    consumers across both.  ``pool_connects``/``pool_retries``/
+    ``pool_discards`` aggregate the per-shard connection pools —
+    ``pool_retries`` ticking up is the visible trace of shard restarts
+    being absorbed.  For the cluster-wide view (every shard's own
+    ``ServerStats`` and network metrics summed) call
+    :meth:`ShardedServer.cluster_stats`, which does talk to the shards.
+    """
+
+    shards: int
+    documents: int
+    queries: int
+    fanouts: int
+    updates: int
+    loads: int
+    errors: int
+    rows_streamed: int
+    pool_connects: int
+    pool_retries: int
+    pool_discards: int
+
+
+class ShardedServer:
+    """Mediate queries over a set of shard servers.
+
+    ``endpoints`` is the cluster membership: ``(host, port)`` per
+    shard, index order defining shard ids.  The mediator dials lazily —
+    constructing one against endpoints that are not up yet is fine;
+    the first operation that needs a shard raises
+    :class:`~repro.errors.ShardUnavailableError` if it still is not.
+    """
+
+    def __init__(self, endpoints, pool_capacity: int = 4,
+                 timeout: float | None = DEFAULT_TIMEOUT,
+                 page_size: int = DEFAULT_PAGE_SIZE):
+        """Set up per-shard connection pools and an empty catalog."""
+        endpoints = [tuple(endpoint) for endpoint in endpoints]
+        if not endpoints:
+            raise ShardError("a cluster needs at least one shard")
+        self.endpoints = endpoints
+        self.page_size = page_size
+        self._pools = [
+            ConnectionPool(host, port, capacity=pool_capacity,
+                           timeout=timeout, shard=index)
+            for index, (host, port) in enumerate(endpoints)
+        ]
+        #: logical document name -> owning shard ids, in chunk order.
+        #: One entry means a whole document; several mean a partitioned
+        #: one (chunk i on shards[i] under the same physical name).
+        self._catalog: dict[str, tuple[int, ...]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._streams: set = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(endpoints)),
+            thread_name_prefix="repro-shard")
+        #: Sizing hint for a fronting NetworkServer (QueryServer duck
+        #: type): enough I/O slots to keep every shard busy.
+        self._workers = tuple(range(max(4, 2 * len(endpoints))))
+        self._queries = 0
+        self._fanouts = 0
+        self._updates = 0
+        self._loads = 0
+        self._errors = 0
+        self._rows_streamed = 0
+
+    # -- catalog -------------------------------------------------------------
+
+    def _check_open(self, operation: str) -> None:
+        if self._closed:
+            raise ServerClosedError(
+                f"{operation} on a closed ShardedServer")
+
+    def _placement(self, document: str) -> tuple[int, ...]:
+        with self._lock:
+            try:
+                return self._catalog[document]
+            except KeyError:
+                raise CatalogError(
+                    f"unknown document {document!r}; the mediator "
+                    f"serves {sorted(self._catalog) or 'no documents'}"
+                ) from None
+
+    def _least_loaded_shard(self) -> int:
+        with self._lock:
+            load = [0] * len(self._pools)
+            for shards in self._catalog.values():
+                for shard in shards:
+                    load[shard] += 1
+        return min(range(len(load)), key=lambda index: (load[index],
+                                                        index))
+
+    def documents(self) -> dict[str, tuple[int, ...]]:
+        """The catalog: logical document name -> owning shard ids."""
+        with self._lock:
+            return dict(self._catalog)
+
+    def attach(self, document: str, shards) -> None:
+        """Register a document already present on ``shards``.
+
+        For membership the mediator did not place itself — documents
+        pre-loaded by ``python -m repro.serve --load`` on the members,
+        or a mediator restarting over a live cluster.  ``shards`` is a
+        shard id or an ordered sequence of them (partitioned chunks).
+        """
+        self._check_open("attach()")
+        if isinstance(shards, int):
+            shards = (shards,)
+        shards = tuple(shards)
+        for shard in shards:
+            if not 0 <= shard < len(self._pools):
+                raise ShardError(f"no shard {shard} in a "
+                                 f"{len(self._pools)}-shard cluster")
+        if not shards:
+            raise ShardError("a document needs at least one shard")
+        with self._lock:
+            self._catalog[document] = shards
+
+    # -- placement -----------------------------------------------------------
+
+    def load(self, document: str, xml: str | None = None,
+             path: str | None = None, parts: int = 1) -> tuple[int, ...]:
+        """Place a document on the cluster; returns the owning shards.
+
+        With ``parts == 1`` the whole document goes to the least-loaded
+        shard.  With ``parts > 1`` the root's children are split into
+        ``parts`` contiguous chunks (:func:`~repro.shard.partition.
+        split_document`), chunk ``i`` loaded on shard ``i`` under the
+        same name — queries against the name then fan out and merge.
+        Loading is idempotent (it replaces), so placement retries are
+        safe; reloading an existing name keeps its placement shape.
+        """
+        self._check_open("load()")
+        if xml is None:
+            if path is None:
+                raise ShardError("load() needs xml or path")
+            xml = Path(path).read_text(encoding="utf-8")
+        if parts > len(self._pools):
+            raise ShardError(
+                f"cannot spread {parts} parts over "
+                f"{len(self._pools)} shards")
+        if parts > 1:
+            chunks = split_document(xml, parts)
+            shards = tuple(range(parts))
+            for shard, chunk in zip(shards, chunks):
+                self._pools[shard].run(
+                    lambda client, chunk=chunk: client.load(document,
+                                                            chunk))
+        else:
+            with self._lock:
+                existing = self._catalog.get(document)
+            if existing is not None and len(existing) > 1:
+                raise ShardError(
+                    f"{document!r} is partitioned over {existing}; "
+                    f"reload it with parts={len(existing)} or attach "
+                    f"a new name")
+            shards = existing or (self._least_loaded_shard(),)
+            self._pools[shards[0]].run(
+                lambda client: client.load(document, xml))
+        with self._lock:
+            self._catalog[document] = shards
+            self._loads += 1
+        return shards
+
+    # -- the QueryServer duck type -------------------------------------------
+
+    def submit_stream(self, document: str, query,
+                      bindings: dict | None = None,
+                      serialize: bool = True,
+                      page_size: int | None = None,
+                      max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES,
+                      time_limit: float | None = None):
+        """A streaming result for ``document`` (or ``"*"`` for all).
+
+        Single-owner documents return a routed stream — pages relayed
+        from the owning shard.  ``"*"`` and partitioned documents
+        return a fan-out stream: one subquery per owning shard, fetched
+        concurrently, rows merged back in document order.  Both satisfy
+        the :class:`~repro.core.server.QueryStream` consumer interface
+        (``next_page`` / ``pages`` / ``close`` / ``plan_cache_hit``),
+        and neither blocks the caller — shard dialing happens on first
+        fetch (routed) or on the prefetch threads (fan-out).
+        """
+        self._check_open("submit_stream()")
+        if not serialize:
+            raise ShardError("the mediator streams serialized rows; "
+                             "submit_stream(serialize=False) is only "
+                             "available on a local QueryServer")
+        page_size = page_size or self.page_size
+        text = statement_text(query)
+        if document == ALL_DOCUMENTS:
+            with self._lock:
+                catalog = dict(self._catalog)
+            parts = [(name, shard)
+                     for name in sorted(catalog)
+                     for shard in catalog[name]]
+            if not parts:
+                raise CatalogError("the mediator serves no documents")
+            return self._open_fanout(document, parts, text, bindings,
+                                     page_size, max_buffered_pages,
+                                     time_limit)
+        shards = self._placement(document)
+        if len(shards) > 1:
+            parts = [(document, shard) for shard in shards]
+            return self._open_fanout(document, parts, text, bindings,
+                                     page_size, max_buffered_pages,
+                                     time_limit)
+        stream = _RoutedStream(self, shards[0], document, text,
+                               bindings, page_size, time_limit)
+        with self._lock:
+            self._queries += 1
+            self._streams.add(stream)
+        return stream
+
+    def _open_fanout(self, label, parts, text, bindings, page_size,
+                     max_buffered_pages, time_limit):
+        stream = _FanoutStream(self, label, parts, text, bindings,
+                               page_size, max_buffered_pages,
+                               time_limit)
+        with self._lock:
+            self._fanouts += 1
+            self._streams.add(stream)
+        stream._start()
+        return stream
+
+    def submit(self, document: str, statement,
+               bindings: dict | None = None, **overrides) -> Future:
+        """Run a statement asynchronously; returns its Future.
+
+        This is the mediator's side of ``QueryServer.submit`` as the
+        network front end uses it: updating statements.  The update is
+        routed to the document's single owner and **never retried** —
+        a connection that died mid-update leaves the outcome unknown,
+        and the typed failure is the honest answer.  Updating a
+        partitioned document raises
+        :class:`~repro.errors.UpdateError`: a chunked update is not
+        atomic across processes, and this codebase does not pretend
+        otherwise.
+        """
+        self._check_open("submit()")
+        return self._executor.submit(self._run_update, document,
+                                     statement, bindings)
+
+    def _run_update(self, document: str, statement,
+                    bindings: dict | None) -> UpdateResult:
+        shards = self._placement(document)
+        if len(shards) > 1:
+            raise UpdateError(
+                f"{document!r} is partitioned over shards {shards}; "
+                f"updates to partitioned documents are not supported "
+                f"(no cross-process atomicity)")
+        text = statement_text(statement)
+        try:
+            payload = self._pools[shards[0]].run(
+                lambda client: client.update(document, text,
+                                             bindings=bindings),
+                retryable=False)
+        except _CONNECTION_FAILURES as error:
+            self._count("_errors")
+            raise ShardUnavailableError(
+                f"shard {shards[0]} failed during an update of "
+                f"{document!r} (outcome unknown): {error}",
+                shard=shards[0], document=document) from error
+        except ShardUnavailableError as error:
+            self._count("_errors")
+            if error.document is None:
+                error.document = document
+            raise
+        self._count("_updates")
+        return UpdateResult(**payload)
+
+    def update(self, document: str, statement,
+               bindings: dict | None = None) -> UpdateResult:
+        """Route an updating statement and wait for its result."""
+        return self.submit(document, statement,
+                           bindings=bindings).result()
+
+    def execute(self, document: str, query,
+                bindings: dict | None = None,
+                time_limit: float | None = None) -> list[str]:
+        """Run a query and collect every (serialized) row."""
+        stream = self.submit_stream(document, query, bindings=bindings,
+                                    time_limit=time_limit)
+        rows: list[str] = []
+        for page in stream.pages():
+            rows.extend(page)
+        return rows
+
+    def query(self, document: str, query,
+              bindings: dict | None = None,
+              time_limit: float | None = None) -> str:
+        """Run a query and concatenate its serialized rows."""
+        return "".join(self.execute(document, query, bindings=bindings,
+                                    time_limit=time_limit))
+
+    # -- observability -------------------------------------------------------
+
+    def _count(self, attribute: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, attribute, getattr(self, attribute) + amount)
+
+    def stats(self) -> MediatorStats:
+        """Mediator-local counters; see :class:`MediatorStats`."""
+        pools = [pool.stats() for pool in self._pools]
+        with self._lock:
+            return MediatorStats(
+                shards=len(self._pools),
+                documents=len(self._catalog),
+                queries=self._queries,
+                fanouts=self._fanouts,
+                updates=self._updates,
+                loads=self._loads,
+                errors=self._errors,
+                rows_streamed=self._rows_streamed,
+                pool_connects=sum(p["connects"] for p in pools),
+                pool_retries=sum(p["retries"] for p in pools),
+                pool_discards=sum(p["discards"] for p in pools))
+
+    def cluster_stats(self, recent: int = 0) -> dict:
+        """The cluster-wide stats view (one STATS round trip per shard).
+
+        Returns ``{"mediator": ..., "shards": {id: stats-or-error},
+        "aggregate": ..., "pools": [...]}`` where ``aggregate`` sums
+        every numeric counter across the reachable shards' own
+        ``server``/``network`` payloads.  A dead shard contributes an
+        ``{"error": ...}`` entry instead of failing the whole view —
+        an operator asking for stats mid-outage needs the survivors'
+        numbers most of all.
+        """
+        self._check_open("cluster_stats()")
+        per_shard: dict[int, dict] = {}
+        aggregate: dict = {}
+        for index, pool in enumerate(self._pools):
+            try:
+                payload = pool.run(
+                    lambda client: client.stats(recent=recent))
+            except ShardUnavailableError as error:
+                per_shard[index] = {"error": str(error)}
+                continue
+            per_shard[index] = payload
+            _merge_numeric(aggregate, payload)
+        return {
+            "mediator": dataclasses.asdict(self.stats()),
+            "shards": per_shard,
+            "aggregate": aggregate,
+            "pools": [pool.stats() for pool in self._pools],
+        }
+
+    def health(self) -> dict[int, dict]:
+        """Dial every shard: ``{shard: {"ok": bool, ...}}``.
+
+        A healthy entry carries the shard's HELLO_OK info; an entry
+        whose process advertises the *wrong* ``shard_id`` (something
+        else answered on that port) is reported unhealthy too.
+        """
+        self._check_open("health()")
+        report: dict[int, dict] = {}
+        for index, pool in enumerate(self._pools):
+            try:
+                info = pool.run(lambda client: dict(client.server_info))
+            except ShardUnavailableError as error:
+                report[index] = {"ok": False, "error": str(error)}
+                continue
+            advertised = info.get("shard_id")
+            if advertised is not None and advertised != index:
+                report[index] = {
+                    "ok": False, "error":
+                    f"endpoint advertises shard_id {advertised}, "
+                    f"expected {index}", **info}
+            else:
+                report[index] = {"ok": True, **info}
+        return report
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close open streams, the pools, and the update executor."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            streams = list(self._streams)
+            self._streams.clear()
+        for stream in streams:
+            stream.close(ServerClosedError(
+                "ShardedServer closed while the stream was open"))
+        self._executor.shutdown(wait=True)
+        for pool in self._pools:
+            pool.close()
+
+    def _discard_stream(self, stream) -> None:
+        with self._lock:
+            self._streams.discard(stream)
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# streams
+# --------------------------------------------------------------------------
+
+
+def _lease_cursor(server: ShardedServer, shard: int, document: str,
+                  text: str, bindings, page_size,
+                  time_limit) -> tuple[NetClient, RemoteCursor]:
+    """EXECUTE on a pooled connection, keeping the lease for the stream.
+
+    Retries the EXECUTE once on a stale connection (the shard-restart
+    window); the caller owns releasing the returned client when the
+    stream ends.  Raises
+    :class:`~repro.errors.ShardUnavailableError` when the shard cannot
+    be reached at all.
+    """
+    pool = server._pools[shard]
+    last: BaseException | None = None
+    for attempt in range(2):
+        try:
+            client = pool.acquire()
+        except ShardUnavailableError as error:
+            error.document = error.document or document
+            raise
+        try:
+            cursor = client.execute(document, text, bindings=bindings,
+                                    page_size=page_size,
+                                    time_limit=time_limit)
+        except _CONNECTION_FAILURES as error:
+            pool.release(client, discard=True)
+            last = error
+            if attempt == 0:
+                pool.record_retry()
+                continue
+            raise ShardUnavailableError(
+                f"shard {shard} failed twice opening a cursor on "
+                f"{document!r}: {last}", shard=shard,
+                document=document) from error
+        except BaseException:
+            pool.release(client)
+            raise
+        return client, cursor
+    raise AssertionError("unreachable")
+
+
+class _RoutedStream:
+    """A single-shard stream: pages relayed from the owning shard.
+
+    Satisfies the consumer side of
+    :class:`~repro.core.server.QueryStream`.  The shard connection is
+    leased lazily on the first :meth:`next_page` — submission never
+    blocks — and returned to the pool when the stream ends, closes, or
+    fails.  A connection failure mid-stream is terminal (the cursor's
+    position died with the connection) and surfaces as
+    :class:`~repro.errors.ShardUnavailableError`.
+    """
+
+    def __init__(self, server: ShardedServer, shard: int, document: str,
+                 text: str, bindings, page_size: int,
+                 time_limit: float | None):
+        self.server = server
+        self.shard = shard
+        self.document = document
+        self._text = text
+        self._bindings = bindings
+        self.page_size = page_size
+        self._time_limit = time_limit
+        self._client: NetClient | None = None
+        self._cursor: RemoteCursor | None = None
+        self._done = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self.plan_cache_hit: bool | None = None
+        self.total_rows: int | None = None
+
+    def next_page(self, timeout: float | None = None):
+        """The next page of serialized rows; ``None`` at the end."""
+        with self._lock:
+            if self._closed:
+                raise CursorClosedError("stream is closed")
+            if self._done:
+                return None
+            if self._cursor is None:
+                self._client, self._cursor = _lease_cursor(
+                    self.server, self.shard, self.document, self._text,
+                    self._bindings, self.page_size, self._time_limit)
+            try:
+                envelope = self._cursor.fetch_envelope()
+            except _CONNECTION_FAILURES as error:
+                self._done = True
+                self._release(discard=True)
+                self.server._count("_errors")
+                raise ShardUnavailableError(
+                    f"shard {self.shard} died mid-stream on "
+                    f"{self.document!r}: {error}", shard=self.shard,
+                    document=self.document) from error
+            except BaseException:
+                # A typed error over a healthy connection: the shard
+                # already dropped the cursor, the connection survives.
+                self._done = True
+                self._release()
+                self.server._count("_errors")
+                raise
+            if envelope.eof:
+                self._done = True
+                self.plan_cache_hit = envelope.plan_cache_hit
+                self.total_rows = envelope.total_rows
+                self._release()
+                self.server._discard_stream(self)
+                return None
+            self.server._count("_rows_streamed", len(envelope.rows))
+            return envelope.rows
+
+    def _release(self, discard: bool = False) -> None:
+        if self._client is not None:
+            self.server._pools[self.shard].release(self._client,
+                                                   discard=discard)
+            self._client = None
+            self._cursor = None
+
+    def pages(self):
+        """Iterate pages until the stream ends."""
+        while True:
+            page = self.next_page()
+            if page is None:
+                return
+            yield page
+
+    def close(self, reason: BaseException | None = None) -> None:
+        """Abandon the stream; frees the shard-side cursor (idempotent)."""
+        with self._lock:
+            if self._closed or (self._done and self._client is None):
+                self._closed = True
+                return
+            self._closed = True
+            cursor, self._cursor = self._cursor, None
+            if cursor is not None:
+                try:
+                    cursor.close()
+                except Exception:
+                    self._release(discard=True)
+                else:
+                    self._release()
+        self.server._discard_stream(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _FanoutStream:
+    """A decomposed stream: per-shard subqueries merged in order.
+
+    ``parts`` lists ``(document, shard)`` pairs in global document
+    order — every logical document for ``"*"``, or one entry per chunk
+    of a partitioned document.  One prefetch thread per part leases a
+    cursor and pushes keyed rows through a bounded queue (so fast
+    shards run ahead only ``max_buffered_pages`` pages); the consumer
+    side lazily drives a ``heapq.merge`` over the part iterators keyed
+    by ``(part rank, base + offset)``, which reconstructs document
+    order exactly because rows within a part already arrive ordered.
+    A slow shard therefore stalls the merge only while one of its rows
+    is genuinely next.
+
+    Any part failing — including
+    :class:`~repro.errors.ShardUnavailableError` from a dead shard —
+    fails the whole stream; partial fan-out results are never served.
+    """
+
+    def __init__(self, server: ShardedServer, label: str, parts,
+                 text: str, bindings, page_size: int,
+                 max_buffered_pages: int, time_limit: float | None):
+        self.server = server
+        self.document = label
+        self.parts = list(parts)
+        self._text = text
+        self._bindings = bindings
+        self.page_size = page_size
+        self._time_limit = time_limit
+        self._queues = [queue.Queue(maxsize=max(1, max_buffered_pages))
+                        for _ in self.parts]
+        self._threads: list[threading.Thread] = []
+        self._merged = None
+        self._done = False
+        self._closed = threading.Event()
+        self.plan_cache_hit: bool | None = None
+        self.total_rows: int | None = None
+        self._part_hits: list[bool | None] = [None] * len(self.parts)
+        self._rows = 0
+
+    def _start(self) -> None:
+        for rank, (document, shard) in enumerate(self.parts):
+            thread = threading.Thread(
+                target=self._prefetch, args=(rank, document, shard),
+                name=f"repro-shard-fanout-{rank}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    # -- producer side (one thread per part) ---------------------------------
+
+    def _put(self, rank: int, item) -> bool:
+        """Close-aware bounded put; False once the stream is closed."""
+        while not self._closed.is_set():
+            try:
+                self._queues[rank].put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _prefetch(self, rank: int, document: str, shard: int) -> None:
+        try:
+            client, cursor = _lease_cursor(
+                self.server, shard, document, self._text,
+                self._bindings, self.page_size, self._time_limit)
+        except BaseException as error:
+            self._put(rank, ("error", error))
+            return
+        pool = self.server._pools[shard]
+        try:
+            while True:
+                try:
+                    envelope = cursor.fetch_envelope()
+                except _CONNECTION_FAILURES as error:
+                    pool.release(client, discard=True)
+                    client = None
+                    self._put(rank, ("error", ShardUnavailableError(
+                        f"shard {shard} died mid-fanout on "
+                        f"{document!r}: {error}", shard=shard,
+                        document=document)))
+                    return
+                except BaseException as error:
+                    pool.release(client)
+                    client = None
+                    self._put(rank, ("error", error))
+                    return
+                if envelope.eof:
+                    self._part_hits[rank] = envelope.plan_cache_hit
+                    pool.release(client)
+                    client = None
+                    self._put(rank, ("end", None))
+                    return
+                if not self._put(rank, ("rows", (envelope.base,
+                                                 envelope.rows))):
+                    return               # consumer closed us
+        finally:
+            if client is not None:
+                # Closed mid-stream: the remote cursor is still open;
+                # free it (best effort) before returning the lease.
+                try:
+                    cursor.close()
+                except Exception:
+                    pool.release(client, discard=True)
+                else:
+                    pool.release(client)
+
+    # -- consumer side -------------------------------------------------------
+
+    def _iter_part(self, rank: int):
+        while True:
+            if self._closed.is_set():
+                raise CursorClosedError("stream is closed")
+            try:
+                kind, payload = self._queues[rank].get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if kind == "rows":
+                base, rows = payload
+                for offset, row in enumerate(rows):
+                    yield ((rank, base + offset), row)
+            elif kind == "end":
+                return
+            else:                        # kind == "error"
+                raise payload
+
+    def next_page(self, timeout: float | None = None):
+        """The next merged page of serialized rows; ``None`` at the end."""
+        if self._closed.is_set():
+            raise CursorClosedError("stream is closed")
+        if self._done:
+            return None
+        if self._merged is None:
+            self._merged = heapq.merge(
+                *(self._iter_part(rank)
+                  for rank in range(len(self.parts))),
+                key=itemgetter(0))
+        try:
+            page = [row for _key, row in
+                    itertools.islice(self._merged, self.page_size)]
+        except BaseException:
+            self.server._count("_errors")
+            self.close()
+            raise
+        if not page:
+            self._finish()
+            return None
+        self._rows += len(page)
+        self.server._count("_rows_streamed", len(page))
+        return page
+
+    def _finish(self) -> None:
+        self._done = True
+        self.total_rows = self._rows
+        hits = self._part_hits
+        if all(hit is not None for hit in hits):
+            self.plan_cache_hit = all(hits)
+        self.server._discard_stream(self)
+
+    def pages(self):
+        """Iterate merged pages until the stream ends."""
+        while True:
+            page = self.next_page()
+            if page is None:
+                return
+            yield page
+
+    def close(self, reason: BaseException | None = None) -> None:
+        """Abandon the stream; prefetch threads unwind (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # Drain so producers blocked on a full queue wake and exit.
+        for part_queue in self._queues:
+            while True:
+                try:
+                    part_queue.get_nowait()
+                except queue.Empty:
+                    break
+        self.server._discard_stream(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+def _merge_numeric(target: dict, source: dict) -> None:
+    """Recursively sum ``source``'s numeric leaves into ``target``."""
+    for key, value in source.items():
+        if isinstance(value, dict):
+            _merge_numeric(target.setdefault(key, {}), value)
+        elif isinstance(value, (int, float)) and not isinstance(
+                value, bool):
+            target[key] = target.get(key, 0) + value

@@ -1,0 +1,71 @@
+"""Document partitioning: one XML tree into per-shard chunks.
+
+The unit of distribution in :mod:`repro.shard` is the *document*: a
+whole document lives on one shard, and routing is a catalog lookup.
+For a document too hot (or too big) for one process, the mediator can
+instead load it *partitioned*: :func:`split_document` cuts the root's
+children into ``parts`` contiguous chunks, chunk ``i`` goes to shard
+``i`` under the same document name, and a query over the logical
+document fans out to every owning shard, its pages merged back in
+document order.
+
+Contiguity is what makes the merge trivial and exact: document order
+of the logical document is chunk 0's rows, then chunk 1's, and so on —
+precisely the order the mediator's k-way merge reconstructs from
+``(chunk rank, row index)`` keys.  Splitting any finer than root
+children (e.g. inside one huge element) is out of scope: the paper's
+queries are evaluated against forests of top-level entries (articles,
+sentences), which is exactly the shape this split preserves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShardError
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.parser import parse
+from repro.xmlkit.serializer import serialize
+
+
+def split_document(xml: str, parts: int,
+                   strip_whitespace: bool = True) -> list[str]:
+    """Split one XML document into ``parts`` contiguous chunks.
+
+    Each chunk is a complete document: the original root element (name
+    and attributes preserved) wrapping a contiguous run of the root's
+    children.  Chunk sizes differ by at most one child, earlier chunks
+    taking the remainder, and every chunk is non-empty — asking for
+    more parts than the root has children is a
+    :class:`~repro.errors.ShardError`, because an empty chunk would
+    make its shard answer structural queries (``/root``) differently
+    from the others.
+
+    Returns the chunks as serialized XML strings, ready for
+    ``ShardedServer.load``'s per-shard placement.
+    """
+    if parts < 1:
+        raise ShardError(f"parts must be >= 1, got {parts}")
+    document = parse(xml, strip_whitespace=strip_whitespace)
+    root = document.root_element
+    if root is None:
+        raise ShardError("cannot partition a document with no root "
+                         "element")
+    children = list(root.children)
+    if parts > len(children):
+        raise ShardError(
+            f"cannot split {len(children)} root children into {parts} "
+            f"non-empty parts")
+    if parts == 1:
+        return [serialize(document)]
+    base, remainder = divmod(len(children), parts)
+    chunks: list[str] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < remainder else 0)
+        chunk_root = Element(root.name, attributes=root.attributes)
+        for child in children[start:start + size]:
+            chunk_root.append(child)
+        chunk_document = Document()
+        chunk_document.append(chunk_root)
+        chunks.append(serialize(chunk_document))
+        start += size
+    return chunks

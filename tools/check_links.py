@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Check relative links and anchors in the repo's markdown tree.
+
+A stdlib-only checker for the docs CI job: every ``[text](target)``
+link in README.md and docs/*.md is resolved.
+
+* ``http(s)://`` and ``mailto:`` targets are skipped (no network in CI
+  beyond what the job already does; external rot is not a merge gate).
+* Relative file targets must exist on disk, resolved against the file
+  containing the link.
+* ``#fragment`` targets (with or without a file part) must match a
+  heading in the target file, using GitHub's slugification (lowercase,
+  spaces to hyphens, punctuation stripped).
+* Bare ``#fragment`` targets resolve against the containing file.
+
+Exit status is the number of broken links (0 = clean), and each broken
+link is reported as ``file:line: message`` so editors can jump to it.
+
+Run with::
+
+    python tools/check_links.py            # README.md + docs/**/*.md
+    python tools/check_links.py FILE...    # an explicit file list
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links: [text](target).  Images use the same tail, so the
+#: optional leading ! is consumed but ignored.  Code spans are removed
+#: before matching, so `[x](y)` inside backticks is not a link.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0)[1:-1], heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor in a markdown file (fences excluded)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link."""
+    in_fence = False
+    for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = _CODE_SPAN.sub("", line)
+        for match in _LINK.finditer(stripped):
+            yield number, match.group(1)
+
+
+def _display(path: Path) -> str:
+    """``path`` relative to the repo root when inside it, else as-is."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    """Every broken-link message for one markdown file."""
+    problems = []
+    for number, target in iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{_display(path)}:{number}: "
+                                f"missing file {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue                 # anchors into code files: skip
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors_of(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                problems.append(f"{_display(path)}:{number}: "
+                                f"no heading for anchor {target!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check the given files (default: README.md and docs/**/*.md)."""
+    if argv:
+        files = [Path(arg).resolve() for arg in argv]
+    else:
+        files = [ROOT / "README.md"]
+        files += sorted((ROOT / "docs").glob("**/*.md"))
+    missing = [f for f in files if not f.exists()]
+    for path in missing:
+        print(f"error: no such file: {path}", file=sys.stderr)
+    if missing:
+        return len(missing)
+    cache: dict[Path, set[str]] = {}
+    problems = []
+    for path in files:
+        problems += check_file(path, cache)
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+    else:
+        print(f"OK: {checked} file(s), all relative links resolve")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
