@@ -1,6 +1,6 @@
 """Update throughput and crash-recovery speed on the DBLP workload.
 
-Two ratio metrics feed the CI regression gate (ratios, not absolute
+Three ratio metrics feed the CI regression gate (ratios, not absolute
 rates, so the gate is robust to runner speed):
 
 * ``updates.point_speedup_vs_reload`` — committed point updates
@@ -13,6 +13,11 @@ rates, so the gate is robust to runner speed):
   committed-but-unapplied updates versus reloading the document from
   XML.  Recovery replays page images; it must never be slower than
   abandoning the file and reloading.
+* ``updates.read_p99_mixed_ratio`` — read-only p99 latency over mixed
+  95/5 read/write p99 latency at 64 clients.  This is the MVCC claim:
+  snapshot readers are never blocked by writers, so adding a 5% write
+  stream must not blow up the read tail (1.0 = no degradation; the
+  committed floor of 0.5 allows at most a 2x tail inflation).
 
 The read path is asserted elsewhere: the WAL stamps LSNs on *log
 records only* — page layout is untouched — so the vectorized/prepared
@@ -23,6 +28,8 @@ Absolute updates/sec and recovery milliseconds land in the details of
 """
 
 import os
+import random
+import threading
 import time
 
 from repro.core.dbms import XmlDbms
@@ -41,9 +48,21 @@ POINT_UPDATES = 40
 #: Structural appends committed into the WAL for the recovery replay.
 RECOVERY_UPDATES = 32
 
+#: Mixed-workload geometry: 64 clients, 95% reads / 5% updates.
+MIXED_CLIENTS = 64
+MIXED_OPS_PER_CLIENT = 24
+#: Per-client reads at the start of a phase that are not recorded: the
+#: all-clients-at-once start produces a convoy whose tail is pure
+#: scheduler noise, identical in both phases but huge in variance.
+MIXED_WARMUP_OPS = 4
+#: Each phase runs twice and the samples pool, halving p99 jitter.
+MIXED_ROUNDS = 2
+MIXED_WRITE_FRACTION = 0.05
+
 #: Lenient in-bench bars; the committed baseline carries the real floors.
 MIN_POINT_SPEEDUP = 2.0
 MIN_RECOVERY_SPEEDUP = 0.7
+MIN_READ_P99_MIXED_RATIO = 0.4
 
 
 def test_update_throughput_and_recovery(tmp_path_factory, bench_record):
@@ -132,3 +151,109 @@ def test_update_throughput_and_recovery(tmp_path_factory, bench_record):
     assert recovery_speedup >= MIN_RECOVERY_SPEEDUP, (
         f"recovery {recovery_speedup:.2f}x of reload; expected "
         f">= {MIN_RECOVERY_SPEEDUP}")
+
+
+def _p99(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def test_mixed_read_write_tail_latency(tmp_path_factory, bench_record):
+    """Read p99 under 95/5 mixed load vs. read-only, 64 clients.
+
+    Snapshot reads never take the writers' lock, so the mixed tail must
+    stay within a small factor of the read-only tail; a return to
+    blocking (readers queueing behind update latches, or behind a
+    group-commit fsync) shows up here as a collapsing ratio.
+    """
+    path = str(tmp_path_factory.mktemp("bench-mix") / "mix.db")
+    dbms = XmlDbms(path, buffer_capacity=4096)
+    dbms.load("dblp", xml=generate_dblp(BENCH_DBLP))
+    dbms.update("dblp",
+                'insert node <bench-counter>0</bench-counter> '
+                'as last into /dblp')
+    update = ("declare variable $v external; replace value of node "
+              "/dblp/bench-counter/text() with $v")
+    read_query = "/dblp/bench-counter"
+
+    def run_phase(write_fraction: float) -> tuple[list[float], int]:
+        latencies: list[float] = []
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+        writes = [0]
+        barrier = threading.Barrier(MIXED_CLIENTS, timeout=120)
+
+        def client(cid: int) -> None:
+            try:
+                rng = random.Random(cid)
+                session = dbms.session()
+                # Warm the plan cache outside the measured window.
+                with dbms.read_ticket("dblp"):
+                    session.query("dblp", read_query)
+                own: list[float] = []
+                barrier.wait()
+                for k in range(MIXED_OPS_PER_CLIENT):
+                    if rng.random() < write_fraction:
+                        dbms.update("dblp", update,
+                                    bindings={"v": f"c{cid}k{k}"})
+                        with lock:
+                            writes[0] += 1
+                        continue
+                    started = time.perf_counter()
+                    with dbms.read_ticket("dblp"):
+                        session.query("dblp", read_query)
+                    if k >= MIXED_WARMUP_OPS:
+                        own.append(time.perf_counter() - started)
+                with lock:
+                    latencies.extend(own)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        workers = [threading.Thread(target=client, args=(cid,),
+                                    daemon=True)
+                   for cid in range(MIXED_CLIENTS)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=300)
+            assert not worker.is_alive(), "mixed-load client hung"
+        assert not errors, errors[0]
+        return latencies, writes[0]
+
+    read_only: list[float] = []
+    mixed: list[float] = []
+    mixed_writes = 0
+    # Alternate the phases so drift (page cache, allocator state)
+    # spreads evenly instead of biasing one side.
+    for __ in range(MIXED_ROUNDS):
+        samples, __w = run_phase(0.0)
+        read_only.extend(samples)
+        samples, wrote = run_phase(MIXED_WRITE_FRACTION)
+        mixed.extend(samples)
+        mixed_writes += wrote
+    assert mixed_writes > 0, "the mixed phase never wrote"
+    p99_read_only = _p99(read_only)
+    p99_mixed = _p99(mixed)
+    ratio = p99_read_only / max(p99_mixed, 1e-9)
+    stats = dbms.mvcc_stats()
+    dbms.close()
+
+    print(f"\nread-only p99: {p99_read_only * 1e3:.2f}ms  "
+          f"mixed 95/5 p99: {p99_mixed * 1e3:.2f}ms  "
+          f"ratio: {ratio:.2f}  ({mixed_writes} writes, "
+          f"{stats['fsyncs_saved']} fsyncs saved)")
+    bench_record(
+        "updates",
+        {"updates.read_p99_mixed_ratio": round(ratio, 3)},
+        details={"mixed_clients": MIXED_CLIENTS,
+                 "ops_per_client": MIXED_OPS_PER_CLIENT,
+                 "write_fraction": MIXED_WRITE_FRACTION,
+                 "mixed_writes": mixed_writes,
+                 "read_only_p99_ms": p99_read_only * 1e3,
+                 "mixed_p99_ms": p99_mixed * 1e3,
+                 "group_commits": stats["group_commits"],
+                 "fsyncs_saved": stats["fsyncs_saved"],
+                 "versioned_reads": stats["versioned_reads"]})
+    assert ratio >= MIN_READ_P99_MIXED_RATIO, (
+        f"mixed read p99 ratio {ratio:.2f}; expected "
+        f">= {MIN_READ_P99_MIXED_RATIO}")

@@ -35,6 +35,8 @@ admission control on top, see :class:`repro.core.server.QueryServer`.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
+from collections.abc import Iterator
 
 from repro.core.session import ExecutionOptions, Session
 from repro.engine.engine import XQEngine
@@ -68,7 +70,15 @@ class XmlDbms:
                  page_size: int = PAGE_SIZE):
         self.db = Database(path, buffer_capacity=buffer_capacity,
                            page_size=page_size)
-        self._engines: dict[tuple[str, str], XQEngine] = {}
+        #: Engine cache keyed ``(document, profile, catalog version)``:
+        #: a snapshot reader holding an older catalog version gets (or
+        #: rebuilds) the engine of *its* generation, while new readers
+        #: get the current one — two generations coexist during an
+        #: update's drain window.  Old generations are pruned once the
+        #: version moves on (rebuilding one for a long-lived snapshot is
+        #: correct: construction reads the catalog through the bound
+        #: snapshot).
+        self._engines: dict[tuple[str, str, int], XQEngine] = {}
         #: Monotonic per-document catalog versions; bumped by load/drop so
         #: session plan caches invalidate without explicit wiring.
         self._versions: dict[str, int] = {}
@@ -84,15 +94,22 @@ class XmlDbms:
         #: ``load()``.  Lock order: ``_lock`` → ``_engine_lock`` (from
         #: ``_invalidate``); nothing acquires them the other way.
         self._engine_lock = threading.Lock()
-        #: Per-document shared/exclusive latches: ``update()`` holds a
-        #: document's latch exclusively while it rewrites pages in
-        #: place, and the serving layer (:class:`~repro.core.server
-        #: .QueryServer`) runs every read under the shared side — so
-        #: served readers always see either the pre- or the post-update
-        #: document, never a half-applied one.  Bare sessions do not
-        #: take the latch; interleaving their cursors with concurrent
-        #: updates of the *same* document is unsupported.
+        #: Per-document shared/exclusive latches.  Since MVCC snapshot
+        #: reads landed, ``update()`` no longer takes the exclusive side
+        #: — served readers run against a pinned snapshot and never
+        #: block on (or are blocked by) a concurrent update.  The
+        #: exclusive side remains the quiesce mechanism for operations
+        #: that rewrite storage *outside* the version store:
+        #: ``create_index``/``drop_index`` (bulk builds bypass the WAL)
+        #: still drain readers through it, and every served read holds
+        #: the shared side for exactly that reason.
         self._doc_latches: dict[str, SharedLatch] = {}
+        #: The calling thread's active :class:`ReadTicket`, if any —
+        #: bound by :meth:`read_ticket`, consulted by
+        #: :meth:`catalog_version` and :meth:`engine` so plan-cache
+        #: lookups and engine construction agree with the pinned
+        #: snapshot instead of racing a concurrent commit's bump.
+        self._tickets = threading.local()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -200,14 +217,56 @@ class XmlDbms:
             self._versions[name] = self._versions.get(name, 0) + 1
 
     def catalog_version(self, name: str) -> int:
-        """Version counter for a document; changes on every load/drop.
+        """Version counter for a document; changes on every load, drop
+        and update.
 
         Deliberately lock-free: this sits on every execution's hot path
         (the prepared-query staleness check), and a single ``dict.get``
         is atomic under the GIL — readers must not stall behind an
         in-progress multi-second ``load()`` of some other document.
+
+        A thread inside :meth:`read_ticket` gets the version observed
+        atomically with its snapshot pin, not the live counter: its plan
+        cache hits, prepared-query staleness checks and engine lookups
+        all resolve against the generation its snapshot actually sees.
         """
+        ticket = getattr(self._tickets, "current", None)
+        if ticket is not None and ticket.document == name:
+            return ticket.catalog_version
         return self._versions.get(name, 0)
+
+    # -- snapshot read tickets -------------------------------------------------
+
+    @contextmanager
+    def read_ticket(self, document: str) -> Iterator["ReadTicket"]:
+        """Admit a read against a stable snapshot of ``document``.
+
+        For the ``with`` block, the calling thread holds the document
+        latch *shared* (so index builds can still quiesce readers), a
+        pinned buffer-pool snapshot (every page read resolves against
+        the version store at the pinned commit LSN — concurrent updates
+        neither block this reader nor bleed into it), and the catalog
+        version observed atomically with the pin.  Tickets do not nest.
+        """
+        with self.document_latch(document).shared():
+            pool = self.db.buffer_pool
+            snapshot, version = pool.pin_snapshot(
+                observe=lambda: self._versions.get(document, 0))
+            try:
+                with pool.reading(snapshot):
+                    ticket = ReadTicket(document, snapshot, version)
+                    previous = getattr(self._tickets, "current", None)
+                    if previous is not None:
+                        raise UpdateError(
+                            "read tickets do not nest: thread already "
+                            f"holds one for {previous.document!r}")
+                    self._tickets.current = ticket
+                    try:
+                        yield ticket
+                    finally:
+                        self._tickets.current = None
+            finally:
+                pool.release_snapshot(snapshot)
 
     # -- updates --------------------------------------------------------------
 
@@ -233,35 +292,70 @@ class XmlDbms:
         :class:`~repro.updates.UpdateResult` carries per-kind node
         counts and the new version.
 
-        The document latch is held exclusively for the duration:
-        queries running through a :class:`~repro.core.server
-        .QueryServer` finish on the pre-update state before the rewrite
-        starts, and updates to one document serialize.
+        Updates never block served readers: queries running through a
+        :class:`~repro.core.server.QueryServer` read a pinned snapshot
+        (see :meth:`read_ticket`), so the old exclusive document latch
+        is gone from this path.  Updates still serialize with each other
+        (and with load/drop) under the dbms lock, but the commit's
+        fsync is awaited *outside* every lock — concurrent updaters
+        pipeline into the WAL's group committer and share fsyncs.
         """
         program = self._parse_update(statement)
         self._check_update_bindings(program, bindings)
-        with self.document_latch(document).exclusive():
-            with self._lock:
-                stored = StoredDocument(self.db, document)
-                pul = collect_pul(stored, program.body,
-                                  bindings=bindings).validated()
-                try:
-                    with self.db.transaction():
-                        counts = apply_pul(self.db, stored, pul)
-                        self.db.put_meta(
-                            schema.stats_name(document),
-                            stored.statistics.to_payload())
-                except BaseException:
-                    # The transaction rolled back; cached engines hold
-                    # node caches that saw aborted frames (already
-                    # pruned by evict callbacks), but drop them anyway
-                    # so nothing keeps the poisoned tree instances.
-                    self._invalidate(document)
-                    raise
+        with self._lock:
+            stored = StoredDocument(self.db, document)
+            pul = collect_pul(stored, program.body,
+                              bindings=bindings).validated()
+            try:
+                with self.db.transaction(wait=False) as txn:
+                    counts = apply_pul(self.db, stored, pul)
+                    self.db.put_meta(
+                        schema.stats_name(document),
+                        stored.statistics.to_payload())
+                    # The version bump runs inside publish's critical
+                    # section, atomically with the commit-LSN
+                    # assignment: a snapshot pinned at LSN < ours
+                    # observes the old version, one at >= ours the new —
+                    # never a torn pairing.
+                    txn.on_publish(
+                        lambda: self._bump_version_unlocked(document))
+            except BaseException:
+                # The transaction rolled back; cached engines hold
+                # node caches that saw aborted frames (already
+                # pruned by evict callbacks), but drop them anyway
+                # so nothing keeps the poisoned tree instances.
                 self._invalidate(document)
-                return UpdateResult(
-                    stats_version=self.catalog_version(document),
-                    **counts)
+                raise
+            self._prune_engines(document)
+            version = self._versions.get(document, 0)
+        # Durability wait happens with no dbms lock held: while this
+        # fsync is in flight, other updaters append and park behind it,
+        # and the next fsync covers them all (group commit).
+        txn.wait_durable()
+        self.db.maybe_checkpoint()
+        return UpdateResult(stats_version=version,
+                            commit_lsn=txn.commit_lsn, **counts)
+
+    def _bump_version_unlocked(self, name: str) -> None:
+        """Bump a document's catalog version from inside commit publish.
+
+        Runs under the buffer pool's mutex (publish's critical section)
+        — deliberately takes no dbms lock (lock order: dbms locks may be
+        held while entering the pool, never the reverse).  Callers hold
+        ``_lock``, so concurrent bumps cannot interleave.
+        """
+        self._versions[name] = self._versions.get(name, 0) + 1
+
+    def _prune_engines(self, name: str, keep: int = 2) -> None:
+        """Drop cached engines for generations no snapshot is likely to
+        want — everything older than ``keep`` versions.  A long-lived
+        snapshot that outlives the prune simply rebuilds its engine on
+        demand (under its bound snapshot, so the rebuild is faithful)."""
+        floor = self._versions.get(name, 0) - (keep - 1)
+        with self._engine_lock:
+            self._engines = {key: engine
+                             for key, engine in self._engines.items()
+                             if key[0] != name or key[2] >= floor}
 
     @staticmethod
     def _parse_update(statement: str | Program | UpdateExpr) -> Program:
@@ -400,9 +494,15 @@ class XmlDbms:
 
     def engine(self, document: str,
                profile: EngineProfile | str = "m4") -> XQEngine:
-        """A (cached) engine for a document under a profile."""
+        """A (cached) engine for a document under a profile.
+
+        The cache key includes the document's catalog version — for a
+        thread inside :meth:`read_ticket`, the version its snapshot
+        observed, so a reader overlapping an update gets the engine of
+        its own generation (and a cache miss builds one whose catalog
+        reads resolve through the bound snapshot)."""
         profile_name = profile if isinstance(profile, str) else profile.name
-        key = (document, profile_name)
+        key = (document, profile_name, self.catalog_version(document))
         with self._engine_lock:
             engine = self._engines.get(key)
             if engine is not None:
@@ -460,6 +560,34 @@ class XmlDbms:
 
     def reset_buffer_stats(self) -> None:
         return self.db.reset_stats()
+
+    def mvcc_stats(self) -> dict[str, int]:
+        """Version-store and group-commit counters (see
+        :meth:`repro.storage.db.Database.mvcc_stats`)."""
+        return self.db.mvcc_stats()
+
+
+class ReadTicket:
+    """One admitted read: a pinned snapshot plus the catalog version
+    observed atomically with the pin (see :meth:`XmlDbms.read_ticket`)."""
+
+    __slots__ = ("document", "snapshot", "catalog_version")
+
+    def __init__(self, document: str, snapshot, catalog_version: int):
+        self.document = document
+        self.snapshot = snapshot
+        self.catalog_version = catalog_version
+
+    @property
+    def snapshot_lsn(self) -> int:
+        """The commit LSN this read observes: every commit with LSN <=
+        this value is visible, nothing later."""
+        return self.snapshot.lsn
+
+    def __repr__(self) -> str:
+        return (f"ReadTicket(document={self.document!r}, "
+                f"lsn={self.snapshot_lsn}, "
+                f"catalog_version={self.catalog_version})")
 
 
 #: Re-exported for convenience.

@@ -39,11 +39,15 @@ futures support the full protocol — ``result(timeout)``, callbacks,
 ``cancel()`` of still-queued work.
 
 Updating statements may be submitted like any query; they resolve to an
-:class:`~repro.updates.UpdateResult` and are scheduled **exclusively per
-document**: in-flight reads of that document finish on the pre-update
-snapshot (they hold the document latch shared), the update rewrites
-under the exclusive side, and later reads see the new version through
-the usual catalog-version invalidation.
+:class:`~repro.updates.UpdateResult`.  Reads and updates of one document
+admit **concurrently**: every read runs under a snapshot ticket
+(:meth:`~repro.core.dbms.XmlDbms.read_ticket`) pinned at submission of
+the work to a worker, so it observes exactly the commits published
+before its pin — a concurrent update neither blocks it nor bleeds into
+it, and the update in turn never waits for readers.  Commit fsyncs are
+batched by the storage layer's group committer; the
+:class:`ServerStats` surface exposes both sides (snapshots pinned,
+versions retained, fsyncs saved).
 """
 
 from __future__ import annotations
@@ -219,6 +223,16 @@ class ServerStats:
     picked the task up, and time the worker spent running it (for a
     stream, until the last page was handed over — consumer pacing
     included, which is exactly the backpressure a caller should see).
+
+    The MVCC/group-commit fields mirror the storage layer's counters at
+    snapshot time (all defaulted, so older peers deserializing the
+    mapping stay compatible): ``snapshots_pinned`` is the number of
+    currently pinned read snapshots, ``snapshots_opened`` the lifetime
+    count, ``snapshot_reads`` the page reads served from the version
+    store, ``versions_retained`` the superseded page images currently
+    kept alive for pinned snapshots, ``group_commits``/``group_fsyncs``
+    the commits acknowledged vs. the fsyncs actually issued, and
+    ``fsyncs_saved`` their difference — the batching win.
     """
 
     workers: int
@@ -232,6 +246,13 @@ class ServerStats:
     peak_pending: int
     queue_wait: LatencySnapshot
     execution: LatencySnapshot
+    snapshots_pinned: int = 0
+    snapshots_opened: int = 0
+    snapshot_reads: int = 0
+    versions_retained: int = 0
+    group_commits: int = 0
+    group_fsyncs: int = 0
+    fsyncs_saved: int = 0
 
 
 @dataclass
@@ -291,6 +312,9 @@ class QueryStream:
         #: Set by the worker after prepare: whether the plan came from
         #: the worker session's plan cache.
         self.plan_cache_hit: bool | None = None
+        #: Set by the worker once its snapshot ticket is pinned: the
+        #: commit LSN every page of this stream observes.
+        self.snapshot_lsn: int | None = None
         #: Rows pushed so far (maintained by the producer).
         self.rows_produced = 0
 
@@ -500,9 +524,10 @@ class QueryServer:
         Admission control, deadlines and worker scheduling are exactly
         :meth:`submit`'s; the difference is the result path — a
         :class:`QueryStream` whose pages the worker produces on demand
-        under a bounded buffer (``max_buffered_pages``), holding the
-        document's shared latch for the stream's lifetime so every page
-        comes from one consistent snapshot.  The submission deadline
+        under a bounded buffer (``max_buffered_pages``), holding a
+        pinned snapshot ticket for the stream's lifetime so every page
+        comes from one consistent snapshot (concurrent updates proceed;
+        their versions are retained until the stream finishes).  The submission deadline
         covers the whole stream, including time spent blocked on a slow
         consumer: a stalled client turns into a
         :class:`~repro.errors.ResourceLimitExceeded` on its own stream,
@@ -676,10 +701,11 @@ class QueryServer:
     def _run_stream(self, session: Session, task: _Task) -> int:
         """Execute a streaming task, pushing pages into its sink.
 
-        The document's shared latch is held across the whole stream —
-        every page comes from the same snapshot, and updates to the
-        document wait for the stream to finish (or for its deadline to
-        shed it).
+        A snapshot ticket is pinned for the whole stream — every page
+        observes exactly the commits published before the pin, however
+        long the consumer takes, and concurrent updates to the document
+        proceed without waiting for the stream (their versions are
+        retained until the ticket releases).
         """
         sink = task.sink
         deadline_check = lambda: self._check_deadline(task)  # noqa: E731
@@ -688,7 +714,8 @@ class QueryServer:
         if program.is_updating:
             raise UpdateError("updating statements do not stream; "
                               "submit them with submit()")
-        with self.dbms.document_latch(task.document).shared():
+        with self.dbms.read_ticket(task.document) as ticket:
+            sink.snapshot_lsn = ticket.snapshot_lsn
             prepared = session.prepare(task.document, program,
                                        profile=task.profile)
             sink.plan_cache_hit = prepared.from_cache
@@ -714,19 +741,18 @@ class QueryServer:
         self._check_deadline(task)    # fail fast on queue-expired work
         program = session._parse(task.query)
         if program.is_updating:
-            # Updating statements schedule exclusively per document:
-            # dbms.update takes the document latch in exclusive mode, so
-            # it waits for the readers below to finish on the pre-update
-            # snapshot and blocks new ones until the rewrite commits.
-            # The transaction is not interruptible, so the deadline is
-            # only enforced up front.
+            # Updates run concurrently with the snapshot reads below —
+            # they serialize only against each other (and at the
+            # version-install step inside commit publish), never against
+            # readers.  The transaction is not interruptible, so the
+            # deadline is only enforced up front.
             if task.serialize:
                 raise UpdateError("updating statements have no "
                                   "serialized result; submit with "
                                   "serialize=False")
             return self.dbms.update(task.document, program,
                                     bindings=task.bindings)
-        with self.dbms.document_latch(task.document).shared():
+        with self.dbms.read_ticket(task.document):
             prepared = session.prepare(task.document, program,
                                        profile=task.profile)
             # The deadline is re-taken *after* prepare: compilation
@@ -756,6 +782,10 @@ class QueryServer:
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> ServerStats:
+        # Storage counters are sampled outside the stats lock: they take
+        # the buffer pool's mutex, and no lock order between the two is
+        # established anywhere else.
+        mvcc = self.dbms.mvcc_stats()
         with self._stats_lock:
             return ServerStats(workers=len(self._workers),
                                max_pending=self._queue.maxsize,
@@ -767,7 +797,14 @@ class QueryServer:
                                pending=self._queue.qsize(),
                                peak_pending=self._peak_pending,
                                queue_wait=self._queue_wait_hist.snapshot(),
-                               execution=self._execution_hist.snapshot())
+                               execution=self._execution_hist.snapshot(),
+                               snapshots_pinned=mvcc["snapshots_pinned"],
+                               snapshots_opened=mvcc["snapshots_opened"],
+                               snapshot_reads=mvcc["versioned_reads"],
+                               versions_retained=mvcc["versions_retained"],
+                               group_commits=mvcc["group_commits"],
+                               group_fsyncs=mvcc["group_fsyncs"],
+                               fsyncs_saved=mvcc["fsyncs_saved"])
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -57,7 +57,10 @@ class Materializer(PhysicalOp):
         when the outer environment may have changed).  Passing the
         database also drops any spill heap."""
         if self._heap_name is not None and database is not None:
-            database.drop(self._heap_name)
+            # Spill state is the execution's own side write; catalog
+            # access and page frees must bypass any bound snapshot.
+            with database.buffer_pool.unbound():
+                database.drop(self._heap_name)
         self._rows = None
         self._heap_name = None
         # Release the cache's bytes against the meter that charged them
@@ -80,7 +83,12 @@ class Materializer(PhysicalOp):
                 yield batch
             return
         if self._heap_name is not None:
-            heap = ctx.document.db.open_heap(self._heap_name)
+            # The spill heap's catalog entry is this execution's own side
+            # write — invisible through a versioned catalog leaf, so the
+            # lookup must read live state.  The data pages themselves were
+            # born after any snapshot pin and are never versioned.
+            with ctx.document.db.buffer_pool.unbound():
+                heap = ctx.document.db.open_heap(self._heap_name)
             batch = []
             for __, raw in heap.scan():
                 batch.append(_decode_row(raw, ctx.document))
@@ -122,7 +130,8 @@ class Materializer(PhysicalOp):
                         # Spill everything gathered so far; this batch's
                         # remainder and all later ones go to disk.
                         heap_name = ctx.fresh_temp_name()
-                        heap = ctx.document.db.create_heap(heap_name)
+                        with ctx.document.db.buffer_pool.unbound():
+                            heap = ctx.document.db.create_heap(heap_name)
                         for spilled in collected:
                             heap.insert(_encode_row(spilled))
                         collected = []

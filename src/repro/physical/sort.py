@@ -84,7 +84,10 @@ class ExternalSort(PhysicalOp):
             nonlocal charged
             buffer.sort(key=lambda item: item[:2])
             name = ctx.fresh_temp_name()
-            heap = database.create_heap(name)
+            # Side write of this execution: the catalog mutation must
+            # bypass any bound snapshot (see BufferPool.unbound).
+            with database.buffer_pool.unbound():
+                heap = database.create_heap(name)
             for __, __, row in buffer:
                 heap.insert(_encode_row(row))
             runs.append(name)
@@ -125,7 +128,8 @@ class ExternalSort(PhysicalOp):
                 spill()
             streams = []
             for name in runs:
-                heap = database.open_heap(name)
+                with database.buffer_pool.unbound():
+                    heap = database.open_heap(name)
                 streams.append((_decode_row(raw, ctx.document)
                                 for __, raw in heap.scan()))
             merged = heapq.merge(*streams, key=self._key)
@@ -141,8 +145,9 @@ class ExternalSort(PhysicalOp):
                 yield out
         finally:
             ctx.meter.release(charged)
-            for name in runs:
-                database.drop(name)
+            with database.buffer_pool.unbound():
+                for name in runs:
+                    database.drop(name)
 
     def explain(self, indent: int = 0) -> str:
         pad = " " * indent

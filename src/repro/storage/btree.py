@@ -208,14 +208,26 @@ class BTree:
     # -- node access ---------------------------------------------------------------
 
     def _read_node(self, page_id: int) -> _Node:
-        node = self._cache.get(page_id)
-        if node is not None:
-            # Logical access still goes through the pool for accounting.
-            self.buffer_pool.get_page(page_id, pin=False)
-            return node
-        with self.buffer_pool.latched(page_id) as page:
+        pool = self.buffer_pool
+        # Version-aware bypass: a thread bound to a snapshot that sees a
+        # superseded image of this page must neither trust nor populate
+        # the node cache (which always mirrors the *live* page).  The
+        # check is a fast no-op for unbound threads.  Entries are only
+        # cached while the page reads live — a commit cannot have
+        # superseded it for this snapshot in between, because the pinned
+        # snapshot keeps any such version entry alive and the re-check
+        # after decoding would see it.
+        if not pool.reads_versioned(page_id):
+            node = self._cache.get(page_id)
+            if node is not None:
+                # Logical access still goes through the pool for
+                # accounting.
+                pool.get_page(page_id, pin=False)
+                return node
+        with pool.latched(page_id) as page:
             node = _Node.deserialize(page_id, page)
-        self._cache[page_id] = node
+        if not pool.reads_versioned(page_id):
+            self._cache[page_id] = node
         return node
 
     def _write_node(self, node: _Node) -> None:

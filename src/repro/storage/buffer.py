@@ -16,6 +16,22 @@ The pool also doubles as the tester's **memory meter**: the efficiency
 tests of Section 4 ran engines under a 20 MB budget, and
 :class:`~repro.grading.tester.Tester` sizes the pool (plus the operators'
 materialisation budget) to emulate that.
+
+Multi-version concurrency control
+---------------------------------
+
+On top of the frame table the pool keeps an in-memory *version store*:
+before a write transaction mutates a page for the first time, the
+committed image is captured; at commit the captured images are published
+into per-page version chains tagged with the commit's sequence number
+(the *commit LSN*).  A reader *pins a snapshot* — the commit LSN at pin
+time — and binds it to its thread; every page read made while bound
+resolves against the chains, so the reader sees exactly the state as of
+its pin, never blocking on (or being blocked by) writers.  Old versions
+are reclaimed as soon as no pinned snapshot can still need them, and
+page frees are deferred until no pinned snapshot can still *reach* the
+page (the pager free destroys the page's bytes).  The full lifecycle is
+documented in ``docs/mvcc.md``.
 """
 
 from __future__ import annotations
@@ -58,11 +74,40 @@ class _Frame:
     data: bytearray
     pin_count: int = 0
     dirty: bool = False
+    #: Bumped on every dirtying event.  The group committer compares the
+    #: value it captured at commit time against the current one to decide
+    #: whether the frame may be marked clean after the durable write-back
+    #: (a mismatch means someone re-dirtied the frame in between).
+    mod_count: int = 0
     #: Per-page latch: shared while a reader decodes the page, exclusive
     #: while a writer mutates its bytes.  The latch lives with the frame,
     #: which is safe because a page can only be evicted at pin count 0 —
     #: latch holders are always pinned.
     latch: SharedLatch = field(default_factory=SharedLatch)
+
+
+class Snapshot:
+    """A pinned read view: the database as of commit ``lsn``.
+
+    Bind it to the current thread with :meth:`BufferPool.reading`; while
+    bound, every page access through the pool resolves against the
+    version store.  Pages whose committed-at-``lsn`` image differs from
+    the live frame are served as private copies (``_pages``); pins taken
+    on those copies are *virtual* — tracked here, never on the real
+    frame (``_pins``).  Release via :meth:`BufferPool.release_snapshot`.
+    """
+
+    __slots__ = ("pool", "lsn", "_pages", "_pins", "released")
+
+    def __init__(self, pool: "BufferPool", lsn: int):
+        self.pool = pool
+        self.lsn = lsn
+        self._pages: dict[int, bytearray] = {}
+        self._pins: dict[int, int] = {}
+        self.released = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot(lsn={self.lsn}, pages={len(self._pages)})"
 
 
 class BufferPool:
@@ -73,13 +118,13 @@ class BufferPool:
     page leaves memory.
 
     The pool is thread-safe.  A single pool mutex guards the frame table,
-    the LRU order and the counters; it is held only for the table
-    manipulation itself, never while page *contents* are being read or
-    written.  Content access is protected separately by per-page latches
-    — see :meth:`latched` — so two sessions can decode different pages
-    concurrently while a third faults in a fresh one.  Lock order is
-    pool mutex → pager mutex; per-page latches are acquired with neither
-    held and at most one at a time, so no cycle exists.
+    the LRU order, the version store and the counters; it is held only
+    for the table manipulation itself, never while page *contents* are
+    being read or written.  Content access is protected separately by
+    per-page latches — see :meth:`latched` — so two sessions can decode
+    different pages concurrently while a third faults in a fresh one.
+    Lock order is pool mutex → pager mutex; per-page latches are acquired
+    with neither held and at most one at a time, so no cycle exists.
     """
 
     def __init__(self, pager: Pager, capacity: int = 64):
@@ -97,8 +142,48 @@ class BufferPool:
         #: so the database file only sees them after the WAL has the
         #: commit record.
         self._tracked: set[int] | None = None
-        #: Page frees issued during the transaction, executed at commit.
+        #: Thread that owns the active write transaction.  Only events
+        #: from this thread join the tracked set — a concurrent reader
+        #: spilling scratch heap pages must not contaminate the
+        #: transaction's write set (its pages would be logged, held back,
+        #: or dropped on abort).
+        self._txn_thread: int | None = None
+        #: Committed image of every page the transaction touched, taken
+        #: *before* the first mutation (``None`` = the page was born in
+        #: this transaction and has no snapshot-visible past).
+        self._txn_preimages: dict[int, bytes | None] = {}
+        #: Page frees issued during the transaction, executed once the
+        #: commit is durable *and* no snapshot can still reach the page.
         self._deferred_frees: list[int] = []
+        # -- MVCC state ----------------------------------------------------
+        #: Monotonic commit sequence ("commit LSN").  Unlike WAL LSNs it
+        #: never resets at a checkpoint, so snapshot ordering survives
+        #: log truncation.
+        self._committed_lsn = 0
+        #: Highest commit LSN whose WAL records are known fsynced.
+        self._durable_lsn = 0
+        #: page id → ascending ``(superseded_at, image)``: ``image`` is
+        #: the page's content *before* commit ``superseded_at`` replaced
+        #: it, i.e. what every snapshot pinned below ``superseded_at``
+        #: must read.
+        self._versions: dict[int, list[tuple[int, bytes]]] = {}
+        #: commit LSN → number of snapshots pinned at it.
+        self._snapshots: dict[int, int] = {}
+        #: page id → latest commit LSN whose durable write-back is still
+        #: pending.  Held frames are excluded from eviction and flush:
+        #: their bytes must not reach the file before the covering fsync
+        #: (crash before it would leave redo-less new content behind a
+        #: discarded WAL tail).
+        self._held: dict[int, int] = {}
+        #: ``(free_gate, durability_gate, page_id)``: execute the pager
+        #: free once ``durable_lsn >= durability_gate`` and no snapshot
+        #: is pinned below ``free_gate``.
+        self._pending_frees: list[tuple[int, int, int]] = []
+        self._local = threading.local()
+        # Lifetime counters for the stats surface.
+        self.snapshots_opened = 0
+        self.versions_installed = 0
+        self.versioned_reads = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -114,14 +199,143 @@ class BufferPool:
         with self._lock:
             return len(self._frames) * self.pager.page_size
 
+    # -- snapshots ---------------------------------------------------------
+
+    def pin_snapshot(self, observe: Callable[[], object] | None = None):
+        """Pin a read snapshot at the current commit LSN.
+
+        ``observe``, if given, runs inside the same critical section that
+        reads the commit LSN and its result is returned alongside the
+        snapshot — this is how the catalog layer pairs a snapshot with
+        the document version counters it saw, atomically with respect to
+        commit publication (which bumps both under this lock).
+        """
+        with self._lock:
+            snapshot = Snapshot(self, self._committed_lsn)
+            self._snapshots[snapshot.lsn] = (
+                self._snapshots.get(snapshot.lsn, 0) + 1)
+            self.snapshots_opened += 1
+            if observe is None:
+                return snapshot
+            return snapshot, observe()
+
+    def release_snapshot(self, snapshot: Snapshot) -> None:
+        """Release a pinned snapshot (idempotent) and reclaim versions."""
+        with self._lock:
+            if snapshot.released:
+                return
+            snapshot.released = True
+            count = self._snapshots.get(snapshot.lsn, 0) - 1
+            if count <= 0:
+                self._snapshots.pop(snapshot.lsn, None)
+            else:
+                self._snapshots[snapshot.lsn] = count
+            snapshot._pages.clear()
+            snapshot._pins.clear()
+            self._vacuum_locked()
+
+    @contextmanager
+    def reading(self, snapshot: Snapshot) -> Iterator[Snapshot]:
+        """Bind ``snapshot`` to the current thread for a ``with`` block.
+
+        While bound, every read through the pool resolves against the
+        version store at ``snapshot.lsn``.  Binding is thread-local and
+        does not nest (a bound thread must not open a write transaction).
+        """
+        if getattr(self._local, "snapshot", None) is not None:
+            raise BufferPoolError("thread already has a bound snapshot")
+        self._local.snapshot = snapshot
+        try:
+            yield snapshot
+        finally:
+            self._local.snapshot = None
+
+    @contextmanager
+    def unbound(self) -> Iterator[None]:
+        """Suspend the thread's snapshot binding for a ``with`` block.
+
+        Escape hatch for a bound reader's *own* side writes — spill heaps
+        and their catalog entries — which must read and write live state
+        (the reader's freshly created spill entry is invisible through a
+        versioned catalog leaf).
+        """
+        previous = getattr(self._local, "snapshot", None)
+        self._local.snapshot = None
+        try:
+            yield
+        finally:
+            self._local.snapshot = previous
+
+    @property
+    def bound_snapshot(self) -> Snapshot | None:
+        """The snapshot bound to the calling thread, if any."""
+        return getattr(self._local, "snapshot", None)
+
+    def min_pinned_snapshot(self) -> int | None:
+        with self._lock:
+            return min(self._snapshots) if self._snapshots else None
+
+    def reads_versioned(self, page_id: int) -> bool:
+        """Does the calling thread's bound snapshot see a non-live image
+        of this page?  (Fast ``False`` when no snapshot is bound.)"""
+        snapshot = getattr(self._local, "snapshot", None)
+        if snapshot is None:
+            return False
+        with self._lock:
+            if page_id in snapshot._pages:
+                return True
+            return self._version_image_locked(page_id, snapshot.lsn) is not None
+
+    def _version_image_locked(self, page_id: int, lsn: int) -> bytes | None:
+        """The image a snapshot at ``lsn`` must read, or None for live."""
+        chain = self._versions.get(page_id)
+        if chain:
+            for superseded_at, image in chain:
+                if superseded_at > lsn:
+                    return image
+        if self._txn_preimages:
+            image = self._txn_preimages.get(page_id, _NOT_CAPTURED)
+            if image is _NOT_CAPTURED:
+                return None
+            if image is None:
+                raise BufferPoolError(
+                    f"snapshot at lsn {lsn} read page {page_id}, which "
+                    f"only exists inside the in-flight transaction")
+            return image
+        return None
+
+    def _snapshot_read(self, snapshot: Snapshot, page_id: int,
+                       pin: bool) -> bytearray | None:
+        """Serve a bound read from the version store, or None for live."""
+        with self._lock:
+            data = snapshot._pages.get(page_id)
+            if data is None:
+                image = self._version_image_locked(page_id, snapshot.lsn)
+                if image is None:
+                    return None
+                data = bytearray(image)
+                snapshot._pages[page_id] = data
+                self.versioned_reads += 1
+            self.stats.hits += 1
+            if pin:
+                snapshot._pins[page_id] = snapshot._pins.get(page_id, 0) + 1
+            return data
+
     # -- core protocol -------------------------------------------------------
 
     def get_page(self, page_id: int, pin: bool = True) -> bytearray:
         """Return the page's frame data, faulting it in if needed.
 
         With ``pin=True`` (default) the caller must balance with
-        :meth:`unpin`; prefer the :meth:`pinned` context manager.
+        :meth:`unpin`; prefer the :meth:`pinned` context manager.  Under
+        a bound snapshot, pages superseded since the snapshot's pin are
+        served as private read-only copies instead of the live frame.
         """
+        snapshot = getattr(self._local, "snapshot", None)
+        if snapshot is not None:
+            data = self._snapshot_read(snapshot, page_id, pin)
+            if data is not None:
+                return data
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
@@ -138,6 +352,13 @@ class BufferPool:
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin; ``dirty=True`` marks the page for write-back."""
+        snapshot = getattr(self._local, "snapshot", None)
+        if snapshot is not None and snapshot._pins.get(page_id, 0) > 0:
+            if dirty:
+                raise BufferPoolError(
+                    f"snapshot copy of page {page_id} is read-only")
+            snapshot._pins[page_id] -= 1
+            return
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is None or frame.pin_count <= 0:
@@ -146,7 +367,15 @@ class BufferPool:
             frame.pin_count -= 1
             if dirty:
                 frame.dirty = True
-                if self._tracked is not None:
+                frame.mod_count += 1
+                if self._tracking_here():
+                    # Pages first dirtied through this path are expected
+                    # to be transaction-born (heap appends, overflow
+                    # chains) and therefore already captured as None by
+                    # new_page; the fallback capture keeps an unexpected
+                    # late-dirtying path from leaking uncommitted bytes
+                    # into the file via eviction.
+                    self._capture_preimage_locked(page_id, frame)
                     self._tracked.add(page_id)
 
     @contextmanager
@@ -171,13 +400,54 @@ class BufferPool:
         acquired with no pool-level lock held, so a slow reader never
         stalls unrelated faults.  Exclusive latching marks the page dirty
         on exit.
+
+        Under a bound snapshot (readers only — exclusive latching while
+        bound is an error), a versioned page is served as its private
+        snapshot copy without touching the frame or its latch; a live
+        page is re-validated against the version store *after* the shared
+        latch is held, closing the race with a writer capturing the
+        pre-image and mutating between resolution and latch acquisition.
         """
+        snapshot = getattr(self._local, "snapshot", None)
+        if snapshot is not None:
+            if exclusive:
+                raise BufferPoolError(
+                    "exclusive page latch under a bound snapshot — "
+                    "snapshot readers are read-only")
+            data = self._snapshot_read(snapshot, page_id, pin=False)
+            if data is not None:
+                yield data
+                return
+            # Live so far: pin the real frame, take the shared latch,
+            # then re-check (a commit may have versioned the page in
+            # between; the latch guarantees no mutation mid-decode).
+            with self.unbound():
+                data = self.get_page(page_id)
+            with self._lock:
+                frame = self._frames[page_id]
+            try:
+                with frame.latch.shared():
+                    copy = self._snapshot_read(snapshot, page_id, pin=False)
+                    yield copy if copy is not None else data
+            finally:
+                with self.unbound():
+                    self.unpin(page_id)
+            return
         data = self.get_page(page_id)
         with self._lock:
             frame = self._frames[page_id]
         latch = frame.latch
         try:
             with (latch.exclusive() if exclusive else latch.shared()):
+                if exclusive:
+                    # Capture the committed image now, with the latch
+                    # held (bytes are stable) and before any mutation —
+                    # unpin(dirty=True) at exit would be too late, the
+                    # latch is released first.
+                    with self._lock:
+                        if self._tracking_here():
+                            self._capture_preimage_locked(page_id, frame)
+                            self._tracked.add(page_id)
                 yield data
         finally:
             self.unpin(page_id, dirty=exclusive)
@@ -190,7 +460,9 @@ class BufferPool:
                 raise BufferPoolError(f"mark_dirty of non-resident page "
                                       f"{page_id}")
             frame.dirty = True
-            if self._tracked is not None:
+            frame.mod_count += 1
+            if self._tracking_here():
+                self._capture_preimage_locked(page_id, frame)
                 self._tracked.add(page_id)
 
     def new_page(self) -> tuple[int, bytearray]:
@@ -199,10 +471,13 @@ class BufferPool:
             page_id = self.pager.allocate_page()
             self._make_room()
             frame = _Frame(bytearray(self.pager.page_size), pin_count=1,
-                           dirty=True)
+                           dirty=True, mod_count=1)
             self._frames[page_id] = frame
-            if self._tracked is not None:
+            # A reused page id must not resolve to its previous life.
+            self._versions.pop(page_id, None)
+            if self._tracking_here():
                 self._tracked.add(page_id)
+                self._txn_preimages.setdefault(page_id, None)
             return page_id, frame.data
 
     def free_page(self, page_id: int) -> None:
@@ -211,7 +486,10 @@ class BufferPool:
         Inside a write transaction the pager-level free (which writes the
         free-list next pointer straight into the file, destroying the
         page's committed content) is deferred until the transaction
-        commits; an aborted transaction frees nothing.
+        commits durably *and* no pinned snapshot can still reach the
+        page; an aborted transaction frees nothing.  Outside a
+        transaction the free is still deferred while snapshots are
+        pinned, for the same reachability reason.
         """
         with self._lock:
             frame = self._frames.get(page_id)
@@ -219,33 +497,68 @@ class BufferPool:
                 # Checked before touching the table: a refused free must
                 # leave the pin holder's frame (and latch) fully intact.
                 raise BufferPoolError(f"freeing pinned page {page_id}")
-            self._frames.pop(page_id, None)
-            self._notify_evict(page_id)
-            if self._tracked is not None:
+            if self._tracking_here():
+                self._capture_preimage_locked(page_id, frame)
+                self._frames.pop(page_id, None)
+                self._notify_evict(page_id)
                 self._tracked.discard(page_id)
                 self._deferred_frees.append(page_id)
+                return
+            self._frames.pop(page_id, None)
+            self._notify_evict(page_id)
+            self._held.pop(page_id, None)
+            if self._snapshots:
+                # Non-transactional free with live snapshots: any of
+                # them may still reach this page, so it only becomes
+                # reusable once every one of them is gone.
+                self._pending_frees.append(
+                    (self._committed_lsn + 1, 0, page_id))
             else:
+                self._versions.pop(page_id, None)
                 self.pager.free_page(page_id)
+
+    def _tracking_here(self) -> bool:
+        """Is a write transaction active *and* owned by this thread?"""
+        return (self._tracked is not None
+                and self._txn_thread == threading.get_ident())
+
+    def _capture_preimage_locked(self, page_id: int,
+                                 frame: _Frame | None) -> None:
+        """Record the page's committed image, once per transaction."""
+        if page_id in self._txn_preimages:
+            return
+        if frame is None:
+            frame = self._frames.get(page_id)
+        if frame is not None:
+            self._txn_preimages[page_id] = bytes(frame.data)
+        else:
+            self._txn_preimages[page_id] = bytes(
+                self.pager.read_page(page_id))
 
     # -- eviction / flushing ---------------------------------------------------
 
     def _make_room(self) -> None:
-        no_steal = self._tracked is not None
         while len(self._frames) >= self.capacity:
             victim_id = None
             for candidate_id, frame in self._frames.items():
                 if frame.pin_count != 0:
                     continue
-                if no_steal and frame.dirty:
+                if candidate_id in self._held:
+                    # Held back: committed but the covering group fsync
+                    # has not confirmed yet — the file must not see
+                    # these bytes before the WAL does.
+                    continue
+                if (self._tracked is not None
+                        and candidate_id in self._tracked):
                     # No-steal: a transaction's dirty page must not reach
                     # the file before its WAL records do.
                     continue
                 victim_id = candidate_id
                 break
             if victim_id is None:
-                if no_steal:
+                if self._tracked is not None or self._held:
                     raise BufferPoolError(
-                        f"write transaction dirtied more pages than the "
+                        f"write transactions dirtied more pages than the "
                         f"pool holds ({self.capacity} frames); raise "
                         f"buffer_capacity or split the update")
                 raise BufferPoolError(
@@ -265,14 +578,20 @@ class BufferPool:
             callback(page_id)
 
     def flush(self) -> None:
-        """Write back every dirty frame (pages stay resident)."""
+        """Write back every dirty frame (pages stay resident).
+
+        Held-back frames — committed but awaiting their group fsync —
+        are skipped: their images reach the file through the committer's
+        durable write-back instead.  :meth:`Database.checkpoint` drains
+        the committer first, so a checkpoint-time flush covers everything.
+        """
         with self._lock:
             if self._tracked is not None:
                 raise BufferPoolError(
                     "flush() during a write transaction would leak "
                     "uncommitted pages to the file; commit or abort first")
             for page_id, frame in self._frames.items():
-                if frame.dirty:
+                if frame.dirty and page_id not in self._held:
                     self.pager.write_page(page_id, bytes(frame.data))
                     self.stats.dirty_writebacks += 1
                     frame.dirty = False
@@ -280,6 +599,10 @@ class BufferPool:
     def flush_and_clear(self) -> None:
         """Write back everything and empty the pool (e.g. before closing)."""
         with self._lock:
+            if self._held:
+                raise BufferPoolError(
+                    "flush_and_clear with commits awaiting their group "
+                    "fsync; drain the committer first")
             self.flush()
             for page_id in list(self._frames):
                 self._notify_evict(page_id)
@@ -291,17 +614,25 @@ class BufferPool:
         """Start tracking dirtied pages for a write transaction.
 
         Flushes first, so the tracked set is exactly the transaction's
-        own writes; from here until commit/abort, dirty frames are
-        neither flushed nor evicted (no-steal) and page frees are
-        deferred.  Only one transaction may track at a time — callers
-        serialize (see :meth:`repro.storage.db.Database.transaction`).
+        own writes; from here until commit/abort, the transaction's dirty
+        frames are neither flushed nor evicted (no-steal) and its page
+        frees are deferred.  Only one transaction may track at a time —
+        callers serialize (see :meth:`repro.storage.db.Database.transaction`).
+        Tracking is *owned by the calling thread*: dirtying events from
+        other threads (a concurrent reader spilling scratch pages) do
+        not join the write set.
         """
         with self._lock:
             if self._tracked is not None:
                 raise BufferPoolError("nested write transactions are not "
                                       "supported")
+            if getattr(self._local, "snapshot", None) is not None:
+                raise BufferPoolError("cannot start a write transaction "
+                                      "on a snapshot-bound thread")
             self.flush()
             self._tracked = set()
+            self._txn_thread = threading.get_ident()
+            self._txn_preimages = {}
             self._deferred_frees = []
 
     def transaction_pages(self) -> dict[int, bytes]:
@@ -312,45 +643,90 @@ class BufferPool:
             return {page_id: bytes(self._frames[page_id].data)
                     for page_id in sorted(self._tracked)}
 
-    def end_tracking_commit(self) -> None:
-        """Write the transaction's pages back and run deferred frees.
+    def publish_commit(self, on_publish: list[Callable[[], None]] | None = None,
+                       ) -> tuple[int, dict[int, int]]:
+        """Make the transaction's writes visible and end tracking.
 
-        Call only after the WAL holds the commit record: from the log's
-        point of view the transaction is already durable, this merely
-        moves the images into the main file (redo would produce the same
-        bytes).
+        Call with the commit record appended to the WAL (durability may
+        still be pending — the frames stay *held back* from eviction and
+        flush until :meth:`complete_commit` confirms the fsync).  Inside
+        one critical section this assigns the commit LSN, installs the
+        captured pre-images into the version chains (new snapshots see
+        the new state, existing snapshots keep resolving the old one),
+        schedules deferred frees, and runs the ``on_publish`` callbacks —
+        the hook catalog layers use to bump their version counters
+        atomically with the LSN.
+
+        Returns ``(commit_lsn, {page_id: mod_count})`` — the token
+        :meth:`complete_commit` needs.
         """
         with self._lock:
             if self._tracked is None:
                 raise BufferPoolError("no write transaction is active")
-            try:
-                for page_id in sorted(self._tracked):
-                    frame = self._frames.get(page_id)
-                    if frame is not None and frame.dirty:
-                        self.pager.write_page(page_id, bytes(frame.data))
-                        self.stats.dirty_writebacks += 1
-                        frame.dirty = False
-                frees, self._deferred_frees = self._deferred_frees, []
-                for page_id in frees:
-                    self.pager.free_page(page_id)
-            finally:
-                # The WAL already holds the commit: even if a write-back
-                # or free failed, the transaction is over — frames left
-                # dirty reach the file via a later flush or via replay,
-                # and tracking must not linger (an orphaned tracking
-                # state would block every later transaction).
-                self._tracked = None
-                self._deferred_frees = []
+            lsn = self._committed_lsn + 1
+            self._committed_lsn = lsn
+            mods: dict[int, int] = {}
+            for page_id in self._tracked:
+                image = self._txn_preimages.get(page_id)
+                if image is not None:
+                    self._versions.setdefault(page_id, []).append(
+                        (lsn, image))
+                    self.versions_installed += 1
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self._held[page_id] = lsn
+                    mods[page_id] = frame.mod_count
+            for page_id in self._deferred_frees:
+                image = self._txn_preimages.get(page_id)
+                if image is not None:
+                    self._versions.setdefault(page_id, []).append(
+                        (lsn, image))
+                    self.versions_installed += 1
+                self._pending_frees.append((lsn, lsn, page_id))
+            self._tracked = None
+            self._txn_thread = None
+            self._txn_preimages = {}
+            self._deferred_frees = []
+            for callback in (on_publish or []):
+                callback()
+            self._vacuum_locked()
+            return lsn, mods
+
+    def complete_commit(self, lsn: int, images: dict[int, bytes],
+                        mods: dict[int, int]) -> None:
+        """Durable write-back after the commit's covering fsync.
+
+        ``images`` are the page images that went into the WAL (*not* the
+        current frames — a later transaction may have re-dirtied them);
+        writing them to the file in commit order reproduces exactly what
+        redo would.  A frame is only marked clean if its mod counter
+        still matches the commit-time capture.
+        """
+        for page_id in sorted(mods):
+            self.pager.write_page(page_id, images[page_id])
+            self.stats.dirty_writebacks += 1
+        with self._lock:
+            self._durable_lsn = max(self._durable_lsn, lsn)
+            for page_id, mod_count in mods.items():
+                if self._held.get(page_id) == lsn:
+                    del self._held[page_id]
+                frame = self._frames.get(page_id)
+                if (frame is not None and frame.mod_count == mod_count
+                        and page_id not in self._held
+                        and (self._tracked is None
+                             or page_id not in self._tracked)):
+                    frame.dirty = False
+            self._vacuum_locked()
 
     def end_tracking_abort(self) -> None:
-        """Throw the transaction's pages away without touching the file.
+        """Throw the transaction's writes away without touching the file.
 
-        No-steal guarantees none of them reached disk, so dropping the
-        frames restores the pre-transaction image; deferred frees are
-        forgotten (the pages were only *going* to be freed).  Callers
-        must treat every in-memory structure over the dropped pages
-        (B+-tree caches, meta fields) as stale — evict callbacks fire
-        for each dropped page.
+        No-steal guarantees none of them reached disk, so restoring the
+        captured pre-images (or dropping transaction-born frames) brings
+        back the pre-transaction state; deferred frees are forgotten (the
+        pages were only *going* to be freed).  Callers must treat every
+        in-memory structure over the dropped pages (B+-tree caches, meta
+        fields) as stale — evict callbacks fire for each one.
         """
         with self._lock:
             if self._tracked is None:
@@ -365,15 +741,55 @@ class BufferPool:
                     raise BufferPoolError(
                         f"aborting with page {page_id} still pinned")
             tracked, self._tracked = self._tracked, None
+            preimages, self._txn_preimages = self._txn_preimages, {}
+            self._txn_thread = None
             self._deferred_frees = []
             for page_id in tracked:
-                self._frames.pop(page_id, None)
+                image = preimages.get(page_id)
+                frame = self._frames.get(page_id)
+                if (image is not None and frame is not None
+                        and page_id in self._held):
+                    # The frame carries a previous commit whose durable
+                    # write-back is still pending; dropping it would lose
+                    # that committed image, so restore the bytes instead.
+                    frame.data[:] = image
+                    frame.mod_count += 1
+                else:
+                    self._frames.pop(page_id, None)
                 self._notify_evict(page_id)
 
     @property
     def in_transaction(self) -> bool:
         with self._lock:
             return self._tracked is not None
+
+    # -- version reclamation -----------------------------------------------------
+
+    def _vacuum_locked(self) -> None:
+        """Drop versions no snapshot needs; run frees nothing can reach."""
+        min_pinned = min(self._snapshots) if self._snapshots else None
+        if self._versions:
+            dead_chains = []
+            for page_id, chain in self._versions.items():
+                if min_pinned is None:
+                    chain.clear()
+                else:
+                    while chain and chain[0][0] <= min_pinned:
+                        chain.pop(0)
+                if not chain:
+                    dead_chains.append(page_id)
+            for page_id in dead_chains:
+                del self._versions[page_id]
+        if self._pending_frees:
+            remaining = []
+            for free_gate, durability_gate, page_id in self._pending_frees:
+                if (self._durable_lsn >= durability_gate
+                        and (min_pinned is None or min_pinned >= free_gate)):
+                    self._versions.pop(page_id, None)
+                    self.pager.free_page(page_id)
+                else:
+                    remaining.append((free_gate, durability_gate, page_id))
+            self._pending_frees = remaining
 
     # -- introspection -----------------------------------------------------------
 
@@ -386,3 +802,28 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(page_id)
             return frame.pin_count if frame is not None else 0
+
+    def committed_lsn(self) -> int:
+        with self._lock:
+            return self._committed_lsn
+
+    def mvcc_stats(self) -> dict[str, int]:
+        """Current MVCC gauges and lifetime counters."""
+        with self._lock:
+            return {
+                "snapshots_pinned": sum(self._snapshots.values()),
+                "snapshots_opened": self.snapshots_opened,
+                "versions_retained": sum(len(chain) for chain
+                                         in self._versions.values()),
+                "versions_installed": self.versions_installed,
+                "versioned_reads": self.versioned_reads,
+                "commit_lsn": self._committed_lsn,
+                "durable_lsn": self._durable_lsn,
+                "held_pages": len(self._held),
+                "pending_frees": len(self._pending_frees),
+            }
+
+
+#: Sentinel distinguishing "page never captured" from "page born in the
+#: transaction" (stored as None) in the pre-image map.
+_NOT_CAPTURED = object()

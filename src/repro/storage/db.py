@@ -26,6 +26,8 @@ from repro.storage.overflow import OverflowStore
 from repro.storage.pager import NO_PAGE, PAGE_SIZE, Pager
 from repro.storage.record import encode_key
 from repro.storage.wal import (
+    CommitTicket,
+    GroupCommitter,
     RecoveryReport,
     WriteAheadLog,
     default_wal_path,
@@ -84,6 +86,13 @@ class Database:
         self._lock = threading.RLock()
         self._wal = (WriteAheadLog(wal_path, self.pager.page_size)
                      if wal else None)
+        #: Group-commit daemon: batches the fsyncs of pipelined commits
+        #: and runs the durable write-back (see
+        #: :class:`~repro.storage.wal.GroupCommitter`).  Owned here, not
+        #: by any server layer, so a worker parked on a commit ticket
+        #: always gets its fsync even while the serving stack shuts down.
+        self._committer = (GroupCommitter(self._wal, self._complete_commit)
+                           if wal else None)
         #: Serializes write transactions and checkpoints (one at a time;
         #: reads need no transaction and are unaffected).
         self._txn_lock = threading.RLock()
@@ -95,6 +104,9 @@ class Database:
         #: and run unlogged; with the explicit flag they fail loudly in
         #: ``begin_tracking`` instead.
         self._txn_depth = 0
+        #: Handle of the transaction currently inside :meth:`transaction`
+        #: (reentrant blocks share it).
+        self._active_txn: Transaction | None = None
         self.checkpoint_interval = checkpoint_interval
         if self.pager.catalog_root == NO_PAGE:
             self._catalog = BTree.create(self.buffer_pool)
@@ -120,25 +132,45 @@ class Database:
 
     def close(self) -> None:
         if self._wal is not None:
+            # Drain first: parked commits get their fsync and their ack
+            # (never a silent drop), and the checkpoint below then sees
+            # no held-back frames.
+            self._committer.close()
             self.checkpoint()
             self._wal.close()
         self.buffer_pool.flush_and_clear()
         self.pager.close()
 
+    def _complete_commit(self, ticket: CommitTicket) -> None:
+        """Committer callback: durable write-back of one fsynced commit."""
+        self.buffer_pool.complete_commit(ticket.commit_lsn, ticket.images,
+                                         ticket.mods)
+
     # -- write transactions --------------------------------------------------
 
     @contextmanager
-    def transaction(self) -> Iterator[None]:
+    def transaction(self, wait: bool = True) -> Iterator["Transaction"]:
         """Run a block of page mutations atomically and durably.
 
         All pages dirtied inside the block stay in the buffer pool
         (no-steal) until, on normal exit, their after-images plus the
-        header page are appended to the WAL, a commit record is fsynced,
-        and only then written back to the database file.  If the block
-        raises, every dirtied frame is discarded and the on-disk state
-        is untouched — but in-memory structures built over those pages
-        (open B+-tree instances, cached nodes) are stale and must be
-        re-opened; the catalog itself is refreshed here.
+        header page are appended to the WAL and the commit is *published*
+        — pre-images move into the version chains (pinned snapshots keep
+        reading the old state), the commit LSN is assigned, and the
+        frames stay held back from the file until the group committer's
+        batched fsync covers the commit.  If the block raises, every
+        dirtied frame is discarded and the on-disk state is untouched —
+        but in-memory structures built over those pages (open B+-tree
+        instances, cached nodes) are stale and must be re-opened; the
+        catalog itself is refreshed here.
+
+        Yields a :class:`Transaction` handle.  With ``wait=True`` (the
+        default) the block does not return until the commit is durable —
+        single-writer callers keep the classic "fsynced on exit"
+        contract.  With ``wait=False`` the caller must invoke
+        :meth:`Transaction.wait_durable` itself before acknowledging the
+        commit; doing so *after* releasing its own locks is what lets
+        pipelined writers share one fsync.
 
         Transactions serialize on a database-level lock (reentrancy is
         allowed and joins the outer transaction).  Without a WAL
@@ -149,31 +181,40 @@ class Database:
         :class:`~repro.errors.BufferPoolError` and aborts cleanly.
         """
         if self._wal is None:
-            yield
+            txn = Transaction(self)
+            yield txn
+            txn.commit_lsn = self.buffer_pool.committed_lsn()
+            for callback in txn._on_publish:
+                callback()
             return
         with self._txn_lock:
             if self._txn_depth:
                 # Reentrant use joins the enclosing transaction: the
                 # outer exit commits or aborts the union of both blocks.
-                yield
+                yield self._active_txn
                 return
+            txn = Transaction(self)
+            self._active_txn = txn
             header_snapshot = self.pager.header_state()
             self.pager.defer_header_writes()
             self.buffer_pool.begin_tracking()
             self._txn_depth = 1
             try:
                 try:
-                    yield
-                    # WAL append under deferral too: if the log write or
-                    # its fsync fails, nothing was acknowledged and the
-                    # whole block rolls back like any other error — and
-                    # the half-appended records are truncated away so
-                    # they can never become replayable later.
+                    yield txn
+                    # WAL append under deferral too: if the log write
+                    # fails, nothing was acknowledged and the whole block
+                    # rolls back like any other error — and the
+                    # half-appended records are truncated away so they
+                    # can never become replayable later.  (Truncating is
+                    # safe precisely because appends happen under the
+                    # transaction lock: nothing can have appended after
+                    # us.)
                     images = self.buffer_pool.transaction_pages()
                     images[0] = self.pager.header_page_image()
                     log_mark = self._wal.size
                     try:
-                        self._wal.log_commit(images)
+                        self._wal.append_commit(images)
                     except BaseException:
                         try:
                             self._wal.truncate_to(log_mark)
@@ -192,17 +233,33 @@ class Database:
                         # count) may describe aborted pages; re-read it.
                         self._catalog._load_meta()
                     raise
-                # Durable now.  Write-back + deferred frees may tear at
-                # a crash (recovery replays the same images) or fail
-                # here (frames stay dirty, a later flush or replay
-                # delivers them) — either way tracking state is cleared.
+                # Publish: new readers see the commit, existing snapshots
+                # keep the old versions; durability is the committer's
+                # batched fsync, which the ticket below waits on.
                 self.pager.resume_header_writes(write=False)
-                self.buffer_pool.end_tracking_commit()
+                commit_lsn, mods = self.buffer_pool.publish_commit(
+                    txn._on_publish)
+                txn.commit_lsn = commit_lsn
+                txn._ticket = self._committer.submit(
+                    CommitTicket(commit_lsn, images, mods))
             finally:
                 self._txn_depth = 0
-            if self._wal.commits_since_checkpoint \
-                    >= self.checkpoint_interval:
-                self.checkpoint()
+                self._active_txn = None
+        if wait:
+            txn.wait_durable()
+            self.maybe_checkpoint()
+
+    def maybe_checkpoint(self) -> None:
+        """Checkpoint if enough commits accumulated since the last one.
+
+        ``wait=False`` transaction users call this after their own
+        :meth:`Transaction.wait_durable`, keeping log growth bounded on
+        the pipelined-commit path too.
+        """
+        if (self._wal is not None
+                and self._wal.commits_since_checkpoint
+                >= self.checkpoint_interval):
+            self.checkpoint()
 
     def checkpoint(self) -> None:
         """Flush everything to the database file and reset the WAL.
@@ -217,6 +274,10 @@ class Database:
         with self._txn_lock:
             if self.buffer_pool.in_transaction:
                 raise WalError("checkpoint during an open transaction")
+            # Every appended commit must be fsynced and written back
+            # before the log resets — a held-back frame surviving a log
+            # reset would have no redo copy anywhere.
+            self._committer.drain()
             self.buffer_pool.flush()
             self.pager.write_header()
             self.pager.sync()
@@ -385,3 +446,47 @@ class Database:
 
     def reset_stats(self) -> None:
         self.buffer_pool.stats.__init__()
+
+    def mvcc_stats(self) -> dict[str, int]:
+        """Snapshot/version gauges plus group-commit counters."""
+        stats = self.buffer_pool.mvcc_stats()
+        if self._committer is not None:
+            stats.update(self._committer.stats())
+        else:
+            stats.update({"group_commits": 0, "group_fsyncs": 0,
+                          "fsyncs_saved": 0, "max_batch": 0,
+                          "pending_commits": 0})
+        return stats
+
+
+class Transaction:
+    """Handle for one :meth:`Database.transaction` block.
+
+    ``commit_lsn`` is the commit's position in the global commit
+    sequence, assigned at publish time (None while the block is still
+    running, or if the block aborted).  ``on_publish`` registers a
+    callback to run *inside* the publish critical section — atomically
+    with the LSN assignment, under the buffer pool mutex, so it must not
+    block or take locks; the catalog layer uses it to bump document
+    version counters in lock-step with snapshot visibility.
+    """
+
+    __slots__ = ("db", "commit_lsn", "_on_publish", "_ticket")
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.commit_lsn: int | None = None
+        self._on_publish: list = []
+        self._ticket = None
+
+    def on_publish(self, callback) -> None:
+        self._on_publish.append(callback)
+
+    def wait_durable(self, timeout: float | None = None) -> None:
+        """Block until the commit's covering fsync completed.
+
+        Raises :class:`~repro.errors.WalError` if the group committer
+        failed.  No-op for aborted blocks and WAL-less databases.
+        """
+        if self._ticket is not None:
+            self._ticket.wait(timeout)

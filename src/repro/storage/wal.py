@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -197,13 +198,15 @@ class WriteAheadLog:
             self._file.write(payload)
         return lsn
 
-    def log_commit(self, images: dict[int, bytes]) -> int:
-        """Append one transaction — page images then COMMIT — and fsync.
+    def append_commit(self, images: dict[int, bytes]) -> int:
+        """Append one transaction — page images then COMMIT — *without*
+        forcing it to disk.
 
         ``images`` maps page ids to full after-images (each exactly one
-        page).  Returns the commit record's LSN.  When this returns, the
-        transaction is durable: recovery will replay it even if the
-        database file never sees the pages.
+        page).  Returns the commit record's LSN.  The transaction only
+        becomes durable once a later :meth:`sync` covers it — that is the
+        :class:`GroupCommitter`'s job, which batches one fsync over every
+        commit appended since the last one.
         """
         for page_id, image in sorted(images.items()):
             if len(image) != self.page_size:
@@ -211,8 +214,19 @@ class WriteAheadLog:
                                f"bytes, expected {self.page_size}")
             self._append(_PAGE, page_id, image)
         lsn = self._append(_COMMIT, 0, b"")
-        self.sync()
         self.commits_since_checkpoint += 1
+        return lsn
+
+    def log_commit(self, images: dict[int, bytes]) -> int:
+        """Append one transaction and fsync immediately.
+
+        The single-writer path: equivalent to :meth:`append_commit`
+        followed by :meth:`sync`.  When this returns, the transaction is
+        durable: recovery will replay it even if the database file never
+        sees the pages.
+        """
+        lsn = self.append_commit(images)
+        self.sync()
         return lsn
 
     def sync(self) -> None:
@@ -256,3 +270,170 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class CommitTicket:
+    """One transaction's place in the group-commit queue.
+
+    Created by :meth:`GroupCommitter.submit` with the commit already
+    appended to the log; :meth:`wait` blocks until the covering fsync
+    (and the durable page write-back) completed, re-raising the
+    committer's failure as a :class:`~repro.errors.WalError` if it did
+    not.
+    """
+
+    __slots__ = ("commit_lsn", "images", "mods", "_event", "_error")
+
+    def __init__(self, commit_lsn: int, images: dict[int, bytes],
+                 mods: dict[int, int]):
+        self.commit_lsn = commit_lsn
+        self.images = images
+        self.mods = mods
+        self._event = threading.Event()
+        self._error: WalError | None = None
+
+    def _finish(self, error: WalError | None = None) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until durable; raise the committer's error if it failed."""
+        if not self._event.wait(timeout):
+            raise WalError(
+                f"commit {self.commit_lsn} not durable after {timeout}s")
+        if self._error is not None:
+            raise self._error
+
+
+class GroupCommitter:
+    """Daemon thread batching commit fsyncs.
+
+    Writers append their records under the database's transaction lock,
+    publish in memory, then :meth:`submit` a ticket and wait *outside*
+    every lock — so while one fsync is in flight, more commits pile into
+    the queue and the next fsync covers them all.  A lone writer still
+    pays exactly one fsync; 64 pipelined writers share a handful.
+
+    After each fsync the committer runs ``on_durable(ticket)`` per
+    covered commit, in commit order — the database uses this to write the
+    logged images into the main file and release the held-back frames.
+
+    An fsync failure **poisons** the committer: the failed batch, every
+    queued ticket and every future submission fail with a typed
+    :class:`~repro.errors.WalError` (an un-fsyncable log can never ack
+    durability again); readers are unaffected.  :meth:`close` drains the
+    queue first — a parked writer gets its fsync and its ack, never a
+    silent drop.
+    """
+
+    def __init__(self, wal: WriteAheadLog,
+                 on_durable=None):
+        self._wal = wal
+        self._on_durable = on_durable
+        self._cond = threading.Condition()
+        self._queue: list[CommitTicket] = []
+        self._pending = 0
+        self._poison: WalError | None = None
+        self._closed = False
+        #: Lifetime counters: fsyncs_saved = group_commits - group_fsyncs.
+        self.group_commits = 0
+        self.group_fsyncs = 0
+        self.max_batch = 0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="wal-group-committer")
+        self._thread.start()
+
+    # -- writer side ---------------------------------------------------------
+
+    def submit(self, ticket: CommitTicket) -> CommitTicket:
+        """Enqueue an appended commit for the next batched fsync."""
+        with self._cond:
+            if self._poison is not None:
+                raise self._poison
+            if self._closed:
+                raise WalError("group committer is closed; commit "
+                               f"{ticket.commit_lsn} was appended but "
+                               "cannot be acknowledged")
+            self._queue.append(ticket)
+            self._pending += 1
+            self.group_commits += 1
+            self._cond.notify_all()
+        return ticket
+
+    def drain(self) -> None:
+        """Block until every submitted commit is durable (or failed)."""
+        with self._cond:
+            while self._pending > 0:
+                self._cond.wait(timeout=1.0)
+                if not self._thread.is_alive() and self._pending > 0:
+                    raise WalError("group committer thread died with "
+                                   f"{self._pending} commit(s) pending")
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "group_commits": self.group_commits,
+                "group_fsyncs": self.group_fsyncs,
+                "fsyncs_saved": self.group_commits - self.group_fsyncs,
+                "max_batch": self.max_batch,
+                "pending_commits": self._pending,
+            }
+
+    def close(self) -> None:
+        """Drain the queue (fsync + ack every parked commit), then stop.
+
+        Idempotent.  Submissions after close fail with a typed
+        :class:`~repro.errors.WalError`.
+        """
+        with self._cond:
+            if self._closed:
+                self._cond.notify_all()
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    # -- committer thread ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return
+                batch, self._queue = self._queue, []
+            self._commit_batch(batch)
+
+    def _commit_batch(self, batch: list[CommitTicket]) -> None:
+        error = self._poison
+        if error is None:
+            try:
+                self._wal.sync()
+                self.group_fsyncs += 1
+                self.max_batch = max(self.max_batch, len(batch))
+            except Exception as exc:  # noqa: BLE001 — poison + re-raise typed
+                error = WalError(f"group commit fsync failed: {exc}")
+        for ticket in batch:
+            ticket_error = error
+            if ticket_error is None and self._on_durable is not None:
+                try:
+                    self._on_durable(ticket)
+                except Exception as exc:  # noqa: BLE001
+                    ticket_error = WalError(
+                        f"durable write-back of commit "
+                        f"{ticket.commit_lsn} failed: {exc}")
+                    error = ticket_error
+            ticket._finish(ticket_error)
+        with self._cond:
+            if error is not None:
+                self._poison = error
+                for ticket in self._queue:
+                    ticket._finish(error)
+                    self._pending -= 1
+                self._queue = []
+            self._pending -= len(batch)
+            self._cond.notify_all()

@@ -188,7 +188,10 @@ class UpdateResult:
     Node counts are whole-subtree counts (deleting a node with three
     descendants counts four).  ``stats_version`` is the document's new
     catalog/statistics version — the value prepared plans were
-    invalidated to.
+    invalidated to.  ``commit_lsn`` is the transaction's position in the
+    commit sequence: snapshots pinned at an LSN ``>=`` it see the
+    update, earlier ones do not (0 when the database runs without a
+    WAL).
     """
 
     nodes_inserted: int = 0
@@ -196,6 +199,7 @@ class UpdateResult:
     values_replaced: int = 0
     nodes_renamed: int = 0
     stats_version: int = 0
+    commit_lsn: int = 0
 
     @property
     def total_changes(self) -> int:

@@ -12,7 +12,7 @@ Usage::
 Protocol on stdout (line-buffered):
 
 * ``READY`` once the base document is loaded;
-* ``ACK <i>`` after update ``i`` has committed (the durability
+* ``ACK <i>`` after update ``i`` has committed durably (the
   acknowledgement the harness holds the system to).
 
 Fault injection via environment variables:
@@ -21,12 +21,30 @@ Fault injection via environment variables:
 
   - ``before_commit`` — SIGKILL self just before the k-th commit writes
     anything: the k-th update must be entirely absent after recovery;
-  - ``after_sync``    — SIGKILL self right after the k-th commit's
-    fsync returns, before the pages reach the database file and before
-    the ACK: the update is durable and recovery must surface it;
+  - ``after_sync``    — SIGKILL self right after the fsync covering the
+    k-th commit returns, before the pages reach the database file and
+    before the ACK: the update is durable and recovery must surface it;
   - ``torn_tail``     — append the k-th transaction's page records but
     neither the COMMIT nor a sync, then SIGKILL: recovery must discard
     the torn tail.
+
+  Group-commit fault points (fire at the first group fsync once the
+  k-th commit has been *appended*; combine with ``REPRO_CRASH_WRITERS``
+  so the covering fsync really batches several commits):
+
+  - ``before_group_fsync`` — SIGKILL in the committer right before the
+    fsync: none of the batch was acknowledged, so recovery may keep any
+    complete commits the OS happened to flush but must never tear one;
+  - ``mid_batch``          — append a truncated record over the batch's
+    tail, flush, SIGKILL: recovery must replay the batch's complete
+    transactions and discard the torn remainder — no torn group;
+  - ``after_group_fsync``  — SIGKILL right after the fsync returns,
+    before any write-back or ACK: every transaction the fsync covered is
+    durable and recovery must surface all of them, whole.
+
+* ``REPRO_CRASH_WRITERS=<n>`` — run ``n`` concurrent writer threads
+  (updates are split round-robin; each inserts a two-child subtree so a
+  torn transaction is detectable).  ACKs may interleave in any order.
 """
 
 from __future__ import annotations
@@ -34,8 +52,12 @@ from __future__ import annotations
 import os
 import signal
 import sys
+import threading
 
 BASE_XML = "<log><meta>start</meta></log>"
+
+_GROUP_POINTS = frozenset({"before_group_fsync", "mid_batch",
+                           "after_group_fsync"})
 
 
 def _die() -> None:
@@ -46,12 +68,15 @@ def _die() -> None:
 def _install_fault(crash_at: int, point: str) -> None:
     from repro.storage import wal as walmod
 
-    original = walmod.WriteAheadLog.log_commit
-    state = {"commit": 0}
+    original_append = walmod.WriteAheadLog.append_commit
+    original_sync = walmod.WriteAheadLog.sync
+    # ``appended`` is the number of commits fully appended so far; the
+    # commit index is 0-based, matching the harness's update numbering
+    # for the single-writer tests.
+    state = {"appended": 0}
 
-    def patched(self, images):
-        commit = state["commit"]
-        state["commit"] += 1
+    def patched_append(self, images):
+        commit = state["appended"]
         if commit == crash_at:
             if point == "before_commit":
                 _die()
@@ -60,12 +85,31 @@ def _install_fault(crash_at: int, point: str) -> None:
                     self._append(walmod._PAGE, page_id, image)
                 self._file.flush()
                 _die()
-        lsn = original(self, images)
-        if commit == crash_at and point == "after_sync":
-            _die()
+        lsn = original_append(self, images)
+        state["appended"] = commit + 1
         return lsn
 
-    walmod.WriteAheadLog.log_commit = patched
+    def patched_sync(self):
+        covers_target = crash_at >= 0 and state["appended"] > crash_at
+        if covers_target and point == "before_group_fsync":
+            # Leave whatever the OS already has; the fsync never happens
+            # and nothing in this batch was acknowledged.
+            self._file.flush()
+            _die()
+        if covers_target and point == "mid_batch":
+            # A torn record over the batch tail: a PAGE record header
+            # that promises a payload the file does not contain.
+            self._file.write(walmod._RECORD.pack(self._lsn + 1,
+                                                 walmod._PAGE, 1, 0))
+            self._file.write(b"\xde\xad" * 8)
+            self._file.flush()
+            _die()
+        original_sync(self)
+        if covers_target and point in ("after_sync", "after_group_fsync"):
+            _die()
+
+    walmod.WriteAheadLog.append_commit = patched_append
+    walmod.WriteAheadLog.sync = patched_sync
 
 
 def _index_build_main(db_path: str, entries: int) -> int:
@@ -89,6 +133,32 @@ def _index_build_main(db_path: str, entries: int) -> int:
     return 0
 
 
+def _threaded_main(dbms, total: int, writers: int) -> None:
+    """Concurrent writers: update ``i`` runs on thread ``i % writers``.
+
+    Each update inserts a *two-child* subtree, so the recovery check can
+    tell a torn transaction (element present, children missing) from a
+    rolled-back one (element absent).
+    """
+    ack_lock = threading.Lock()
+
+    def run(worker: int) -> None:
+        for i in range(worker, total, writers):
+            dbms.update(
+                "log",
+                f"insert node <e{i}><a>a{i}</a><b>b{i}</b></e{i}> "
+                f"as last into /log")
+            with ack_lock:
+                print(f"ACK {i}", flush=True)
+
+    threads = [threading.Thread(target=run, args=(w,), daemon=True)
+               for w in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
 def main() -> int:
     db_path = sys.argv[1]
     total = int(sys.argv[2])
@@ -96,6 +166,7 @@ def main() -> int:
         return _index_build_main(db_path, total)
     crash_at = int(os.environ.get("REPRO_CRASH_AT_COMMIT", "-1"))
     point = os.environ.get("REPRO_CRASH_POINT", "")
+    writers = int(os.environ.get("REPRO_CRASH_WRITERS", "0"))
     if point:
         _install_fault(crash_at, point)
 
@@ -105,10 +176,13 @@ def main() -> int:
     if "log" not in dbms.documents():
         dbms.load("log", xml=BASE_XML)
     print("READY", flush=True)
-    for i in range(total):
-        dbms.update("log",
-                    f"insert node <e{i}>v{i}</e{i}> as last into /log")
-        print(f"ACK {i}", flush=True)
+    if writers > 1:
+        _threaded_main(dbms, total, writers)
+    else:
+        for i in range(total):
+            dbms.update("log",
+                        f"insert node <e{i}>v{i}</e{i}> as last into /log")
+            print(f"ACK {i}", flush=True)
     dbms.close()
     print("DONE", flush=True)
     return 0

@@ -27,6 +27,7 @@ from repro.errors import (
     CatalogError,
     ResourceLimitExceeded,
     ServerClosedError,
+    WalError,
 )
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool
@@ -642,3 +643,52 @@ class TestCloseSemantics:
             while True:
                 if stream.next_page(timeout=JOIN_TIMEOUT) is None:
                     break
+
+    def test_close_with_writers_parked_in_group_commit_queue(
+            self, tmp_path, monkeypatch):
+        """Shutdown must never strand a commit in the group-commit queue.
+
+        With a deliberately slow fsync, writers park in the committer
+        waiting for their batch.  Closing the server (and then the
+        database) while they wait must give every submitted update a
+        definite outcome — a durable acknowledgement or a typed error,
+        never a hang or a silent drop — and every acknowledged update
+        must still be there after reopening the file.
+        """
+        from repro.storage import wal as walmod
+
+        real_sync = walmod.WriteAheadLog.sync
+
+        def slow_sync(wal):
+            time.sleep(0.05)
+            real_sync(wal)
+
+        monkeypatch.setattr(walmod.WriteAheadLog, "sync", slow_sync)
+        db_path = str(tmp_path / "parked.db")
+        dbms = XmlDbms(db_path, buffer_capacity=256)
+        dbms.load("log", xml="<log><meta>m</meta></log>")
+        server = QueryServer(dbms, workers=4)
+        futures = [
+            server.submit("log", f"insert node <p{i}>v</p{i}> "
+                                 f"as last into /log")
+            for i in range(12)
+        ]
+        # Workers are now executing updates whose commits sit behind
+        # ~50ms fsyncs; close while the committer queue is non-empty.
+        server.close()
+        acked = []
+        for i, future in enumerate(futures):
+            assert future.done()  # close(wait=True) settles everything
+            try:
+                result = future.result(timeout=0)
+            except (ServerClosedError, WalError):
+                continue  # a typed refusal is a definite outcome
+            assert result.commit_lsn > 0
+            acked.append(i)
+        assert acked, "every update was refused — nothing exercised"
+        dbms.close()
+        # Reopen: recovery must replay every acknowledged commit.
+        with XmlDbms(db_path) as reopened:
+            text = reopened.query("log", "/log")
+            for i in acked:
+                assert f"<p{i}>v</p{i}>" in text

@@ -172,6 +172,83 @@ class TestRandomizedKills:
         assert recovered <= len(acked) + 1
 
 
+class TestGroupCommitCrashPoints:
+    """SIGKILL at the group-commit fault points, with concurrent writer
+    threads so one fsync genuinely covers several transactions.
+
+    The contract: recovery is all-or-nothing **per transaction** even
+    when a single batched fsync covered several — an acknowledged commit
+    is always recovered, an unacknowledged one may or may not be, and a
+    recovered entry is always whole (both children present), never torn.
+    """
+
+    TOTAL = 32
+    CRASH_AT = 4
+
+    def _run(self, db_path: str, point: str) -> list[int]:
+        return _run_writer(db_path, self.TOTAL, {
+            "REPRO_CRASH_AT_COMMIT": str(self.CRASH_AT),
+            "REPRO_CRASH_POINT": point,
+            "REPRO_CRASH_WRITERS": "4",
+        })
+
+    def _verify_threaded(self, db_path: str, acked: list[int]) -> set[int]:
+        """Structural integrity plus the per-transaction guarantees."""
+        labels = _verify_integrity(db_path)
+        recovered = set()
+        for label in labels:
+            assert label.startswith("e"), label
+            recovered.add(int(label[1:]))
+        assert len(recovered) == len(labels)  # no duplicate replay
+        # Durability: every acknowledged update survived.
+        assert set(acked) <= recovered
+        with XmlDbms(db_path) as dbms:
+            for i in sorted(recovered):
+                # Atomicity: a recovered transaction is whole — exactly
+                # the two children it inserted, with their text intact.
+                assert dbms.query("log", f"/log/e{i}") \
+                    == f"<e{i}><a>a{i}</a><b>b{i}</b></e{i}>"
+        return recovered
+
+    def test_kill_before_group_fsync(self, tmp_path):
+        """Die in the committer before the batch's fsync: nothing in the
+        batch was acknowledged, and nothing recovered may be torn."""
+        db = str(tmp_path / "g.db")
+        acked = self._run(db, "before_group_fsync")
+        self._verify_threaded(db, acked)
+
+    def test_kill_mid_batch(self, tmp_path):
+        """A torn record over the batch tail: the batch's complete
+        transactions replay, the torn remainder is discarded."""
+        db = str(tmp_path / "g.db")
+        acked = self._run(db, "mid_batch")
+        recovered = self._verify_threaded(db, acked)
+        # Everything appended before the torn tail was flushed and is
+        # complete, so at least the crash-triggering prefix recovers.
+        assert len(recovered) >= self.CRASH_AT + 1
+
+    def test_kill_after_group_fsync(self, tmp_path):
+        """Die right after the covering fsync, before any write-back or
+        ACK: every transaction the fsync covered must be recovered."""
+        db = str(tmp_path / "g.db")
+        acked = self._run(db, "after_group_fsync")
+        recovered = self._verify_threaded(db, acked)
+        # The fsync covered at least CRASH_AT+1 appended commits; all of
+        # them are durable even though none of the final batch was acked.
+        assert len(recovered) >= self.CRASH_AT + 1
+
+    def test_recovered_after_group_crash_stays_updatable(self, tmp_path):
+        db = str(tmp_path / "g.db")
+        self._run(db, "after_group_fsync")
+        survivors = self._verify_threaded(db, [])
+        with XmlDbms(db) as dbms:
+            free_form = max(survivors) + 1 if survivors else 0
+            dbms.update("log", f"insert node <r{free_form}>ok</r{free_form}> "
+                               f"as last into /log")
+            labels = [n.name for n in dbms.execute("log", "/log/*")]
+            assert labels[-1] == f"r{free_form}"
+
+
 class TestIndexBuildKills:
     """SIGKILL during a ``create_index`` bulk build.
 
