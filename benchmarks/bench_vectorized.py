@@ -155,6 +155,48 @@ def test_query_throughput_recorded(bench_dbms, bench_record):
         f"batched end-to-end execution regressed: {speedup:.2f}x")
 
 
+def test_tracing_hook_overhead_recorded(bench_dbms, bench_record):
+    """The EXPLAIN ANALYZE hook is free when no profiler is attached.
+
+    Every ``PhysicalOp`` subclass's ``batches`` is wrapped at class
+    creation (``repro.physical.operators._profiled``); with
+    ``ctx.profiler is None`` the wrapper is one attribute read and a
+    None check per operator per execution.  Measured here by driving
+    the same pipeline with the wrapper in place and with the pristine
+    implementations (``__wrapped__``) swapped back in; the ratio is
+    gated by the perf baseline (floor 0.95 — within noise of 1.0).
+    """
+    document = StoredDocument(bench_dbms.db, "dblp")
+    _time_pipeline(document, VECTOR_BATCH)  # warm the buffer pool
+    hooked_seconds, hooked_rows = _time_pipeline(document, VECTOR_BATCH)
+
+    targets = [(cls, cls.batches) for cls in (FullScan, ProjectBindings)]
+    try:
+        for cls, hook in targets:
+            cls.batches = hook.__wrapped__
+        bare_seconds, bare_rows = _time_pipeline(document, VECTOR_BATCH)
+    finally:
+        for cls, hook in targets:
+            cls.batches = hook
+    assert hooked_rows == bare_rows
+
+    ratio = bare_seconds / hooked_seconds
+    print(f"\ntracing hook: bare {bare_seconds:.4f}s  "
+          f"hooked {hooked_seconds:.4f}s  ratio {ratio:.3f} "
+          f"over {hooked_rows} rows")
+    bench_record("vectorized",
+                 {"obs.tracing_overhead_ratio": round(ratio, 3)},
+                 details={"tracing_overhead": {
+                     "rows": hooked_rows,
+                     "bare_seconds": bare_seconds,
+                     "hooked_seconds": hooked_seconds,
+                     "batch_size": VECTOR_BATCH}})
+    # Loose local floor (shared runners jitter); the baseline gate
+    # carries the real 0.95 threshold.
+    assert ratio >= 0.75, (
+        f"tracing-disabled hook costs too much: ratio {ratio:.3f}")
+
+
 def test_batched_results_match_item_at_a_time(bench_dbms):
     """Same answers at every block size (the A/B comparison is fair)."""
     session = bench_dbms.session(profile=QUERY_PROFILE)

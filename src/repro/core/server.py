@@ -52,7 +52,8 @@ versions retained, fsyncs saved).
 
 from __future__ import annotations
 
-import math
+import contextlib
+import dataclasses
 import queue
 import threading
 import time
@@ -68,6 +69,14 @@ from repro.errors import (
     ServerClosedError,
     UpdateError,
 )
+# Re-exported for compatibility: the histogram grew up in this module
+# and existing importers (net/server.py, repro.core) keep working.
+from repro.obs.metrics import (  # noqa: F401
+    LatencyHistogram,
+    LatencySnapshot,
+    MetricsRegistry,
+)
+from repro.obs.profile import PlanProfiler
 from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.xmlkit.serializer import serialize as _serialize_node
 
@@ -84,80 +93,6 @@ DEFAULT_PAGE_SIZE = 64
 #: Pages a stream buffers ahead of its consumer before the producing
 #: worker blocks (the server-side backpressure bound).
 DEFAULT_MAX_BUFFERED_PAGES = 4
-
-
-@dataclass(frozen=True)
-class LatencySnapshot:
-    """Percentile summary of a :class:`LatencyHistogram`.
-
-    Percentiles are bucket upper bounds (the histogram is fixed-bucket,
-    power-of-two resolution), so they over-report by at most 2x at any
-    scale; ``mean_ms`` and ``max_ms`` are exact.  An empty histogram
-    snapshots to all zeros.
-    """
-
-    count: int
-    mean_ms: float
-    p50_ms: float
-    p90_ms: float
-    p99_ms: float
-    max_ms: float
-
-    def as_dict(self) -> dict:
-        return {"count": self.count, "mean_ms": self.mean_ms,
-                "p50_ms": self.p50_ms, "p90_ms": self.p90_ms,
-                "p99_ms": self.p99_ms, "max_ms": self.max_ms}
-
-
-class LatencyHistogram:
-    """A fixed-bucket log-scale latency histogram.
-
-    Bucket ``i`` covers durations in ``[2**i, 2**(i+1))`` microseconds —
-    64 buckets span sub-microsecond to far beyond any deadline, so
-    recording never clips in practice and takes O(1) with no allocation
-    (``int.bit_length`` is the log).  Not thread-safe by itself; the
-    owner serializes access (the server records under its stats lock).
-    """
-
-    BUCKETS = 64
-
-    def __init__(self) -> None:
-        self._counts = [0] * self.BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        micros = max(1, int(seconds * 1e6))
-        index = min(micros.bit_length() - 1, self.BUCKETS - 1)
-        self._counts[index] += 1
-        self._count += 1
-        self._sum += seconds
-        if seconds > self._max:
-            self._max = seconds
-
-    def percentile(self, fraction: float) -> float:
-        """The bucket upper bound (seconds) at ``fraction`` of records."""
-        if self._count == 0:
-            return 0.0
-        rank = math.ceil(fraction * self._count)
-        seen = 0
-        for index, count in enumerate(self._counts):
-            seen += count
-            if seen >= rank:
-                return min((1 << (index + 1)) / 1e6, self._max)
-        return self._max
-
-    def snapshot(self) -> LatencySnapshot:
-        if self._count == 0:
-            return LatencySnapshot(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        return LatencySnapshot(
-            count=self._count,
-            mean_ms=round(self._sum / self._count * 1e3, 3),
-            p50_ms=round(self.percentile(0.50) * 1e3, 3),
-            p90_ms=round(self.percentile(0.90) * 1e3, 3),
-            p99_ms=round(self.percentile(0.99) * 1e3, 3),
-            max_ms=round(self._max * 1e3, 3))
 
 
 @dataclass(frozen=True)
@@ -184,6 +119,11 @@ class PageEnvelope:
     eof: bool
     total_rows: int | None = None
     plan_cache_hit: bool | None = None
+    #: On a traced query's final page only: the producing server's
+    #: serialized span tree (see ``repro.obs.trace``), piggybacked so
+    #: the caller — ultimately the shard mediator — can stitch it into
+    #: its own trace.
+    spans: list | None = None
 
     def as_payload(self) -> dict:
         """The JSON-serializable PAGE-frame fields for this page."""
@@ -192,6 +132,8 @@ class PageEnvelope:
         if self.eof:
             payload["total_rows"] = self.total_rows
             payload["plan_cache_hit"] = self.plan_cache_hit
+            if self.spans is not None:
+                payload["spans"] = self.spans
         return payload
 
     @classmethod
@@ -207,7 +149,8 @@ class PageEnvelope:
                    rows=payload.get("rows", []),
                    eof=bool(payload.get("eof")),
                    total_rows=payload.get("total_rows"),
-                   plan_cache_hit=payload.get("plan_cache_hit"))
+                   plan_cache_hit=payload.get("plan_cache_hit"),
+                   spans=payload.get("spans"))
 
 
 @dataclass(frozen=True)
@@ -273,6 +216,10 @@ class _Task:
     #: the consumer.  ``None`` means the classic full-result path.
     sink: "QueryStream | None" = None
     page_size: int = DEFAULT_PAGE_SIZE
+    #: The query's ``repro.obs.trace.TraceContext``, when traced: the
+    #: worker records queue wait and an execute span (with per-operator
+    #: ANALYZE profiles attached) into it.
+    trace: object | None = None
 
 
 class _StreamAborted(Exception):
@@ -460,6 +407,14 @@ class QueryServer:
         #: Streams whose producer is (or will be) running; close()
         #: aborts them so shutdown never waits on an absent consumer.
         self._streams: set[QueryStream] = set()
+        #: The unified metrics surface: the worker pool and the storage
+        #: layer register here; layers wrapping this server (network
+        #: front end) join the same registry, so one METRICS page covers
+        #: the whole process.  See ``repro.obs.metrics``.
+        self.metrics_registry = MetricsRegistry()
+        self.metrics_registry.register(
+            "server", lambda: dataclasses.asdict(self.stats()))
+        self.metrics_registry.register("storage", self._storage_metrics)
         self._workers = [
             threading.Thread(target=self._worker_loop,
                              name=f"query-server-worker-{index}",
@@ -477,7 +432,8 @@ class QueryServer:
                memory_budget: int | None = _UNSET,
                batch_size: int = _UNSET,
                serialize: bool = False,
-               indent: int | None = None) -> Future:
+               indent: int | None = None,
+               trace=None) -> Future:
         """Enqueue a query; returns a Future of its full result.
 
         The future resolves to the result node list, or to serialized
@@ -504,7 +460,7 @@ class QueryServer:
                               else profile),
                      deadline=deadline, time_limit=time_limit,
                      memory_budget=memory_budget, batch_size=batch_size,
-                     serialize=serialize, indent=indent)
+                     serialize=serialize, indent=indent, trace=trace)
         self._admit(task)
         return task.future
 
@@ -517,8 +473,8 @@ class QueryServer:
                       serialize: bool = False,
                       indent: int | None = None,
                       page_size: int = DEFAULT_PAGE_SIZE,
-                      max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES
-                      ) -> QueryStream:
+                      max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES,
+                      trace=None) -> QueryStream:
         """Enqueue a query whose results stream back page by page.
 
         Admission control, deadlines and worker scheduling are exactly
@@ -561,7 +517,7 @@ class QueryServer:
                      deadline=deadline, time_limit=time_limit,
                      memory_budget=memory_budget, batch_size=batch_size,
                      serialize=serialize, indent=indent,
-                     sink=stream, page_size=page_size)
+                     sink=stream, page_size=page_size, trace=trace)
         # Registered before the task becomes visible: a worker finishing
         # the stream discards it from the set, which must never race
         # ahead of the add.
@@ -646,6 +602,10 @@ class QueryServer:
             started = time.monotonic()
             with self._stats_lock:
                 self._queue_wait_hist.record(started - task.enqueued_at)
+            if task.trace is not None:
+                task.trace.event(
+                    "queue",
+                    duration_ms=(started - task.enqueued_at) * 1e3)
             if not task.future.set_running_or_notify_cancel():
                 with self._stats_lock:
                     self._cancelled += 1
@@ -708,32 +668,46 @@ class QueryServer:
         retained until the ticket releases).
         """
         sink = task.sink
+        trace = task.trace
         deadline_check = lambda: self._check_deadline(task)  # noqa: E731
         self._check_deadline(task)
         program = session._parse(task.query)
         if program.is_updating:
             raise UpdateError("updating statements do not stream; "
                               "submit them with submit()")
+        profiler = PlanProfiler() if trace is not None else None
+        exec_cm = (trace.span("execute", document=task.document)
+                   if trace is not None else contextlib.nullcontext())
         with self.dbms.read_ticket(task.document) as ticket:
             sink.snapshot_lsn = ticket.snapshot_lsn
             prepared = session.prepare(task.document, program,
                                        profile=task.profile)
             sink.plan_cache_hit = prepared.from_cache
             remaining = self._check_deadline(task)
-            with prepared.execute(bindings=task.bindings,
-                                  time_limit=remaining,
-                                  memory_budget=task.memory_budget,
-                                  batch_size=task.batch_size) as cursor:
-                while True:
-                    nodes = cursor.fetch(task.page_size)
-                    if nodes:
-                        page = ([_serialize_node(node, indent=task.indent)
-                                 for node in nodes]
-                                if task.serialize else nodes)
-                        sink._offer(("page", page), deadline_check)
-                        sink.rows_produced += len(nodes)
-                    if len(nodes) < task.page_size:
-                        break
+            with exec_cm as span:
+                with prepared.execute(bindings=task.bindings,
+                                      time_limit=remaining,
+                                      memory_budget=task.memory_budget,
+                                      batch_size=task.batch_size,
+                                      profiler=profiler,
+                                      trace=trace) as cursor:
+                    while True:
+                        nodes = cursor.fetch(task.page_size)
+                        if nodes:
+                            page = ([_serialize_node(node,
+                                                     indent=task.indent)
+                                     for node in nodes]
+                                    if task.serialize else nodes)
+                            sink._offer(("page", page), deadline_check)
+                            sink.rows_produced += len(nodes)
+                        if len(nodes) < task.page_size:
+                            break
+                if span is not None:
+                    span.attach(profiler.as_span_dicts())
+                    span.attributes.update(
+                        rows=sink.rows_produced,
+                        plan_cache_hit=prepared.from_cache,
+                        snapshot_lsn=ticket.snapshot_lsn)
         sink._offer(("end", None), deadline_check)
         return sink.rows_produced
 
@@ -750,8 +724,16 @@ class QueryServer:
                 raise UpdateError("updating statements have no "
                                   "serialized result; submit with "
                                   "serialize=False")
-            return self.dbms.update(task.document, program,
-                                    bindings=task.bindings)
+            if task.trace is None:
+                return self.dbms.update(task.document, program,
+                                        bindings=task.bindings)
+            with task.trace.span("update", document=task.document):
+                return self.dbms.update(task.document, program,
+                                        bindings=task.bindings)
+        trace = task.trace
+        profiler = PlanProfiler() if trace is not None else None
+        exec_cm = (trace.span("execute", document=task.document)
+                   if trace is not None else contextlib.nullcontext())
         with self.dbms.read_ticket(task.document):
             prepared = session.prepare(task.document, program,
                                        profile=task.profile)
@@ -759,13 +741,19 @@ class QueryServer:
             # counts against the submission deadline exactly like queue
             # wait does.
             remaining = self._check_deadline(task)
-            with prepared.execute(bindings=task.bindings,
-                                  time_limit=remaining,
-                                  memory_budget=task.memory_budget,
-                                  batch_size=task.batch_size) as cursor:
-                if task.serialize:
-                    return cursor.serialize(indent=task.indent)
-                return cursor.fetchall()
+            with exec_cm as span:
+                with prepared.execute(bindings=task.bindings,
+                                      time_limit=remaining,
+                                      memory_budget=task.memory_budget,
+                                      batch_size=task.batch_size,
+                                      profiler=profiler,
+                                      trace=trace) as cursor:
+                    result = (cursor.serialize(indent=task.indent)
+                              if task.serialize else cursor.fetchall())
+                if span is not None:
+                    span.attach(profiler.as_span_dicts())
+                    span.attributes["plan_cache_hit"] = prepared.from_cache
+                return result
 
     @staticmethod
     def _check_deadline(task: _Task) -> float | None:
@@ -780,6 +768,15 @@ class QueryServer:
         return remaining
 
     # -- introspection -------------------------------------------------------
+
+    def _storage_metrics(self) -> dict:
+        """Buffer-pool counters for the metrics registry."""
+        stats = self.dbms.buffer_stats
+        return {"buffer_hits": stats.hits,
+                "buffer_misses": stats.misses,
+                "buffer_evictions": stats.evictions,
+                "buffer_dirty_writebacks": stats.dirty_writebacks,
+                "buffer_hit_rate": round(stats.hit_rate, 6)}
 
     def stats(self) -> ServerStats:
         # Storage counters are sampled outside the stats lock: they take

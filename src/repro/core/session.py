@@ -48,6 +48,7 @@ from repro.engine.algebraic import iter_relfors
 from repro.engine.engine import CompiledQuery
 from repro.engine.profiles import EngineProfile
 from repro.errors import BindingError, CursorClosedError, UpdateError
+from repro.obs.profile import PlanProfiler
 from repro.physical.context import DEFAULT_BATCH_SIZE
 from repro.physical.operators import PhysicalOp
 from repro.xmlkit.dom import Node
@@ -128,6 +129,10 @@ class ExplainReport:
     tpm: object | None
     plans: tuple[PlanExplain, ...]
     cache_hit: bool
+    #: With ``explain(analyze=True)``: per-operator execution profiles
+    #: (``repro.obs.profile.PlanProfiler.profiles()`` dicts — batches,
+    #: rows, wall ns, memory high-water per physical operator).
+    profiles: tuple = ()
     _text: str = field(repr=False, default="")
 
     def __str__(self) -> str:
@@ -307,22 +312,46 @@ class Session:
                 profile: EngineProfile | str | None = None,
                 time_limit: float | None = _UNSET,
                 memory_budget: int | None = _UNSET,
-                batch_size: int = _UNSET):
+                batch_size: int = _UNSET,
+                trace=None):
         """Prepare (or reuse) and run; returns the full result list.
 
         An updating statement (``insert node`` …) is routed to the
         dbms's update path instead and returns its
         :class:`~repro.updates.UpdateResult`; the per-execution resource
         overrides do not apply to updates.
+
+        ``trace`` takes a :class:`repro.obs.trace.TraceContext`: the
+        execution is recorded as a span under its current position, with
+        per-operator ANALYZE profiles attached as child spans.
         """
         program = self._parse(query)
         if program.is_updating:
-            return self.dbms.update(document, program, bindings=bindings)
+            if trace is None:
+                return self.dbms.update(document, program,
+                                        bindings=bindings)
+            with trace.span("update", document=document):
+                return self.dbms.update(document, program,
+                                        bindings=bindings)
         prepared = self.prepare(document, program, profile=profile)
-        with prepared.execute(bindings=bindings, time_limit=time_limit,
-                              memory_budget=memory_budget,
-                              batch_size=batch_size) as cursor:
-            return cursor.fetchall()
+        if trace is None:
+            with prepared.execute(bindings=bindings,
+                                  time_limit=time_limit,
+                                  memory_budget=memory_budget,
+                                  batch_size=batch_size) as cursor:
+                return cursor.fetchall()
+        profiler = PlanProfiler()
+        with trace.span("execute", document=document) as span:
+            with prepared.execute(bindings=bindings,
+                                  time_limit=time_limit,
+                                  memory_budget=memory_budget,
+                                  batch_size=batch_size,
+                                  profiler=profiler, trace=trace) as cursor:
+                result = cursor.fetchall()
+            span.attach(profiler.as_span_dicts())
+            span.attributes["rows"] = len(result)
+            span.attributes["plan_cache_hit"] = prepared.from_cache
+        return result
 
     def update(self, document: str, statement: str | Program,
                bindings: dict[str, object] | None = None):
@@ -364,32 +393,59 @@ class Session:
             return cursor.serialize(indent=indent)
 
     def explain(self, document: str, query: str | Query | Program,
-                profile: EngineProfile | str | None = None
+                profile: EngineProfile | str | None = None,
+                analyze: bool = False,
+                bindings: dict[str, object] | None = None
                 ) -> ExplainReport:
-        """The TPM tree and physical plans, as a structured report."""
+        """The TPM tree and physical plans, as a structured report.
+
+        With ``analyze=True`` the query is additionally *executed* (to
+        completion, under ``bindings``) with a profiler attached, and
+        the report carries per-operator actuals — batches, rows, wall
+        time, memory high-water — in ``report.profiles`` and as an
+        ``analyze:`` section of the rendered text.  Non-algebraic
+        profiles have no physical operators, so their analyze run
+        yields no profiles.
+        """
         options = self._options(profile, _UNSET, _UNSET)
         program = self._parse(query)
         compiled, cache_hit = self._lookup(document, program, options)
         engine = compiled.engine
         if engine._algebraic is None:
             text = engine.explain(compiled.program.body)
-            return ExplainReport(document=document,
-                                 profile=engine.profile.name,
-                                 evaluator=engine.profile.evaluator,
-                                 tpm=None, plans=(), cache_hit=cache_hit,
-                                 _text=text)
-        plans = []
-        for relfor in iter_relfors(compiled.tpm):
-            plan = engine._algebraic.plan_for(relfor, compiled.plans)
-            plans.append(PlanExplain(vartuple=relfor.vartuple, plan=plan,
-                                     estimated_cost=plan.estimated_cost,
-                                     estimated_rows=plan.estimated_rows))
-        text = engine._algebraic.explain_compiled(compiled.tpm,
-                                                  compiled.plans)
-        return ExplainReport(document=document, profile=engine.profile.name,
-                             evaluator=engine.profile.evaluator,
-                             tpm=compiled.tpm, plans=tuple(plans),
-                             cache_hit=cache_hit, _text=text)
+            report = ExplainReport(document=document,
+                                   profile=engine.profile.name,
+                                   evaluator=engine.profile.evaluator,
+                                   tpm=None, plans=(), cache_hit=cache_hit,
+                                   _text=text)
+        else:
+            plans = []
+            for relfor in iter_relfors(compiled.tpm):
+                plan = engine._algebraic.plan_for(relfor, compiled.plans)
+                plans.append(PlanExplain(vartuple=relfor.vartuple,
+                                         plan=plan,
+                                         estimated_cost=plan.estimated_cost,
+                                         estimated_rows=plan.estimated_rows))
+            text = engine._algebraic.explain_compiled(compiled.tpm,
+                                                      compiled.plans)
+            report = ExplainReport(document=document,
+                                   profile=engine.profile.name,
+                                   evaluator=engine.profile.evaluator,
+                                   tpm=compiled.tpm, plans=tuple(plans),
+                                   cache_hit=cache_hit, _text=text)
+        if not analyze:
+            return report
+        prepared = PreparedQuery(self, document, compiled, options,
+                                 from_cache=cache_hit)
+        profiler = PlanProfiler()
+        with prepared.execute(bindings=bindings,
+                              profiler=profiler) as cursor:
+            cursor.fetchall()
+        profiles = tuple(profiler.profiles())
+        text = str(report)
+        if profiles:
+            text += "\n\nanalyze:\n" + profiler.render()
+        return replace(report, profiles=profiles, _text=text)
 
 
 class PreparedQuery:
@@ -458,7 +514,9 @@ class PreparedQuery:
     def execute(self, bindings: dict[str, object] | None = None,
                 time_limit: float | None = _UNSET,
                 memory_budget: int | None = _UNSET,
-                batch_size: int = _UNSET) -> "Cursor":
+                batch_size: int = _UNSET,
+                analyze: bool = False,
+                profiler=None, trace=None) -> "Cursor":
         """Run under ``bindings``; returns a streaming :class:`Cursor`.
 
         ``bindings`` maps external-variable names (without the ``$``) to
@@ -467,6 +525,13 @@ class PreparedQuery:
         block size for this execution (the unit both the physical
         operators and the cursor's buffer work in).
 
+        ``analyze=True`` attaches a fresh
+        :class:`repro.obs.profile.PlanProfiler` so per-operator actuals
+        are available from :meth:`Cursor.profile` once the cursor is
+        drained (an existing ``profiler`` may be passed instead, e.g.
+        the one a traced server task owns); without either, execution
+        takes the zero-instrumentation fast path.
+
         Every execution runs a private instance of the compiled plans, so
         two open cursors from the same prepared query never share
         materialised state — interleaving them is safe.  Sessions, like
@@ -474,6 +539,8 @@ class PreparedQuery:
         """
         self._refresh_if_stale()
         self._check_bindings(bindings)
+        if analyze and profiler is None:
+            profiler = PlanProfiler()
         time_limit = (self.options.time_limit if time_limit is _UNSET
                       else time_limit)
         memory_budget = (self.options.memory_budget
@@ -487,8 +554,9 @@ class PreparedQuery:
                     if time_limit is not None else None)
         batches = self.compiled.engine.stream_compiled_batches(
             self.compiled, bindings=bindings, deadline=deadline,
-            memory_budget=memory_budget, batch_size=batch_size)
-        return Cursor(batches)
+            memory_budget=memory_budget, batch_size=batch_size,
+            profiler=profiler, trace=trace)
+        return Cursor(batches, profiler=profiler)
 
     def query(self, bindings: dict[str, object] | None = None,
               indent: int | None = None, **overrides) -> str:
@@ -511,10 +579,11 @@ class Cursor:
     and releases materialised intermediates.
     """
 
-    def __init__(self, batches: Iterator[list[Node]]):
+    def __init__(self, batches: Iterator[list[Node]], profiler=None):
         self._batches = batches
         self._buffer: deque[Node] = deque()
         self._closed = False
+        self._profiler = profiler
 
     # -- buffering -----------------------------------------------------------
 
@@ -582,6 +651,29 @@ class Cursor:
             raise CursorClosedError("cursor is closed")
         return "".join(serialize(node, indent=indent)
                        for node in self._remaining())
+
+    # -- EXPLAIN ANALYZE -------------------------------------------------------
+
+    def profile(self) -> list[dict] | None:
+        """Per-operator ANALYZE profiles, or None when not profiled.
+
+        Only meaningful once the cursor has been drained (profiles of a
+        half-consumed cursor cover the work done so far).  Each entry is
+        an ``repro.obs.profile.OperatorProfile`` dict: ``op``,
+        ``detail``, ``depth``, ``batches``, ``rows``, ``wall_ns``,
+        ``memory_peak`` (plus ``plan`` naming the relfor vartuple).
+        Available after :meth:`close` too — closing tears down the
+        pipeline, not the collected profiles.
+        """
+        if self._profiler is None:
+            return None
+        return self._profiler.profiles()
+
+    def profile_text(self) -> str | None:
+        """The profiles as indented ANALYZE text (None when unprofiled)."""
+        if self._profiler is None:
+            return None
+        return self._profiler.render()
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -146,7 +146,8 @@ class AlgebraicEvaluator:
                env: dict[str, XasrNode] | None = None,
                deadline: float | None = None,
                memory_budget: int | None = None,
-               batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Node]:
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               profiler=None, trace=None) -> Iterator[Node]:
         """Lazily evaluate a compiled TPM tree, reusing its plan set.
 
         ``env`` pre-binds external variables (prepared-query parameters).
@@ -163,7 +164,8 @@ class AlgebraicEvaluator:
         """
         ctx = ExecutionContext(self.document, deadline=deadline,
                                memory_budget=memory_budget,
-                               batch_size=batch_size)
+                               batch_size=batch_size,
+                               profiler=profiler, trace=trace)
         full_env: dict[str, XasrNode] = {ROOT_VAR: self.document.root()}
         if env:
             full_env.update(env)
@@ -179,7 +181,8 @@ class AlgebraicEvaluator:
                        env: dict[str, XasrNode] | None = None,
                        deadline: float | None = None,
                        memory_budget: int | None = None,
-                       batch_size: int = DEFAULT_BATCH_SIZE
+                       batch_size: int = DEFAULT_BATCH_SIZE,
+                       profiler=None, trace=None
                        ) -> Iterator[list[Node]]:
         """Batched evaluation: result nodes in blocks of ``batch_size``.
 
@@ -192,7 +195,8 @@ class AlgebraicEvaluator:
         """
         nodes = self.stream(tpm, plans, env=env, deadline=deadline,
                             memory_budget=memory_budget,
-                            batch_size=batch_size)
+                            batch_size=batch_size,
+                            profiler=profiler, trace=trace)
         yield from iter_blocks(nodes, max(1, batch_size))
 
     def _eval(self, expr: TpmExpr, ctx: ExecutionContext,
@@ -237,6 +241,9 @@ class AlgebraicEvaluator:
                 # prepared query cannot share materialised state.
                 plan = instantiate_plan(self.plan_for(expr, plans))
                 execution_plans[id(expr)] = plan
+                if ctx.profiler is not None:
+                    label = ", ".join(f"${var}" for var in expr.vartuple)
+                    ctx.profiler.register_plan(label or "()", plan)
             # The paper: an un-merged inner relfor "will be evaluated for
             # each new binding" — materialised intermediates belong to one
             # execution and are invalid once the environment changes.

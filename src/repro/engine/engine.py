@@ -159,13 +159,17 @@ class XQEngine:
                         bindings: dict[str, object] | None = None,
                         deadline: float | None = None,
                         memory_budget: int | None = None,
-                        batch_size: int = DEFAULT_BATCH_SIZE
+                        batch_size: int = DEFAULT_BATCH_SIZE,
+                        profiler=None, trace=None
                         ) -> Iterator[Node]:
         """Lazily execute a compiled query under fresh bindings.
 
         ``batch_size`` sets the block size the algebraic engines pull
         binding tuples with; the non-algebraic evaluators are inherently
-        item-at-a-time and ignore it.
+        item-at-a-time and ignore it.  ``profiler``/``trace`` carry the
+        EXPLAIN ANALYZE collector and trace context into the vectorized
+        pipeline (the milestone-1/2 evaluators have no physical
+        operators to profile, so they ignore both).
         """
         env = self._external_env(bindings)
         kind = self.profile.evaluator
@@ -186,13 +190,15 @@ class XQEngine:
         return self._algebraic.stream(compiled.tpm, compiled.plans,
                                       env=stored_env, deadline=deadline,
                                       memory_budget=memory_budget,
-                                      batch_size=batch_size)
+                                      batch_size=batch_size,
+                                      profiler=profiler, trace=trace)
 
     def stream_compiled_batches(self, compiled: CompiledQuery,
                                 bindings: dict[str, object] | None = None,
                                 deadline: float | None = None,
                                 memory_budget: int | None = None,
-                                batch_size: int = DEFAULT_BATCH_SIZE
+                                batch_size: int = DEFAULT_BATCH_SIZE,
+                                profiler=None, trace=None
                                 ) -> Iterator[list[Node]]:
         """Batched execution: result nodes in blocks of ``batch_size``.
 
@@ -208,7 +214,7 @@ class XQEngine:
             return self._algebraic.stream_batches(
                 compiled.tpm, compiled.plans, env=stored_env,
                 deadline=deadline, memory_budget=memory_budget,
-                batch_size=batch_size)
+                batch_size=batch_size, profiler=profiler, trace=trace)
         nodes = self.stream_compiled(compiled, bindings=bindings,
                                      deadline=deadline,
                                      memory_budget=memory_budget)

@@ -36,6 +36,7 @@ import threading
 
 from repro.core.server import PageEnvelope
 from repro.errors import ProtocolError
+from repro.obs import TraceContext
 from repro.net.protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
@@ -121,13 +122,29 @@ class NetClient:
     def execute(self, document: str, query: str,
                 bindings: dict[str, str] | None = None,
                 page_size: int | None = None,
-                time_limit: float | None = None) -> "RemoteCursor":
-        """Run a one-shot query; returns a streaming cursor."""
+                time_limit: float | None = None,
+                trace=None) -> "RemoteCursor":
+        """Run a one-shot query; returns a streaming cursor.
+
+        ``trace`` may be a :class:`~repro.obs.TraceContext` (its id and
+        deadline go on the wire, and the server's span tree is grafted
+        under its current span when the cursor hits eof) or an
+        already-encoded wire payload dict (spans then surface on
+        ``cursor.spans`` only).
+        """
         return self._execute({"document": document, "query": query},
-                             bindings, page_size, time_limit)
+                             bindings, page_size, time_limit, trace)
+
+    @staticmethod
+    def _trace_payload(trace) -> dict | None:
+        if trace is None:
+            return None
+        if isinstance(trace, TraceContext):
+            return trace.as_payload()
+        return dict(trace)
 
     def _execute(self, target: dict, bindings, page_size,
-                 time_limit) -> "RemoteCursor":
+                 time_limit, trace=None) -> "RemoteCursor":
         payload = dict(target)
         if bindings:
             payload["bindings"] = dict(bindings)
@@ -135,9 +152,12 @@ class NetClient:
             payload["page_size"] = page_size
         if time_limit is not None:
             payload["time_limit"] = time_limit
+        wire_trace = self._trace_payload(trace)
+        if wire_trace is not None:
+            payload["trace"] = wire_trace
         response = self._request(MsgKind.EXECUTE, payload,
                                  MsgKind.EXECUTE_OK)
-        return RemoteCursor(self, response["cursor"])
+        return RemoteCursor(self, response["cursor"], trace=trace)
 
     def query(self, document: str, query: str,
               bindings: dict[str, str] | None = None,
@@ -148,12 +168,26 @@ class NetClient:
             return "".join(cursor)
 
     def update(self, document: str, statement: str,
-               bindings: dict[str, str] | None = None) -> dict:
-        """Run an updating statement; returns the per-kind counts."""
+               bindings: dict[str, str] | None = None,
+               trace=None) -> dict:
+        """Run an updating statement; returns the per-kind counts.
+
+        With a :class:`~repro.obs.TraceContext` as ``trace``, the
+        server's spans are grafted under its current span and stripped
+        from the returned dict; a raw payload dict leaves them under
+        ``"spans"`` for the caller.
+        """
         payload = {"document": document, "statement": statement}
         if bindings:
             payload["bindings"] = dict(bindings)
-        return self._request(MsgKind.UPDATE, payload, MsgKind.UPDATE_OK)
+        wire_trace = self._trace_payload(trace)
+        if wire_trace is not None:
+            payload["trace"] = wire_trace
+        response = self._request(MsgKind.UPDATE, payload,
+                                 MsgKind.UPDATE_OK)
+        if isinstance(trace, TraceContext):
+            trace.attach(response.pop("spans", None))
+        return response
 
     def load(self, document: str, xml: str) -> None:
         """Load (or replace) ``document`` from an XML string.
@@ -169,6 +203,11 @@ class NetClient:
         """The server's STATS payload (pool + network observability)."""
         payload = {"recent": recent} if recent else {}
         return self._request(MsgKind.STATS, payload, MsgKind.STATS_OK)
+
+    def metrics(self) -> str:
+        """The server's Prometheus-style metrics page as text."""
+        return self._request(MsgKind.METRICS, {},
+                             MsgKind.METRICS_OK)["text"]
 
     def _fetch(self, cursor: int) -> dict:
         return self._request(MsgKind.FETCH, {"cursor": cursor},
@@ -212,10 +251,12 @@ class RemoteStatement:
 
     def execute(self, bindings: dict[str, str] | None = None,
                 page_size: int | None = None,
-                time_limit: float | None = None) -> "RemoteCursor":
+                time_limit: float | None = None,
+                trace=None) -> "RemoteCursor":
         """Run the prepared statement; returns a streaming cursor."""
         return self.client._execute({"statement": self.handle},
-                                    bindings, page_size, time_limit)
+                                    bindings, page_size, time_limit,
+                                    trace)
 
     def query(self, bindings: dict[str, str] | None = None,
               **overrides) -> str:
@@ -239,15 +280,18 @@ class RemoteCursor:
     the whole result anywhere.
     """
 
-    def __init__(self, client: NetClient, handle: int):
+    def __init__(self, client: NetClient, handle: int, trace=None):
         self.client = client
         self.handle = handle
+        self.trace = trace
         self._buffer: list[str] = []
         self._index = 0
         self._eof = False
         #: Populated from the final page.
         self.total_rows: int | None = None
         self.plan_cache_hit: bool | None = None
+        #: The server's serialized span tree (traced queries, at eof).
+        self.spans: list | None = None
 
     def fetch_envelope(self) -> PageEnvelope:
         """The next page with its merge-key metadata.
@@ -277,6 +321,9 @@ class RemoteCursor:
             self._eof = True
             self.total_rows = envelope.total_rows
             self.plan_cache_hit = envelope.plan_cache_hit
+            self.spans = envelope.spans
+            if isinstance(self.trace, TraceContext):
+                self.trace.attach(envelope.spans)
         return envelope
 
     def fetch_page(self) -> list[str]:

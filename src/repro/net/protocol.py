@@ -31,8 +31,15 @@ UPDATE         UPDATE_OK                  per-kind node counts
 LOAD           LOAD_OK                    load/replace a document
 CLOSE          CLOSE_OK                   ``statement`` or ``cursor`` id
 STATS          STATS_OK                   server + network observability
+METRICS        METRICS_OK                 Prometheus-style ``text`` page
 (any)          ERROR                      typed error, see below
 =============  =========================  ==============================
+
+EXECUTE and UPDATE accept an optional ``trace`` object (``{"id",
+"time_left_ms"}``) propagating the caller's trace context; a traced
+query's final PAGE (and a traced update's UPDATE_OK) carries the
+server's serialized span tree back under ``spans`` — see
+``docs/observability.md``.
 
 The authoritative frame-by-frame specification — payload schemas,
 version-negotiation rules, the error taxonomy table — lives in
@@ -78,9 +85,12 @@ from repro.errors import (
 
 #: Protocol revision; HELLO frames must agree on it.  Version 2 added
 #: the LOAD/LOAD_OK pair, the ``doc``/``base`` merge-key metadata on
-#: PAGE frames, and the shard error classes — see
-#: ``docs/wire-protocol.md`` for the negotiation rules.
-PROTOCOL_VERSION = 2
+#: PAGE frames, and the shard error classes.  Version 3 added the
+#: METRICS/METRICS_OK pair, the optional ``trace`` field on
+#: EXECUTE/UPDATE, and the ``spans`` trace payload on a traced query's
+#: final PAGE/UPDATE_OK — see ``docs/wire-protocol.md`` for the
+#: negotiation rules.
+PROTOCOL_VERSION = 3
 
 #: Default ceiling on a frame's body (kind byte + payload).  Large
 #: result pages split across FETCHes long before this; anything bigger
@@ -110,6 +120,8 @@ class MsgKind(IntEnum):
     ERROR = 15
     LOAD = 16
     LOAD_OK = 17
+    METRICS = 18
+    METRICS_OK = 19
 
 
 # --------------------------------------------------------------------------

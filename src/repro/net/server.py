@@ -53,6 +53,12 @@ from repro.core.server import (
     QueryServer,
 )
 from repro.errors import ProtocolError, ReproError, ServerError, UpdateError
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    TraceContext,
+    registry_of,
+)
 from repro.net.protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
@@ -250,6 +256,8 @@ class _Connection:
             await self._on_close(payload)
         elif kind is MsgKind.STATS:
             await self._on_stats(payload)
+        elif kind is MsgKind.METRICS:
+            await self._on_metrics(payload)
         else:
             raise ProtocolError(f"unexpected {kind.name} frame from a "
                                 f"client")
@@ -311,6 +319,7 @@ class _Connection:
                     time_limit, (int, float)):
                 raise ProtocolError(f"bad time_limit {time_limit!r}")
             overrides["time_limit"] = time_limit
+        trace = self._trace_context(payload, "EXECUTE", document)
         # Admission control happens right here, synchronously: an
         # AdmissionError propagates to the dispatch loop and leaves as
         # a typed frame while the connection lives on.
@@ -318,13 +327,28 @@ class _Connection:
             document, query, bindings=bindings, serialize=True,
             page_size=page_size,
             max_buffered_pages=self.server.max_buffered_pages,
-            **overrides)
+            trace=trace, **overrides)
         handle = self._next_id
         self._next_id += 1
         self.cursors[handle] = {
             "stream": stream, "document": document, "rows": 0,
-            "bytes": 0, "started": time.monotonic()}
+            "bytes": 0, "started": time.monotonic(), "trace": trace}
         await self._send(MsgKind.EXECUTE_OK, {"cursor": handle})
+
+    def _trace_context(self, payload: dict,
+                       where: str, document: str) -> TraceContext | None:
+        """Rebuild the caller's trace context, if the frame carries one."""
+        wire = payload.get("trace")
+        if wire is None:
+            return None
+        if not isinstance(wire, dict):
+            raise ProtocolError(f"{where} trace must be an object")
+        name = "shard" if self.server.shard_id is not None else "server"
+        trace = TraceContext.from_payload(wire, name=name,
+                                          document=document)
+        if self.server.shard_id is not None:
+            trace.root.attributes["shard"] = self.server.shard_id
+        return trace
 
     async def _on_fetch(self, payload: dict) -> None:
         handle = payload.get("cursor")
@@ -343,11 +367,11 @@ class _Connection:
             raise
         if page is None:
             self.cursors.pop(handle, None)
-            self._finish_query(state, "ok", None)
+            spans = self._finish_query(state, "ok", None)
             envelope = PageEnvelope(
                 document=state["document"], base=state["rows"],
                 rows=[], eof=True, total_rows=state["rows"],
-                plan_cache_hit=stream.plan_cache_hit)
+                plan_cache_hit=stream.plan_cache_hit, spans=spans)
             await self._send(MsgKind.PAGE,
                              {"cursor": handle, **envelope.as_payload()})
             return
@@ -359,7 +383,7 @@ class _Connection:
                          {"cursor": handle, **envelope.as_payload()})
 
     def _finish_query(self, state: dict, status: str,
-                      error: str | None) -> None:
+                      error: str | None) -> list | None:
         record = {
             "document": state["document"],
             "rows": state["rows"],
@@ -370,17 +394,31 @@ class _Connection:
         }
         if error is not None:
             record["error"] = error
+        spans = None
+        trace = state.get("trace")
+        if trace is not None:
+            close_attrs = {"status": status, "rows": state["rows"]}
+            if error is not None:
+                close_attrs["error"] = error
+            spans = trace.close(**close_attrs)
         self.server.metrics.record_query(record)
+        self.server.slow_log.observe(record, spans)
+        return spans
 
     async def _on_update(self, payload: dict) -> None:
         document = self._field(payload, "document", str, "UPDATE")
         statement = self._field(payload, "statement", str, "UPDATE")
         bindings = payload.get("bindings") or None
+        trace = self._trace_context(payload, "UPDATE", document)
         future = self.server.query_server.submit(document, statement,
-                                                 bindings=bindings)
+                                                 bindings=bindings,
+                                                 trace=trace)
         result = await asyncio.wrap_future(future)
         self.server.metrics.count("updates")
-        await self._send(MsgKind.UPDATE_OK, dataclasses.asdict(result))
+        body = dataclasses.asdict(result)
+        if trace is not None:
+            body["spans"] = trace.close(status="ok")
+        await self._send(MsgKind.UPDATE_OK, body)
 
     async def _on_load(self, payload: dict) -> None:
         document = self._field(payload, "document", str, "LOAD")
@@ -419,6 +457,14 @@ class _Connection:
             raise ProtocolError(f"bad recent {recent!r}")
         await self._send(MsgKind.STATS_OK, self.server.stats(recent))
 
+    async def _on_metrics(self, payload: dict) -> None:
+        loop = asyncio.get_running_loop()
+        # Producers may take subsystem locks; render off the loop.
+        text = await loop.run_in_executor(
+            self.server.executor,
+            self.server.metrics_registry.render_text)
+        await self._send(MsgKind.METRICS_OK, {"text": text})
+
 
 class NetworkServer:
     """Serve a :class:`~repro.core.dbms.XmlDbms` over TCP.
@@ -443,7 +489,8 @@ class NetworkServer:
                  max_frame: int = MAX_FRAME,
                  log_interval: float = 30.0,
                  query_server: QueryServer | None = None,
-                 shard_id: int | None = None):
+                 shard_id: int | None = None,
+                 slow_query_seconds: float | None = None):
         self.dbms = dbms
         self.host = host
         self.port = port
@@ -462,6 +509,18 @@ class NetworkServer:
             max_workers=max(8, workers * 2),
             thread_name_prefix="repro-net-io")
         self.metrics = _NetMetrics()
+        # Join the wrapped layer's registry (a QueryServer or a
+        # ShardedServer both carry one) so METRICS serves every layer's
+        # counters off one page; start fresh only for exotic wrappers.
+        self.metrics_registry = (registry_of(self.query_server)
+                                 or MetricsRegistry())
+        self.metrics_registry.register("network", self.metrics.snapshot)
+        # Threshold None disables the slow-query log (nothing is ever
+        # over an infinite threshold) but keeps its counter exported.
+        self.slow_log = SlowQueryLog(
+            float("inf") if slow_query_seconds is None
+            else slow_query_seconds)
+        self.metrics_registry.register("slowlog", self.slow_log)
         self.address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()

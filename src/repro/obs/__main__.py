@@ -1,0 +1,77 @@
+"""``python -m repro.obs`` — fetch and pretty-print a server's metrics.
+
+Dials a running ``repro.serve`` or ``repro.shard`` front door, issues
+one METRICS frame, and prints the Prometheus-style page either raw
+(``--raw``, suitable for piping into scrape tooling) or grouped by
+subsystem with aligned columns::
+
+    $ python -m repro.obs --port 7878
+    == network ==
+      repro_network_bytes_sent            48123
+      ...
+    == server ==
+      repro_server_completed              412
+      ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import List, Optional
+
+from repro.net.client import NetClient
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Fetch and pretty-print a repro server's metrics page.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True,
+                        help="server port (the LISTENING line's port)")
+    parser.add_argument("--raw", action="store_true",
+                        help="print the Prometheus-style page verbatim")
+    return parser.parse_args(argv)
+
+
+def pretty(text: str) -> str:
+    """Group ``repro_<subsystem>_...`` lines by subsystem and align."""
+    groups = defaultdict(list)
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = line.split(" ", 1)[0]
+        parts = name.split("_", 2)
+        group = parts[1] if len(parts) > 1 else name
+        groups[group].append(line)
+    width = max((len(line.split(" ", 1)[0])
+                 for lines in groups.values() for line in lines),
+                default=0)
+    out = []
+    for group in sorted(groups):
+        out.append(f"== {group} ==")
+        for line in groups[group]:
+            name, _, value = line.partition(" ")
+            out.append(f"  {name.ljust(width)}  {value}")
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit status."""
+    args = _parse_args(argv)
+    try:
+        with NetClient(args.host, args.port) as client:
+            text = client.metrics()
+    except Exception as error:  # connection refused, version skew, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(text if args.raw else pretty(text))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""EXPLAIN ANALYZE: per-operator execution profiles.
+
+A :class:`PlanProfiler` is created per execution (never shared — plan
+*operators* can be shared between concurrent executions via the
+session plan cache, so profile state is keyed by ``id(op)`` inside the
+profiler rather than stored on the operator).  It is carried on
+``ExecutionContext.profiler``; the ``batches`` hook installed by
+``PhysicalOp.__init_subclass__`` checks that attribute once per
+operator per execution and, when set, routes the operator's batch
+stream through :meth:`PlanProfiler.drive`, which times every
+``next()``, counts batches and rows, and samples the execution
+context's memory meter at batch boundaries for a high-water mark.
+When the attribute is ``None`` (the default) the only cost is that one
+attribute check — the per-batch loop runs undecorated.
+
+This module duck-types physical operators (class name, ``explain``,
+and the conventional child attributes) so it imports nothing outside
+the standard library and no layer hits an import cycle using it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["OperatorProfile", "PlanProfiler", "render_profiles"]
+
+#: Attribute names under which physical operators keep their inputs
+#: (the same convention ``reset_materializers`` walks).
+_CHILD_ATTRS = ("child", "outer", "inner", "probe", "build")
+
+
+@dataclass
+class OperatorProfile:
+    """What one physical operator did during one execution."""
+
+    op: str                   #: operator class name
+    detail: str               #: the operator's own explain line
+    depth: int                #: nesting depth inside its plan tree
+    batches: int = 0          #: batches yielded
+    rows: int = 0             #: rows yielded across all batches
+    wall_ns: int = 0          #: wall time inside this operator's next()
+    memory_peak: int = 0      #: execution-context memory high-water seen
+    children: List["OperatorProfile"] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON form (children are rendered by the tree walkers)."""
+        return {"op": self.op, "detail": self.detail,
+                "depth": self.depth, "batches": self.batches,
+                "rows": self.rows, "wall_ns": self.wall_ns,
+                "memory_peak": self.memory_peak}
+
+    def as_span_dict(self) -> Dict[str, Any]:
+        """The profile subtree as a serialized trace span."""
+        payload: Dict[str, Any] = {
+            "name": self.op,
+            "duration_ms": round(self.wall_ns / 1e6, 3),
+            "attributes": {"rows": self.rows, "batches": self.batches,
+                           "memory_peak": self.memory_peak,
+                           "detail": self.detail},
+        }
+        if self.children:
+            payload["children"] = [child.as_span_dict()
+                                   for child in self.children]
+        return payload
+
+
+def _describe(op: object) -> Tuple[str, str]:
+    """Class name plus the operator's own one-line explain detail."""
+    name = type(op).__name__
+    try:
+        detail = str(op.explain(0)).splitlines()[0].strip()
+    except Exception:
+        detail = name
+    return name, detail
+
+
+def _is_operator(value: object) -> bool:
+    """Duck-typed 'physical operator': it streams batches and has a
+    schema (never true of documents, predicates, or plain values)."""
+    return (hasattr(value, "batches") and hasattr(value, "schema")
+            and not isinstance(value, type))
+
+
+class PlanProfiler:
+    """Per-execution collector of :class:`OperatorProfile` records.
+
+    Single-threaded by design (one execution = one worker thread);
+    create one per ``PreparedQuery.execute(analyze=True)`` call or per
+    traced server task, and read it only after the cursor is drained.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[int, OperatorProfile] = {}
+        #: (label, root profile) per registered relfor plan, in the
+        #: order the evaluator instantiated them.
+        self.plans: List[Tuple[str, OperatorProfile]] = []
+        #: Profiles for operators driven outside a registered plan
+        #: (directly-driven pipelines in tests and benchmarks).
+        self.loose: List[OperatorProfile] = []
+
+    # -- plan registration -------------------------------------------------
+
+    def register_plan(self, label: str, plan: object) -> None:
+        """Walk ``plan`` and pre-create its profile tree under ``label``."""
+        root = self._walk(plan, 0)
+        self.plans.append((label, root))
+
+    def _walk(self, op: object, depth: int) -> OperatorProfile:
+        profile = self._ensure(op, depth)
+        profile.depth = depth
+        for attr in _CHILD_ATTRS:
+            child = getattr(op, attr, None)
+            if child is not None and _is_operator(child):
+                child_profile = self._walk(child, depth + 1)
+                if child_profile not in profile.children:
+                    profile.children.append(child_profile)
+        return profile
+
+    def _ensure(self, op: object, depth: int = 0) -> OperatorProfile:
+        profile = self._profiles.get(id(op))
+        if profile is None:
+            name, detail = _describe(op)
+            profile = OperatorProfile(op=name, detail=detail, depth=depth)
+            self._profiles[id(op)] = profile
+            self.loose.append(profile)
+        return profile
+
+    # -- the hot path ------------------------------------------------------
+
+    def drive(self, op: object, fn: Any, ctx: Any,
+              bindings: Any) -> Iterator[Any]:
+        """Route one operator's batch stream through the profiler.
+
+        ``fn`` is the operator's undecorated ``batches`` function; the
+        wrapper in ``PhysicalOp.__init_subclass__`` calls this instead
+        when ``ctx.profiler`` is set.  Times each ``next()`` (charging
+        time to the producing operator only — children are timed by
+        their own wrapped iterators, so parents over-report by exactly
+        their children's time, as in a conventional ANALYZE), counts
+        batches and rows, and samples ``ctx.meter.current`` at batch
+        boundaries for the memory high-water mark.
+        """
+        profile = self._ensure(op)
+        iterator = fn(op, ctx, bindings)
+        meter = ctx.meter
+        clock = time.perf_counter_ns
+        try:
+            while True:
+                started = clock()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    return
+                finally:
+                    profile.wall_ns += clock() - started
+                profile.batches += 1
+                profile.rows += len(batch)
+                current = meter.current
+                if current > profile.memory_peak:
+                    profile.memory_peak = current
+                yield batch
+        finally:
+            closer = getattr(iterator, "close", None)
+            if closer is not None:
+                closer()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _roots(self) -> List[Tuple[str, OperatorProfile]]:
+        """Registered plan roots plus any loose profiles not inside one."""
+        claimed = set()
+        for _, root in self.plans:
+            for profile in _iter_tree(root):
+                claimed.add(id(profile))
+        roots = list(self.plans)
+        roots.extend(("", profile) for profile in self.loose
+                     if id(profile) not in claimed)
+        return roots
+
+    def profiles(self) -> List[Dict[str, Any]]:
+        """Every operator's profile as flat dicts, plan order, pre-order."""
+        out: List[Dict[str, Any]] = []
+        for label, root in self._roots():
+            for profile in _iter_tree(root):
+                record = profile.as_dict()
+                if label:
+                    record["plan"] = label
+                out.append(record)
+        return out
+
+    def as_span_dicts(self) -> List[Dict[str, Any]]:
+        """The collected profiles as serialized trace spans, one
+        ``plan`` span per registered relfor plan."""
+        spans: List[Dict[str, Any]] = []
+        for label, root in self._roots():
+            span: Dict[str, Any] = {
+                "name": "plan", "duration_ms": round(root.wall_ns / 1e6, 3),
+                "children": [root.as_span_dict()],
+            }
+            if label:
+                span["attributes"] = {"relfor": label}
+            spans.append(span)
+        return spans
+
+    def render(self) -> str:
+        """Indented ANALYZE text, appended to ``explain`` output."""
+        lines: List[str] = []
+        for label, root in self._roots():
+            if label:
+                lines.append(f"plan {label}:")
+            lines.extend(_render_tree(root, 1 if label else 0))
+        return "\n".join(lines)
+
+
+def _iter_tree(root: OperatorProfile) -> Iterator[OperatorProfile]:
+    yield root
+    for child in root.children:
+        yield from _iter_tree(child)
+
+
+def _render_tree(profile: OperatorProfile, indent: int) -> List[str]:
+    pad = "  " * indent
+    lines = [f"{pad}{profile.op}  (actual: batches={profile.batches} "
+             f"rows={profile.rows} wall={profile.wall_ns / 1e6:.3f}ms "
+             f"mem_peak={profile.memory_peak})"]
+    for child in profile.children:
+        lines.extend(_render_tree(child, indent + 1))
+    return lines
+
+
+def render_profiles(profiles: List[Dict[str, Any]]) -> str:
+    """Render ``PlanProfiler.profiles()`` output (e.g. shipped over the
+    wire as flat dicts) back into indented ANALYZE text."""
+    lines = []
+    for record in profiles:
+        pad = "  " * int(record.get("depth", 0))
+        lines.append(
+            f"{pad}{record['op']}  (actual: "
+            f"batches={record['batches']} rows={record['rows']} "
+            f"wall={record['wall_ns'] / 1e6:.3f}ms "
+            f"mem_peak={record['memory_peak']})")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Trace contexts: correlated spans from client to physical operator.
+
+A :class:`TraceContext` is created where a query enters the system
+(``Session.execute``, ``QueryServer.submit``/``submit_stream``, or a
+``NetClient`` caller) and carries a trace id, a stack of open
+:class:`Span`\\ s, and the query's deadline.  It crosses the process
+boundary as a small JSON payload (``{"id", "time_left_ms"}``) on the
+EXECUTE/UPDATE wire frames; the remote side rebuilds a context from it,
+records its own spans, and returns them piggybacked on the final
+PAGE/UPDATE_OK frame, where the caller grafts them back into its own
+tree with :meth:`Span.attach` — so a query fanned out by the shard
+mediator ends as *one* tree: client span → mediator span → per-shard
+wire spans → per-operator profiles.
+
+Spans are deliberately not thread-safe: each execution thread works on
+its own span (the mediator's fan-out keeps per-shard span payloads in
+per-rank slots and stitches on the consuming thread).
+
+The slow-query log rides here too: one JSON line per query over the
+threshold, carrying the query's record and its span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["Span", "SlowQueryLog", "TraceContext"]
+
+
+class Span:
+    """One named, timed node in a trace tree.
+
+    A span starts open (clock running from construction) and is closed
+    by :meth:`end`, which freezes ``duration_ms``; ``end`` is
+    idempotent for the duration but always merges new attributes, so a
+    span can be annotated from more than one code path.
+    """
+
+    __slots__ = ("name", "attributes", "children", "duration_ms",
+                 "_started")
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, Any]] = None,
+                 duration_ms: Optional[float] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List[Span] = []
+        self.duration_ms = duration_ms
+        self._started = time.perf_counter()
+
+    def child(self, name: str, **attributes: Any) -> "Span":
+        """Open a new child span (caller is responsible for ending it)."""
+        span = Span(name, attributes)
+        self.children.append(span)
+        return span
+
+    def event(self, name: str, duration_ms: float = 0.0,
+              **attributes: Any) -> "Span":
+        """Add an already-finished child (a point event or known cost)."""
+        span = Span(name, attributes, duration_ms=round(duration_ms, 3))
+        self.children.append(span)
+        return span
+
+    def end(self, **attributes: Any) -> None:
+        """Freeze the duration (first call wins) and merge attributes."""
+        if attributes:
+            self.attributes.update(attributes)
+        if self.duration_ms is None:
+            elapsed = time.perf_counter() - self._started
+            self.duration_ms = round(elapsed * 1e3, 3)
+
+    def attach(self, payloads: Optional[Sequence[Dict[str, Any]]]) -> None:
+        """Graft serialized remote spans under this span."""
+        for payload in payloads or ():
+            self.children.append(Span.from_dict(payload))
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form; open spans serialize their age so far."""
+        if self.duration_ms is not None:
+            duration = self.duration_ms
+        else:
+            duration = round((time.perf_counter() - self._started) * 1e3, 3)
+        payload: Dict[str, Any] = {"name": self.name,
+                                   "duration_ms": duration}
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [child.as_dict()
+                                   for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a (closed) span tree from :meth:`as_dict` output."""
+        span = cls(str(payload.get("name", "?")),
+                   payload.get("attributes"),
+                   duration_ms=payload.get("duration_ms", 0.0))
+        for child in payload.get("children", ()):  # tolerant of junk
+            if isinstance(child, dict):
+                span.children.append(cls.from_dict(child))
+        return span
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable indented tree (used by ``python -m repro.obs``
+        style tooling and test failure output)."""
+        pad = "  " * indent
+        attrs = ""
+        if self.attributes:
+            attrs = "  " + " ".join(f"{key}={value!r}" for key, value
+                                    in sorted(self.attributes.items()))
+        duration = ("..." if self.duration_ms is None
+                    else f"{self.duration_ms:.3f}ms")
+        lines = [f"{pad}{self.name} [{duration}]{attrs}"]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+class TraceContext:
+    """A trace id, a span stack, and the query deadline, per query.
+
+    ``current`` is the innermost open span; :meth:`span` pushes a child
+    for the duration of a ``with`` block.  :meth:`as_payload` is the
+    wire form sent on EXECUTE/UPDATE (the deadline is echoed as
+    ``time_left_ms`` so a remote server can log how much budget the
+    query arrived with); :meth:`from_payload` rebuilds a context on the
+    receiving side under the same trace id.  :meth:`close` ends the
+    root and returns the serialized span list to piggyback back.
+    """
+
+    def __init__(self, name: str = "query",
+                 trace_id: Optional[str] = None,
+                 deadline: Optional[float] = None,
+                 **attributes: Any) -> None:
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        self.deadline = deadline  # monotonic, same clock as time_left_ms
+        self.root = Span(name, attributes)
+        self._stack: List[Span] = [self.root]
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is pushed)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child of ``current`` for the duration of the block."""
+        span = self.current.child(name, **attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end()
+
+    def event(self, name: str, duration_ms: float = 0.0,
+              **attributes: Any) -> Span:
+        """Record a finished child event on the current span."""
+        return self.current.event(name, duration_ms, **attributes)
+
+    def attach(self, payloads: Optional[Sequence[Dict[str, Any]]]) -> None:
+        """Graft remote span payloads under the current span."""
+        self.current.attach(payloads)
+
+    def time_left(self) -> Optional[float]:
+        """Seconds until the deadline (None when unlimited)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The wire form carried on EXECUTE/UPDATE frames."""
+        payload: Dict[str, Any] = {"id": self.trace_id}
+        remaining = self.time_left()
+        if remaining is not None:
+            payload["time_left_ms"] = round(remaining * 1e3, 3)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any], name: str = "query",
+                     **attributes: Any) -> "TraceContext":
+        """Rebuild a context server-side from the wire payload."""
+        trace_id = payload.get("id")
+        context = cls(name=name,
+                      trace_id=str(trace_id) if trace_id else None,
+                      **attributes)
+        time_left = payload.get("time_left_ms")
+        if time_left is not None:
+            context.root.attributes["time_left_ms"] = time_left
+        return context
+
+    def close(self, **attributes: Any) -> List[Dict[str, Any]]:
+        """End the root span and serialize the tree for the wire.
+
+        Safe to call more than once (the duration freezes on the first
+        call); the trace id rides on the root payload.
+        """
+        self.root.end(**attributes)
+        payload = self.root.as_dict()
+        payload["trace_id"] = self.trace_id
+        return [payload]
+
+    def render(self) -> str:
+        """The whole tree as indented text."""
+        return f"trace {self.trace_id}\n{self.root.render(1)}"
+
+
+class SlowQueryLog:
+    """Structured log of queries slower than a threshold.
+
+    ``observe`` takes the per-query record the network layer already
+    builds (document, rows, seconds, status, ...) plus the serialized
+    span tree, and emits one JSON line per offender on the
+    ``repro.obs.slowlog`` logger; the last ``capacity`` entries are
+    kept in memory for STATS-style inspection, and the instance is
+    callable so it plugs into :class:`~repro.obs.metrics.MetricsRegistry`
+    as a producer of its own counter.
+    """
+
+    def __init__(self, threshold_seconds: float,
+                 logger: Optional[logging.Logger] = None,
+                 capacity: int = 64) -> None:
+        if threshold_seconds < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold = threshold_seconds
+        self.logger = logger or logging.getLogger("repro.obs.slowlog")
+        self._lock = threading.Lock()
+        self.recent: deque = deque(maxlen=capacity)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, record: Dict[str, Any],
+                spans: Optional[Sequence[Dict[str, Any]]] = None) -> bool:
+        """Log ``record`` if it is over threshold; returns whether it was."""
+        if record.get("seconds", 0.0) < self.threshold:
+            return False
+        entry: Dict[str, Any] = {"event": "slow_query", **record}
+        if spans:
+            entry["trace"] = list(spans)
+        with self._lock:
+            self._count += 1
+            self.recent.append(entry)
+        self.logger.warning("%s", json.dumps(entry, sort_keys=True,
+                                             default=str))
+        return True
+
+    def __call__(self) -> Dict[str, int]:
+        return {"slow_queries": self._count}

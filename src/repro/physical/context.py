@@ -124,12 +124,19 @@ class ExecutionContext:
 
     def __init__(self, document, deadline: float | None = None,
                  memory_budget: int | None = None,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 profiler=None, trace=None):
         self.document = document
         self.deadline = deadline
         self.meter = MemoryMeter(memory_budget)
         #: Rows per block pulled through the physical operator tree.
         self.batch_size = max(1, batch_size)
+        #: EXPLAIN ANALYZE collector (``repro.obs.profile.PlanProfiler``)
+        #: or None; every operator's ``batches`` hook checks this once
+        #: per execution, so None is the zero-overhead fast path.
+        self.profiler = profiler
+        #: The query's ``repro.obs.trace.TraceContext``, when traced.
+        self.trace = trace
         self._ticks = 0
         self.rows_produced = 0
         self.temp_counter = 0

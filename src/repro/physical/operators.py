@@ -55,6 +55,7 @@ in-values, given order-preserving children (all of these are).
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Iterator
 
 from repro.algebra.ra import Compare, Residual
@@ -106,6 +107,28 @@ def _node_batches(ctx: ExecutionContext, bindings: Bindings, source,
                               predicate, filtered)
 
 
+def _profiled(fn):
+    """Wrap a ``batches`` implementation with the ANALYZE hook.
+
+    When the execution context carries no profiler (the default) the
+    only cost is one attribute read and a ``None`` check per operator
+    per execution — ``batches`` is entered once per operator, and the
+    per-batch loop runs in the undecorated generator.  With a profiler
+    set, the stream is routed through ``PlanProfiler.drive``, which
+    counts batches/rows and times each ``next()``.  The original
+    implementation stays reachable as ``batches.__wrapped__`` (the
+    tracing-overhead benchmark uses it for its hook-free baseline).
+    """
+    @functools.wraps(fn)
+    def batches(self, ctx, bindings):
+        profiler = ctx.profiler
+        if profiler is None:
+            return fn(self, ctx, bindings)
+        return profiler.drive(self, fn, ctx, bindings)
+    batches.__profile_hook__ = True
+    return batches
+
+
 class PhysicalOp:
     """Base class: a physical operator with a fixed output schema."""
 
@@ -117,6 +140,20 @@ class PhysicalOp:
     #: Stamped by the planner on plan roots so ``explain()`` reports the
     #: configured block size; execution reads ``ctx.batch_size``.
     batch_size: int | None = None
+
+    def __init_subclass__(cls, **kwargs):
+        """Install the ANALYZE hook around each subclass's ``batches``.
+
+        Fires for every operator definition (including subclasses in
+        other modules such as ``sort.py``/``materialize.py``); the
+        marker attribute keeps an inherited, already-wrapped method
+        from being wrapped twice.
+        """
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("batches")
+        if impl is not None and not getattr(impl, "__profile_hook__",
+                                            False):
+            cls.batches = _profiled(impl)
 
     def batches(self, ctx: ExecutionContext,
                 bindings: Bindings) -> Iterator[Batch]:

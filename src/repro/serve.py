@@ -105,6 +105,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve as member N of a sharded cluster; "
                              "echoed in HELLO_OK so the mediator can "
                              "verify it dialed the right process")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log a structured line (with the span "
+                             "tree, if traced) for every query slower "
+                             "than this many milliseconds")
     args = parser.parse_args(argv)
 
     logging.basicConfig(
@@ -132,7 +136,9 @@ def main(argv: list[str] | None = None) -> int:
             memory_budget=args.memory_budget,
             page_size=args.page_size,
             log_interval=args.log_interval,
-            shard_id=args.shard_id)
+            shard_id=args.shard_id,
+            slow_query_seconds=(None if args.slow_query_ms is None
+                                else args.slow_query_ms / 1e3))
         host, port = server.start()
         print(f"LISTENING {host} {port}", flush=True)
         try:

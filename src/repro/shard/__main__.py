@@ -76,6 +76,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--log-interval", type=float, default=30.0,
                         help="seconds between mediator stats log "
                              "lines (0 disables)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log a structured line (with the stitched "
+                             "span tree, if traced) for every query "
+                             "slower than this many milliseconds")
     args = parser.parse_args(argv)
 
     logging.basicConfig(
@@ -116,7 +120,10 @@ def main(argv: list[str] | None = None) -> int:
                 None, host=args.host, port=args.port,
                 page_size=args.page_size,
                 log_interval=args.log_interval,
-                query_server=mediator)
+                query_server=mediator,
+                slow_query_seconds=(
+                    None if args.slow_query_ms is None
+                    else args.slow_query_ms / 1e3))
             host, port = server.start()
             print(f"LISTENING {host} {port}", flush=True)
             try:

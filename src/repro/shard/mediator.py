@@ -61,6 +61,7 @@ from repro.errors import (
 )
 from repro.net.client import DEFAULT_TIMEOUT, NetClient, RemoteCursor
 from repro.net.pool import ConnectionPool
+from repro.obs import MetricsRegistry
 from repro.shard.partition import split_document
 from repro.updates.pul import UpdateResult
 from repro.xq.pretty import unparse
@@ -165,6 +166,11 @@ class ShardedServer:
         self._loads = 0
         self._errors = 0
         self._rows_streamed = 0
+        #: Joined by a fronting NetworkServer (registry_of duck type) so
+        #: the cluster front door's METRICS page carries these counters.
+        self.metrics_registry = MetricsRegistry()
+        self.metrics_registry.register(
+            "mediator", lambda: dataclasses.asdict(self.stats()))
 
     # -- catalog -------------------------------------------------------------
 
@@ -271,7 +277,8 @@ class ShardedServer:
                       serialize: bool = True,
                       page_size: int | None = None,
                       max_buffered_pages: int = DEFAULT_MAX_BUFFERED_PAGES,
-                      time_limit: float | None = None):
+                      time_limit: float | None = None,
+                      trace=None):
         """A streaming result for ``document`` (or ``"*"`` for all).
 
         Single-owner documents return a routed stream — pages relayed
@@ -282,6 +289,12 @@ class ShardedServer:
         (``next_page`` / ``pages`` / ``close`` / ``plan_cache_hit``),
         and neither blocks the caller — shard dialing happens on first
         fetch (routed) or on the prefetch threads (fan-out).
+
+        With a :class:`~repro.obs.TraceContext` as ``trace``, a
+        ``mediator`` span opens under its current span, the trace id
+        rides the subquery EXECUTE frames, and every shard's returned
+        span tree is grafted under the mediator span when the stream
+        ends — the stitched cluster-wide trace.
         """
         self._check_open("submit_stream()")
         if not serialize:
@@ -290,6 +303,10 @@ class ShardedServer:
                              "available on a local QueryServer")
         page_size = page_size or self.page_size
         text = statement_text(query)
+        span = wire_trace = None
+        if trace is not None:
+            span = trace.current.child("mediator", document=document)
+            wire_trace = trace.as_payload()
         if document == ALL_DOCUMENTS:
             with self._lock:
                 catalog = dict(self._catalog)
@@ -300,25 +317,28 @@ class ShardedServer:
                 raise CatalogError("the mediator serves no documents")
             return self._open_fanout(document, parts, text, bindings,
                                      page_size, max_buffered_pages,
-                                     time_limit)
+                                     time_limit, span, wire_trace)
         shards = self._placement(document)
         if len(shards) > 1:
             parts = [(document, shard) for shard in shards]
             return self._open_fanout(document, parts, text, bindings,
                                      page_size, max_buffered_pages,
-                                     time_limit)
+                                     time_limit, span, wire_trace)
         stream = _RoutedStream(self, shards[0], document, text,
-                               bindings, page_size, time_limit)
+                               bindings, page_size, time_limit,
+                               span=span, wire_trace=wire_trace)
         with self._lock:
             self._queries += 1
             self._streams.add(stream)
         return stream
 
     def _open_fanout(self, label, parts, text, bindings, page_size,
-                     max_buffered_pages, time_limit):
+                     max_buffered_pages, time_limit, span=None,
+                     wire_trace=None):
         stream = _FanoutStream(self, label, parts, text, bindings,
                                page_size, max_buffered_pages,
-                               time_limit)
+                               time_limit, span=span,
+                               wire_trace=wire_trace)
         with self._lock:
             self._fanouts += 1
             self._streams.add(stream)
@@ -326,7 +346,8 @@ class ShardedServer:
         return stream
 
     def submit(self, document: str, statement,
-               bindings: dict | None = None, **overrides) -> Future:
+               bindings: dict | None = None, trace=None,
+               **overrides) -> Future:
         """Run a statement asynchronously; returns its Future.
 
         This is the mediator's side of ``QueryServer.submit`` as the
@@ -341,10 +362,11 @@ class ShardedServer:
         """
         self._check_open("submit()")
         return self._executor.submit(self._run_update, document,
-                                     statement, bindings)
+                                     statement, bindings, trace)
 
     def _run_update(self, document: str, statement,
-                    bindings: dict | None) -> UpdateResult:
+                    bindings: dict | None,
+                    trace=None) -> UpdateResult:
         shards = self._placement(document)
         if len(shards) > 1:
             raise UpdateError(
@@ -352,23 +374,39 @@ class ShardedServer:
                 f"updates to partitioned documents are not supported "
                 f"(no cross-process atomicity)")
         text = statement_text(statement)
+        span = wire_trace = None
+        if trace is not None:
+            # The submitting caller blocks on the future, so this
+            # executor thread has the trace to itself until it returns.
+            span = trace.current.child("mediator", document=document,
+                                       shard=shards[0])
+            wire_trace = trace.as_payload()
         try:
             payload = self._pools[shards[0]].run(
                 lambda client: client.update(document, text,
-                                             bindings=bindings),
+                                             bindings=bindings,
+                                             trace=wire_trace),
                 retryable=False)
         except _CONNECTION_FAILURES as error:
             self._count("_errors")
+            if span is not None:
+                span.end(error=type(error).__name__)
             raise ShardUnavailableError(
                 f"shard {shards[0]} failed during an update of "
                 f"{document!r} (outcome unknown): {error}",
                 shard=shards[0], document=document) from error
         except ShardUnavailableError as error:
             self._count("_errors")
+            if span is not None:
+                span.end(error=type(error).__name__)
             if error.document is None:
                 error.document = document
             raise
         self._count("_updates")
+        spans = payload.pop("spans", None)
+        if span is not None:
+            span.attach(spans)
+            span.end()
         return UpdateResult(**payload)
 
     def update(self, document: str, statement,
@@ -507,8 +545,8 @@ class ShardedServer:
 
 
 def _lease_cursor(server: ShardedServer, shard: int, document: str,
-                  text: str, bindings, page_size,
-                  time_limit) -> tuple[NetClient, RemoteCursor]:
+                  text: str, bindings, page_size, time_limit,
+                  wire_trace=None) -> tuple[NetClient, RemoteCursor]:
     """EXECUTE on a pooled connection, keeping the lease for the stream.
 
     Retries the EXECUTE once on a stale connection (the shard-restart
@@ -528,7 +566,8 @@ def _lease_cursor(server: ShardedServer, shard: int, document: str,
         try:
             cursor = client.execute(document, text, bindings=bindings,
                                     page_size=page_size,
-                                    time_limit=time_limit)
+                                    time_limit=time_limit,
+                                    trace=wire_trace)
         except _CONNECTION_FAILURES as error:
             pool.release(client, discard=True)
             last = error
@@ -560,7 +599,7 @@ class _RoutedStream:
 
     def __init__(self, server: ShardedServer, shard: int, document: str,
                  text: str, bindings, page_size: int,
-                 time_limit: float | None):
+                 time_limit: float | None, span=None, wire_trace=None):
         self.server = server
         self.shard = shard
         self.document = document
@@ -568,6 +607,8 @@ class _RoutedStream:
         self._bindings = bindings
         self.page_size = page_size
         self._time_limit = time_limit
+        self._span = span
+        self._wire_trace = wire_trace
         self._client: NetClient | None = None
         self._cursor: RemoteCursor | None = None
         self._done = False
@@ -586,28 +627,39 @@ class _RoutedStream:
             if self._cursor is None:
                 self._client, self._cursor = _lease_cursor(
                     self.server, self.shard, self.document, self._text,
-                    self._bindings, self.page_size, self._time_limit)
+                    self._bindings, self.page_size, self._time_limit,
+                    wire_trace=self._wire_trace)
             try:
                 envelope = self._cursor.fetch_envelope()
             except _CONNECTION_FAILURES as error:
                 self._done = True
                 self._release(discard=True)
                 self.server._count("_errors")
+                if self._span is not None:
+                    self._span.end(error=type(error).__name__,
+                                   shard=self.shard)
                 raise ShardUnavailableError(
                     f"shard {self.shard} died mid-stream on "
                     f"{self.document!r}: {error}", shard=self.shard,
                     document=self.document) from error
-            except BaseException:
+            except BaseException as error:
                 # A typed error over a healthy connection: the shard
                 # already dropped the cursor, the connection survives.
                 self._done = True
                 self._release()
                 self.server._count("_errors")
+                if self._span is not None:
+                    self._span.end(error=type(error).__name__,
+                                   shard=self.shard)
                 raise
             if envelope.eof:
                 self._done = True
                 self.plan_cache_hit = envelope.plan_cache_hit
                 self.total_rows = envelope.total_rows
+                if self._span is not None:
+                    self._span.attach(envelope.spans)
+                    self._span.end(rows=envelope.total_rows,
+                                   shard=self.shard)
                 self._release()
                 self.server._discard_stream(self)
                 return None
@@ -644,6 +696,8 @@ class _RoutedStream:
                     self._release(discard=True)
                 else:
                     self._release()
+            if self._span is not None:
+                self._span.end()
         self.server._discard_stream(self)
 
     @property
@@ -672,7 +726,8 @@ class _FanoutStream:
 
     def __init__(self, server: ShardedServer, label: str, parts,
                  text: str, bindings, page_size: int,
-                 max_buffered_pages: int, time_limit: float | None):
+                 max_buffered_pages: int, time_limit: float | None,
+                 span=None, wire_trace=None):
         self.server = server
         self.document = label
         self.parts = list(parts)
@@ -680,6 +735,12 @@ class _FanoutStream:
         self._bindings = bindings
         self.page_size = page_size
         self._time_limit = time_limit
+        self._span = span
+        self._wire_trace = wire_trace
+        # Per-rank slots written by each prefetch thread at its eof and
+        # read by the consumer thread in _finish — never shared between
+        # writers, so no lock (spans themselves are not thread-safe).
+        self._part_spans: list = [None] * len(self.parts)
         self._queues = [queue.Queue(maxsize=max(1, max_buffered_pages))
                         for _ in self.parts]
         self._threads: list[threading.Thread] = []
@@ -715,7 +776,8 @@ class _FanoutStream:
         try:
             client, cursor = _lease_cursor(
                 self.server, shard, document, self._text,
-                self._bindings, self.page_size, self._time_limit)
+                self._bindings, self.page_size, self._time_limit,
+                wire_trace=self._wire_trace)
         except BaseException as error:
             self._put(rank, ("error", error))
             return
@@ -739,6 +801,7 @@ class _FanoutStream:
                     return
                 if envelope.eof:
                     self._part_hits[rank] = envelope.plan_cache_hit
+                    self._part_spans[rank] = envelope.spans
                     pool.release(client)
                     client = None
                     self._put(rank, ("end", None))
@@ -790,8 +853,10 @@ class _FanoutStream:
         try:
             page = [row for _key, row in
                     itertools.islice(self._merged, self.page_size)]
-        except BaseException:
+        except BaseException as error:
             self.server._count("_errors")
+            if self._span is not None:
+                self._span.end(error=type(error).__name__)
             self.close()
             raise
         if not page:
@@ -807,6 +872,13 @@ class _FanoutStream:
         hits = self._part_hits
         if all(hit is not None for hit in hits):
             self.plan_cache_hit = all(hits)
+        if self._span is not None:
+            # Stitch on the consumer thread: every prefetch thread has
+            # delivered its "end" marker (the merge is exhausted), so
+            # the per-rank slots are final.
+            for spans in self._part_spans:
+                self._span.attach(spans)
+            self._span.end(rows=self._rows, parts=len(self.parts))
         self.server._discard_stream(self)
 
     def pages(self):
@@ -829,6 +901,8 @@ class _FanoutStream:
                     part_queue.get_nowait()
                 except queue.Empty:
                     break
+        if self._span is not None:
+            self._span.end()
         self.server._discard_stream(self)
 
     @property

@@ -539,6 +539,125 @@ class TestServerObservability:
         assert stats.execution.count == 2
         assert stats.queue_wait.count == 2
 
+    def test_server_stats_snapshots_consistent_under_burst(
+            self, shared_dbms):
+        """No torn counter reads: every ``stats()`` snapshot taken
+        while a query burst is in flight satisfies the accounting
+        invariants, and per-reader the counters only move forward."""
+        with QueryServer(shared_dbms, workers=3,
+                         max_pending=256) as server:
+            stop = threading.Event()
+            violations = []
+
+            def submitter():
+                for __ in range(6):
+                    futures = [server.submit("dblp", query)
+                               for query in STRESS_QUERIES]
+                    for future in futures:
+                        future.result(timeout=JOIN_TIMEOUT)
+                stop.set()
+
+            def reader():
+                previous = None
+                while not stop.is_set():
+                    stats = server.stats()
+                    settled = (stats.completed + stats.failed
+                               + stats.cancelled + stats.pending)
+                    if settled > stats.submitted:
+                        violations.append(
+                            f"settled {settled} > submitted "
+                            f"{stats.submitted}")
+                    if stats.pending > stats.peak_pending:
+                        violations.append("pending above its watermark")
+                    if previous is not None:
+                        for field in ("submitted", "completed",
+                                      "failed", "cancelled",
+                                      "rejected"):
+                            if getattr(stats, field) < getattr(
+                                    previous, field):
+                                violations.append(
+                                    f"{field} went backwards")
+                        if (stats.execution.count
+                                < previous.execution.count):
+                            violations.append(
+                                "execution histogram shrank")
+                    previous = stats
+                    # Exercise the registry read path concurrently too.
+                    page = server.metrics_registry.collect()
+                    if page.get("server.submitted", 0) < 0:
+                        violations.append("negative registry counter")
+                    time.sleep(0.001)  # let the workers breathe
+
+            run_threads([submitter, reader, reader])
+            assert not violations, violations[:5]
+            final = server.stats()
+            assert final.submitted == 6 * len(STRESS_QUERIES)
+            assert final.completed == final.submitted
+
+    def test_mediator_stats_snapshots_consistent_under_burst(
+            self, tmp_path):
+        """MediatorStats reads race mediator traffic without tearing:
+        counters never go backwards and never overcount traffic."""
+        from repro.net import NetworkServer
+        from repro.shard import ShardedServer
+
+        dbs, servers = [], []
+        for index in range(2):
+            dbms = XmlDbms(str(tmp_path / f"shard-{index}.db"),
+                           buffer_capacity=128)
+            server = NetworkServer(dbms, workers=2, page_size=8,
+                                   log_interval=0.0, shard_id=index)
+            server.start()
+            dbs.append(dbms)
+            servers.append(server)
+        try:
+            with ShardedServer([s.address for s in servers],
+                               timeout=30.0) as mediator:
+                mediator.load(
+                    "r",
+                    "<r>" + "<i>x</i>" * 24 + "</r>", parts=2)
+                stop = threading.Event()
+                violations = []
+                rounds = 5
+
+                def driver():
+                    for __ in range(rounds):
+                        rows = mediator.execute("r", "//i")
+                        assert len(rows) == 24
+                    stop.set()
+
+                def reader():
+                    previous = None
+                    while not stop.is_set():
+                        stats = mediator.stats()
+                        if stats.rows_streamed > (
+                                stats.queries + stats.fanouts) * 24:
+                            violations.append(
+                                "rows_streamed overcounts")
+                        if previous is not None:
+                            for field in ("queries", "fanouts",
+                                          "updates", "loads",
+                                          "errors", "rows_streamed"):
+                                if getattr(stats, field) < getattr(
+                                        previous, field):
+                                    violations.append(
+                                        f"{field} went backwards")
+                        previous = stats
+                        mediator.metrics_registry.render_text()
+                        time.sleep(0.001)
+
+                run_threads([driver, reader, reader])
+                assert not violations, violations[:5]
+                final = mediator.stats()
+                assert final.fanouts == rounds
+                assert final.rows_streamed == rounds * 24
+                assert final.errors == 0
+        finally:
+            for server in servers:
+                server.stop()
+            for dbms in dbs:
+                dbms.close()
+
 
 class TestStreaming:
     def test_stream_pages_reassemble_the_serial_result(self, shared_dbms):
