@@ -71,9 +71,9 @@ def main() -> None:
         print("\n--- people who both author and edit ---")
         result, elapsed, page_io = timed(dbms, "dblp", AUTHOR_EDITORS,
                                          "m4")
-        people = sorted(set(
+        people = sorted({
             part.split("</person>")[0]
-            for part in result.split("<person>")[1:]))
+            for part in result.split("<person>")[1:]})
         print(f"m4: {elapsed * 1000:.1f} ms, {page_io} page accesses")
         print("found:", ", ".join(people) if people else "(nobody)")
 

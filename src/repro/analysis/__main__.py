@@ -1,0 +1,118 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Usage::
+
+    python -m repro.analysis                         # src/repro, strict
+    python -m repro.analysis src/repro/storage        # a subtree
+    python -m repro.analysis --baseline analysis-baseline.json
+    python -m repro.analysis --write-baseline         # regenerate
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when clean (every finding baselined, no stale baseline
+entries), 1 on violations, 2 on usage errors.  This is the command the
+CI ``analysis`` job runs from the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, analyze_paths, repo_root
+from repro.analysis import baseline as baseline_io
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: project-invariant static analysis")
+    parser.add_argument(
+        "targets", nargs="*",
+        help="files or directories to analyze (default: src/repro)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline JSON; new findings and stale entries both fail")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, title, _check in ALL_RULES:
+            print(f"{rule_id}  {title}")
+        return 0
+    rules = args.rules.split(",") if args.rules else None
+    if rules is not None:
+        known = {"RL000"} | {rule_id for rule_id, _title, _c in ALL_RULES}
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)} "
+                  f"(see --list-rules)", file=sys.stderr)
+            return 2
+    root = repo_root()
+    targets = []
+    for target in args.targets:
+        # Relative targets resolve against the caller's directory, the
+        # way every other CLI does it; the repo root is a fallback so
+        # the documented `src/repro/...` forms work from anywhere.
+        path = Path(target)
+        if not path.is_absolute() and not path.exists():
+            in_root = root / path
+            path = in_root if in_root.exists() else path
+        if not path.exists():
+            print(f"error: no such file or directory: {target}",
+                  file=sys.stderr)
+            return 2
+        targets.append(str(path.resolve()))
+    findings = analyze_paths(targets or None, root=root, rules=rules)
+    baseline_path = args.baseline
+    if baseline_path is not None and not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    if args.write_baseline:
+        target = baseline_path or root / "analysis-baseline.json"
+        baseline_io.save(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+    if baseline_path is not None:
+        try:
+            entries = baseline_io.load(baseline_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        new, stale = baseline_io.compare(findings, entries)
+        for finding in new:
+            print(finding.format())
+        for entry in stale:
+            print(f"{entry['path']}: baseline entry "
+                  f"{entry['fingerprint']} ({entry['rule']} "
+                  f"{entry['qualname']}) no longer reproduces; "
+                  f"remove it from {baseline_path.name}")
+        if new or stale:
+            print(f"{len(new)} new finding(s), {len(stale)} stale "
+                  f"baseline entr(ies)", file=sys.stderr)
+            return 1
+        print(f"OK: {len(findings)} finding(s), all baselined; "
+              f"baseline is tight")
+        return 0
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("OK: no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The committed-findings ratchet for reprolint.
+
+A baseline is a committed JSON list of finding fingerprints: the debt
+that existed when a rule landed.  The CI contract is two-sided —
+
+* a finding *not* in the baseline fails the run (no new debt), and
+* a baseline entry that no longer reproduces fails the run too, so
+  fixed findings must be removed (the ratchet only turns one way).
+
+Fingerprints are line-number independent (see
+:class:`repro.analysis.model.Finding`), so unrelated edits do not
+churn the file.  Regenerate with ``python -m repro.analysis
+--write-baseline`` after reviewing that every remaining entry is a
+deliberate deferral.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.model import Finding
+
+_VERSION = 1
+
+
+def save(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the baseline file for the given findings."""
+    entries = sorted(
+        ({"fingerprint": finding.fingerprint, "rule": finding.rule,
+          "path": finding.path, "qualname": finding.qualname,
+          "message": finding.message}
+         for finding in findings),
+        key=lambda entry: (entry["path"], entry["rule"],
+                           entry["fingerprint"]))
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+def load(path: Path) -> List[Dict[str, str]]:
+    """The baseline's entries (empty for a missing file)."""
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a reprolint baseline")
+    return list(payload["findings"])
+
+
+def compare(findings: Iterable[Finding],
+            entries: Iterable[Dict[str, str]]
+            ) -> Tuple[List[Finding], List[Dict[str, str]]]:
+    """``(new findings, stale entries)`` against a baseline.
+
+    New findings are violations the baseline does not cover; stale
+    entries are baselined fingerprints that no longer reproduce and
+    must be deleted from the file (the forced ratchet-down).
+    """
+    findings = list(findings)
+    current = {finding.fingerprint for finding in findings}
+    baselined = {entry["fingerprint"] for entry in entries}
+    new = [finding for finding in findings
+           if finding.fingerprint not in baselined]
+    stale = [entry for entry in entries
+             if entry["fingerprint"] not in current]
+    return new, stale

@@ -1,0 +1,136 @@
+"""Source loading for reprolint: parse trees, comments, suppressions.
+
+Rules need more than the AST: the ``# guarded by:`` field annotations
+and ``# reprolint: disable=`` suppressions live in comments, which
+``ast`` drops.  The loader tokenizes each file once and keeps a
+``line -> comment text`` map alongside the tree, so every rule reads
+comments through the same (tokenizer-accurate, string-literal-safe)
+channel.
+
+Suppression grammar, enforced here::
+
+    # reprolint: disable=RL001 <mandatory reason>
+    # reprolint: disable=RL001,RL005 <mandatory reason>
+
+A suppression with no reason, an unknown directive, or a malformed
+rule list is itself reported as an ``RL000`` finding and is *not*
+honoured — the waiver channel must never silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.model import Finding, Suppression
+from repro.analysis.scopes import attach_parents
+
+#: Accepts both plain ``#`` and the codebase's ``#:`` doc comments.
+_PRAGMA = re.compile(r"#:?\s*reprolint:\s*(?P<directive>.*)$")
+_DISABLE = re.compile(
+    r"disable=(?P<rules>RL\d{3}(?:,RL\d{3})*)(?:\s+(?P<reason>\S.*))?$")
+
+
+class Module:
+    """One loaded source file: tree, raw lines, comments, suppressions."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.comments: Dict[int, str] = {}
+        self.suppressions: Dict[int, Suppression] = {}
+        self.problems: List[Finding] = []
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as error:
+            self.tree = ast.Module(body=[], type_ignores=[])
+            self.problems.append(Finding(
+                rule="RL000", path=path, line=error.lineno or 1,
+                col=(error.offset or 1) - 1, qualname="<module>",
+                message=f"file does not parse: {error.msg}"))
+        attach_parents(self.tree)
+        self._scan_comments()
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for line, comment in sorted(self.comments.items()):
+            match = _PRAGMA.search(comment)
+            if match is None:
+                continue
+            directive = match.group("directive").strip()
+            parsed = _DISABLE.match(directive)
+            if parsed is None:
+                self.problems.append(Finding(
+                    rule="RL000", path=self.path, line=line, col=0,
+                    qualname="<module>",
+                    message=f"malformed reprolint pragma "
+                            f"{directive!r}; expected "
+                            f"'disable=RLxxx <reason>'"))
+                continue
+            if not parsed.group("reason"):
+                self.problems.append(Finding(
+                    rule="RL000", path=self.path, line=line, col=0,
+                    qualname="<module>",
+                    message=f"suppression of "
+                            f"{parsed.group('rules')} carries no "
+                            f"reason; reasons are mandatory"))
+                continue
+            self.suppressions[line] = Suppression(
+                line=line,
+                rules=tuple(parsed.group("rules").split(",")),
+                reason=parsed.group("reason").strip())
+
+    def comment_on(self, line: int) -> str:
+        """The comment token on a physical line ('' when absent)."""
+        return self.comments.get(line, "")
+
+    def is_comment_only(self, line: int) -> bool:
+        """Is the physical line nothing but a comment?"""
+        if not 1 <= line <= len(self.lines):
+            return False
+        stripped = self.lines[line - 1].strip()
+        return stripped.startswith("#")
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Does a valid suppression cover ``rule`` at ``line``?
+
+        A suppression applies on the finding's own line or anywhere in
+        the contiguous block of comment-only lines directly above it
+        (so a long reason may wrap over several comment lines).
+        """
+        suppression = self.suppressions.get(line)
+        if suppression is not None and rule in suppression.rules:
+            return True
+        candidate = line - 1
+        while candidate >= 1 and self.is_comment_only(candidate):
+            suppression = self.suppressions.get(candidate)
+            if suppression is not None and rule in suppression.rules:
+                return True
+            candidate -= 1
+        return False
+
+
+def load_source(path: str, source: str) -> Module:
+    """A module from in-memory source (the test fixtures' entry point)."""
+    return Module(path, source)
+
+
+def load_path(file_path: Path, root: Path) -> Module:
+    """A module from disk, keyed by its repo-relative posix path."""
+    try:
+        rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = file_path.as_posix()
+    return Module(rel, file_path.read_text(encoding="utf-8"))

@@ -1,0 +1,61 @@
+"""Finding and suppression model for the reprolint analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number —
+baselines must survive unrelated edits above a finding — and hashes
+the rule, file, enclosing definition and message instead.  Messages
+therefore never embed line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-relative with forward slashes; ``qualname`` is the
+    enclosing definition (``Class.method``, a bare function name, or
+    ``<module>``); ``hint`` is the suggested fix, shown to the user but
+    excluded from the fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    qualname: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """A line-number-independent identity for baseline matching."""
+        key = "|".join((self.rule, self.path, self.qualname,
+                        self.message))
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        """The one-line human rendering, editor-clickable."""
+        text = (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.qualname}] {self.message}")
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# reprolint: disable=RLxxx <reason>`` comment.
+
+    ``rules`` is the tuple of rule ids the comment waives; ``reason``
+    is mandatory at parse time (a reasonless suppression is reported
+    as an RL000 finding by the loader, never honoured).
+    """
+
+    line: int
+    rules: tuple
+    reason: str

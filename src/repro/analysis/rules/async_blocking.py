@@ -1,0 +1,108 @@
+"""RL003 — no blocking calls inside the async front door.
+
+Within ``async def`` functions under ``src/repro/net/``, anything that
+can park the thread parks the *event loop* — every connection stalls,
+not just the offending one.  The asyncio front end's contract is that
+blocking work hops to the worker pool via ``run_in_executor`` and its
+results come back through ``asyncio.wrap_future``; this rule flags the
+lexical appearance of known blocking calls that bypass that route:
+
+* ``time.sleep``, ``os.fsync``, ``select.select``, ``subprocess.run``
+  and friends (dotted names);
+* ``<future>.result(...)`` — blocking future wait (await
+  ``asyncio.wrap_future(fut)`` instead);
+* ``<lock>.acquire(...)`` — a threading lock wait;
+* ``<queue-ish>.get(...)`` — ``queue.Queue.get`` blocking reads,
+  recognized by the receiver's name to keep ``dict.get`` out of it;
+* bare socket operations (``recv``/``send``/``accept``/``connect``
+  on a socket-named receiver).
+
+Callables merely *referenced* (handed to ``run_in_executor``, wrapped
+in ``functools.partial``, or defined in nested ``def``/``lambda``
+bodies) are not calls on the event loop and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.model import Finding
+from repro.analysis.scopes import expr_text, own_nodes, qualname_of
+
+RULE = "RL003"
+TITLE = "async-blocking"
+
+#: Fully dotted calls that always block.
+BLOCKING_DOTTED = {
+    "time.sleep": "use 'await asyncio.sleep(...)'",
+    "os.fsync": "run it via 'await loop.run_in_executor(...)'",
+    "os.sync": "run it via 'await loop.run_in_executor(...)'",
+    "select.select": "use asyncio's own readiness notifications",
+    "subprocess.run": "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.check_output":
+        "use 'await asyncio.create_subprocess_exec(...)'",
+    "socket.create_connection": "use 'await asyncio.open_connection'",
+}
+
+_SOCKET_METHODS = ("recv", "send", "sendall", "accept", "connect")
+
+
+def _dotted(func: ast.expr) -> str:
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)):
+        return f"{func.value.id}.{func.attr}"
+    return ""
+
+
+def _queueish(text: str) -> bool:
+    lowered = text.lower()
+    return ("queue" in lowered or lowered.endswith("_q")
+            or lowered == "q")
+
+
+def _blocking_reason(call: ast.Call) -> tuple:
+    """``(message, hint)`` when the call is blocking, else ``("", "")``."""
+    dotted = _dotted(call.func)
+    if dotted in BLOCKING_DOTTED:
+        return (f"blocking call {dotted}() on the event loop",
+                BLOCKING_DOTTED[dotted])
+    if not isinstance(call.func, ast.Attribute):
+        return "", ""
+    attr = call.func.attr
+    receiver = expr_text(call.func.value)
+    if attr == "result":
+        return (f"blocking {receiver}.result() on the event loop",
+                "await 'asyncio.wrap_future(...)' instead")
+    if attr == "acquire":
+        return (f"blocking {receiver}.acquire() on the event loop",
+                "use 'asyncio.Lock' or hop to the executor")
+    if attr == "get" and _queueish(receiver):
+        return (f"blocking {receiver}.get() on the event loop",
+                "bridge the queue through 'run_in_executor'")
+    if attr in _SOCKET_METHODS and "sock" in receiver.lower():
+        return (f"raw socket {receiver}.{attr}() on the event loop",
+                "use the asyncio stream/transport APIs")
+    return "", ""
+
+
+def check(modules: Iterable) -> List[Finding]:
+    """Flag blocking calls inside ``async def`` under ``repro/net/``."""
+    findings: List[Finding] = []
+    for module in modules:
+        if "repro/net/" not in module.path:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in own_nodes(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                message, hint = _blocking_reason(child)
+                if message:
+                    findings.append(Finding(
+                        rule=RULE, path=module.path,
+                        line=child.lineno, col=child.col_offset,
+                        qualname=qualname_of(child),
+                        message=message, hint=hint))
+    return findings

@@ -1,0 +1,126 @@
+"""RL002 — annotated fields are only touched under their lock.
+
+The convention: a field assigned in ``__init__`` may carry a
+``# guarded by: self._lock`` comment (on the assignment's line or on a
+comment-only line directly above; the codebase's ``#:`` doc-comment
+form works too).  Every later read or write of ``self.<field>`` inside
+the class must then sit lexically under ``with <lock>:`` for exactly
+that lock expression.
+
+Exemptions, by convention rather than inference:
+
+* ``__init__`` itself — construction happens-before sharing;
+* methods whose name ends in ``_locked`` — the project's marker for
+  "caller already holds the lock" (the callers are checked instead);
+* access through ``getattr``/``setattr`` strings is invisible to a
+  lexical rule; the two stats helpers that use it take the lock
+  internally and are covered by tests, not by RL002.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List
+
+from repro.analysis.model import Finding
+from repro.analysis.scopes import held_lock_texts, qualname_of
+
+RULE = "RL002"
+TITLE = "guarded-by"
+
+_ANNOTATION = re.compile(r"#:?\s*guarded by:\s*(?P<lock>[\w.\[\]'\"]+)")
+
+
+def _field_name(target: ast.expr) -> str:
+    """The ``X`` of a ``self.X`` assignment target ('' otherwise)."""
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return target.attr
+    return ""
+
+
+def _annotation_for(module, stmt: ast.stmt) -> str:
+    """The guard expression annotated on an ``__init__`` assignment."""
+    last = getattr(stmt, "end_lineno", stmt.lineno)
+    for line in range(stmt.lineno, last + 1):
+        match = _ANNOTATION.search(module.comment_on(line))
+        if match:
+            return match.group("lock")
+    line = stmt.lineno - 1
+    while line >= 1 and module.is_comment_only(line):
+        match = _ANNOTATION.search(module.comment_on(line))
+        if match:
+            return match.group("lock")
+        line -= 1
+    return ""
+
+
+def _guarded_fields(module, cls: ast.ClassDef) -> Dict[str, str]:
+    """``field -> lock expression`` from the class's ``__init__``."""
+    guards: Dict[str, str] = {}
+    for node in cls.body:
+        if (isinstance(node, ast.FunctionDef)
+                and node.name == "__init__"):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                else:
+                    continue
+                names = [name for name in map(_field_name, targets)
+                         if name]
+                if not names:
+                    continue
+                lock = _annotation_for(module, stmt)
+                if lock:
+                    for name in names:
+                        guards[name] = lock
+    return guards
+
+
+def _check_class(module, cls: ast.ClassDef,
+                 findings: List[Finding]) -> None:
+    guards = _guarded_fields(module, cls)
+    if not guards:
+        return
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+            continue
+        if method.name == "__init__" or method.name.endswith("_locked"):
+            continue
+        # Nested defs are deliberately *included* here: a closure
+        # touching guarded state runs later, when the method's lock is
+        # long released, so its accesses must hold the lock themselves
+        # (held_lock_texts stops at the closure boundary).
+        for node in ast.walk(method):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guards):
+                continue
+            lock = guards[node.attr]
+            if lock in held_lock_texts(node):
+                continue
+            findings.append(Finding(
+                rule=RULE, path=module.path, line=node.lineno,
+                col=node.col_offset, qualname=qualname_of(node),
+                message=f"self.{node.attr} is annotated 'guarded by: "
+                        f"{lock}' but is accessed without holding it",
+                hint=f"wrap the access in 'with {lock}:', rename the "
+                     f"method '*_locked' if callers hold it, or "
+                     f"suppress with a reason"))
+    return
+
+
+def check(modules: Iterable) -> List[Finding]:
+    """Flag annotated-field accesses outside their declared lock."""
+    findings: List[Finding] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                _check_class(module, node, findings)
+    return findings

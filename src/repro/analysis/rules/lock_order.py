@@ -1,0 +1,76 @@
+"""RL001 — lock acquisitions must follow the declared hierarchy.
+
+For every ``with`` statement that acquires a lock declared in
+:data:`repro.analysis.config.LOCK_HIERARCHY`, the tracker computes the
+set of declared locks already held lexically (within the same
+function) and flags an acquisition whose rank is *lower* than a held
+rank — the classic A→B / B→A deadlock shape.  Equal ranks pass: the
+buffer pool's RLock legitimately re-enters itself, and two same-level
+instances are never nested across threads by design.
+
+The check is lexical: it does not follow calls.  That is the project
+convention being enforced — code that needs a lower-level lock calls
+down *without* holding its own (see the buffer pool's docstring), so
+any lexical inversion is a real bug, and runtime inversions across
+calls are kept impossible by layering rather than by this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.config import match_lock
+from repro.analysis.model import Finding
+from repro.analysis.scopes import (
+    enclosing_class,
+    held_with_items,
+    qualname_of,
+    with_item_exprs,
+)
+
+RULE = "RL001"
+TITLE = "lock-order"
+
+
+def check(modules: Iterable) -> List[Finding]:
+    """Flag ``with`` items acquiring against the declared lock order."""
+    findings: List[Finding] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            cls = enclosing_class(node)
+            classname = cls.name if cls is not None else ""
+            held = []
+            for item in held_with_items(node):
+                for expr in with_item_exprs(item):
+                    site = match_lock(expr, module.path, classname)
+                    if site is not None:
+                        held.append(site)
+            # Items of one statement acquire left to right: earlier
+            # items are already held when a later one is evaluated.
+            for item in node.items:
+                for expr in with_item_exprs(item):
+                    site = match_lock(expr, module.path, classname)
+                    if site is None:
+                        continue
+                    inversions = [outer for outer in held
+                                  if outer.rank > site.rank]
+                    if inversions:
+                        outer = max(inversions,
+                                    key=lambda held_site: held_site.rank)
+                        findings.append(Finding(
+                            rule=RULE, path=module.path,
+                            line=expr.lineno, col=expr.col_offset,
+                            qualname=qualname_of(node),
+                            message=f"acquires {site.name!r} (rank "
+                                    f"{site.rank}) while holding "
+                                    f"{outer.name!r} (rank "
+                                    f"{outer.rank}); the declared "
+                                    f"order is outer-first",
+                            hint="release the inner lock first, or "
+                                 "restructure so the lower-ranked "
+                                 "lock is taken outside"))
+                    held.append(site)
+    return findings

@@ -1,0 +1,149 @@
+"""RL004 — the wire error/message taxonomy must not drift.
+
+Two invariants tie :mod:`repro.errors` to :mod:`repro.net.protocol`:
+
+1. Every library exception class *raised* in the serving path
+   (``net/``, ``shard/``, ``core/server.py``) must be registered in
+   ``WIRE_ERRORS`` — an unregistered class silently degrades to its
+   nearest registered ancestor on the wire, and the client loses the
+   type it would have caught.
+2. Every ``MsgKind`` member must appear in the server's dispatch
+   module (``net/server.py``) — an enum member with no server branch
+   is either dead protocol surface or a not-yet-implemented frame,
+   and both deserve a finding until resolved.
+
+Both sides are recovered from the AST of the real files, so the rule
+keeps working as the taxonomy grows: a class added to ``errors.py``
+and raised in the serving path is flagged until it is registered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.model import Finding
+from repro.analysis.scopes import qualname_of
+
+RULE = "RL004"
+TITLE = "wire-taxonomy"
+
+def _class_bases(tree: ast.AST) -> Dict[str, Set[str]]:
+    bases: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {
+                base.id for base in node.bases
+                if isinstance(base, ast.Name)}
+    return bases
+
+
+def _library_errors(errors_tree: ast.AST) -> Set[str]:
+    """Every class in ``errors.py`` descending from ``ReproError``."""
+    bases = _class_bases(errors_tree)
+    errors = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in errors and parents & errors:
+                errors.add(name)
+                changed = True
+    return errors
+
+
+def _registered_errors(protocol_tree: ast.AST) -> Set[str]:
+    """The class names enumerated in the ``WIRE_ERRORS`` registry."""
+    for node in ast.walk(protocol_tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(target, ast.Name)
+                   and target.id == "WIRE_ERRORS"
+                   for target in targets):
+            continue
+        return {child.id for child in ast.walk(node.value)
+                if isinstance(child, ast.Name)
+                and child.id not in ("cls",)}
+    return set()
+
+
+def _msg_kinds(protocol_tree: ast.AST) -> Dict[str, int]:
+    """``member name -> line`` of the ``MsgKind`` enum."""
+    members: Dict[str, int] = {}
+    for node in ast.walk(protocol_tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MsgKind":
+            for stmt in node.body:
+                if (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)):
+                    members[stmt.targets[0].id] = stmt.lineno
+    return members
+
+
+def _raised_name(node: ast.Raise) -> str:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return ""
+
+
+def _find(modules, suffix: str):
+    for module in modules:
+        if module.path.endswith(suffix):
+            return module
+    return None
+
+
+def check(modules: Iterable) -> List[Finding]:
+    """Flag unregistered raised errors and undispatched MsgKinds."""
+    modules = list(modules)
+    errors_module = _find(modules, "repro/errors.py")
+    protocol_module = _find(modules, "repro/net/protocol.py")
+    if errors_module is None or protocol_module is None:
+        return []  # partial run without the taxonomy's home files
+    library = _library_errors(errors_module.tree)
+    registered = _registered_errors(protocol_module.tree)
+    findings: List[Finding] = []
+    for module in modules:
+        in_scope = ("repro/net/" in module.path
+                    or "repro/shard/" in module.path
+                    or module.path.endswith("core/server.py"))
+        if not in_scope:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name in library and name not in registered:
+                findings.append(Finding(
+                    rule=RULE, path=module.path, line=node.lineno,
+                    col=node.col_offset, qualname=qualname_of(node),
+                    message=f"{name} is raised on the serving path "
+                            f"but is not registered in WIRE_ERRORS; "
+                            f"it would cross the wire as its base "
+                            f"class",
+                    hint="add the class to WIRE_ERRORS in "
+                         "src/repro/net/protocol.py"))
+    server_module = _find(modules, "repro/net/server.py")
+    if server_module is not None:
+        referenced = {
+            node.attr for node in ast.walk(server_module.tree)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "MsgKind"}
+        for member, line in sorted(_msg_kinds(
+                protocol_module.tree).items()):
+            if member not in referenced:
+                findings.append(Finding(
+                    rule=RULE, path=protocol_module.path, line=line,
+                    col=4, qualname=f"MsgKind.{member}",
+                    message=f"MsgKind.{member} has no dispatch branch "
+                            f"in src/repro/net/server.py",
+                    hint="handle the frame kind in _Connection "
+                         "or retire the enum member"))
+    return findings

@@ -1,0 +1,140 @@
+"""Scope and lock-context resolution over plain ``ast`` trees.
+
+Everything reprolint knows about structure comes from here: parent
+links (``ast`` has none), qualified names for findings, iteration over
+function scopes, and the lexical lock tracker — "which ``with`` items
+enclose this node, inside its own function?".  The tracker is purely
+lexical: it does not follow calls, which is exactly the discipline the
+checked conventions demand (helpers that *assume* a caller's lock are
+named ``*_locked`` and exempted by the guarded-by rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_PARENT = "_reprolint_parent"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set a parent backlink on every node (idempotent)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def parent_of(node: ast.AST):
+    """The node's parent, or None at the tree root."""
+    return getattr(node, _PARENT, None)
+
+
+def qualname_of(node: ast.AST) -> str:
+    """``Class.method``-style name of the definition enclosing a node."""
+    names: List[str] = []
+    current = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+            names.append(current.name)
+        current = parent_of(current)
+    return ".".join(reversed(names)) or "<module>"
+
+
+def enclosing_class(node: ast.AST):
+    """The nearest enclosing ClassDef, or None."""
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every (async) function definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested scopes.
+
+    Nested ``def``/``lambda`` bodies run at some other time, possibly
+    on some other thread — their lock context is their own problem, so
+    lexical rules must not attribute the enclosing function's locks
+    (or code) to them.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def expr_text(node: ast.AST) -> str:
+    """The source rendering of an expression (``ast.unparse``)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def with_item_exprs(item: ast.withitem) -> List[ast.expr]:
+    """The lock expression(s) of one ``with`` item.
+
+    A conditional acquisition — ``with (latch.exclusive() if x else
+    latch.shared()):`` — contributes both arms, so either form matches
+    a declared lock site.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.IfExp):
+        return [expr.body, expr.orelse]
+    return [expr]
+
+
+def held_with_items(node: ast.AST) -> List[ast.withitem]:
+    """The ``with`` items lexically held at ``node``, outermost first.
+
+    Climbs parents until the function (or class/module) boundary.  A
+    node inside a ``with`` statement's *items* is not yet under that
+    statement's locks; only nodes in the body are.
+    """
+    held: List[ast.withitem] = []
+    current = node
+    parent = parent_of(current)
+    while parent is not None and not isinstance(
+            parent, _SCOPE_NODES + (ast.ClassDef, ast.Module)):
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            if current in parent.body:
+                held.extend(reversed(parent.items))
+        current = parent
+        parent = parent_of(current)
+    held.reverse()
+    return held
+
+
+def held_lock_texts(node: ast.AST) -> List[str]:
+    """Unparsed lock expressions lexically held at ``node``."""
+    texts: List[str] = []
+    for item in held_with_items(node):
+        for expr in with_item_exprs(item):
+            texts.append(expr_text(expr))
+    return texts
+
+
+def enclosing_statement(node: ast.AST) -> ast.AST:
+    """The statement a node belongs to (itself if already a stmt)."""
+    current = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = parent_of(current)
+    return current if current is not None else node
+
+
+def node_location(node: ast.AST) -> Tuple[int, int]:
+    """(line, col) of a node, defaulting to (1, 0)."""
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)

@@ -292,7 +292,7 @@ class QueryStream:
                 if self._error is not None:
                     error = self._error
                     self.close()
-                    raise error
+                    raise error from None
                 if end is not None and time.monotonic() >= end:
                     raise
                 continue
@@ -390,22 +390,32 @@ class QueryServer:
                                         batch_size=batch_size)
         self._plan_cache_capacity = plan_cache_capacity
         self._queue: queue.Queue = queue.Queue(maxsize=max_pending)
+        # guarded by: self._lifecycle_lock
         self._closed = False
         #: Orders submissions against close(): a task admitted under this
         #: lock is guaranteed to precede the shutdown sentinels in the
         #: queue, so its future always resolves.
         self._lifecycle_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # guarded by: self._stats_lock
         self._submitted = 0
+        # guarded by: self._stats_lock
         self._completed = 0
+        # guarded by: self._stats_lock
         self._failed = 0
+        # guarded by: self._stats_lock
         self._cancelled = 0
+        # guarded by: self._stats_lock
         self._rejected = 0
+        # guarded by: self._stats_lock
         self._peak_pending = 0
+        # guarded by: self._stats_lock
         self._queue_wait_hist = LatencyHistogram()
+        # guarded by: self._stats_lock
         self._execution_hist = LatencyHistogram()
         #: Streams whose producer is (or will be) running; close()
         #: aborts them so shutdown never waits on an absent consumer.
+        # guarded by: self._stats_lock
         self._streams: set[QueryStream] = set()
         #: The unified metrics surface: the worker pool and the storage
         #: layer register here; layers wrapping this server (network
@@ -444,6 +454,8 @@ class QueryServer:
         Execution errors (including a missed deadline) surface through
         the future.
         """
+        # reprolint: disable=RL002 racy fast-fail only; _admit re-checks
+        # under self._lifecycle_lock before the task becomes visible
         if self._closed:
             raise ServerClosedError("submit() on a closed QueryServer")
         time_limit = (self.options.time_limit if time_limit is _UNSET
@@ -495,6 +507,8 @@ class QueryServer:
         if max_buffered_pages < 1:
             raise ValueError(f"max_buffered_pages must be >= 1, got "
                              f"{max_buffered_pages}")
+        # reprolint: disable=RL002 racy fast-fail only; _admit re-checks
+        # under self._lifecycle_lock before the task becomes visible
         if self._closed:
             raise ServerClosedError("submit_stream() on a closed "
                                     "QueryServer")
@@ -583,6 +597,8 @@ class QueryServer:
         message calls, letting a shard mediator place documents on
         member processes at runtime.
         """
+        # reprolint: disable=RL002 racy fast-fail; the underlying DBMS
+        # rejects loads after close with its own synchronization
         if self._closed:
             raise ServerClosedError("load() on a closed QueryServer")
         return self.dbms.load(document, xml=xml, path=path)

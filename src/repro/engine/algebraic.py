@@ -268,7 +268,7 @@ class AlgebraicEvaluator:
             for batch in row_batches:
                 for row in batch:
                     inner = dict(env)
-                    for var, node in zip(expr.vartuple, row):
+                    for var, node in zip(expr.vartuple, row, strict=True):
                         inner[var] = node
                     yield from self._eval(expr.body, ctx, inner, plans,
                                           execution_plans)

@@ -86,16 +86,27 @@ class _NetMetrics:
 
     def __init__(self, recent_capacity: int = 256):
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self.connections_open = 0
+        # guarded by: self._lock
         self.connections_total = 0
+        # guarded by: self._lock
         self.protocol_errors = 0
+        # guarded by: self._lock
         self.bytes_sent = 0
+        # guarded by: self._lock
         self.bytes_received = 0
+        # guarded by: self._lock
         self.queries = 0
+        # guarded by: self._lock
         self.updates = 0
+        # guarded by: self._lock
         self.errors_sent = 0
+        # guarded by: self._lock
         self.rows_sent = 0
+        # guarded by: self._lock
         self.latency = LatencyHistogram()
+        # guarded by: self._lock
         self.recent: deque[dict] = deque(maxlen=recent_capacity)
 
     def record_query(self, record: dict) -> None:

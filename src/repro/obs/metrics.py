@@ -50,6 +50,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self._value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -61,10 +62,12 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __call__(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -78,6 +81,7 @@ class Gauge:
 
     def __init__(self, value: float = 0.0) -> None:
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self._value = value
 
     def set(self, value: float) -> None:
@@ -90,10 +94,12 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __call__(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 @dataclass(frozen=True)
@@ -129,10 +135,15 @@ class LatencyHistogram:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self._counts = [0] * self.BUCKETS
+        # guarded by: self._lock
         self._count = 0
+        # guarded by: self._lock
         self._sum = 0.0
+        # guarded by: self._lock
         self._min = float("inf")
+        # guarded by: self._lock
         self._max = 0.0
 
     def record(self, seconds: float) -> None:
@@ -151,16 +162,35 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean(self) -> float:
         with self._lock:
-            return self._sum / self._count if self._count else 0.0
+            return self._mean_locked()
 
     @property
     def max(self) -> float:
-        return self._max
+        with self._lock:
+            return self._max
+
+    def _mean_locked(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def _percentile_locked(self, fraction: float) -> float:
+        if not self._count:
+            return 0.0
+        rank = min(self._count, max(1, math.ceil(fraction * self._count)))
+        seen = 0
+        index = self.BUCKETS - 1
+        for i, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= rank:
+                index = i
+                break
+        upper = (1 << (index + 1)) / 1e6
+        return min(max(upper, self._min), self._max)
 
     def percentile(self, fraction: float) -> float:
         """Upper-bound estimate of the ``fraction`` quantile in seconds.
@@ -171,31 +201,27 @@ class LatencyHistogram:
         ``[min, max]``.
         """
         with self._lock:
-            if not self._count:
-                return 0.0
-            rank = min(self._count, max(1, math.ceil(fraction * self._count)))
-            seen = 0
-            index = self.BUCKETS - 1
-            for i, bucket in enumerate(self._counts):
-                seen += bucket
-                if seen >= rank:
-                    index = i
-                    break
-            upper = (1 << (index + 1)) / 1e6
-            return min(max(upper, self._min), self._max)
+            return self._percentile_locked(fraction)
 
     def snapshot(self) -> LatencySnapshot:
-        """An immutable summary (milliseconds) of the distribution."""
-        if not self._count:
-            return LatencySnapshot()
-        return LatencySnapshot(
-            count=self._count,
-            mean_ms=round(self.mean * 1e3, 3),
-            p50_ms=round(self.percentile(0.50) * 1e3, 3),
-            p90_ms=round(self.percentile(0.90) * 1e3, 3),
-            p99_ms=round(self.percentile(0.99) * 1e3, 3),
-            max_ms=round(self._max * 1e3, 3),
-        )
+        """An immutable summary (milliseconds) of the distribution.
+
+        All six statistics come from one critical section, so the
+        snapshot is internally consistent even while other threads
+        record (count, mean, and percentiles agree on the same
+        population).
+        """
+        with self._lock:
+            if not self._count:
+                return LatencySnapshot()
+            return LatencySnapshot(
+                count=self._count,
+                mean_ms=round(self._mean_locked() * 1e3, 3),
+                p50_ms=round(self._percentile_locked(0.50) * 1e3, 3),
+                p90_ms=round(self._percentile_locked(0.90) * 1e3, 3),
+                p99_ms=round(self._percentile_locked(0.99) * 1e3, 3),
+                max_ms=round(self._max * 1e3, 3),
+            )
 
 
 #: Characters Prometheus metric names may not contain.
@@ -231,7 +257,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self._producers: Dict[str, Callable[[], object]] = {}
+        # guarded by: self._lock
         self._producer_errors = 0
 
     def register(self, prefix: str,
@@ -269,7 +297,8 @@ class MetricsRegistry:
                     self._producer_errors += 1
                 continue
             _flatten(prefix, value, flat)
-        flat["registry.producer_errors"] = self._producer_errors
+        with self._lock:
+            flat["registry.producer_errors"] = self._producer_errors
         return flat
 
     @staticmethod

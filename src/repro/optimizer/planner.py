@@ -125,12 +125,12 @@ class Planner:
 
     def __init__(self, statistics: DocumentStatistics,
                  config: PlannerConfig | None = None,
-                 value_indexes: frozenset[str] = frozenset()):
+                 value_indexes: frozenset[str] | None = None):
         self.config = config or PlannerConfig()
         self.estimator = CardinalityEstimator(
             statistics, calibration=self.config.calibration)
         self.cost_model = CostModel(self.estimator)
-        self.value_indexes = frozenset(value_indexes)
+        self.value_indexes = frozenset(value_indexes or ())
 
     # ------------------------------------------------------------------
     # entry point

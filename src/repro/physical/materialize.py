@@ -124,6 +124,9 @@ class Materializer(PhysicalOp):
                     position += len(take)
                     self._meter = ctx.meter
                     self._charged += row_bytes * len(take)
+                    # reprolint: disable=RL005 charge is retained with the
+                    # cached rows and released by close() via self._meter
+                    # and self._charged (or on spill below)
                     ctx.meter.charge(row_bytes * len(take))
                     collected.extend(take)
                     if len(collected) > self.memory_threshold_rows:

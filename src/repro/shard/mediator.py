@@ -150,9 +150,12 @@ class ShardedServer:
         #: logical document name -> owning shard ids, in chunk order.
         #: One entry means a whole document; several mean a partitioned
         #: one (chunk i on shards[i] under the same physical name).
+        # guarded by: self._lock
         self._catalog: dict[str, tuple[int, ...]] = {}
         self._lock = threading.Lock()
+        # guarded by: self._lock
         self._closed = False
+        # guarded by: self._lock
         self._streams: set = set()
         self._executor = ThreadPoolExecutor(
             max_workers=max(4, 2 * len(endpoints)),
@@ -160,11 +163,17 @@ class ShardedServer:
         #: Sizing hint for a fronting NetworkServer (QueryServer duck
         #: type): enough I/O slots to keep every shard busy.
         self._workers = tuple(range(max(4, 2 * len(endpoints))))
+        # guarded by: self._lock
         self._queries = 0
+        # guarded by: self._lock
         self._fanouts = 0
+        # guarded by: self._lock
         self._updates = 0
+        # guarded by: self._lock
         self._loads = 0
+        # guarded by: self._lock
         self._errors = 0
+        # guarded by: self._lock
         self._rows_streamed = 0
         #: Joined by a fronting NetworkServer (registry_of duck type) so
         #: the cluster front door's METRICS page carries these counters.
@@ -175,7 +184,9 @@ class ShardedServer:
     # -- catalog -------------------------------------------------------------
 
     def _check_open(self, operation: str) -> None:
-        if self._closed:
+        with self._lock:
+            closed = self._closed
+        if closed:
             raise ServerClosedError(
                 f"{operation} on a closed ShardedServer")
 
@@ -250,7 +261,7 @@ class ShardedServer:
         if parts > 1:
             chunks = split_document(xml, parts)
             shards = tuple(range(parts))
-            for shard, chunk in zip(shards, chunks):
+            for shard, chunk in zip(shards, chunks, strict=True):
                 self._pools[shard].run(
                     lambda client, chunk=chunk: client.load(document,
                                                             chunk))
@@ -421,10 +432,13 @@ class ShardedServer:
         """Run a query and collect every (serialized) row."""
         stream = self.submit_stream(document, query, bindings=bindings,
                                     time_limit=time_limit)
-        rows: list[str] = []
-        for page in stream.pages():
-            rows.extend(page)
-        return rows
+        try:
+            rows: list[str] = []
+            for page in stream.pages():
+                rows.extend(page)
+            return rows
+        finally:
+            stream.close()
 
     def query(self, document: str, query,
               bindings: dict | None = None,

@@ -82,7 +82,7 @@ class _Node:
         size = _NODE_HEADER.size
         if self.is_leaf:
             size += _LEAF_NEXT.size
-            for key, value in zip(self.keys, self.values):
+            for key, value in zip(self.keys, self.values, strict=True):
                 size += 2 * _LEN.size + len(key) + len(value)
         else:
             size += _CHILD.size * len(self.children)
@@ -99,7 +99,7 @@ class _Node:
         if self.is_leaf:
             _LEAF_NEXT.pack_into(page, offset, self.next_leaf)
             offset += _LEAF_NEXT.size
-            for key, value in zip(self.keys, self.values):
+            for key, value in zip(self.keys, self.values, strict=True):
                 _LEN.pack_into(page, offset, len(key))
                 offset += _LEN.size
                 _LEN.pack_into(page, offset, len(value))

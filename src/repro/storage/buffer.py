@@ -132,8 +132,11 @@ class BufferPool:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.pager = pager
         self.capacity = capacity
+        # guarded by: self._lock
         self.stats = BufferStats()
+        # guarded by: self._lock
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        # guarded by: self._lock
         self._evict_callbacks: list[Callable[[int], None]] = []
         self._lock = threading.RLock()
         #: Pages dirtied by the active write transaction (None = no
@@ -141,48 +144,61 @@ class BufferPool:
         #: spirit: they are never evicted (no-steal) and never flushed,
         #: so the database file only sees them after the WAL has the
         #: commit record.
+        # guarded by: self._lock
         self._tracked: set[int] | None = None
         #: Thread that owns the active write transaction.  Only events
         #: from this thread join the tracked set — a concurrent reader
         #: spilling scratch heap pages must not contaminate the
         #: transaction's write set (its pages would be logged, held back,
         #: or dropped on abort).
+        # guarded by: self._lock
         self._txn_thread: int | None = None
         #: Committed image of every page the transaction touched, taken
         #: *before* the first mutation (``None`` = the page was born in
         #: this transaction and has no snapshot-visible past).
+        # guarded by: self._lock
         self._txn_preimages: dict[int, bytes | None] = {}
         #: Page frees issued during the transaction, executed once the
         #: commit is durable *and* no snapshot can still reach the page.
+        # guarded by: self._lock
         self._deferred_frees: list[int] = []
         # -- MVCC state ----------------------------------------------------
         #: Monotonic commit sequence ("commit LSN").  Unlike WAL LSNs it
         #: never resets at a checkpoint, so snapshot ordering survives
         #: log truncation.
+        # guarded by: self._lock
         self._committed_lsn = 0
         #: Highest commit LSN whose WAL records are known fsynced.
+        # guarded by: self._lock
         self._durable_lsn = 0
         #: page id → ascending ``(superseded_at, image)``: ``image`` is
         #: the page's content *before* commit ``superseded_at`` replaced
         #: it, i.e. what every snapshot pinned below ``superseded_at``
         #: must read.
+        # guarded by: self._lock
         self._versions: dict[int, list[tuple[int, bytes]]] = {}
         #: commit LSN → number of snapshots pinned at it.
+        # guarded by: self._lock
         self._snapshots: dict[int, int] = {}
         #: page id → latest commit LSN whose durable write-back is still
         #: pending.  Held frames are excluded from eviction and flush:
         #: their bytes must not reach the file before the covering fsync
         #: (crash before it would leave redo-less new content behind a
         #: discarded WAL tail).
+        # guarded by: self._lock
         self._held: dict[int, int] = {}
         #: ``(free_gate, durability_gate, page_id)``: execute the pager
         #: free once ``durable_lsn >= durability_gate`` and no snapshot
         #: is pinned below ``free_gate``.
+        # guarded by: self._lock
         self._pending_frees: list[tuple[int, int, int]] = []
         self._local = threading.local()
         # Lifetime counters for the stats surface.
+        # guarded by: self._lock
         self.snapshots_opened = 0
+        # guarded by: self._lock
         self.versions_installed = 0
+        # guarded by: self._lock
         self.versioned_reads = 0
 
     # -- configuration -----------------------------------------------------
@@ -343,7 +359,7 @@ class BufferPool:
                 self._frames.move_to_end(page_id)
             else:
                 self.stats.misses += 1
-                self._make_room()
+                self._make_room_locked()
                 frame = _Frame(self.pager.read_page(page_id))
                 self._frames[page_id] = frame
             if pin:
@@ -368,7 +384,7 @@ class BufferPool:
             if dirty:
                 frame.dirty = True
                 frame.mod_count += 1
-                if self._tracking_here():
+                if self._tracking_here_locked():
                     # Pages first dirtied through this path are expected
                     # to be transaction-born (heap appends, overflow
                     # chains) and therefore already captured as None by
@@ -445,7 +461,7 @@ class BufferPool:
                     # unpin(dirty=True) at exit would be too late, the
                     # latch is released first.
                     with self._lock:
-                        if self._tracking_here():
+                        if self._tracking_here_locked():
                             self._capture_preimage_locked(page_id, frame)
                             self._tracked.add(page_id)
                 yield data
@@ -461,7 +477,7 @@ class BufferPool:
                                       f"{page_id}")
             frame.dirty = True
             frame.mod_count += 1
-            if self._tracking_here():
+            if self._tracking_here_locked():
                 self._capture_preimage_locked(page_id, frame)
                 self._tracked.add(page_id)
 
@@ -469,13 +485,13 @@ class BufferPool:
         """Allocate a fresh page and return it pinned and dirty."""
         with self._lock:
             page_id = self.pager.allocate_page()
-            self._make_room()
+            self._make_room_locked()
             frame = _Frame(bytearray(self.pager.page_size), pin_count=1,
                            dirty=True, mod_count=1)
             self._frames[page_id] = frame
             # A reused page id must not resolve to its previous life.
             self._versions.pop(page_id, None)
-            if self._tracking_here():
+            if self._tracking_here_locked():
                 self._tracked.add(page_id)
                 self._txn_preimages.setdefault(page_id, None)
             return page_id, frame.data
@@ -497,15 +513,15 @@ class BufferPool:
                 # Checked before touching the table: a refused free must
                 # leave the pin holder's frame (and latch) fully intact.
                 raise BufferPoolError(f"freeing pinned page {page_id}")
-            if self._tracking_here():
+            if self._tracking_here_locked():
                 self._capture_preimage_locked(page_id, frame)
                 self._frames.pop(page_id, None)
-                self._notify_evict(page_id)
+                self._notify_evict_locked(page_id)
                 self._tracked.discard(page_id)
                 self._deferred_frees.append(page_id)
                 return
             self._frames.pop(page_id, None)
-            self._notify_evict(page_id)
+            self._notify_evict_locked(page_id)
             self._held.pop(page_id, None)
             if self._snapshots:
                 # Non-transactional free with live snapshots: any of
@@ -517,7 +533,7 @@ class BufferPool:
                 self._versions.pop(page_id, None)
                 self.pager.free_page(page_id)
 
-    def _tracking_here(self) -> bool:
+    def _tracking_here_locked(self) -> bool:
         """Is a write transaction active *and* owned by this thread?"""
         return (self._tracked is not None
                 and self._txn_thread == threading.get_ident())
@@ -537,7 +553,7 @@ class BufferPool:
 
     # -- eviction / flushing ---------------------------------------------------
 
-    def _make_room(self) -> None:
+    def _make_room_locked(self) -> None:
         while len(self._frames) >= self.capacity:
             victim_id = None
             for candidate_id, frame in self._frames.items():
@@ -563,17 +579,17 @@ class BufferPool:
                         f"buffer_capacity or split the update")
                 raise BufferPoolError(
                     f"all {self.capacity} frames are pinned; cannot evict")
-            self._evict(victim_id)
+            self._evict_locked(victim_id)
 
-    def _evict(self, page_id: int) -> None:
+    def _evict_locked(self, page_id: int) -> None:
         frame = self._frames.pop(page_id)
         if frame.dirty:
             self.pager.write_page(page_id, bytes(frame.data))
             self.stats.dirty_writebacks += 1
         self.stats.evictions += 1
-        self._notify_evict(page_id)
+        self._notify_evict_locked(page_id)
 
-    def _notify_evict(self, page_id: int) -> None:
+    def _notify_evict_locked(self, page_id: int) -> None:
         for callback in self._evict_callbacks:
             callback(page_id)
 
@@ -605,7 +621,7 @@ class BufferPool:
                     "fsync; drain the committer first")
             self.flush()
             for page_id in list(self._frames):
-                self._notify_evict(page_id)
+                self._notify_evict_locked(page_id)
             self._frames.clear()
 
     # -- write transactions ------------------------------------------------------
@@ -704,8 +720,8 @@ class BufferPool:
         """
         for page_id in sorted(mods):
             self.pager.write_page(page_id, images[page_id])
-            self.stats.dirty_writebacks += 1
         with self._lock:
+            self.stats.dirty_writebacks += len(mods)
             self._durable_lsn = max(self._durable_lsn, lsn)
             for page_id, mod_count in mods.items():
                 if self._held.get(page_id) == lsn:
@@ -756,7 +772,7 @@ class BufferPool:
                     frame.mod_count += 1
                 else:
                     self._frames.pop(page_id, None)
-                self._notify_evict(page_id)
+                self._notify_evict_locked(page_id)
 
     @property
     def in_transaction(self) -> bool:

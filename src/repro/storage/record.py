@@ -52,7 +52,7 @@ class RecordCodec:
                 f"arity mismatch: {len(values)} values for "
                 f"{len(self.column_types)} columns")
         parts: list[bytes] = []
-        for column_type, value in zip(self.column_types, values):
+        for column_type, value in zip(self.column_types, values, strict=True):
             if column_type == U8:
                 parts.append(struct.pack(">B", value))
             elif column_type == U32:
@@ -118,7 +118,7 @@ def encode_key(values: tuple, column_types: tuple[str, ...] | None = None
         column_types = tuple(U32 if isinstance(v, int) else STR
                              for v in values)
     parts: list[bytes] = []
-    for column_type, value in zip(column_types, values):
+    for column_type, value in zip(column_types, values, strict=True):
         if column_type == U32:
             if not 0 <= value <= 0xFFFFFFFF:
                 raise StorageError(f"key int {value} out of u32 range")

@@ -184,4 +184,5 @@ def deep_equal(left: Node, right: Node) -> bool:
     if len(left.children) != len(right.children):
         return False
     return all(deep_equal(lc, rc)
-               for lc, rc in zip(left.children, right.children))
+               for lc, rc in zip(left.children, right.children,
+                                 strict=True))

@@ -129,12 +129,14 @@ def _resolve_entity(cur: _Cursor, body: str) -> str:
         try:
             return chr(int(body[2:], 16))
         except ValueError:
-            raise cur.error(f"bad hexadecimal character reference &{body};")
+            raise cur.error(
+                f"bad hexadecimal character reference &{body};") from None
     if body.startswith("#"):
         try:
             return chr(int(body[1:], 10))
         except ValueError:
-            raise cur.error(f"bad decimal character reference &{body};")
+            raise cur.error(
+                f"bad decimal character reference &{body};") from None
     try:
         return _PREDEFINED_ENTITIES[body]
     except KeyError:

@@ -110,11 +110,15 @@ def _eval(query: Query, env: Environment, tick, meter) -> Iterator[Node]:
     if isinstance(query, Empty):
         return
     if isinstance(query, TextLiteral):
+        # reprolint: disable=RL005 constructed nodes live as long as the
+        # result; the caller's meter scope releases in bulk
         meter.charge(_NODE_BYTES)
         yield Text(query.text)
         return
     if isinstance(query, Constr):
         element = Element(query.label)
+        # reprolint: disable=RL005 constructed nodes live as long as the
+        # result; the caller's meter scope releases in bulk
         meter.charge(_NODE_BYTES)
         for item in _eval(query.body, env, tick, meter):
             element.append(_copy(item, meter))
@@ -225,6 +229,8 @@ def _text_value(env: Environment, name: str) -> str:
 
 def _copy(node: Node, meter=_NO_METER) -> Node:
     """Deep copy a node for insertion under a constructed element."""
+    # reprolint: disable=RL005 copies are owned by the constructed tree;
+    # the caller's meter scope releases in bulk
     meter.charge(_NODE_BYTES)
     if isinstance(node, Text):
         return Text(node.text)

@@ -28,6 +28,7 @@ from repro.errors import (
     ResourceLimitExceeded,
     ServerClosedError,
     WalError,
+    XQSyntaxError,
 )
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool
@@ -533,7 +534,7 @@ class TestServerObservability:
             good = server.submit("dblp", STRESS_QUERIES[0])
             bad = server.submit("dblp", "for $x in")
             good.result(timeout=JOIN_TIMEOUT)
-            with pytest.raises(Exception):
+            with pytest.raises(XQSyntaxError):
                 bad.result(timeout=JOIN_TIMEOUT)
             stats = server.stats()
         assert stats.execution.count == 2

@@ -574,3 +574,79 @@ def test_shard_subprocess_end_to_end_trace_and_metrics(tmp_path):
             process.kill()
             process.wait()
     assert process.returncode == 0
+
+
+# -- locking discipline of the metric primitives ------------------------------
+
+
+class _CountingLock:
+    """A context-manager lock that counts its acquisitions."""
+
+    def __init__(self):
+        self.entries = 0
+
+    def __enter__(self):
+        self.entries += 1
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class TestMetricsLocking:
+    """Reads of shared counters go through the lock (RL002's contract)."""
+
+    def test_counter_reads_take_the_lock(self):
+        counter = Counter()
+        counter.inc(3)
+        lock = _CountingLock()
+        counter._lock = lock
+        assert counter.value == 3
+        assert counter() == 3
+        assert lock.entries == 2
+
+    def test_gauge_reads_take_the_lock(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        lock = _CountingLock()
+        gauge._lock = lock
+        assert gauge.value == 2.5
+        assert gauge() == 2.5
+        assert lock.entries == 2
+
+    def test_histogram_count_and_max_take_the_lock(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002)
+        lock = _CountingLock()
+        histogram._lock = lock
+        assert histogram.count == 1
+        assert histogram.max == pytest.approx(0.002)
+        assert lock.entries == 2
+
+    def test_histogram_snapshot_is_one_critical_section(self):
+        # count, mean, and the three percentiles must describe the same
+        # population: the snapshot takes the lock exactly once instead
+        # of composing separately-locked reads.
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004):
+            histogram.record(value)
+        lock = _CountingLock()
+        histogram._lock = lock
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 3
+        assert lock.entries == 1
+
+    def test_registry_error_counter_is_read_under_the_lock(self):
+        registry = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("broken producer")
+
+        registry.register("bad", boom)
+        lock = _CountingLock()
+        registry._lock = lock
+        flat = registry.collect()
+        assert flat["registry.producer_errors"] == 1
+        # One acquisition to copy the producers, one to count the
+        # error, one to read the error counter at the end.
+        assert lock.entries == 3

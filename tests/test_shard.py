@@ -423,3 +423,38 @@ def test_shard_main_subprocess_lifecycle(tmp_path):
             process.kill()
             process.wait()
     assert process.returncode == 0
+
+
+def test_execute_closes_its_stream_on_success_and_error():
+    # execute() owns the stream it opens: it must close it whether the
+    # page iteration completes or raises, or the shard-side cursor and
+    # the mediator's stream registry leak.
+    server = ShardedServer([("127.0.0.1", 1)])
+
+    class FakeStream:
+        def __init__(self, fail):
+            self.fail = fail
+            self.closed = False
+
+        def pages(self):
+            yield ["<row/>"]
+            if self.fail:
+                raise RuntimeError("mid-stream failure")
+
+        def close(self, reason=None):
+            self.closed = True
+
+    try:
+        good = FakeStream(fail=False)
+        server.submit_stream = lambda *args, **kwargs: good
+        assert server.execute("doc", "$doc") == ["<row/>"]
+        assert good.closed
+
+        bad = FakeStream(fail=True)
+        server.submit_stream = lambda *args, **kwargs: bad
+        with pytest.raises(RuntimeError):
+            server.execute("doc", "$doc")
+        assert bad.closed
+    finally:
+        del server.submit_stream
+        server.close()

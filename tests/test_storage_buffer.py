@@ -127,3 +127,33 @@ class TestStats:
     def test_memory_bytes_bounded_by_capacity(self, pool):
         fill(pool, 10)
         assert pool.memory_bytes <= 3 * pool.pager.page_size
+
+
+class TestStatsLocking:
+    def test_commit_cycle_mutates_stats_only_under_the_pool_lock(
+            self, pool):
+        # Swap the stats object for a probe that asserts the pool
+        # mutex is held on every counter mutation, then drive a full
+        # write-transaction cycle including the durable write-back
+        # (whose counter used to be bumped outside the lock).
+        from repro.storage.buffer import BufferStats
+
+        armed = []
+
+        class AssertingStats(BufferStats):
+            def __setattr__(self, name, value):
+                if armed:
+                    assert pool._lock._is_owned(), (
+                        f"stats.{name} mutated without the pool lock")
+                object.__setattr__(self, name, value)
+
+        pool.stats = AssertingStats()
+        armed.append(True)
+        pool.begin_tracking()
+        page_id, page = pool.new_page()
+        page[0] = 7
+        pool.unpin(page_id, dirty=True)
+        images = pool.transaction_pages()
+        lsn, mods = pool.publish_commit()
+        pool.complete_commit(lsn, images, mods)
+        assert pool.stats.dirty_writebacks == len(mods) >= 1

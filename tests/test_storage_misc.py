@@ -93,7 +93,7 @@ class TestHeapFile:
 
     def test_spans_multiple_pages(self, database):
         heap = HeapFile.create(database.buffer_pool)
-        for index in range(300):
+        for _ in range(300):
             heap.insert(b"x" * 100)
         assert len(heap.page_ids()) > 1
 

@@ -271,7 +271,7 @@ class TestPlannerPicksValueIndex:
                    self.range_query(name[0], name[0] + "￿")]
         before = [contrast.query("dblp", q) for q in queries]
         contrast.create_index("dblp", "editor")
-        for query, expected in zip(queries, before):
+        for query, expected in zip(queries, before, strict=True):
             assert contrast.query("dblp", query) == expected
             assert contrast.query("dblp", query, profile="m1") == expected
 
